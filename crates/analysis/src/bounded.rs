@@ -1,0 +1,302 @@
+//! Bounded-execution check (§2.5).
+//!
+//! A reaction chain must run in bounded time, so every path through a loop
+//! body must contain an `await` or escape the loop. We implement a *sound
+//! refinement* of the paper's stated rule: a `break` only satisfies the
+//! check for the loop it actually exits, so `loop do loop do break end end`
+//! — a tight loop that the literal rule would accept — is rejected (see
+//! DESIGN.md).
+//!
+//! Loops inside `async` blocks are exempt: unbounded computation is the
+//! whole point of asyncs (§2.7).
+
+use ceu_ast::{AssignRhs, Block, ParKind, Program, Span, Stmt, StmtKind};
+use std::fmt;
+
+/// A loop that can iterate without consuming time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TightLoop {
+    pub span: Span,
+}
+
+impl fmt::Display for TightLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tight loop at {}: every path through a loop body must contain an `await` or a `break`",
+            self.span
+        )
+    }
+}
+
+impl std::error::Error for TightLoop {}
+
+/// Abstract result of running a statement (may-semantics, zero-await paths):
+#[derive(Clone, Copy, Debug, Default)]
+struct R {
+    /// May complete normally without awaiting.
+    fall: bool,
+    /// May reach a `break` of the *nearest enclosing loop* without awaiting.
+    brk: bool,
+    /// May reach a `return` (of the nearest value block) without awaiting.
+    ret: bool,
+}
+
+/// Checks every loop of the program; returns all violations.
+pub fn check_bounded(program: &Program) -> Vec<TightLoop> {
+    let mut errs = Vec::new();
+    check_block(&program.block, &mut errs);
+    errs
+}
+
+fn check_block(block: &Block, errs: &mut Vec<TightLoop>) {
+    for stmt in &block.stmts {
+        check_stmt(stmt, errs);
+    }
+}
+
+fn check_stmt(stmt: &Stmt, errs: &mut Vec<TightLoop>) {
+    match &stmt.kind {
+        StmtKind::Loop { body } => {
+            let r = seq(body);
+            if r.fall {
+                errs.push(TightLoop { span: stmt.span });
+            }
+            check_block(body, errs);
+        }
+        StmtKind::If { then_blk, else_blk, .. } => {
+            check_block(then_blk, errs);
+            if let Some(e) = else_blk {
+                check_block(e, errs);
+            }
+        }
+        StmtKind::Par { arms, .. } => {
+            for a in arms {
+                check_block(a, errs);
+            }
+        }
+        StmtKind::DoBlock { body } | StmtKind::Suspend { body, .. } => check_block(body, errs),
+        // asyncs are allowed to loop unboundedly
+        StmtKind::Async { .. } => {}
+        StmtKind::Assign { rhs, .. } => match rhs {
+            AssignRhs::Par(_, arms) => {
+                for a in arms {
+                    check_block(a, errs);
+                }
+            }
+            AssignRhs::Do(b) => check_block(b, errs),
+            AssignRhs::Async(_) => {}
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+/// Sequence: falls through without await iff every statement does; breaks
+/// and returns accumulate from any still-reachable prefix.
+fn seq(block: &Block) -> R {
+    let mut reachable = true;
+    let mut out = R { fall: true, brk: false, ret: false };
+    for stmt in &block.stmts {
+        if !reachable {
+            break;
+        }
+        let r = eval(stmt);
+        out.brk |= r.brk;
+        out.ret |= r.ret;
+        if !r.fall {
+            out.fall = false;
+            reachable = false;
+        }
+    }
+    out
+}
+
+fn eval(stmt: &Stmt) -> R {
+    match &stmt.kind {
+        // declarations are zero-time, but initialisers may await (the check
+        // also works on pre-desugar ASTs)
+        StmtKind::VarDecl { vars, .. } => {
+            let mut out = R { fall: true, ..R::default() };
+            for v in vars {
+                let r = match &v.init {
+                    None | Some(AssignRhs::Expr(_)) => R { fall: true, ..R::default() },
+                    Some(AssignRhs::AwaitEvt(_))
+                    | Some(AssignRhs::AwaitTime(_))
+                    | Some(AssignRhs::AwaitExpr(_))
+                    | Some(AssignRhs::Async(_)) => R::default(),
+                    Some(AssignRhs::Par(kind, arms)) => par_r(*kind, arms, true),
+                    Some(AssignRhs::Do(b)) => {
+                        let r = seq(b);
+                        R { fall: r.fall || r.ret, brk: r.brk, ret: false }
+                    }
+                };
+                out.brk |= out.fall && r.brk;
+                out.ret |= out.fall && r.ret;
+                out.fall &= r.fall;
+            }
+            out
+        }
+
+        // zero-time statements
+        StmtKind::Nothing
+        | StmtKind::InputDecl { .. }
+        | StmtKind::InternalDecl { .. }
+        | StmtKind::OutputDecl { .. }
+        | StmtKind::CBlock { .. }
+        | StmtKind::Pure { .. }
+        | StmtKind::Deterministic { .. }
+        | StmtKind::EmitEvt { .. }
+        | StmtKind::EmitTime { .. }
+        | StmtKind::Call { .. } => R { fall: true, ..R::default() },
+
+        // time consumers
+        StmtKind::AwaitEvt { .. }
+        | StmtKind::AwaitTime { .. }
+        | StmtKind::AwaitExpr { .. }
+        | StmtKind::AwaitForever
+        | StmtKind::Async { .. } => R::default(),
+
+        StmtKind::Break => R { brk: true, ..R::default() },
+        StmtKind::Return { .. } => R { ret: true, ..R::default() },
+
+        StmtKind::If { then_blk, else_blk, .. } => {
+            let a = seq(then_blk);
+            let b = else_blk.as_ref().map(seq).unwrap_or(R { fall: true, ..R::default() });
+            R { fall: a.fall || b.fall, brk: a.brk || b.brk, ret: a.ret || b.ret }
+        }
+
+        StmtKind::Loop { body } => {
+            let r = seq(body);
+            // the loop completes (falls through) only via a no-await break
+            // of itself; its own breaks are captured here
+            R { fall: r.brk, brk: false, ret: r.ret }
+        }
+
+        StmtKind::Par { kind, arms } => par_r(*kind, arms, /*value*/ false),
+
+        StmtKind::DoBlock { body } | StmtKind::Suspend { body, .. } => seq(body),
+
+        StmtKind::Assign { rhs, .. } => match rhs {
+            AssignRhs::Expr(_) => R { fall: true, ..R::default() },
+            // awaiting right-hand sides consume time
+            AssignRhs::AwaitEvt(_)
+            | AssignRhs::AwaitTime(_)
+            | AssignRhs::AwaitExpr(_)
+            | AssignRhs::Async(_) => R::default(),
+            AssignRhs::Par(kind, arms) => par_r(*kind, arms, /*value*/ true),
+            AssignRhs::Do(b) => {
+                let r = seq(b);
+                // a `return` inside the value block completes the block
+                R { fall: r.fall || r.ret, brk: r.brk, ret: false }
+            }
+        },
+    }
+}
+
+fn par_r(kind: ParKind, arms: &[Block], value: bool) -> R {
+    let rs: Vec<R> = arms.iter().map(seq).collect();
+    let brk = rs.iter().any(|r| r.brk);
+    let ret = rs.iter().any(|r| r.ret);
+    let fall = match kind {
+        // a plain par never rejoins
+        ParKind::Par => false,
+        // par/or rejoins when any arm completes
+        ParKind::Or => rs.iter().any(|r| r.fall),
+        // par/and rejoins when all arms complete
+        ParKind::And => rs.iter().all(|r| r.fall),
+    };
+    if value {
+        // a `return` in any arm completes the value block instantly
+        R { fall: fall || ret, brk, ret: false }
+    } else {
+        R { fall, brk, ret }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<TightLoop> {
+        let p = ceu_parser::parse(src).unwrap();
+        check_bounded(&p)
+    }
+
+    #[test]
+    fn paper_example_1_tight_increment() {
+        assert_eq!(check("int v;\nloop do\n v = v + 1;\nend").len(), 1);
+    }
+
+    #[test]
+    fn paper_example_2_if_without_else_await() {
+        let src = "input void A;\nint v;\nloop do\n if v then\n  await A;\n end\nend";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn paper_example_3_par_or_with_instant_arm() {
+        let src = "input void A;\nint v;\nloop do\n par/or do\n  await A;\n with\n  v = 1;\n end\nend";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn paper_example_4_awaiting_loop_ok() {
+        assert!(check("input void A;\nloop do\n await A;\nend").is_empty());
+    }
+
+    #[test]
+    fn paper_example_5_par_and_ok() {
+        let src = "input void A;\nint v;\nloop do\n par/and do\n  await A;\n with\n  v = 1;\n end\nend";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn break_makes_loop_bounded() {
+        assert!(check("int v;\nloop do\n if v then\n  break;\n else\n  await 1s;\n end\nend").is_empty());
+        // …even with no await at all (executes at most once)
+        assert!(check("loop do\n break;\nend").is_empty());
+    }
+
+    #[test]
+    fn nested_loop_instant_break_is_tight() {
+        // our sound refinement: the literal paper rule would accept this
+        assert_eq!(check("loop do\n loop do\n  break;\n end\nend").len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_with_awaited_break_is_ok() {
+        let src = "input void A;\nloop do\n loop do\n  await A;\n  break;\n end\nend";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn async_loops_are_exempt(){
+        let src = "int r;\nr = async do\n int i = 0;\n loop do\n  i = i + 1;\n end\n return i;\nend;";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn return_in_value_block_is_instant_completion() {
+        // v = do return 1; end  inside a loop: instant → tight
+        assert_eq!(check("int v;\nloop do\n v = do\n  return 1;\n end;\nend").len(), 1);
+    }
+
+    #[test]
+    fn return_through_value_par_is_instant() {
+        let src = "int v;\nloop do\n v = par do\n  return 1;\n with\n  await 1s;\n end;\nend";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn all_violations_reported() {
+        let src = "int v;\nloop do\n v = 1;\nend\nloop do\n v = 2;\nend";
+        assert_eq!(check(src).len(), 2);
+    }
+
+    #[test]
+    fn emit_is_zero_time() {
+        let src = "internal void e;\nloop do\n emit e;\nend";
+        assert_eq!(check(src).len(), 1);
+    }
+}

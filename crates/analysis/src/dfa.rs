@@ -1,0 +1,842 @@
+//! Temporal analysis: DFA construction and nondeterminism detection (§2.6).
+//!
+//! The compiled program is abstractly executed: a DFA state is the set of
+//! possibly-active gates (plus par/and flags), with wall-clock gates
+//! carrying their *relative* deadlines. From each state, one transition is
+//! explored per external event with listeners, per expiring known deadline
+//! (simultaneous deadlines fire together — that is how `10ms×10` against
+//! `100ms` is caught), per unknown-duration timer (alone, paired with other
+//! unknowns, and coinciding with the next known deadline), and per async
+//! completion.
+//!
+//! Expanding a reaction explores **both** branches of every conditional
+//! (may-semantics — the source of the paper's admitted false positives)
+//! and tracks concurrency with *trail groups*: every `Spawn` forks a new
+//! group; trails awakened by an internal `emit` become children of the
+//! emitter (sequenced); escape/rejoin blocks run at their rank ("phase"),
+//! sequenced after normal trails. Two accesses conflict when they come
+//! from unrelated groups of the same phase and touch:
+//!
+//! * the same variable, at least one writing;
+//! * the same internal event, at least one emitting (emit/emit or
+//!   emit/await);
+//! * C functions not declared `pure`/`deterministic`-compatible.
+
+use ceu_ast::{EventId, Span};
+use ceu_codegen::{
+    AsyncId, BlockId, CompiledProgram, GateId, GateKind, Op, Place, RegionId, Rv, SlotId, Term,
+    TimeAmount,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Analysis limits.
+#[derive(Clone, Debug)]
+pub struct DfaOptions {
+    pub max_states: usize,
+    /// Cap on branch combinations explored per reaction.
+    pub max_paths_per_reaction: usize,
+    /// Whether concurrent C calls are checked (§2.6).
+    pub check_ccalls: bool,
+}
+
+impl Default for DfaOptions {
+    fn default() -> Self {
+        DfaOptions { max_states: 20_000, max_paths_per_reaction: 4_096, check_ccalls: true }
+    }
+}
+
+/// Abstract gate status inside a DFA state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GateSt {
+    /// Awaiting an event (external or internal).
+    Event,
+    /// Timer with a known relative deadline (µs after state entry).
+    Time(u64),
+    /// Timer with a computed (unknown) deadline.
+    TimeUnknown,
+    /// `await forever`.
+    Never,
+    /// Awaiting an async completion.
+    Async,
+}
+
+type GateMap = BTreeMap<GateId, GateSt>;
+type FlagSet = BTreeSet<SlotId>;
+
+/// One DFA state: the possibly-active gates and the par/and flags.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct State {
+    pub gates: GateMap,
+    pub flags: FlagSet,
+}
+
+/// Transition label.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Label {
+    Boot,
+    Event(EventId),
+    /// Expiry of the earliest known deadline, possibly coinciding with
+    /// unknown-duration timers.
+    Time { rel: u64, with_unknown: Vec<GateId> },
+    /// Unknown-duration timers firing (alone or together).
+    Unknown(Vec<GateId>),
+    AsyncDone(AsyncId),
+}
+
+/// A transition `from --label--> to`.
+#[derive(Clone, Debug)]
+pub struct Trans {
+    pub from: usize,
+    pub label: Label,
+    pub to: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConflictKind {
+    Variable,
+    InternalEvent,
+    CCall,
+}
+
+/// A detected source of nondeterminism.
+#[derive(Clone, Debug)]
+pub struct Conflict {
+    pub kind: ConflictKind,
+    /// Human-readable description of what is accessed concurrently.
+    pub what: String,
+    pub spans: (Span, Span),
+    /// State in which the triggering reaction starts.
+    pub state: usize,
+    pub label: Label,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ConflictKind::Variable => "concurrent access to variable",
+            ConflictKind::InternalEvent => "concurrent access to internal event",
+            ConflictKind::CCall => "concurrent C calls",
+        };
+        write!(
+            f,
+            "nondeterminism: {kind} {} (at {} and {})",
+            self.what, self.spans.0, self.spans.1
+        )
+    }
+}
+
+/// The analysis result.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    pub states: Vec<State>,
+    pub transitions: Vec<Trans>,
+    pub conflicts: Vec<Conflict>,
+    /// `true` if a limit was hit and the DFA is incomplete.
+    pub truncated: bool,
+}
+
+impl Dfa {
+    /// Is the program (locally) deterministic?
+    pub fn deterministic(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// BFS distance (in input occurrences, boot excluded) from program
+    /// start to the reaction that triggers the given conflict; the paper
+    /// counts occurrences this way ("on the 6th occurrence of A").
+    pub fn conflict_depth(&self, c: &Conflict) -> Option<usize> {
+        let mut dist = vec![usize::MAX; self.states.len()];
+        let mut q = VecDeque::new();
+        dist[0] = 0;
+        q.push_back(0usize);
+        while let Some(s) = q.pop_front() {
+            if s == c.state {
+                // dist already includes the boot transition; the conflict
+                // fires on the *next* occurrence: +1 - 1 = dist
+                return Some(dist[s]);
+            }
+            for t in self.transitions.iter().filter(|t| t.from == s) {
+                if dist[t.to] == usize::MAX {
+                    dist[t.to] = dist[s] + 1;
+                    q.push_back(t.to);
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---- access bookkeeping -----------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum AccessKind {
+    VarRead(String),
+    VarWrite(String),
+    EmitInt(EventId),
+    AwaitInt(EventId),
+    /// Output emission: concurrent emissions of the same output event are
+    /// observably ordered by the environment → nondeterministic.
+    EmitOut(EventId),
+    CCall(String),
+}
+
+#[derive(Clone, Debug)]
+struct Access {
+    kind: AccessKind,
+    group: u32,
+    span: Span,
+}
+
+#[derive(Clone, Debug)]
+struct Groups {
+    /// parents (possibly several, for par/and rejoins) and phase per group.
+    info: Vec<(Vec<u32>, u8)>,
+}
+
+impl Groups {
+    fn new() -> Self {
+        Groups { info: vec![] }
+    }
+
+    fn fresh(&mut self, parents: Vec<u32>, phase: u8) -> u32 {
+        self.info.push((parents, phase));
+        (self.info.len() - 1) as u32
+    }
+
+    fn phase(&self, g: u32) -> u8 {
+        self.info[g as usize].1
+    }
+
+    /// `true` when one group is an ancestor of the other (sequenced).
+    fn related(&self, a: u32, b: u32) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    fn is_ancestor(&self, anc: u32, mut_of: u32) -> bool {
+        let mut stack = vec![mut_of];
+        while let Some(x) = stack.pop() {
+            if x == anc {
+                return true;
+            }
+            stack.extend(self.info[x as usize].0.iter().copied());
+        }
+        false
+    }
+}
+
+// ---- abstract configurations -------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct QTrack {
+    rank: u8,
+    seq: u64,
+    block: BlockId,
+    group: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    gates: GateMap,
+    flags: FlagSet,
+    queue: Vec<QTrack>,
+    accesses: Vec<Access>,
+    /// Dedup: one record per (kind, group) — duplicates add no conflict
+    /// pairs and would blow up quadratic checking on looping paths.
+    seen: std::collections::HashSet<(AccessKind, u32)>,
+    groups: Groups,
+    /// Which group set each par/and flag *in this reaction* (sequencing
+    /// evidence for the rejoin continuation).
+    flag_owner: BTreeMap<SlotId, u32>,
+    seq: u64,
+    steps: u32,
+    terminated: bool,
+}
+
+const STEP_LIMIT: u32 = 100_000;
+
+struct Analyzer<'a> {
+    prog: &'a CompiledProgram,
+    opts: &'a DfaOptions,
+    /// slot → variable name (arrays map their whole range).
+    slot_name: Vec<Option<String>>,
+    internal: Vec<bool>,
+}
+
+/// Runs the temporal analysis over a compiled program.
+pub fn analyze(prog: &CompiledProgram, opts: &DfaOptions) -> Dfa {
+    let mut slot_name = vec![None; prog.data_len as usize];
+    for s in &prog.slots {
+        for k in 0..s.len {
+            let at = (s.slot + k) as usize;
+            if at < slot_name.len() {
+                slot_name[at] = Some(s.name.clone());
+            }
+        }
+    }
+    let internal = prog
+        .events
+        .iter()
+        .map(|(_, e)| e.kind == ceu_ast::EventKind::Internal)
+        .collect();
+    let az = Analyzer { prog, opts, slot_name, internal };
+    az.build()
+}
+
+/// Convenience: analyze with defaults and return only the conflicts.
+pub fn check_determinism(prog: &CompiledProgram) -> Vec<Conflict> {
+    analyze(prog, &DfaOptions::default()).conflicts
+}
+
+impl<'a> Analyzer<'a> {
+    fn build(&self) -> Dfa {
+        let mut dfa = Dfa {
+            states: vec![State { gates: GateMap::new(), flags: FlagSet::new() }],
+            transitions: vec![],
+            conflicts: vec![],
+            truncated: false,
+        };
+        let mut interned: HashMap<State, usize> = HashMap::new();
+        interned.insert(dfa.states[0].clone(), 0);
+        let mut work: VecDeque<usize> = VecDeque::new();
+
+        // boot transition
+        let st0 = dfa.states[0].clone();
+        let boot_outcomes =
+            self.expand(&st0, Label::Boot, vec![], Some(self.prog.boot), &mut dfa);
+        for st in boot_outcomes {
+            let idx = intern(&mut dfa, &mut interned, &mut work, st);
+            dfa.transitions.push(Trans { from: 0, label: Label::Boot, to: idx });
+        }
+
+        while let Some(s) = work.pop_front() {
+            if dfa.states.len() >= self.opts.max_states {
+                dfa.truncated = true;
+                break;
+            }
+            for (label, roots) in self.labels_of(&dfa.states[s]) {
+                let outcomes = self.expand(&dfa.states[s].clone(), label.clone(), roots, None, &mut dfa);
+                for st in outcomes {
+                    let idx = intern(&mut dfa, &mut interned, &mut work, st);
+                    dfa.transitions.push(Trans { from: s, label: label.clone(), to: idx });
+                }
+                // conflicts recorded during expansion get state/label fixed up
+                for c in dfa.conflicts.iter_mut().filter(|c| c.state == usize::MAX) {
+                    c.state = s;
+                    c.label = label.clone();
+                }
+            }
+        }
+        // boot-time conflicts
+        for c in dfa.conflicts.iter_mut().filter(|c| c.state == usize::MAX) {
+            c.state = 0;
+            c.label = Label::Boot;
+        }
+        dedup_conflicts(&mut dfa.conflicts);
+        dfa
+    }
+
+    /// All transition labels leaving a state, with their root gates.
+    fn labels_of(&self, state: &State) -> Vec<(Label, Vec<GateId>)> {
+        let mut out = Vec::new();
+        // external events with listeners
+        let mut by_event: BTreeMap<EventId, Vec<GateId>> = BTreeMap::new();
+        for (&g, &st) in &state.gates {
+            if st == GateSt::Event {
+                if let GateKind::Evt(e) = self.prog.gate(g).kind {
+                    if self.prog.events.get(e).external() {
+                        by_event.entry(e).or_default().push(g);
+                    }
+                }
+            }
+        }
+        for (e, roots) in by_event {
+            out.push((Label::Event(e), roots));
+        }
+        // known deadlines: earliest fires; simultaneous ones share a reaction
+        let known: Vec<(GateId, u64)> = state
+            .gates
+            .iter()
+            .filter_map(|(&g, &st)| match st {
+                GateSt::Time(d) => Some((g, d)),
+                _ => None,
+            })
+            .collect();
+        let unknowns: Vec<GateId> = state
+            .gates
+            .iter()
+            .filter_map(|(&g, &st)| (st == GateSt::TimeUnknown).then_some(g))
+            .collect();
+        if let Some(&m) = known.iter().map(|(_, d)| d).min() {
+            let roots: Vec<GateId> =
+                known.iter().filter(|(_, d)| *d == m).map(|(g, _)| *g).collect();
+            out.push((Label::Time { rel: m, with_unknown: vec![] }, roots.clone()));
+            // an unknown-duration timer may coincide with the deadline
+            for &u in &unknowns {
+                let mut r = roots.clone();
+                r.push(u);
+                out.push((Label::Time { rel: m, with_unknown: vec![u] }, r));
+            }
+        }
+        // unknown timers alone and pairwise
+        for (i, &u) in unknowns.iter().enumerate() {
+            out.push((Label::Unknown(vec![u]), vec![u]));
+            for &v in &unknowns[i + 1..] {
+                out.push((Label::Unknown(vec![u, v]), vec![u, v]));
+            }
+        }
+        // async completions
+        for (&g, &st) in &state.gates {
+            if st == GateSt::Async {
+                if let GateKind::AsyncDone(a) = self.prog.gate(g).kind {
+                    out.push((Label::AsyncDone(a), vec![g]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands one reaction: fires `roots` (or the boot block), abstractly
+    /// executes all paths, and returns the set of possible next states.
+    /// Conflicts found are appended to `dfa.conflicts` with `state` set to
+    /// `usize::MAX` (fixed up by the caller).
+    fn expand(
+        &self,
+        state: &State,
+        label: Label,
+        roots: Vec<GateId>,
+        boot: Option<BlockId>,
+        dfa: &mut Dfa,
+    ) -> Vec<State> {
+        let mut cfg = Config {
+            gates: state.gates.clone(),
+            flags: state.flags.clone(),
+            queue: Vec::new(),
+            accesses: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            groups: Groups::new(),
+            flag_owner: BTreeMap::new(),
+            seq: 0,
+            steps: 0,
+            terminated: false,
+        };
+        // age known deadlines when time passes
+        if let Label::Time { rel, .. } = label {
+            for st in cfg.gates.values_mut() {
+                if let GateSt::Time(d) = st {
+                    *d -= rel.min(*d);
+                }
+            }
+        }
+        if let Some(b) = boot {
+            let g = cfg.groups.fresh(vec![], 0);
+            push_track(&mut cfg, self.prog, b, g);
+        }
+        for root in roots {
+            cfg.gates.remove(&root);
+            let cont = self.prog.gate(root).cont;
+            let g = cfg.groups.fresh(vec![], 0);
+            push_track(&mut cfg, self.prog, cont, g);
+        }
+        let mut done = Vec::new();
+        let mut paths = 0usize;
+        self.run(cfg, &mut done, &mut paths, dfa);
+        // collect conflicts per finished path, then map to states
+        let mut out: Vec<State> = Vec::new();
+        for c in done {
+            self.find_conflicts(&c, dfa);
+            let st = State { gates: c.gates, flags: c.flags };
+            if !out.contains(&st) {
+                out.push(st);
+            }
+        }
+        out
+    }
+
+    /// Abstractly drains the track queue of a config, splitting on branches.
+    fn run(&self, mut cfg: Config, done: &mut Vec<Config>, paths: &mut usize, dfa: &mut Dfa) {
+        if *paths >= self.opts.max_paths_per_reaction {
+            dfa.truncated = true;
+            return;
+        }
+        loop {
+            if cfg.terminated || cfg.queue.is_empty() {
+                *paths += 1;
+                done.push(cfg);
+                return;
+            }
+            let t = pop_track(&mut cfg);
+            let mut cur = t.block;
+            let mut group = t.group;
+            // run one track to its halt, splitting on conditionals
+            loop {
+                cfg.steps += 1;
+                if cfg.steps > STEP_LIMIT {
+                    dfa.truncated = true;
+                    *paths += 1;
+                    done.push(cfg);
+                    return;
+                }
+                let blk = self.prog.block(cur);
+                let mut emitted = false;
+                for instr in &blk.instrs {
+                    self.exec_abs(&mut cfg, &instr.op, instr.span, group);
+                    emitted = matches!(instr.op, Op::EmitInt { .. });
+                }
+                match &blk.term {
+                    Term::Halt => break,
+                    Term::Goto(b) => {
+                        if emitted {
+                            // stack policy: the emitter resumes only after
+                            // the awakened trails (queued just above) react
+                            push_track_as(&mut cfg, self.prog, *b, group);
+                            break;
+                        }
+                        cur = *b;
+                    }
+                    Term::If { cond, then_b, else_b } => {
+                        self.reads(&mut cfg, cond, group, Span::default());
+                        // explore both branches
+                        let mut other = cfg.clone();
+                        push_front_track(&mut other, self.prog, *else_b, group);
+                        self.run(other, done, paths, dfa);
+                        cur = *then_b;
+                    }
+                    Term::JoinAnd { lo, hi, cont } => {
+                        // flags are tracked exactly, so the join outcome is
+                        // deterministic per path
+                        if (*lo..*hi).all(|s| cfg.flags.contains(&s)) {
+                            // the continuation is sequenced after *all*
+                            // completed arms, not just the last one
+                            let mut parents = vec![group];
+                            for s in *lo..*hi {
+                                if let Some(&g) = cfg.flag_owner.get(&s) {
+                                    if !parents.contains(&g) {
+                                        parents.push(g);
+                                    }
+                                }
+                            }
+                            let phase = cfg.groups.phase(group);
+                            group = cfg.groups.fresh(parents, phase);
+                            cur = *cont;
+                        } else {
+                            break;
+                        }
+                    }
+                    Term::TerminateProgram { value } => {
+                        if let Some(v) = value {
+                            self.reads(&mut cfg, v, group, Span::default());
+                        }
+                        cfg.gates.clear();
+                        cfg.queue.clear();
+                        cfg.terminated = true;
+                        break;
+                    }
+                    Term::TerminateAsync { .. } => break,
+                }
+            }
+        }
+    }
+
+    fn exec_abs(&self, cfg: &mut Config, op: &Op, span: Span, group: u32) {
+        match op {
+            Op::Assign { dst, src } => {
+                self.reads(cfg, src, group, span);
+                self.write_place(cfg, dst, group, span);
+            }
+            Op::Eval(rv) => self.reads(cfg, rv, group, span),
+            Op::ActivateEvt { gate } => {
+                cfg.gates.insert(*gate, GateSt::Event);
+                if let GateKind::Evt(e) = self.prog.gate(*gate).kind {
+                    if self.internal[e.index()] {
+                        record(cfg, AccessKind::AwaitInt(e), group, span);
+                    }
+                }
+            }
+            Op::ActivateTime { gate, us } => {
+                let st = match us {
+                    TimeAmount::Const(c) => GateSt::Time(*c),
+                    TimeAmount::Dyn(rv) => {
+                        self.reads(cfg, rv, group, span);
+                        GateSt::TimeUnknown
+                    }
+                };
+                cfg.gates.insert(*gate, st);
+            }
+            Op::ActivateNever { gate } => {
+                cfg.gates.insert(*gate, GateSt::Never);
+            }
+            Op::ActivateAsync { gate, .. } => {
+                cfg.gates.insert(*gate, GateSt::Async);
+            }
+            Op::ClearRegion(r) => self.clear_region(cfg, *r),
+            Op::Spawn(b) => {
+                let phase = self.prog.block(*b).rank;
+                let child = cfg.groups.fresh(vec![group], phase);
+                push_track(cfg, self.prog, *b, child);
+            }
+            Op::EmitInt { event, value } => {
+                if let Some(v) = value {
+                    self.reads(cfg, v, group, span);
+                }
+                record(cfg, AccessKind::EmitInt(*event), group, span);
+                // awaken listeners as children of the emitter (sequenced)
+                let listeners: Vec<GateId> = cfg
+                    .gates
+                    .iter()
+                    .filter(|(&g, &st)| {
+                        st == GateSt::Event && self.prog.gate(g).kind == GateKind::Evt(*event)
+                    })
+                    .map(|(&g, _)| g)
+                    .collect();
+                for l in listeners {
+                    cfg.gates.remove(&l);
+                    let cont = self.prog.gate(l).cont;
+                    let child = cfg.groups.fresh(vec![group], cfg.groups.phase(group));
+                    push_track(cfg, self.prog, cont, child);
+                }
+            }
+            Op::EmitOut { event, value } => {
+                if let Some(v) = value {
+                    self.reads(cfg, v, group, span);
+                }
+                record(cfg, AccessKind::EmitOut(*event), group, span);
+            }
+            // async-only instructions: bodies are globally asynchronous and
+            // excluded from the local-determinism analysis (§2.9)
+            Op::EmitExt { .. } | Op::EmitTime(_) => {}
+            Op::SetFlag(s) => {
+                cfg.flags.insert(*s);
+                cfg.flag_owner.insert(*s, group);
+            }
+            Op::ClearFlags { lo, hi } => {
+                for s in *lo..*hi {
+                    cfg.flags.remove(&s);
+                }
+            }
+        }
+    }
+
+    fn clear_region(&self, cfg: &mut Config, r: RegionId) {
+        let region = self.prog.region(r);
+        let doomed: Vec<GateId> = cfg
+            .gates
+            .keys()
+            .copied()
+            .filter(|g| (region.lo..region.hi).contains(g))
+            .collect();
+        for g in doomed {
+            cfg.gates.remove(&g);
+        }
+    }
+
+    fn write_place(&self, cfg: &mut Config, place: &Place, group: u32, span: Span) {
+        match place {
+            Place::Slot(s) => self.var_access(cfg, *s, true, group, span),
+            Place::Index(s, idx) => {
+                self.reads(cfg, idx, group, span);
+                self.var_access(cfg, *s, true, group, span);
+            }
+            Place::Deref(rv) => {
+                self.reads(cfg, rv, group, span);
+                record(cfg, AccessKind::VarWrite("*<pointer>".into()), group, span);
+            }
+        }
+    }
+
+    fn var_access(&self, cfg: &mut Config, slot: SlotId, write: bool, group: u32, span: Span) {
+        let name = self
+            .slot_name
+            .get(slot as usize)
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("slot{slot}"));
+        let kind = if write { AccessKind::VarWrite(name) } else { AccessKind::VarRead(name) };
+        record(cfg, kind, group, span);
+    }
+
+    fn reads(&self, cfg: &mut Config, rv: &Rv, group: u32, span: Span) {
+        let mut stack = vec![rv];
+        while let Some(r) = stack.pop() {
+            match r {
+                Rv::Slot(s) | Rv::AddrOf(s) => self.var_access(cfg, *s, false, group, span),
+                Rv::Un(_, a) | Rv::Cast(a) | Rv::Field(a, _, _) => stack.push(a),
+                Rv::Deref(a) => {
+                    record(cfg, AccessKind::VarRead("*<pointer>".into()), group, span);
+                    stack.push(a);
+                }
+                Rv::Bin(_, a, b) | Rv::Index(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Rv::CCall(name, args) => {
+                    record(cfg, AccessKind::CCall(name.clone()), group, span);
+                    for a in args {
+                        stack.push(a);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Pairwise conflict check over the accesses of one finished path.
+    fn find_conflicts(&self, cfg: &Config, dfa: &mut Dfa) {
+        let acc = &cfg.accesses;
+        for i in 0..acc.len() {
+            for j in i + 1..acc.len() {
+                let (a, b) = (&acc[i], &acc[j]);
+                if a.group == b.group
+                    || cfg.groups.phase(a.group) != cfg.groups.phase(b.group)
+                    || cfg.groups.related(a.group, b.group)
+                {
+                    continue;
+                }
+                let conflict = match (&a.kind, &b.kind) {
+                    (AccessKind::VarWrite(x), AccessKind::VarWrite(y))
+                    | (AccessKind::VarWrite(x), AccessKind::VarRead(y))
+                    | (AccessKind::VarRead(x), AccessKind::VarWrite(y)) if x == y => {
+                        Some((ConflictKind::Variable, format!("`{}`", strip(x))))
+                    }
+                    (AccessKind::EmitOut(x), AccessKind::EmitOut(y)) if x == y => Some((
+                        ConflictKind::InternalEvent,
+                        format!("`{}` (output)", self.prog.events.get(*x).name),
+                    )),
+                    (AccessKind::EmitInt(x), AccessKind::EmitInt(y))
+                    | (AccessKind::EmitInt(x), AccessKind::AwaitInt(y))
+                    | (AccessKind::AwaitInt(x), AccessKind::EmitInt(y)) if x == y => {
+                        Some((
+                            ConflictKind::InternalEvent,
+                            format!("`{}`", self.prog.events.get(*x).name),
+                        ))
+                    }
+                    (AccessKind::CCall(f), AccessKind::CCall(g))
+                        if self.opts.check_ccalls
+                            && !self.prog.annotations.compatible(f, g) =>
+                    {
+                        Some((ConflictKind::CCall, format!("`_{f}` and `_{g}`")))
+                    }
+                    _ => None,
+                };
+                if let Some((kind, what)) = conflict {
+                    dfa.conflicts.push(Conflict {
+                        kind,
+                        what,
+                        spans: (a.span, b.span),
+                        state: usize::MAX,
+                        label: Label::Boot,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Records an access once per (kind, group) within a reaction path.
+fn record(cfg: &mut Config, kind: AccessKind, group: u32, span: Span) {
+    if cfg.seen.insert((kind.clone(), group)) {
+        cfg.accesses.push(Access { kind, group, span });
+    }
+}
+
+/// Strips the alpha-renaming suffix for display (`v#3` → `v`).
+fn strip(unique: &str) -> &str {
+    unique.split('#').next().unwrap_or(unique)
+}
+
+fn push_track(cfg: &mut Config, prog: &CompiledProgram, block: BlockId, group: u32) {
+    cfg.seq += 1;
+    cfg.queue.push(QTrack { rank: prog.block(block).rank, seq: cfg.seq, block, group });
+}
+
+/// Used for emit-awakened trails: they run before previously queued tracks
+/// (stack policy approximation).
+fn push_front_track(cfg: &mut Config, prog: &CompiledProgram, block: BlockId, group: u32) {
+    cfg.queue.insert(
+        0,
+        QTrack { rank: prog.block(block).rank, seq: 0, block, group },
+    );
+}
+
+/// Enqueues a continuation keeping the given group (emitter resumption).
+fn push_track_as(cfg: &mut Config, prog: &CompiledProgram, block: BlockId, group: u32) {
+    cfg.seq += 1;
+    cfg.queue.push(QTrack { rank: prog.block(block).rank, seq: cfg.seq, block, group });
+}
+
+fn pop_track(cfg: &mut Config) -> QTrack {
+    let mut best = 0;
+    for i in 1..cfg.queue.len() {
+        if (cfg.queue[i].rank, cfg.queue[i].seq) < (cfg.queue[best].rank, cfg.queue[best].seq) {
+            best = i;
+        }
+    }
+    cfg.queue.remove(best)
+}
+
+fn intern(
+    dfa: &mut Dfa,
+    interned: &mut HashMap<State, usize>,
+    work: &mut VecDeque<usize>,
+    st: State,
+) -> usize {
+    if let Some(&i) = interned.get(&st) {
+        return i;
+    }
+    let i = dfa.states.len();
+    dfa.states.push(st.clone());
+    interned.insert(st, i);
+    work.push_back(i);
+    i
+}
+
+fn dedup_conflicts(conflicts: &mut Vec<Conflict>) {
+    let mut seen = BTreeSet::new();
+    conflicts.retain(|c| {
+        let mut spans = [c.spans.0, c.spans.1];
+        spans.sort_by_key(|s| (s.line, s.col));
+        let key = (c.kind as u8, c.what.clone(), spans[0].line, spans[0].col, spans[1].line, spans[1].col);
+        seen.insert(key)
+    });
+}
+
+/// Renders the DFA as Graphviz dot (Figure 2 reproduction).
+pub fn to_dot(dfa: &Dfa, prog: &CompiledProgram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph dfa {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let conflict_states: BTreeSet<usize> = dfa.conflicts.iter().map(|c| c.state).collect();
+    for (i, s) in dfa.states.iter().enumerate() {
+        let mut label = format!("DFA #{i}\\n");
+        for (&g, st) in &s.gates {
+            let gi = prog.gate(g);
+            let what = match gi.kind {
+                GateKind::Evt(e) => format!("await {}", prog.events.get(e).name),
+                GateKind::Timer => match st {
+                    GateSt::Time(d) => format!("await {d}us"),
+                    _ => "await (expr)".into(),
+                },
+                GateKind::Never => "await forever".into(),
+                GateKind::AsyncDone(a) => format!("await async{a}"),
+            };
+            let _ = write!(label, "g{g}: {what} [{}]\\n", gi.span);
+        }
+        let style = if conflict_states.contains(&i) {
+            ", color=red, penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  s{i} [label=\"{label}\"{style}];");
+    }
+    for t in &dfa.transitions {
+        let lab = match &t.label {
+            Label::Boot => "boot".to_string(),
+            Label::Event(e) => prog.events.get(*e).name.clone(),
+            Label::Time { rel, with_unknown } if with_unknown.is_empty() => format!("{rel}us"),
+            Label::Time { rel, .. } => format!("{rel}us+?"),
+            Label::Unknown(gs) => format!("?x{}", gs.len()),
+            Label::AsyncDone(a) => format!("async{a}"),
+        };
+        let _ = writeln!(out, "  s{} -> s{} [label=\"{lab}\"];", t.from, t.to);
+    }
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,60 @@
+//! Flow-graph rendering (the paper's Figure `fig:nfa`).
+//!
+//! Nodes are tracks (with their scheduling rank — the paper's priorities),
+//! solid edges are intra-reaction control flow (goto/branch/spawn), dashed
+//! edges go through a gate (an `await`), labelled with what fires it.
+
+use ceu_codegen::{CompiledProgram, GateKind, Op, Term};
+use std::fmt::Write as _;
+
+/// Renders the compiled program's flow graph as Graphviz dot.
+pub fn to_dot(prog: &CompiledProgram) -> String {
+    let mut out =
+        String::from("digraph flow {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n");
+    for (i, b) in prog.blocks.iter().enumerate() {
+        let shape = if b.rank > 0 { ", shape=doubleoctagon" } else { "" };
+        let rank = if b.rank > 0 { format!("\\nprio {}", b.rank) } else { String::new() };
+        let _ = writeln!(out, "  b{i} [label=\"{}{rank}\"{shape}];", b.label);
+    }
+    for (i, b) in prog.blocks.iter().enumerate() {
+        for instr in &b.instrs {
+            match &instr.op {
+                Op::Spawn(t) => {
+                    let _ = writeln!(out, "  b{i} -> b{t} [label=\"spawn\"];");
+                }
+                Op::ActivateEvt { gate }
+                | Op::ActivateTime { gate, .. }
+                | Op::ActivateAsync { gate, .. } => {
+                    let info = prog.gate(*gate);
+                    let lab = match info.kind {
+                        GateKind::Evt(e) => prog.events.get(e).name.clone(),
+                        GateKind::Timer => "timer".into(),
+                        GateKind::Never => "forever".into(),
+                        GateKind::AsyncDone(a) => format!("async{a}"),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  b{i} -> b{} [style=dashed, label=\"{lab}\"];",
+                        info.cont
+                    );
+                }
+                _ => {}
+            }
+        }
+        match &b.term {
+            Term::Goto(t) => {
+                let _ = writeln!(out, "  b{i} -> b{t};");
+            }
+            Term::If { then_b, else_b, .. } => {
+                let _ = writeln!(out, "  b{i} -> b{then_b} [label=\"then\"];");
+                let _ = writeln!(out, "  b{i} -> b{else_b} [label=\"else\"];");
+            }
+            Term::JoinAnd { cont, .. } => {
+                let _ = writeln!(out, "  b{i} -> b{cont} [label=\"join\"];");
+            }
+            _ => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -1,0 +1,103 @@
+//! A two-row character LCD (the ship game's display).
+
+/// Display geometry of the paper's ship game.
+pub const ROWS: usize = 2;
+pub const COLS: usize = 16;
+
+/// The LCD: a 2×16 character matrix with cursor addressing and a frame
+/// history (every `snapshot` records what the player would have seen).
+#[derive(Clone, Debug)]
+pub struct Lcd {
+    cells: [[char; COLS]; ROWS],
+    cursor: (usize, usize),
+    /// Rendered frames, recorded by [`Lcd::snapshot`].
+    pub frames: Vec<[String; ROWS]>,
+}
+
+impl Lcd {
+    pub fn new() -> Self {
+        Lcd { cells: [[' '; COLS]; ROWS], cursor: (0, 0), frames: Vec::new() }
+    }
+
+    /// `lcd.setCursor(col, row)` — Arduino argument order.
+    pub fn set_cursor(&mut self, col: i64, row: i64) {
+        self.cursor = (
+            (row.max(0) as usize).min(ROWS - 1),
+            (col.max(0) as usize).min(COLS - 1),
+        );
+    }
+
+    /// `lcd.write(c)` — writes at the cursor and advances it.
+    pub fn write(&mut self, c: char) {
+        let (r, col) = self.cursor;
+        self.cells[r][col] = c;
+        self.cursor.1 = (col + 1).min(COLS - 1);
+    }
+
+    /// `lcd.print(s)`.
+    pub fn print(&mut self, s: &str) {
+        for c in s.chars() {
+            self.write(c);
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.cells = [[' '; COLS]; ROWS];
+        self.cursor = (0, 0);
+    }
+
+    /// Current contents, one string per row.
+    pub fn rows(&self) -> [String; ROWS] {
+        [self.cells[0].iter().collect(), self.cells[1].iter().collect()]
+    }
+
+    /// Records the current contents into the frame history.
+    pub fn snapshot(&mut self) {
+        let rows = self.rows();
+        if self.frames.last() != Some(&rows) {
+            self.frames.push(rows);
+        }
+    }
+}
+
+impl Default for Lcd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_addressing_and_write() {
+        let mut lcd = Lcd::new();
+        lcd.set_cursor(3, 1);
+        lcd.print(">o");
+        let rows = lcd.rows();
+        assert_eq!(&rows[1][3..5], ">o");
+        assert_eq!(rows[0].trim(), "");
+    }
+
+    #[test]
+    fn snapshots_dedupe_identical_frames() {
+        let mut lcd = Lcd::new();
+        lcd.write('x');
+        lcd.snapshot();
+        lcd.snapshot();
+        assert_eq!(lcd.frames.len(), 1);
+        lcd.set_cursor(0, 1);
+        lcd.write('y');
+        lcd.snapshot();
+        assert_eq!(lcd.frames.len(), 2);
+    }
+
+    #[test]
+    fn cursor_clamps_at_edges() {
+        let mut lcd = Lcd::new();
+        lcd.set_cursor(99, 99);
+        lcd.write('z');
+        assert_eq!(lcd.rows()[1].chars().last(), Some('z'));
+    }
+}

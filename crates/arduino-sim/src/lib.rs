@@ -1,0 +1,18 @@
+//! `arduino-sim` — simulated Arduino peripherals for the paper's demos.
+//!
+//! This is the substrate standing in for the paper's physical Arduino
+//! (LCD shield, push buttons) and the SDL desktop setup of the Mario demo
+//! (see DESIGN.md). It provides:
+//!
+//! * a two-row character [`Lcd`] with frame history;
+//! * [`ShipHost`] — map, redraw, analog key sampling for the ship game;
+//! * [`MarioHost`] — SDL-analog frame recorder + deterministic libc PRNG
+//!   for the record/replay demo.
+
+pub mod lcd;
+pub mod mario;
+pub mod ship;
+
+pub use lcd::Lcd;
+pub use mario::{Frame, MarioHost};
+pub use ship::{ShipHost, KEY_DOWN, KEY_NONE, KEY_UP};

@@ -1,0 +1,112 @@
+//! The "C side" of the Mario record/replay demo (§3.3): a frame recorder
+//! standing in for SDL, plus the libc `rand`/`srand`/`time` the game uses.
+//!
+//! The essential property the demo demonstrates — *replaying the recorded
+//! input sequence reproduces the game bit-for-bit* — depends only on the
+//! host being deterministic given the seed, which this one is.
+
+use ceu::runtime::{Host, HostResult, Value};
+
+/// One rendered frame: `(mario_x, mario_y, turtle_x, turtle_y)`.
+pub type Frame = (i64, i64, i64, i64);
+
+/// SDL-analog: records frames instead of blitting them.
+pub struct MarioHost {
+    /// Frames actually drawn (drawing can be toggled off for the
+    /// backwards replay, §3.3 third variation).
+    pub frames: Vec<Frame>,
+    pub draw_enabled: bool,
+    /// Deterministic libc-style PRNG (an LCG, like avr-libc's).
+    rng_state: u64,
+    /// What `_time(0)` returns (fixed: the harness chooses the "wall
+    /// clock" so runs are reproducible).
+    pub wall_seed: i64,
+    /// Count of `_SDL_Delay` calls (the replay speeds up by shortening
+    /// them; we only record).
+    pub delays: u64,
+    /// Scripted gameplay: the steps at which the "player" presses a key
+    /// (served through `_key_pressed(step)`).
+    pub key_steps: Vec<i64>,
+    /// `_mark(n)` boundaries: `(n, frames.len() at the mark)` — lets the
+    /// harness slice the frame log into original / replay segments.
+    pub marks: Vec<(i64, usize)>,
+}
+
+impl MarioHost {
+    pub fn new(wall_seed: i64) -> Self {
+        MarioHost {
+            frames: Vec::new(),
+            draw_enabled: true,
+            rng_state: 1,
+            wall_seed,
+            delays: 0,
+            key_steps: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+}
+
+impl Host for MarioHost {
+    fn call(&mut self, name: &str, args: &[Value]) -> HostResult<Value> {
+        let int = |i: usize| args.get(i).and_then(|v| v.as_int()).unwrap_or(0);
+        match name {
+            "time" => Ok(Value::Int(self.wall_seed)),
+            "srand" => {
+                self.rng_state = int(0) as u64;
+                Ok(Value::Int(0))
+            }
+            "rand" => {
+                // glibc-style LCG constants; deterministic across replays
+                self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Ok(Value::Int(((self.rng_state >> 33) & 0x7FFF_FFFF) as i64))
+            }
+            "redraw" => {
+                if self.draw_enabled {
+                    self.frames.push((int(0), int(1), int(2), int(3)));
+                }
+                Ok(Value::Int(0))
+            }
+            "redraw_on" => {
+                self.draw_enabled = int(0) != 0;
+                Ok(Value::Int(0))
+            }
+            "SDL_Delay" => {
+                self.delays += 1;
+                Ok(Value::Int(0))
+            }
+            "key_pressed" => Ok(Value::Int(self.key_steps.contains(&int(0)) as i64)),
+            "mark" => {
+                self.marks.push((int(0), self.frames.len()));
+                Ok(Value::Int(0))
+            }
+            other => Err(format!("mario host has no function `_{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_is_deterministic_given_seed() {
+        let mut a = MarioHost::new(99);
+        let mut b = MarioHost::new(99);
+        a.call("srand", &[Value::Int(42)]).unwrap();
+        b.call("srand", &[Value::Int(42)]).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.call("rand", &[]).unwrap(), b.call("rand", &[]).unwrap());
+        }
+    }
+
+    #[test]
+    fn redraw_respects_toggle() {
+        let mut h = MarioHost::new(0);
+        h.call("redraw", &[Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]).unwrap();
+        h.call("redraw_on", &[Value::Int(0)]).unwrap();
+        h.call("redraw", &[Value::Int(9), Value::Int(9), Value::Int(9), Value::Int(9)]).unwrap();
+        h.call("redraw_on", &[Value::Int(1)]).unwrap();
+        h.call("redraw", &[Value::Int(5), Value::Int(6), Value::Int(7), Value::Int(8)]).unwrap();
+        assert_eq!(h.frames, vec![(1, 2, 3, 4), (5, 6, 7, 8)]);
+    }
+}

@@ -1,0 +1,236 @@
+//! The "C side" of the ship game (§3.2): map generation, screen redraw,
+//! analog key sampling — everything the paper's listing reaches through
+//! `_underscored` names.
+
+use crate::lcd::{Lcd, COLS};
+use ceu::runtime::{Host, HostResult, Ptr, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key codes, as the paper's `_KEY_*` constants.
+pub const KEY_NONE: i64 = 0;
+pub const KEY_UP: i64 = 1;
+pub const KEY_DOWN: i64 = 2;
+
+/// Host pointer handles for the two map rows (`_MAP[row]`).
+const ROW_HANDLE: u64 = 1 << 32;
+
+/// The Arduino "C world" of the ship game.
+pub struct ShipHost {
+    pub lcd: Lcd,
+    /// Two map rows; `'#'` is a meteor, `' '` free space.
+    pub map: [Vec<char>; 2],
+    map_len: usize,
+    rng: StdRng,
+    /// Scripted analog samples: `(from_time_us, raw_value)` — the latest
+    /// entry at or before *now* wins.
+    pub analog_script: Vec<(u64, i64)>,
+    /// The current virtual time, advanced by the driving harness.
+    pub now: u64,
+    /// Redraw log: `(step, ship, points)` for every `_redraw`.
+    pub redraws: Vec<(i64, i64, i64)>,
+}
+
+impl ShipHost {
+    pub fn new(seed: u64, map_len: usize) -> Self {
+        ShipHost {
+            lcd: Lcd::new(),
+            map: [vec![' '; map_len], vec![' '; map_len]],
+            map_len,
+            rng: StdRng::seed_from_u64(seed),
+            analog_script: Vec::new(),
+            now: 0,
+            redraws: Vec::new(),
+        }
+    }
+
+    /// Adds a scripted key press: raw analog level active from `at_us`.
+    pub fn script_key(&mut self, at_us: u64, key: i64) {
+        // raw levels chosen so `_analog2key` maps them back
+        let raw = match key {
+            KEY_UP => 100,
+            KEY_DOWN => 300,
+            _ => 1023,
+        };
+        self.analog_script.push((at_us, raw));
+        self.analog_script.sort_by_key(|&(t, _)| t);
+    }
+
+    fn analog_read(&self) -> i64 {
+        self.analog_script
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= self.now)
+            .map(|&(_, raw)| raw)
+            .unwrap_or(1023)
+    }
+
+    fn map_generate(&mut self) {
+        for row in self.map.iter_mut() {
+            for (i, c) in row.iter_mut().enumerate() {
+                *c = ' ';
+                // no meteors in the first columns (the launch corridor),
+                // none at the finish line
+                if i >= 4 && i + 1 < self.map_len && self.rng.gen_bool(0.25) {
+                    *c = '#';
+                }
+            }
+        }
+        // guarantee a survivable path: no column fully blocked
+        for i in 0..self.map_len {
+            if self.map[0][i] == '#' && self.map[1][i] == '#' {
+                self.map[1][i] = ' ';
+            }
+        }
+    }
+
+    fn redraw(&mut self, step: i64, ship: i64, points: i64) {
+        self.redraws.push((step, ship, points));
+        self.lcd.clear();
+        // window of the map around the current step
+        let base = step.max(0) as usize;
+        for row in 0..2 {
+            for col in 0..COLS {
+                let idx = base + col;
+                if idx < self.map_len {
+                    self.lcd.set_cursor(col as i64, row as i64);
+                    self.lcd.write(self.map[row][idx]);
+                }
+            }
+        }
+        // the ship sits at the left edge of the window
+        self.lcd.set_cursor(0, ship);
+        self.lcd.write('>');
+        self.lcd.snapshot();
+        let _ = points;
+    }
+}
+
+impl Host for ShipHost {
+    fn call(&mut self, name: &str, args: &[Value]) -> HostResult<Value> {
+        let int = |i: usize| args.get(i).and_then(|v| v.as_int()).unwrap_or(0);
+        match name {
+            "map_generate" => {
+                self.map_generate();
+                Ok(Value::Int(0))
+            }
+            "redraw" => {
+                self.redraw(int(0), int(1), int(2));
+                Ok(Value::Int(0))
+            }
+            "analogRead" => Ok(Value::Int(self.analog_read())),
+            "analog2key" => {
+                let raw = int(0);
+                Ok(Value::Int(match raw {
+                    0..=199 => KEY_UP,
+                    200..=399 => KEY_DOWN,
+                    _ => KEY_NONE,
+                }))
+            }
+            "lcd.setCursor" => {
+                self.lcd.set_cursor(int(0), int(1));
+                Ok(Value::Int(0))
+            }
+            "lcd.write" => {
+                let c = char::from_u32(int(0) as u32).unwrap_or('?');
+                self.lcd.write(c);
+                self.lcd.snapshot();
+                Ok(Value::Int(0))
+            }
+            other => Err(format!("ship host has no function `_{other}`")),
+        }
+    }
+
+    fn global(&mut self, name: &str) -> HostResult<Value> {
+        match name {
+            "MAP" => Ok(Value::Ptr(Ptr::Host(ROW_HANDLE))),
+            "FINISH" => Ok(Value::Int(self.map_len as i64 - 1)),
+            "KEY_UP" => Ok(Value::Int(KEY_UP)),
+            "KEY_DOWN" => Ok(Value::Int(KEY_DOWN)),
+            "KEY_NONE" => Ok(Value::Int(KEY_NONE)),
+            other => Err(format!("ship host has no global `_{other}`")),
+        }
+    }
+
+    fn index(&mut self, base: &Value, idx: i64) -> HostResult<Value> {
+        match base {
+            // `_MAP[row]` → row handle
+            Value::Ptr(Ptr::Host(h)) if *h == ROW_HANDLE => {
+                if (0..2).contains(&idx) {
+                    Ok(Value::Ptr(Ptr::Host(ROW_HANDLE + 1 + idx as u64)))
+                } else {
+                    Err(format!("map row {idx} out of range"))
+                }
+            }
+            // `_MAP[row][step]` → character
+            Value::Ptr(Ptr::Host(h)) if *h > ROW_HANDLE && *h <= ROW_HANDLE + 2 => {
+                let row = (h - ROW_HANDLE - 1) as usize;
+                let c = self
+                    .map[row]
+                    .get(idx.max(0) as usize)
+                    .copied()
+                    .unwrap_or(' ');
+                Ok(Value::Int(c as i64))
+            }
+            other => Err(format!("cannot index {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_has_a_survivable_path_and_a_corridor() {
+        let mut h = ShipHost::new(7, 100);
+        h.call("map_generate", &[]).unwrap();
+        for i in 0..100 {
+            assert!(
+                h.map[0][i] != '#' || h.map[1][i] != '#',
+                "column {i} fully blocked"
+            );
+        }
+        for i in 0..4 {
+            assert_eq!(h.map[0][i], ' ');
+            assert_eq!(h.map[1][i], ' ');
+        }
+        // some meteors exist
+        let meteors: usize =
+            h.map.iter().map(|r| r.iter().filter(|&&c| c == '#').count()).sum();
+        assert!(meteors > 10, "{meteors}");
+    }
+
+    #[test]
+    fn map_indexing_mirrors_c_2d_array() {
+        let mut h = ShipHost::new(7, 50);
+        h.call("map_generate", &[]).unwrap();
+        let row1 = h.global("MAP").and_then(|m| h.index(&m, 1)).unwrap();
+        let c = h.index(&row1, 10).unwrap();
+        assert_eq!(c, Value::Int(h.map[1][10] as i64));
+    }
+
+    #[test]
+    fn analog_script_maps_to_keys() {
+        let mut h = ShipHost::new(1, 10);
+        h.script_key(1_000, KEY_UP);
+        h.script_key(5_000, KEY_NONE);
+        h.now = 0;
+        assert_eq!(h.call("analogRead", &[]).unwrap(), Value::Int(1023));
+        h.now = 2_000;
+        let raw = h.call("analogRead", &[]).unwrap();
+        assert_eq!(h.call("analog2key", &[raw]).unwrap(), Value::Int(KEY_UP));
+        h.now = 6_000;
+        let raw = h.call("analogRead", &[]).unwrap();
+        assert_eq!(h.call("analog2key", &[raw]).unwrap(), Value::Int(KEY_NONE));
+    }
+
+    #[test]
+    fn redraw_renders_ship_and_window() {
+        let mut h = ShipHost::new(3, 40);
+        h.call("map_generate", &[]).unwrap();
+        h.redraw(0, 1, 0);
+        let frame = h.lcd.frames.last().unwrap();
+        assert!(frame[1].starts_with('>'));
+    }
+}

@@ -1,0 +1,132 @@
+//! AST desugaring.
+//!
+//! One transform: variable-declaration initialisers are split into a bare
+//! declaration followed by an assignment, so that every *await point* in the
+//! program is a statement (`StmtKind::Await*` or `StmtKind::Assign` with an
+//! awaiting right-hand side). Downstream phases (codegen, temporal
+//! analysis) then never have to look inside `VarDef::init`.
+//!
+//! ```text
+//! int a = await A;     ⇒     int a;  a = await A;
+//! int x = 1, y = f();  ⇒     int x, y;  x = 1;  y = f();
+//! ```
+//!
+//! The program must be re-[`number`](crate::number)ed afterwards; the `ceu`
+//! facade does this.
+
+use crate::expr::Expr;
+use crate::stmt::{AssignRhs, Block, Stmt, StmtKind};
+use crate::visit::each_child_block_mut;
+
+/// Splits every initialised declaration in the program into decl + assign.
+pub fn desugar(program: &mut crate::stmt::Program) {
+    desugar_block(&mut program.block);
+}
+
+fn desugar_block(block: &mut Block) {
+    let mut out = Vec::with_capacity(block.stmts.len());
+    for mut stmt in std::mem::take(&mut block.stmts) {
+        // recurse first so nested blocks (including rhs blocks) are handled
+        each_child_block_mut(&mut stmt, &mut |b| desugar_block(b));
+        let span = stmt.span;
+        if let StmtKind::VarDecl { vars, .. } = &mut stmt.kind {
+            let inits: Vec<(String, AssignRhs)> = vars
+                .iter_mut()
+                .filter_map(|v| v.init.take().map(|init| (v.name.clone(), init)))
+                .collect();
+            out.push(stmt);
+            for (name, rhs) in inits {
+                out.push(Stmt::new(
+                    StmtKind::Assign { lhs: Expr::var(name, span), rhs },
+                    span,
+                ));
+            }
+        } else {
+            out.push(stmt);
+        }
+    }
+    block.stmts = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use crate::types::Type;
+    use crate::{Program, VarDef};
+
+    #[test]
+    fn splits_initialisers_in_order() {
+        let s = Span::new(1, 1);
+        let mut p = Program {
+            block: Block::new(vec![Stmt::new(
+                StmtKind::VarDecl {
+                    ty: Type::int(),
+                    vars: vec![
+                        VarDef {
+                            name: "x".into(),
+                            array: None,
+                            init: Some(AssignRhs::Expr(Expr::num(1, s))),
+                        },
+                        VarDef { name: "y".into(), array: None, init: None },
+                        VarDef {
+                            name: "z".into(),
+                            array: None,
+                            init: Some(AssignRhs::AwaitEvt("A".into())),
+                        },
+                    ],
+                },
+                s,
+            )]),
+        };
+        desugar(&mut p);
+        assert_eq!(p.block.stmts.len(), 3);
+        match &p.block.stmts[0].kind {
+            StmtKind::VarDecl { vars, .. } => {
+                assert!(vars.iter().all(|v| v.init.is_none()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &p.block.stmts[1].kind {
+            StmtKind::Assign { lhs, rhs: AssignRhs::Expr(_) } => {
+                assert_eq!(lhs.as_var(), Some("x"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &p.block.stmts[2].kind {
+            StmtKind::Assign { lhs, rhs: AssignRhs::AwaitEvt(e) } => {
+                assert_eq!(lhs.as_var(), Some("z"));
+                assert_eq!(e, "A");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn recurses_into_nested_blocks() {
+        let s = Span::new(1, 1);
+        let mut p = Program {
+            block: Block::new(vec![Stmt::new(
+                StmtKind::Loop {
+                    body: Block::new(vec![Stmt::new(
+                        StmtKind::VarDecl {
+                            ty: Type::int(),
+                            vars: vec![VarDef {
+                                name: "k".into(),
+                                array: None,
+                                init: Some(AssignRhs::AwaitEvt("Key".into())),
+                            }],
+                        },
+                        s,
+                    )]),
+                },
+                s,
+            )]),
+        };
+        desugar(&mut p);
+        match &p.block.stmts[0].kind {
+            StmtKind::Loop { body } => assert_eq!(body.stmts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

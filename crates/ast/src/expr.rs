@@ -1,0 +1,221 @@
+//! Expressions, with C's operator set and precedence.
+
+use crate::span::Span;
+use crate::types::Type;
+use std::fmt;
+
+/// Unary operators (`UNOP` in the grammar).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// `!e`
+    Not,
+    /// `&e` — address of a Céu variable.
+    Addr,
+    /// `-e`
+    Neg,
+    /// `+e`
+    Plus,
+    /// `~e`
+    BitNot,
+    /// `*e` — pointer dereference.
+    Deref,
+}
+
+impl UnOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Not => "!",
+            UnOp::Addr => "&",
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::BitNot => "~",
+            UnOp::Deref => "*",
+        }
+    }
+}
+
+/// Binary operators (`BINOP` in the grammar), excluding `.`/`->` which are
+/// represented structurally as [`ExprKind::Field`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    Or,
+    And,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Ne,
+    Eq,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Shl,
+    Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::BitAnd => "&",
+            BinOp::Ne => "!=",
+            BinOp::Eq => "==",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// C precedence level; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::BitOr => 3,
+            BinOp::BitXor => 4,
+            BinOp::BitAnd => 5,
+            BinOp::Eq | BinOp::Ne => 6,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 7,
+            BinOp::Shl | BinOp::Shr => 8,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 10,
+        }
+    }
+}
+
+/// An expression with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Expr {
+    pub span: Span,
+    pub kind: ExprKind,
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprKind {
+    /// Integer literal.
+    Num(i64),
+    /// String literal (passed through to the host / C backend).
+    Str(String),
+    /// Character literal, e.g. `'#'`.
+    Chr(char),
+    /// The `null` keyword.
+    Null,
+    /// A Céu variable (lowercase identifier).
+    Var(String),
+    /// A C symbol: written `_name`, stored *without* the underscore (the
+    /// paper: "repassed as is to the C compiler (removing the underscore)").
+    CSym(String),
+    Unop(UnOp, Box<Expr>),
+    Binop(BinOp, Box<Expr>, Box<Expr>),
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `callee(args…)`
+    Call(Box<Expr>, Vec<Expr>),
+    /// `<type> e`
+    Cast(Type, Box<Expr>),
+    /// `sizeof <type>`
+    SizeOf(Type),
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Field(Box<Expr>, String, bool),
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { span, kind }
+    }
+
+    pub fn num(n: i64, span: Span) -> Self {
+        Expr::new(ExprKind::Num(n), span)
+    }
+
+    pub fn var(name: impl Into<String>, span: Span) -> Self {
+        Expr::new(ExprKind::Var(name.into()), span)
+    }
+
+    pub fn csym(name: impl Into<String>, span: Span) -> Self {
+        Expr::new(ExprKind::CSym(name.into()), span)
+    }
+
+    /// `true` if this expression is a plain variable reference.
+    pub fn as_var(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Walks the expression tree bottom-up.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        match &self.kind {
+            ExprKind::Unop(_, e) | ExprKind::Cast(_, e) => e.walk(f),
+            ExprKind::Binop(_, a, b) | ExprKind::Index(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            ExprKind::Call(c, args) => {
+                c.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            ExprKind::Field(b, _, _) => b.walk(f),
+            _ => {}
+        }
+        f(self);
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::write_expr(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_matches_c() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Shl.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::BitAnd.precedence() > BinOp::BitXor.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn walk_visits_all_subexpressions() {
+        let s = Span::new(1, 1);
+        let e = Expr::new(
+            ExprKind::Binop(
+                BinOp::Add,
+                Box::new(Expr::num(1, s)),
+                Box::new(Expr::new(
+                    ExprKind::Call(Box::new(Expr::csym("f", s)), vec![Expr::var("x", s)]),
+                    s,
+                )),
+            ),
+            s,
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+}

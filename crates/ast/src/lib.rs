@@ -1,0 +1,136 @@
+//! Abstract syntax tree for the Céu language.
+//!
+//! This crate defines the data structures shared by the parser
+//! (`ceu-parser`), the temporal analysis (`ceu-analysis`) and the
+//! compiler back end (`ceu-codegen`). It intentionally has no
+//! dependencies: the AST is the lingua franca of the whole workspace.
+//!
+//! The grammar implemented is the one of Appendix A of the paper
+//! *Céu: Embedded, Safe, and Reactive Programming*. Statements carry a
+//! [`Span`] for diagnostics and a [`NodeId`] assigned by [`number`], which
+//! downstream phases use as a stable key for flow-graph nodes, gates and
+//! memory slots.
+
+pub mod desugar;
+pub mod expr;
+pub mod printer;
+pub mod resolve;
+pub mod span;
+pub mod stmt;
+pub mod time;
+pub mod types;
+pub mod visit;
+
+pub use desugar::desugar;
+pub use expr::{BinOp, Expr, ExprKind, UnOp};
+pub use printer::pretty;
+pub use resolve::{
+    CAnnotations, EventId, EventInfo, EventKind, EventTable, ResolveError, Resolved, VarInfo,
+};
+pub use span::{NodeId, Span};
+pub use stmt::{AssignRhs, Block, ParKind, Program, Stmt, StmtKind, VarDef};
+pub use time::TimeSpec;
+pub use types::Type;
+
+/// Assigns a unique [`NodeId`] (pre-order) to every statement of a program.
+///
+/// Parsing produces statements with `NodeId::UNNUMBERED`; every compiler
+/// phase after parsing requires numbered nodes (see [`desugar::desugar`]
+/// for the companion pass). Returns the total number of
+/// nodes, i.e. ids are `0..returned`.
+pub fn number(program: &mut Program) -> u32 {
+    let mut next = 0u32;
+    number_block(&mut program.block, &mut next);
+    next
+}
+
+fn number_block(block: &mut Block, next: &mut u32) {
+    for stmt in &mut block.stmts {
+        number_stmt(stmt, next);
+    }
+}
+
+fn number_stmt(stmt: &mut Stmt, next: &mut u32) {
+    stmt.id = NodeId(*next);
+    *next += 1;
+    match &mut stmt.kind {
+        StmtKind::If { then_blk, else_blk, .. } => {
+            number_block(then_blk, next);
+            if let Some(e) = else_blk {
+                number_block(e, next);
+            }
+        }
+        StmtKind::Loop { body }
+        | StmtKind::DoBlock { body }
+        | StmtKind::Async { body }
+        | StmtKind::Suspend { body, .. } => number_block(body, next),
+        StmtKind::Par { arms, .. } => {
+            for arm in arms {
+                number_block(arm, next);
+            }
+        }
+        StmtKind::Assign { rhs, .. } => match rhs {
+            AssignRhs::Par(_, arms) => {
+                for arm in arms {
+                    number_block(arm, next);
+                }
+            }
+            AssignRhs::Do(b) | AssignRhs::Async(b) => number_block(b, next),
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn stmt(kind: StmtKind) -> Stmt {
+        Stmt { id: NodeId::UNNUMBERED, span: Span::new(1, 1), kind }
+    }
+
+    #[test]
+    fn numbering_is_preorder_and_dense() {
+        let mut p = Program {
+            block: Block {
+                stmts: vec![
+                    stmt(StmtKind::Nothing),
+                    stmt(StmtKind::Loop {
+                        body: Block { stmts: vec![stmt(StmtKind::Break)] },
+                    }),
+                    stmt(StmtKind::Nothing),
+                ],
+            },
+        };
+        let n = number(&mut p);
+        assert_eq!(n, 4);
+        assert_eq!(p.block.stmts[0].id, NodeId(0));
+        assert_eq!(p.block.stmts[1].id, NodeId(1));
+        match &p.block.stmts[1].kind {
+            StmtKind::Loop { body } => assert_eq!(body.stmts[0].id, NodeId(2)),
+            _ => unreachable!(),
+        }
+        assert_eq!(p.block.stmts[2].id, NodeId(3));
+    }
+
+    #[test]
+    fn numbering_descends_into_assign_rhs() {
+        let mut p = Program {
+            block: Block {
+                stmts: vec![stmt(StmtKind::Assign {
+                    lhs: Expr::var("v", Span::new(1, 1)),
+                    rhs: AssignRhs::Par(
+                        ParKind::Par,
+                        vec![
+                            Block { stmts: vec![stmt(StmtKind::Break)] },
+                            Block { stmts: vec![stmt(StmtKind::Nothing)] },
+                        ],
+                    ),
+                })],
+            },
+        };
+        assert_eq!(number(&mut p), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Pretty-printer: renders an AST back to Céu source.
+//!
+//! Used for diagnostics and for parser round-trip tests
+//! (`parse(pretty(parse(s))) == parse(s)`).
+
+use crate::expr::{Expr, ExprKind};
+use crate::stmt::{AssignRhs, Block, Program, Stmt, StmtKind};
+use std::fmt::{self, Write as _};
+
+/// Renders a whole program.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    write_block(&mut out, &program.block, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("   ");
+    }
+}
+
+fn write_block(out: &mut String, block: &Block, level: usize) {
+    for stmt in &block.stmts {
+        write_stmt(out, stmt, level);
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match &stmt.kind {
+        StmtKind::Nothing => out.push_str("nothing;\n"),
+        StmtKind::InputDecl { ty, names } => {
+            let _ = writeln!(out, "input {ty} {};", names.join(", "));
+        }
+        StmtKind::InternalDecl { ty, names } => {
+            let _ = writeln!(out, "internal {ty} {};", names.join(", "));
+        }
+        StmtKind::OutputDecl { ty, names } => {
+            let _ = writeln!(out, "output {ty} {};", names.join(", "));
+        }
+        StmtKind::VarDecl { ty, vars } => {
+            let _ = write!(out, "{ty}");
+            if let Some(n) = vars.first().and_then(|v| v.array) {
+                let _ = write!(out, "[{n}]");
+            }
+            let mut first = true;
+            for v in vars {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, " {}", v.name);
+                if let Some(init) = &v.init {
+                    out.push_str(" = ");
+                    write_rhs(out, init, level);
+                }
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::CBlock { code } => {
+            let _ = writeln!(out, "C do{code}end;");
+        }
+        StmtKind::Pure { names } => {
+            let _ = writeln!(out, "pure {};", csyms(names));
+        }
+        StmtKind::Deterministic { names } => {
+            let _ = writeln!(out, "deterministic {};", csyms(names));
+        }
+        StmtKind::AwaitEvt { name } => {
+            let _ = writeln!(out, "await {name};");
+        }
+        StmtKind::AwaitTime { time } => {
+            let _ = writeln!(out, "await {time};");
+        }
+        StmtKind::AwaitExpr { us } => {
+            let _ = writeln!(out, "await ({us});");
+        }
+        StmtKind::AwaitForever => out.push_str("await forever;\n"),
+        StmtKind::EmitEvt { name, value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "emit {name} = {v};");
+            }
+            None => {
+                let _ = writeln!(out, "emit {name};");
+            }
+        },
+        StmtKind::EmitTime { time } => {
+            let _ = writeln!(out, "emit {time};");
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            let _ = writeln!(out, "if {cond} then");
+            write_block(out, then_blk, level + 1);
+            if let Some(e) = else_blk {
+                indent(out, level);
+                out.push_str("else\n");
+                write_block(out, e, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+        StmtKind::Loop { body } => {
+            out.push_str("loop do\n");
+            write_block(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Par { kind, arms } => {
+            let _ = writeln!(out, "{} do", kind.keyword());
+            write_arms(out, arms, level);
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+        StmtKind::Call { expr } => {
+            let _ = writeln!(out, "call {expr};");
+        }
+        StmtKind::Assign { lhs, rhs } => {
+            let _ = write!(out, "{lhs} = ");
+            write_rhs(out, rhs, level);
+            out.push_str(";\n");
+        }
+        StmtKind::Return { value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {v};");
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::DoBlock { body } => {
+            out.push_str("do\n");
+            write_block(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+        StmtKind::Suspend { event, body } => {
+            let _ = writeln!(out, "suspend {event} do");
+            write_block(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+        StmtKind::Async { body } => {
+            out.push_str("async do\n");
+            write_block(out, body, level + 1);
+            indent(out, level);
+            out.push_str("end;\n");
+        }
+    }
+}
+
+fn write_arms(out: &mut String, arms: &[Block], level: usize) {
+    let mut first = true;
+    for arm in arms {
+        if !first {
+            indent(out, level);
+            out.push_str("with\n");
+        }
+        first = false;
+        write_block(out, arm, level + 1);
+    }
+}
+
+fn write_rhs(out: &mut String, rhs: &AssignRhs, level: usize) {
+    match rhs {
+        AssignRhs::Expr(e) => {
+            let _ = write!(out, "{e}");
+        }
+        AssignRhs::AwaitEvt(name) => {
+            let _ = write!(out, "await {name}");
+        }
+        AssignRhs::AwaitTime(t) => {
+            let _ = write!(out, "await {t}");
+        }
+        AssignRhs::AwaitExpr(e) => {
+            let _ = write!(out, "await ({e})");
+        }
+        AssignRhs::Par(kind, arms) => {
+            let _ = writeln!(out, "{} do", kind.keyword());
+            write_arms(out, arms, level + 1);
+            indent(out, level + 1);
+            out.push_str("end");
+        }
+        AssignRhs::Do(b) => {
+            out.push_str("do\n");
+            write_block(out, b, level + 1);
+            indent(out, level + 1);
+            out.push_str("end");
+        }
+        AssignRhs::Async(b) => {
+            out.push_str("async do\n");
+            write_block(out, b, level + 1);
+            indent(out, level + 1);
+            out.push_str("end");
+        }
+    }
+}
+
+fn csyms(names: &[String]) -> String {
+    names.iter().map(|n| format!("_{n}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Writes one expression, fully parenthesising nested binops (safe and
+/// round-trip stable; we do not try to minimise parentheses).
+pub fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match &e.kind {
+        ExprKind::Num(n) => write!(f, "{n}"),
+        ExprKind::Str(s) => write!(f, "{:?}", s),
+        ExprKind::Chr(c) => write!(f, "'{c}'"),
+        ExprKind::Null => write!(f, "null"),
+        ExprKind::Var(v) => write!(f, "{v}"),
+        ExprKind::CSym(c) => write!(f, "_{c}"),
+        ExprKind::Unop(op, a) => write!(f, "{}({a})", op.symbol()),
+        ExprKind::Binop(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        ExprKind::Index(b, i) => write!(f, "{b}[{i}]"),
+        ExprKind::Call(c, args) => {
+            write!(f, "{c}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+        ExprKind::Cast(t, a) => write!(f, "<{t}> ({a})"),
+        ExprKind::SizeOf(t) => write!(f, "sizeof<{t}>"),
+        ExprKind::Field(b, name, arrow) => {
+            write!(f, "{b}{}{name}", if *arrow { "->" } else { "." })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_simple_program() {
+        let s = Span::new(1, 1);
+        let p = Program {
+            block: Block::new(vec![
+                Stmt::new(
+                    StmtKind::InputDecl { ty: Type::int(), names: vec!["A".into()] },
+                    s,
+                ),
+                Stmt::new(
+                    StmtKind::Loop {
+                        body: Block::new(vec![Stmt::new(
+                            StmtKind::AwaitEvt { name: "A".into() },
+                            s,
+                        )]),
+                    },
+                    s,
+                ),
+            ]),
+        };
+        let text = pretty(&p);
+        assert!(text.contains("input int A;"));
+        assert!(text.contains("loop do"));
+        assert!(text.contains("await A;"));
+        assert!(text.contains("end;"));
+    }
+
+    #[test]
+    fn csym_prefixed_on_print() {
+        let s = Span::new(1, 1);
+        let e = Expr::csym("printf", s);
+        assert_eq!(e.to_string(), "_printf");
+    }
+}

@@ -1,0 +1,63 @@
+//! Source locations and node identity.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+///
+/// Céu programs are small (embedded targets), so a start position is enough
+/// for good diagnostics; we do not track byte ranges.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub const fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Stable identity of a statement, assigned in pre-order by [`crate::number`].
+///
+/// Flow-graph nodes, gates, and memory slots are all keyed by `NodeId`, so
+/// diagnostics from any phase can be mapped back to a source span.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Id carried by freshly parsed statements, before [`crate::number`].
+    pub const UNNUMBERED: NodeId = NodeId(u32::MAX);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(NodeId(12).to_string(), "n12");
+    }
+
+    #[test]
+    fn unnumbered_is_distinct() {
+        assert_ne!(NodeId::UNNUMBERED, NodeId(0));
+    }
+}

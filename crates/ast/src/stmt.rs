@@ -1,0 +1,183 @@
+//! Statements and program structure.
+
+use crate::expr::Expr;
+use crate::span::{NodeId, Span};
+use crate::time::TimeSpec;
+use crate::types::Type;
+
+/// A whole Céu program: one top-level block.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    pub block: Block,
+}
+
+/// A sequence of statements (`Block ::= (Stmt ';')+`).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+}
+
+/// The three parallel composition statements (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ParKind {
+    /// `par` — never rejoins.
+    Par,
+    /// `par/and` — rejoins when *all* arms terminate.
+    And,
+    /// `par/or` — rejoins when *any* arm terminates, killing the siblings.
+    Or,
+}
+
+impl ParKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ParKind::Par => "par",
+            ParKind::And => "par/and",
+            ParKind::Or => "par/or",
+        }
+    }
+}
+
+/// One variable in a declaration: `int[10] keys` or `int v = <rhs>`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VarDef {
+    pub name: String,
+    /// Array length if declared `ID_type [NUM] name`.
+    pub array: Option<u32>,
+    /// Optional initialiser (a full `SetExp`: expression, await or block).
+    pub init: Option<AssignRhs>,
+}
+
+/// Right-hand side of an assignment (`SetExp` in the grammar).
+///
+/// Céu allows awaiting and whole blocks in value position:
+/// `v = await Restart`, `win = par do … return 1 … end`,
+/// `ret = async do … end`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AssignRhs {
+    Expr(Expr),
+    /// `= await Event`
+    AwaitEvt(String),
+    /// `= await 10ms`
+    AwaitTime(TimeSpec),
+    /// `= await (Exp)` — expression timeout in microseconds.
+    AwaitExpr(Expr),
+    /// `= par… do … end` returning via `return`.
+    Par(ParKind, Vec<Block>),
+    /// `= do … end` returning via `return`.
+    Do(Block),
+    /// `= async do … end` returning via `return`.
+    Async(Block),
+}
+
+/// A statement: a source span, a stable [`NodeId`], and the actual kind.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stmt {
+    pub id: NodeId,
+    pub span: Span,
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { id: NodeId::UNNUMBERED, span, kind }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+pub enum StmtKind {
+    /// `nothing`
+    Nothing,
+    /// `input int A, B;` — external input event declaration.
+    InputDecl { ty: Type, names: Vec<String> },
+    /// `internal void changed;` — internal event declaration.
+    InternalDecl { ty: Type, names: Vec<String> },
+    /// `output int A;` — output event declaration (the paper's
+    /// future-work extension for multi-process GALS composition).
+    OutputDecl { ty: Type, names: Vec<String> },
+    /// `int v = 0, w;` / `int[10] keys;`
+    VarDecl { ty: Type, vars: Vec<VarDef> },
+    /// `C do … end` — raw C passed to the C backend.
+    CBlock { code: String },
+    /// `pure _f, _g;`
+    Pure { names: Vec<String> },
+    /// `deterministic _f, _g;` — one compatibility set per statement.
+    Deterministic { names: Vec<String> },
+    /// `await Event;` (external or internal, resolved by the analysis).
+    AwaitEvt { name: String },
+    /// `await 1s;`
+    AwaitTime { time: TimeSpec },
+    /// `await (Exp);` — µs timeout computed at runtime.
+    AwaitExpr { us: Expr },
+    /// `await forever;`
+    AwaitForever,
+    /// `emit evt;` / `emit evt = Exp;` (internal, or external from async).
+    EmitEvt { name: String, value: Option<Expr> },
+    /// `emit 10ms;` — only legal inside `async` (simulation, §2.8).
+    EmitTime { time: TimeSpec },
+    /// `if … then … (else …)? end`
+    If { cond: Expr, then_blk: Block, else_blk: Option<Block> },
+    /// `loop do … end`
+    Loop { body: Block },
+    /// `break`
+    Break,
+    /// `par… do … with … end`
+    Par { kind: ParKind, arms: Vec<Block> },
+    /// A call in statement position: `_f(x);` or `call Exp;`.
+    Call { expr: Expr },
+    /// `lhs = rhs;`
+    Assign { lhs: Expr, rhs: AssignRhs },
+    /// `return Exp;` — escapes the enclosing value block / terminates the
+    /// program at top level.
+    Return { value: Option<Expr> },
+    /// `do … end`
+    DoBlock { body: Block },
+    /// `suspend e do … end` — extension (Esterel's suspend, which the
+    /// paper says it is "considering to incorporate"): while the guard
+    /// event's last value is truthy, the body is frozen — its trails see
+    /// no events and its timers stop counting.
+    Suspend { event: String, body: Block },
+    /// `async do … end`
+    Async { body: Block },
+}
+
+impl StmtKind {
+    /// `true` for declaration-only statements that generate no control flow.
+    pub fn is_decl(&self) -> bool {
+        matches!(
+            self,
+            StmtKind::InputDecl { .. }
+                | StmtKind::InternalDecl { .. }
+                | StmtKind::OutputDecl { .. }
+                | StmtKind::CBlock { .. }
+                | StmtKind::Pure { .. }
+                | StmtKind::Deterministic { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_keywords() {
+        assert_eq!(ParKind::Par.keyword(), "par");
+        assert_eq!(ParKind::And.keyword(), "par/and");
+        assert_eq!(ParKind::Or.keyword(), "par/or");
+    }
+
+    #[test]
+    fn decl_classification() {
+        assert!(StmtKind::Pure { names: vec![] }.is_decl());
+        assert!(!StmtKind::Break.is_decl());
+        // VarDecl is *not* a pure declaration: initialisers execute.
+        assert!(!StmtKind::VarDecl { ty: Type::int(), vars: vec![] }.is_decl());
+    }
+}

@@ -1,0 +1,151 @@
+//! Wall-clock time literals.
+//!
+//! The paper's grammar:
+//!
+//! ```text
+//! TIME ::= (NUM h)? (NUM min)? (NUM s)? (NUM ms)? (NUM us)?   (at least one)
+//! ```
+//!
+//! Time is canonicalised to microseconds, the finest unit the language
+//! exposes. All runtime timer arithmetic is done in µs.
+
+use std::fmt;
+
+/// Microseconds per unit, largest first (the grammar's fixed unit order).
+pub const UNITS: [(&str, u64); 5] = [
+    ("h", 3_600_000_000),
+    ("min", 60_000_000),
+    ("s", 1_000_000),
+    ("ms", 1_000),
+    ("us", 1),
+];
+
+/// A wall-clock duration, canonicalised to microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimeSpec {
+    pub us: u64,
+}
+
+impl TimeSpec {
+    pub const fn from_us(us: u64) -> Self {
+        TimeSpec { us }
+    }
+
+    pub const fn from_ms(ms: u64) -> Self {
+        TimeSpec { us: ms * 1_000 }
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        TimeSpec { us: s * 1_000_000 }
+    }
+
+    /// Parses a compound literal body such as `1h35min` or `500ms`.
+    ///
+    /// Units must appear in decreasing order, each at most once. Returns
+    /// `None` on malformed input (the lexer produces a diagnostic).
+    pub fn parse(text: &str) -> Option<Self> {
+        let bytes = text.as_bytes();
+        let mut i = 0usize;
+        let mut next_unit = 0usize; // index into UNITS: forces decreasing order
+        let mut total: u64 = 0;
+        let mut any = false;
+        while i < bytes.len() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return None; // expected a number
+            }
+            let num: u64 = text[start..i].parse().ok()?;
+            // `min`/`ms` share a prefix with nothing else; match greedily on
+            // the remaining allowed units (largest first).
+            let mut matched = None;
+            for (k, &(unit, scale)) in UNITS.iter().enumerate().skip(next_unit) {
+                if text[i..].starts_with(unit) {
+                    // `m` alone is not a unit; `min` vs `ms` are disambiguated
+                    // by full-prefix match plus the next char not extending a
+                    // longer unit name ("ms" won't match where "min" is written
+                    // because 'i' != 's').
+                    matched = Some((k, unit.len(), scale));
+                    break;
+                }
+            }
+            let (k, len, scale) = matched?;
+            total = total.checked_add(num.checked_mul(scale)?)?;
+            next_unit = k + 1;
+            i += len;
+            any = true;
+        }
+        if any {
+            Some(TimeSpec { us: total })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TimeSpec {
+    /// Renders back to the most compact compound literal, e.g. `1h35min`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.us == 0 {
+            return write!(f, "0us");
+        }
+        let mut rest = self.us;
+        let mut wrote = false;
+        for &(unit, scale) in &UNITS {
+            let n = rest / scale;
+            if n > 0 {
+                write!(f, "{n}{unit}")?;
+                rest -= n * scale;
+                wrote = true;
+            }
+        }
+        debug_assert!(wrote);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_literals() {
+        assert_eq!(TimeSpec::parse("1s"), Some(TimeSpec::from_secs(1)));
+        assert_eq!(TimeSpec::parse("100ms"), Some(TimeSpec::from_ms(100)));
+        assert_eq!(TimeSpec::parse("1us"), Some(TimeSpec::from_us(1)));
+        assert_eq!(TimeSpec::parse("10min"), Some(TimeSpec::from_us(600_000_000)));
+        assert_eq!(
+            TimeSpec::parse("1h35min"),
+            Some(TimeSpec::from_us(3_600_000_000 + 35 * 60_000_000))
+        );
+        assert_eq!(TimeSpec::parse("50ms"), Some(TimeSpec::from_ms(50)));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(TimeSpec::parse(""), None);
+        assert_eq!(TimeSpec::parse("ms"), None);
+        assert_eq!(TimeSpec::parse("5"), None);
+        assert_eq!(TimeSpec::parse("5x"), None);
+        // wrong unit order
+        assert_eq!(TimeSpec::parse("5ms1s"), None);
+        // repeated unit
+        assert_eq!(TimeSpec::parse("1s1s"), None);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for text in ["1s", "100ms", "1h35min", "10min", "1us", "2h3min4s5ms6us"] {
+            let t = TimeSpec::parse(text).unwrap();
+            assert_eq!(t.to_string(), text);
+            assert_eq!(TimeSpec::parse(&t.to_string()), Some(t));
+        }
+    }
+
+    #[test]
+    fn display_zero() {
+        assert_eq!(TimeSpec::from_us(0).to_string(), "0us");
+    }
+}

@@ -1,0 +1,82 @@
+//! Céu types.
+//!
+//! Céu's type grammar is `ID_type`, i.e. any identifier, optionally with
+//! pointer stars (used in the paper as `_message_t* msg`). The language
+//! itself only interprets `int` and `void`; everything else is an opaque
+//! "C type" handed to the host.
+
+use std::fmt;
+
+/// A (possibly pointered) type name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Type {
+    /// Type name as written, without pointer stars (e.g. `int`, `_message_t`).
+    pub name: String,
+    /// Number of `*` suffixes.
+    pub ptr: u8,
+}
+
+impl Type {
+    pub fn new(name: impl Into<String>, ptr: u8) -> Self {
+        Type { name: name.into(), ptr }
+    }
+
+    pub fn int() -> Self {
+        Type::new("int", 0)
+    }
+
+    pub fn void() -> Self {
+        Type::new("void", 0)
+    }
+
+    /// `true` for plain `void` (valueless events).
+    pub fn is_void(&self) -> bool {
+        self.ptr == 0 && self.name == "void"
+    }
+
+    /// `true` if values of this type occupy a data slot (anything but `void`).
+    pub fn has_value(&self) -> bool {
+        !self.is_void()
+    }
+
+    /// `true` for types the Céu compiler interprets natively.
+    pub fn is_native(&self) -> bool {
+        self.ptr > 0 || matches!(self.name.as_str(), "int" | "void" | "u8" | "u16" | "u32")
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for _ in 0..self.ptr {
+            write!(f, "*")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stars() {
+        assert_eq!(Type::new("_message_t", 1).to_string(), "_message_t*");
+        assert_eq!(Type::int().to_string(), "int");
+    }
+
+    #[test]
+    fn void_classification() {
+        assert!(Type::void().is_void());
+        assert!(!Type::new("void", 1).is_void());
+        assert!(Type::new("void", 1).has_value());
+        assert!(!Type::void().has_value());
+    }
+
+    #[test]
+    fn native_types() {
+        assert!(Type::int().is_native());
+        assert!(Type::new("int", 2).is_native());
+        assert!(!Type::new("_message_t", 0).is_native());
+    }
+}

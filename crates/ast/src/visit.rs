@@ -1,0 +1,127 @@
+//! Generic statement walker used by the analysis and codegen phases.
+
+use crate::stmt::{AssignRhs, Block, Stmt, StmtKind};
+
+/// Calls `f` on every statement of `block`, pre-order, descending into all
+/// nested blocks (including blocks in assignment right-hand sides).
+pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+        each_child_block(stmt, &mut |b| walk_stmts(b, f));
+    }
+}
+
+/// Invokes `f` on every directly nested block of `stmt`.
+pub fn each_child_block<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Block)) {
+    match &stmt.kind {
+        StmtKind::If { then_blk, else_blk, .. } => {
+            f(then_blk);
+            if let Some(e) = else_blk {
+                f(e);
+            }
+        }
+        StmtKind::Loop { body }
+        | StmtKind::DoBlock { body }
+        | StmtKind::Async { body }
+        | StmtKind::Suspend { body, .. } => f(body),
+        StmtKind::Par { arms, .. } => {
+            for a in arms {
+                f(a);
+            }
+        }
+        StmtKind::Assign { rhs, .. } => match rhs {
+            AssignRhs::Par(_, arms) => {
+                for a in arms {
+                    f(a);
+                }
+            }
+            AssignRhs::Do(b) | AssignRhs::Async(b) => f(b),
+            _ => {}
+        },
+        StmtKind::VarDecl { vars, .. } => {
+            for v in vars {
+                match &v.init {
+                    Some(AssignRhs::Par(_, arms)) => {
+                        for a in arms {
+                            f(a);
+                        }
+                    }
+                    Some(AssignRhs::Do(b)) | Some(AssignRhs::Async(b)) => f(b),
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mutable variant of [`each_child_block`].
+pub fn each_child_block_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Block)) {
+    match &mut stmt.kind {
+        StmtKind::If { then_blk, else_blk, .. } => {
+            f(then_blk);
+            if let Some(e) = else_blk {
+                f(e);
+            }
+        }
+        StmtKind::Loop { body }
+        | StmtKind::DoBlock { body }
+        | StmtKind::Async { body }
+        | StmtKind::Suspend { body, .. } => f(body),
+        StmtKind::Par { arms, .. } => {
+            for a in arms {
+                f(a);
+            }
+        }
+        StmtKind::Assign { rhs, .. } => match rhs {
+            AssignRhs::Par(_, arms) => {
+                for a in arms {
+                    f(a);
+                }
+            }
+            AssignRhs::Do(b) | AssignRhs::Async(b) => f(b),
+            _ => {}
+        },
+        StmtKind::VarDecl { vars, .. } => {
+            for v in vars {
+                match &mut v.init {
+                    Some(AssignRhs::Par(_, arms)) => {
+                        for a in arms {
+                            f(a);
+                        }
+                    }
+                    Some(AssignRhs::Do(b)) | Some(AssignRhs::Async(b)) => f(b),
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use crate::stmt::ParKind;
+
+    fn s(kind: StmtKind) -> Stmt {
+        Stmt::new(kind, Span::new(1, 1))
+    }
+
+    #[test]
+    fn walks_nested_par_arms() {
+        let block = Block::new(vec![s(StmtKind::Par {
+            kind: ParKind::Or,
+            arms: vec![
+                Block::new(vec![s(StmtKind::Break)]),
+                Block::new(vec![s(StmtKind::Loop {
+                    body: Block::new(vec![s(StmtKind::Nothing)]),
+                })]),
+            ],
+        })]);
+        let mut n = 0;
+        walk_stmts(&block, &mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

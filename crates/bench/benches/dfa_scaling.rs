@@ -1,0 +1,75 @@
+//! Temporal-analysis scaling bench (the §6 claim: "the conversion
+//! algorithm is exponential … however, it is usable in practice,
+//! considering the size of applications in the context of embedded
+//! systems").
+//!
+//! Two sweeps:
+//! * the await-chain product (two parallel loops of m and n awaits on the
+//!   same event → lcm(m,n)-sized DFA);
+//! * k independent timer loops with coprime periods → product state space,
+//!   the exponential frontier.
+
+use ceu::analysis::{analyze, DfaOptions};
+use ceu::Compiler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn chain_program(m: usize, n: usize) -> String {
+    let awaits = |k: usize| "  await A;\n".repeat(k);
+    format!(
+        "input void A;\nint v, w;\npar do\n loop do\n{}  v = 1;\n end\nwith\n loop do\n{}  w = 1;\n end\nend",
+        awaits(m),
+        awaits(n)
+    )
+}
+
+fn timer_program(k: usize) -> String {
+    // coprime-ish periods to maximise the product space
+    let periods = [7u64, 11, 13, 17, 19, 23];
+    let mut src = String::from("int x;\npar do\n");
+    for (i, p) in periods.iter().take(k).enumerate() {
+        if i > 0 {
+            src.push_str("with\n");
+        }
+        src.push_str(&format!(" loop do\n  await {p}ms;\n end\n"));
+    }
+    src.push_str("with\n await forever;\nend");
+    src
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfa_await_chains");
+    for (m, n) in [(2usize, 3usize), (4, 5), (8, 9), (16, 17)] {
+        let program = Compiler::unchecked().compile(&chain_program(m, n)).unwrap();
+        let opts = DfaOptions::default();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(m, n), |b, _| {
+            b.iter(|| black_box(analyze(&program, &opts)))
+        });
+        // record the state counts once, as console context
+        let d = analyze(&program, &opts);
+        eprintln!("chain {m}x{n}: {} states, {} transitions", d.states.len(), d.transitions.len());
+    }
+    g.finish();
+}
+
+fn bench_timers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfa_timer_products");
+    g.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        let program = Compiler::unchecked().compile(&timer_program(k)).unwrap();
+        let opts = DfaOptions { max_states: 100_000, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(analyze(&program, &opts)))
+        });
+        let d = analyze(&program, &opts);
+        eprintln!(
+            "timers k={k}: {} states (truncated: {}) — exponential growth, as the paper concedes",
+            d.states.len(),
+            d.truncated
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_timers);
+criterion_main!(benches);

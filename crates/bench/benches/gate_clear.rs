@@ -1,0 +1,44 @@
+//! Gate-range kill bench (§4.3: trails in parallel use consecutive gate
+//! slots, so "destroying trails in parallel is as easy as setting the
+//! respective range of gate slots to zero with a memset").
+//!
+//! Measures the reaction in which one arm of a par/or terminates and the
+//! runtime kills N sibling trails, as a function of N. The paper's design
+//! point: the kill is O(range), independent of trail *content*.
+
+use ceu::runtime::{Machine, NullHost};
+use ceu::Compiler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A par/or whose first arm terminates on `Kill` while `n` siblings await
+/// other things; wrapped in a loop so each event repeats the kill+respawn.
+fn kill_program(n: usize) -> String {
+    let mut src = String::from("input void Kill, Other;\nloop do\n par/or do\n  await Kill;\n");
+    for _ in 0..n {
+        src.push_str(" with\n  await Other;\n");
+    }
+    src.push_str(" end\nend");
+    src
+}
+
+fn bench_kill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_or_kill_siblings");
+    for n in [2usize, 16, 128, 1024] {
+        let program = Compiler::new().compile(&kill_program(n)).unwrap();
+        let mut m = Machine::new(program);
+        let mut h = NullHost;
+        m.go_init(&mut h).unwrap();
+        let kill = m.event_id("Kill").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // kill the n siblings and respawn the whole composition
+                black_box(m.go_event(kill, None, &mut h).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kill);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Trail-overhead bench (the §2.1 claim: "the runtime overhead for
+//! creating and destroying trails is negligible, promoting a fine-grained
+//! use of trails").
+//!
+//! Measures one full reaction (event in → all trails served → idle) as a
+//! function of how many parallel trails await the event, and the cost of
+//! a loop iteration that tears down and respawns a par/or (the
+//! sampling/watchdog archetype).
+
+use ceu::runtime::{Machine, NullHost};
+use ceu::Compiler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// N trails all awaiting the same event in a loop.
+fn fanout_program(n: usize) -> String {
+    let mut src = String::from("input void E;\nint v;\npar do\n");
+    for i in 0..n {
+        if i > 0 {
+            src.push_str("with\n");
+        }
+        src.push_str(" loop do\n  await E;\n end\n");
+    }
+    src.push_str("with\n await forever;\nend");
+    src
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reaction_fanout");
+    for n in [1usize, 4, 16, 64, 256] {
+        let program = Compiler::unchecked().compile(&fanout_program(n)).unwrap();
+        let mut m = Machine::new(program);
+        let mut h = NullHost;
+        m.go_init(&mut h).unwrap();
+        let e = m.event_id("E").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(m.go_event(e, None, &mut h).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The watchdog archetype: every event tears down a par/or (killing the
+/// sibling) and respawns it — trail creation/destruction on the hot path.
+fn bench_respawn(c: &mut Criterion) {
+    let src = r#"
+        input void E;
+        loop do
+           par/or do
+              await E;
+           with
+              await 100s;
+           end
+        end
+    "#;
+    let program = Compiler::new().compile(src).unwrap();
+    let mut m = Machine::new(program);
+    let mut h = NullHost;
+    m.go_init(&mut h).unwrap();
+    let e = m.event_id("E").unwrap();
+    c.bench_function("par_or_respawn_per_event", |b| {
+        b.iter(|| {
+            black_box(m.go_event(e, None, &mut h).unwrap());
+        })
+    });
+}
+
+/// Internal-event stack: one emit propagating through a 3-stage chain.
+fn bench_emit_chain(c: &mut Criterion) {
+    let program = Compiler::new().compile(ceu_bench::DATAFLOW_CHAIN).unwrap();
+    let mut m = Machine::new(program);
+    let mut h = NullHost;
+    m.go_init(&mut h).unwrap();
+    let go = m.event_id("Go").unwrap();
+    c.bench_function("emit_chain_reaction", |b| {
+        b.iter(|| {
+            black_box(m.go_event(go, None, &mut h).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_fanout, bench_respawn, bench_emit_chain);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **Flow-graph figure reproduction** (the paper's `fig:nfa`) — the
+//! execution-flow graph of the §4 guiding example, with the scheduling
+//! priorities the temporal analysis assigns: rejoin/escape nodes carry
+//! lower priorities, the outer the lower.
+//!
+//! Writes `target/experiments/fig3_flowgraph.dot`.
+//!
+//! ```sh
+//! cargo run -p ceu-bench --bin fig3_flowgraph
+//! ```
+
+use ceu::analysis::flowgraph;
+use ceu::Compiler;
+use ceu_bench::GUIDING_EXAMPLE;
+
+fn main() {
+    let program = Compiler::new().compile(GUIDING_EXAMPLE).expect("guiding example is safe");
+    let dot = flowgraph::to_dot(&program);
+
+    println!("Flow graph — §4 guiding example\n");
+    println!("tracks:  {}", program.blocks.len());
+    println!("gates:   {}", program.gates.len());
+    println!("regions: {}", program.regions.len());
+
+    // the figure's structure: four awaits (dashed edges), a par fork, and
+    // prioritized escape nodes for the par/or and the loop
+    let dashed = dot.matches("style=dashed").count();
+    assert_eq!(dashed, 4, "one dashed edge per await");
+    let prioritized = dot.matches("prio").count();
+    assert!(prioritized >= 2, "par/or and loop escapes carry priorities");
+    // the loop escape (outer) must have a lower priority (= larger rank)
+    // than the par/or escape (inner)
+    let rank_of = |label: &str| {
+        program
+            .blocks
+            .iter()
+            .find(|b| b.label == label)
+            .map(|b| b.rank)
+            .unwrap_or(0)
+    };
+    let (loop_esc, par_esc) = (rank_of("loop.esc"), rank_of("par.esc"));
+    assert!(
+        loop_esc > par_esc,
+        "outer escape must run later: loop {loop_esc} vs par/or {par_esc}"
+    );
+
+    let path = ceu_bench::out_dir().join("fig3_flowgraph.dot");
+    std::fs::write(&path, &dot).expect("write dot");
+    println!("priorities: loop escape rank {loop_esc} > par/or escape rank {par_esc} ✓");
+    println!("Graphviz written to {}", path.display());
+}

@@ -1,0 +1,15 @@
+//! Shared corpus and helpers for the experiment harnesses (one binary per
+//! table/figure of the paper — see DESIGN.md's experiment index, and
+//! EXPERIMENTS.md for paper-vs-measured numbers).
+
+pub mod corpus;
+pub mod table;
+
+pub use corpus::*;
+
+/// Where harness binaries drop their artifacts (dot files, raw results).
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}

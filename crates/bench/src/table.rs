@@ -1,0 +1,62 @@
+//! Minimal fixed-width table rendering for harness output, plus a
+//! machine-readable (JSON-lines) result sink for EXPERIMENTS.md updates.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Renders rows as an aligned text table.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Appends a serialisable record to `target/experiments/<name>.jsonl`.
+pub fn record<T: Serialize>(name: &str, value: &T) {
+    let path = crate::out_dir().join(format!("{name}.jsonl"));
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open results file");
+    let line = serde_json::to_string(value).unwrap_or_else(|_| "{}".into());
+    let _ = writeln!(f, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_aligns_columns() {
+        let t = super::render(
+            &["app", "ROM", "RAM"],
+            &[
+                vec!["Blink".into(), "2048".into(), "51".into()],
+                vec!["Server".into(), "14648".into(), "373".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("14648"));
+    }
+}

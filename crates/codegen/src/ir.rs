@@ -1,0 +1,305 @@
+//! The track/gate intermediate representation (§4.4 of the paper).
+//!
+//! A compiled program is a set of *basic blocks* ("tracks"), a set of
+//! *gates* (one per `await`), *regions* (contiguous gate ranges owned by
+//! `par/or`s, loops and value blocks, killable with one range-clear — the
+//! paper's `memset`), and statically laid-out *data slots* (§4.2).
+//!
+//! Control transfers:
+//! * `Spawn` enqueues a block in the scheduler's rank-ordered track queue;
+//! * gates hold the block to spawn when their event fires;
+//! * the block terminator covers straight-line flow (goto / branch / halt).
+//!
+//! Expressions are lowered to [`Rv`] with variable references resolved to
+//! slot indices, so the runtime never does name lookups.
+
+use ceu_ast::{BinOp, EventId, EventTable, Span, UnOp};
+use std::fmt;
+
+pub type BlockId = u32;
+pub type GateId = u32;
+pub type RegionId = u32;
+pub type SlotId = u32;
+pub type AsyncId = u32;
+
+/// A lowered r-value expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rv {
+    Const(i64),
+    Str(String),
+    Null,
+    /// Read a data slot (scalar variable).
+    Slot(SlotId),
+    /// Address of a data slot (`&v`, also array base decay).
+    AddrOf(SlotId),
+    /// Value carried by the most recent occurrence of an event.
+    EventVal(EventId),
+    /// Read a C global (`_X`).
+    CGlobal(String),
+    Un(UnOp, Box<Rv>),
+    Bin(BinOp, Box<Rv>, Box<Rv>),
+    /// `base[idx]` where `base` evaluates to a pointer.
+    Index(Box<Rv>, Box<Rv>),
+    /// Call into the C world. Method-style calls are flattened
+    /// (`_lcd.setCursor(…)` → name `"lcd.setCursor"`).
+    CCall(String, Vec<Rv>),
+    /// `*p`
+    Deref(Box<Rv>),
+    /// `sizeof<T>` — byte size on the 16-bit reference target.
+    SizeOf(u32),
+    /// `base.f` / `base->f` on a host value.
+    Field(Box<Rv>, String, bool),
+    /// `<T> e` — numeric casts are value-preserving at runtime.
+    Cast(Box<Rv>),
+}
+
+/// A lowered l-value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Place {
+    /// A scalar slot.
+    Slot(SlotId),
+    /// `arr[idx]` where `arr` is a Céu array starting at the given slot.
+    Index(SlotId, Rv),
+    /// `*p = …` — store through a pointer (data or host).
+    Deref(Rv),
+}
+
+/// A timer duration: compile-time constant or computed (µs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimeAmount {
+    Const(u64),
+    Dyn(Rv),
+}
+
+/// One instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instr {
+    pub span: Span,
+    pub op: Op,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    Assign { dst: Place, src: Rv },
+    /// Evaluate for side effects (a statement-position C call).
+    Eval(Rv),
+    /// Arm an event gate (`GATES[g] = cont` in the paper).
+    ActivateEvt { gate: GateId },
+    /// Arm a timer gate; the deadline is `logical now + us`.
+    ActivateTime { gate: GateId, us: TimeAmount },
+    /// Arm an `await forever` gate (keeps the trail alive, never fires).
+    ActivateNever { gate: GateId },
+    /// Start asynchronous block `async_id`; its completion fires `gate`.
+    ActivateAsync { gate: GateId, async_id: AsyncId },
+    /// Kill every trail of a region: deactivate its gate range and abort
+    /// asyncs hanging off gates in the range.
+    ClearRegion(RegionId),
+    /// Enqueue a block in the track queue (at the block's rank).
+    Spawn(BlockId),
+    /// Emit an internal event — runs the awakened trails as a nested
+    /// reaction (stack policy, §2.2) before the next instruction.
+    EmitInt { event: EventId, value: Option<Rv> },
+    /// Emit an input event from an `async` (simulation, §2.8).
+    EmitExt { event: EventId, value: Option<Rv> },
+    /// Emit an output event towards the environment (future-work
+    /// extension: multi-process GALS composition).
+    EmitOut { event: EventId, value: Option<Rv> },
+    /// Emit the passage of wall-clock time from an `async`.
+    EmitTime(TimeAmount),
+    /// Set a par/and completion flag.
+    SetFlag(SlotId),
+    /// Reset the completion flags `[lo, hi)` of a par/and at fork time.
+    ClearFlags { lo: SlotId, hi: SlotId },
+}
+
+/// Block terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Yield to the scheduler (the paper's `halt`).
+    Halt,
+    Goto(BlockId),
+    If { cond: Rv, then_b: BlockId, else_b: BlockId },
+    /// par/and rejoin: proceed to `cont` iff all flags in `[lo, hi)` are set.
+    JoinAnd { lo: SlotId, hi: SlotId, cont: BlockId },
+    /// Top-level `return` / program end.
+    TerminateProgram { value: Option<Rv> },
+    /// `return` inside an `async` / async body end.
+    TerminateAsync { value: Option<Rv> },
+}
+
+/// A basic block ("track").
+#[derive(Clone, Debug, PartialEq)]
+pub struct BBlock {
+    pub label: String,
+    pub instrs: Vec<Instr>,
+    pub term: Term,
+    /// Scheduling rank: 0 = highest priority; rejoin/escape blocks get
+    /// higher numbers, the outer the higher (run later — glitch avoidance).
+    pub rank: u8,
+    /// Enclosing regions, innermost last (used to detect a trail killed
+    /// while it was mid-emit).
+    pub regions: Vec<RegionId>,
+}
+
+/// What fires a gate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GateKind {
+    /// External or internal event.
+    Evt(EventId),
+    /// Wall-clock timer.
+    Timer,
+    /// `await forever`.
+    Never,
+    /// Completion of an async block.
+    AsyncDone(AsyncId),
+}
+
+/// One gate: what fires it and which block resumes the trail.
+#[derive(Clone, Debug)]
+pub struct GateInfo {
+    pub kind: GateKind,
+    pub cont: BlockId,
+    pub span: Span,
+}
+
+/// A contiguous killable gate range `[lo, hi)`.
+#[derive(Clone, Debug)]
+pub struct RegionInfo {
+    pub lo: GateId,
+    pub hi: GateId,
+    pub label: String,
+}
+
+/// One `suspend e do … end` construct (extension): while the guard event's
+/// last value is truthy, no gate in `region` fires and its timers freeze.
+#[derive(Clone, Debug)]
+pub struct SuspendInfo {
+    pub event: EventId,
+    pub region: RegionId,
+}
+
+/// One compiled `async` body.
+#[derive(Clone, Debug)]
+pub struct AsyncBlock {
+    pub entry: BlockId,
+    /// Slot receiving the `return` value, for value-position asyncs.
+    pub result: Option<SlotId>,
+    /// The gate fired on completion.
+    pub done_gate: GateId,
+}
+
+/// One laid-out variable (for reports and debugging).
+#[derive(Clone, Debug)]
+pub struct SlotInfo {
+    /// Unique (alpha-renamed) name; hidden slots use `#`-prefixed labels.
+    pub name: String,
+    pub slot: SlotId,
+    /// Number of slots (1 for scalars, n for arrays).
+    pub len: u32,
+    /// Size in bytes on the 16-bit reference target (for the RAM report).
+    pub target_bytes: u32,
+}
+
+/// A fully compiled program, executable by `ceu-runtime` and printable by
+/// the C backend.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    pub blocks: Vec<BBlock>,
+    pub boot: BlockId,
+    pub gates: Vec<GateInfo>,
+    pub regions: Vec<RegionInfo>,
+    pub events: EventTable,
+    pub slots: Vec<SlotInfo>,
+    /// Total data slots.
+    pub data_len: u32,
+    pub annotations: ceu_ast::CAnnotations,
+    pub asyncs: Vec<AsyncBlock>,
+    /// `suspend` constructs (extension), in source order.
+    pub suspends: Vec<SuspendInfo>,
+    /// Concatenated `C do … end` code, passed through to the C backend.
+    pub c_code: String,
+}
+
+impl CompiledProgram {
+    pub fn block(&self, id: BlockId) -> &BBlock {
+        &self.blocks[id as usize]
+    }
+
+    pub fn gate(&self, id: GateId) -> &GateInfo {
+        &self.gates[id as usize]
+    }
+
+    pub fn region(&self, id: RegionId) -> &RegionInfo {
+        &self.regions[id as usize]
+    }
+
+    /// Gates that await the given event.
+    pub fn gates_of_event(&self, event: EventId) -> impl Iterator<Item = GateId> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(move |(_, g)| g.kind == GateKind::Evt(event))
+            .map(|(i, _)| i as GateId)
+    }
+
+    /// Total instruction count (ROM-analog building block).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+}
+
+impl fmt::Display for CompiledProgram {
+    /// Human-readable IR dump, for tests and debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; data: {} slots, {} gates, {} regions", self.data_len, self.gates.len(), self.regions.len())?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "{i}: {} (rank {})", b.label, b.rank)?;
+            for instr in &b.instrs {
+                writeln!(f, "    {:?}", instr.op)?;
+            }
+            writeln!(f, "    => {:?}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl Rv {
+    /// Walks the r-value tree bottom-up.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Rv)) {
+        match self {
+            Rv::Un(_, a) | Rv::Deref(a) | Rv::Cast(a) | Rv::Field(a, _, _) => a.walk(f),
+            Rv::Bin(_, a, b) | Rv::Index(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Rv::CCall(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+        f(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv_walk_visits_nested() {
+        let rv = Rv::Bin(
+            BinOp::Add,
+            Box::new(Rv::Slot(0)),
+            Box::new(Rv::CCall("f".into(), vec![Rv::Const(1), Rv::Deref(Box::new(Rv::Slot(2)))])),
+        );
+        let mut slots = vec![];
+        rv.walk(&mut |r| {
+            if let Rv::Slot(s) = r {
+                slots.push(*s);
+            }
+        });
+        assert_eq!(slots, vec![0, 2]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Static memory layout (§4.2).
+//!
+//! Céu allocates no per-trail stacks: all variables (and the hidden
+//! bookkeeping values: par/and completion flags, value-block results) live
+//! in one statically sized slot vector. Memory of trails *in parallel* must
+//! coexist, while statements *in sequence* reuse the same offsets — an
+//! overlay allocation:
+//!
+//! * declarations in a block accumulate (they live to the block's end);
+//! * sibling `par` arms are stacked after one another;
+//! * sequential composite statements (two loops in sequence, `if` branches)
+//!   share the same base offset.
+//!
+//! One slot holds one runtime `Value`; the *target-byte* accounting (what
+//! Table 1 reports) assumes the paper's 16-bit reference platform: 2 bytes
+//! per scalar, 1 byte per flag.
+
+use crate::ir::{SlotId, SlotInfo};
+use ceu_ast::{AssignRhs, Block, NodeId, ParKind, Stmt, StmtKind, Type};
+use std::collections::HashMap;
+
+/// Hidden bookkeeping slots attached to a statement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hidden {
+    /// par/and completion flags: base slot + arm count.
+    pub flags: Option<(SlotId, u32)>,
+    /// Result slot of a value block (`x = par/do/async … end`).
+    pub result: Option<SlotId>,
+}
+
+/// Computed layout for a resolved program.
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    slot_of_var: HashMap<String, (SlotId, bool)>,
+    pub hidden: HashMap<NodeId, Hidden>,
+    pub slots: Vec<SlotInfo>,
+    pub data_len: u32,
+}
+
+impl Layout {
+    /// Slot and array-ness of a unique variable name.
+    pub fn var(&self, unique: &str) -> Option<(SlotId, bool)> {
+        self.slot_of_var.get(unique).copied()
+    }
+
+    /// Total data size in target bytes (the RAM-report contribution of
+    /// variables; gates/queues are added by the report module).
+    pub fn target_bytes(&self) -> u32 {
+        self.slots.iter().map(|s| s.target_bytes).sum()
+    }
+}
+
+/// Bytes one value of `ty` occupies on the 16-bit reference target.
+pub fn target_size(ty: &Type) -> u32 {
+    if ty.ptr > 0 {
+        return 2;
+    }
+    match ty.name.as_str() {
+        "void" => 0,
+        "u8" => 1,
+        "u32" => 4,
+        // `int` and unknown C types: one machine word
+        _ => 2,
+    }
+}
+
+/// Runs the overlay allocation over a resolved (alpha-renamed, desugared)
+/// program.
+pub fn layout(program: &ceu_ast::Program, vars: &[ceu_ast::VarInfo]) -> Layout {
+    let mut l = Layout::default();
+    let by_unique: HashMap<&str, &ceu_ast::VarInfo> =
+        vars.iter().map(|v| (v.unique.as_str(), v)).collect();
+    let end = layout_block(&program.block, 0, &mut l, &by_unique);
+    l.data_len = end;
+    l
+}
+
+fn layout_block(
+    block: &Block,
+    base: u32,
+    l: &mut Layout,
+    vars: &HashMap<&str, &ceu_ast::VarInfo>,
+) -> u32 {
+    let mut cur = base;
+    let mut max_end = base;
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::VarDecl { ty, vars: defs } => {
+                for d in defs {
+                    let len = d.array.unwrap_or(1);
+                    let info = vars.get(d.name.as_str());
+                    let elem_bytes = info.map(|v| target_size(&v.ty)).unwrap_or_else(|| {
+                        target_size(ty)
+                    });
+                    l.slot_of_var.insert(d.name.clone(), (cur, d.array.is_some()));
+                    l.slots.push(SlotInfo {
+                        name: d.name.clone(),
+                        slot: cur,
+                        len,
+                        target_bytes: elem_bytes * len,
+                    });
+                    cur += len;
+                    max_end = max_end.max(cur);
+                }
+            }
+            StmtKind::If { then_blk, else_blk, .. } => {
+                let e1 = layout_block(then_blk, cur, l, vars);
+                let e2 = else_blk.as_ref().map(|b| layout_block(b, cur, l, vars)).unwrap_or(cur);
+                max_end = max_end.max(e1).max(e2);
+            }
+            StmtKind::Loop { body }
+            | StmtKind::DoBlock { body }
+            | StmtKind::Async { body }
+            | StmtKind::Suspend { body, .. } => {
+                let e = layout_block(body, cur, l, vars);
+                max_end = max_end.max(e);
+            }
+            StmtKind::Par { kind, arms } => {
+                let e = layout_par(stmt.id, *kind, arms, cur, None, l, vars);
+                max_end = max_end.max(e);
+            }
+            StmtKind::Assign { rhs, .. } => match rhs {
+                AssignRhs::Par(kind, arms) => {
+                    let result = alloc_hidden(l, &mut cur, stmt, "#result");
+                    let e = layout_par(stmt.id, *kind, arms, cur, Some(result), l, vars);
+                    max_end = max_end.max(e);
+                }
+                AssignRhs::Do(b) | AssignRhs::Async(b) => {
+                    let result = alloc_hidden(l, &mut cur, stmt, "#result");
+                    l.hidden.entry(stmt.id).or_default().result = Some(result);
+                    let e = layout_block(b, cur, l, vars);
+                    max_end = max_end.max(e).max(cur);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    max_end
+}
+
+fn layout_par(
+    id: NodeId,
+    kind: ParKind,
+    arms: &[Block],
+    base: u32,
+    result: Option<SlotId>,
+    l: &mut Layout,
+    vars: &HashMap<&str, &ceu_ast::VarInfo>,
+) -> u32 {
+    let mut cur = base;
+    let hidden = l.hidden.entry(id).or_default();
+    hidden.result = result;
+    if kind == ParKind::And {
+        hidden.flags = Some((cur, arms.len() as u32));
+        for i in 0..arms.len() {
+            l.slots.push(SlotInfo {
+                name: format!("#flag{i}@{id}"),
+                slot: cur + i as u32,
+                len: 1,
+                target_bytes: 1,
+            });
+        }
+        cur += arms.len() as u32;
+    }
+    // arms coexist: stack them
+    for arm in arms {
+        cur = layout_block(arm, cur, l, vars);
+    }
+    cur
+}
+
+fn alloc_hidden(l: &mut Layout, cur: &mut u32, stmt: &Stmt, label: &str) -> SlotId {
+    let slot = *cur;
+    l.slots.push(SlotInfo {
+        name: format!("{label}@{}", stmt.id),
+        slot,
+        len: 1,
+        target_bytes: 2,
+    });
+    *cur += 1;
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lay(src: &str) -> Layout {
+        let mut p = ceu_parser::parse(src).unwrap();
+        ceu_ast::desugar(&mut p);
+        ceu_ast::number(&mut p);
+        let r = ceu_ast::resolve::resolve(p).unwrap();
+        layout(&r.program, &r.vars)
+    }
+
+    #[test]
+    fn sequential_blocks_reuse_memory() {
+        // Two loops in sequence... loops never terminate without break, so
+        // use do-blocks: their locals overlay.
+        let src = r#"
+            do
+               int a, b;
+               nothing;
+            end
+            do
+               int c, d, e;
+               nothing;
+            end
+        "#;
+        let l = lay(src);
+        assert_eq!(l.data_len, 3, "sequential do-blocks must overlay: {:?}", l.slots);
+    }
+
+    #[test]
+    fn parallel_arms_coexist() {
+        let src = r#"
+            par/and do
+               int a, b;
+               nothing;
+            with
+               int c;
+               nothing;
+            end
+        "#;
+        let l = lay(src);
+        // 2 flags + 2 + 1 vars
+        assert_eq!(l.data_len, 5, "{:?}", l.slots);
+    }
+
+    #[test]
+    fn arrays_take_their_length() {
+        let l = lay("int[10] keys; int idx;");
+        assert_eq!(l.data_len, 11);
+        let (slot, is_array) = l.var("keys#0").unwrap();
+        assert_eq!(slot, 0);
+        assert!(is_array);
+        assert_eq!(l.var("idx#1").unwrap(), (10, false));
+    }
+
+    #[test]
+    fn code_after_loop_reuses_loop_memory() {
+        // the paper's §4.2: "the code following the loop reuses all memory
+        // from the loop"
+        let src = r#"
+            input void A;
+            loop do
+               int x, y, z;
+               await A;
+               break;
+            end
+            int w;
+            nothing;
+        "#;
+        let l = lay(src);
+        // w reuses offset 0..1 region? w is declared in the outer block
+        // after the loop: decls accumulate in their own block, composites
+        // don't advance the cursor, so w lands at slot 0.
+        assert_eq!(l.var("w#3").unwrap().0, 0);
+        assert_eq!(l.data_len, 3);
+    }
+
+    #[test]
+    fn if_branches_overlay() {
+        let src = r#"
+            int c;
+            if c then
+               int a, b;
+               nothing;
+            else
+               int d;
+               nothing;
+            end
+        "#;
+        let l = lay(src);
+        assert_eq!(l.data_len, 3); // c + max(2, 1)
+    }
+
+    #[test]
+    fn value_block_result_slot_precedes_body() {
+        let src = r#"
+            int v;
+            v = par do
+               return 1;
+            with
+               int x;
+               return x;
+            end;
+        "#;
+        let l = lay(src);
+        // v(1) + result(1) + x(1)
+        assert_eq!(l.data_len, 3, "{:?}", l.slots);
+        let hidden: Vec<_> = l.hidden.values().collect();
+        assert!(hidden.iter().any(|h| h.result.is_some()));
+    }
+
+    #[test]
+    fn target_sizes() {
+        assert_eq!(target_size(&Type::int()), 2);
+        assert_eq!(target_size(&Type::new("message_t", 1)), 2);
+        assert_eq!(target_size(&Type::void()), 0);
+        assert_eq!(target_size(&Type::new("u8", 0)), 1);
+    }
+}

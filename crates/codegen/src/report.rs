@@ -1,0 +1,58 @@
+//! Memory accounting for the Table-1 experiment.
+//!
+//! The paper reports avr-gcc ROM/RAM for micaz binaries; we cannot run
+//! avr-gcc, so both Céu programs and the event-driven baselines are
+//! measured with one consistent yardstick (see DESIGN.md):
+//!
+//! * **ROM-analog** — bytes of generated C source (runtime preamble +
+//!   tracks + tables). Handwritten baselines are measured as the bytes of
+//!   their (equivalent, handwritten) C source.
+//! * **RAM-analog** — bytes of statically allocated state on the 16-bit
+//!   reference target: data slots, gates, timer deadlines, event values,
+//!   the track queue, and a small fixed block of runtime globals.
+
+use crate::cbackend;
+use crate::ir::{CompiledProgram, GateKind};
+
+/// Fixed runtime globals (queue counters, current time, status flags).
+pub const RUNTIME_FIXED_RAM: u32 = 16;
+
+/// Memory usage of one compiled program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes of generated C (ROM-analog).
+    pub rom_bytes: u32,
+    /// Bytes of statically allocated state (RAM-analog).
+    pub ram_bytes: u32,
+    pub data_slots: u32,
+    pub gates: u32,
+    pub tracks: u32,
+    pub instrs: u32,
+}
+
+/// Computes the memory report for a compiled program.
+pub fn memory_report(p: &CompiledProgram) -> MemoryReport {
+    let rom_bytes = cbackend::emit_c(p).len() as u32;
+    let data_bytes: u32 = p.slots.iter().map(|s| s.target_bytes).sum();
+    let gate_bytes = p.gates.len() as u32 * 2; // uint16_t per gate
+    let timer_bytes =
+        p.gates.iter().filter(|g| g.kind == GateKind::Timer).count() as u32 * 4;
+    let evtval_bytes = p.events.len() as u32 * 2;
+    // the queue must hold every simultaneously spawnable track; bounded by
+    // the gate count + arms of the widest fork — we use the static block
+    // count as the safe upper bound the compiler would emit
+    let queue_bytes = p.blocks.len() as u32 * 3; // id (2) + rank (1)
+    MemoryReport {
+        rom_bytes,
+        ram_bytes: data_bytes
+            + gate_bytes
+            + timer_bytes
+            + evtval_bytes
+            + queue_bytes
+            + RUNTIME_FIXED_RAM,
+        data_slots: p.data_len,
+        gates: p.gates.len() as u32,
+        tracks: p.blocks.len() as u32,
+        instrs: p.instr_count() as u32,
+    }
+}

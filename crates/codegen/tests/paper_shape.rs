@@ -1,0 +1,128 @@
+//! Golden-shape tests: the compiled artifacts of the paper's §4 guiding
+//! example match the structures the implementation section describes.
+
+use ceu_codegen::{compile_source, GateKind, Op, Term};
+
+const GUIDING: &str = r#"
+    input int A, B;
+    input void C;
+    int ret;
+    loop do
+       par/or do
+          int a = await A;
+          int b = await B;
+          ret = a + b;
+          break;
+       with
+          par/and do
+             await C;
+          with
+             await A;
+          end
+       end
+    end
+    _after();
+"#;
+
+#[test]
+fn four_gates_in_declaration_order() {
+    // §4.3: "there is one gate for each of the four await statements",
+    // and "when the event A occurs, its list of two gates is traversed"
+    let p = compile_source(GUIDING).unwrap();
+    assert_eq!(p.gates.len(), 4);
+    let a = p.events.lookup("A").unwrap();
+    let b = p.events.lookup("B").unwrap();
+    let c = p.events.lookup("C").unwrap();
+    assert_eq!(p.gates_of_event(a).count(), 2, "A has two gates");
+    assert_eq!(p.gates_of_event(b).count(), 1);
+    assert_eq!(p.gates_of_event(c).count(), 1);
+}
+
+#[test]
+fn memory_reuses_loop_slots_after_it() {
+    // §4.2: "the code following the loop reuses all memory from the loop";
+    // locals a and b of the first trail need temporary slots
+    let p = compile_source(GUIDING).unwrap();
+    let a = p.slots.iter().find(|s| s.name.starts_with("a#")).unwrap();
+    let b = p.slots.iter().find(|s| s.name.starts_with("b#")).unwrap();
+    let ret = p.slots.iter().find(|s| s.name.starts_with("ret#")).unwrap();
+    // ret is declared in the outer block, before the loop → slot 0; the
+    // trail locals live inside the loop, after it
+    assert_eq!(ret.slot, 0);
+    assert!(a.slot >= 1 && b.slot >= 1);
+    assert_ne!(a.slot, b.slot, "a and b coexist within the trail");
+    // the par/and flags of the second arm coexist with the first arm
+    assert!(p.slots.iter().any(|s| s.name.starts_with("#flag")));
+}
+
+#[test]
+fn await_sequence_splits_into_three_parts() {
+    // §4.4: "the generated code must be split in three parts: before
+    // awaiting A, before awaiting B, and finally performing the addition"
+    let p = compile_source(
+        "input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;",
+    )
+    .unwrap();
+    // part 1 (boot) arms gate A and halts
+    let boot = p.block(p.boot);
+    assert!(matches!(boot.instrs.last().unwrap().op, Op::ActivateEvt { .. }));
+    assert_eq!(boot.term, Term::Halt);
+    // part 2 stores A's value and arms gate B
+    let aft_a = p.block(p.gate(0).cont);
+    assert!(aft_a.instrs.iter().any(|i| matches!(i.op, Op::Assign { .. })));
+    assert!(aft_a.instrs.iter().any(|i| matches!(i.op, Op::ActivateEvt { gate: 1 })));
+    assert_eq!(aft_a.term, Term::Halt);
+    // part 3 performs the addition and ends the program
+    let aft_b = p.block(p.gate(1).cont);
+    assert!(aft_b.instrs.iter().any(|i| matches!(i.op, Op::Assign { .. })));
+    assert!(matches!(aft_b.term, Term::TerminateProgram { .. }));
+}
+
+#[test]
+fn par_region_is_killable_with_one_range() {
+    // §4.3: "gates in parallel trails use consecutive memory slots, hence,
+    // destroying trails in parallel is as easy as setting the respective
+    // range of gate slots to zero"
+    let p = compile_source(GUIDING).unwrap();
+    let par_or = p.regions.iter().find(|r| r.label == "par/or").unwrap();
+    assert_eq!((par_or.lo, par_or.hi), (0, 4), "the par/or owns all four gates");
+    let looped = p.regions.iter().find(|r| r.label == "loop").unwrap();
+    assert!(looped.lo <= par_or.lo && par_or.hi <= looped.hi, "regions nest");
+}
+
+#[test]
+fn timer_gates_carry_their_kind() {
+    let p = compile_source("await 10ms;\nawait 1s;").unwrap();
+    assert!(p.gates.iter().all(|g| g.kind == GateKind::Timer));
+    // activations carry constant µs amounts
+    let mut consts = vec![];
+    for b in &p.blocks {
+        for i in &b.instrs {
+            if let Op::ActivateTime { us: ceu_codegen::TimeAmount::Const(c), .. } = &i.op {
+                consts.push(*c);
+            }
+        }
+    }
+    assert_eq!(consts, vec![10_000, 1_000_000]);
+}
+
+#[test]
+fn ir_display_is_readable() {
+    let p = compile_source("input void A;\nawait A;").unwrap();
+    let dump = p.to_string();
+    assert!(dump.contains("boot"), "{dump}");
+    assert!(dump.contains("ActivateEvt"), "{dump}");
+    assert!(dump.contains("=> Halt"), "{dump}");
+}
+
+#[test]
+fn instruction_count_is_stable_for_the_guiding_example() {
+    // a coarse golden value: large refactors that change code size for the
+    // same source will trip this (update deliberately when they do)
+    let p = compile_source(GUIDING).unwrap();
+    let instrs = p.instr_count();
+    assert!(
+        (20..=60).contains(&instrs),
+        "guiding example instruction count drifted: {instrs}"
+    );
+}

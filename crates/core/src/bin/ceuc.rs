@@ -1,0 +1,166 @@
+//! `ceuc` — the Céu compiler driver.
+//!
+//! ```text
+//! ceuc check   <file.ceu>             # parse + analyses, report diagnostics
+//! ceuc fmt     <file.ceu>             # canonical formatting to stdout
+//! ceuc emit-c  <file.ceu>             # generated C (paper §4.4) to stdout
+//! ceuc dfa     <file.ceu>             # temporal-analysis DFA as Graphviz dot
+//! ceuc flow    <file.ceu>             # flow graph as Graphviz dot
+//! ceuc report  <file.ceu>             # ROM/RAM memory report (Table 1 analog)
+//! ceuc run     <file.ceu> [script]    # execute with a scripted input sequence
+//! ```
+//!
+//! Run scripts are plain text, one directive per line:
+//!
+//! ```text
+//! event Restart 42      # emit input event (optional value)
+//! time  100ms           # advance wall-clock time
+//! async 1000            # run up to N async slices
+//! print v               # print a variable (by source name)
+//! ```
+
+use ceu::runtime::{NullHost, Value};
+use ceu::{Compiler, Simulator};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ceuc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, file) = match args {
+        [cmd, file, ..] => (cmd.as_str(), file.as_str()),
+        _ => {
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script]".into())
+        }
+    };
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let compiler = Compiler::new();
+    match cmd {
+        "check" => {
+            compiler.compile(&src).map_err(|e| e.to_string())?;
+            println!("{file}: ok (bounded, deterministic)");
+            Ok(())
+        }
+        "fmt" => {
+            let ast = ceu::parser::parse(&src).map_err(|e| e.to_string())?;
+            print!("{}", ceu::ast::pretty(&ast));
+            Ok(())
+        }
+        "emit-c" => {
+            let p = compiler.compile(&src).map_err(|e| e.to_string())?;
+            println!("{}", ceu::codegen::cbackend::emit_c(&p));
+            Ok(())
+        }
+        "dfa" => {
+            let (p, dfa) = compiler.analyze(&src).map_err(|e| e.to_string())?;
+            for c in &dfa.conflicts {
+                eprintln!("{c}");
+            }
+            println!("{}", ceu::analysis::dfa::to_dot(&dfa, &p));
+            Ok(())
+        }
+        "flow" => {
+            let p = Compiler::unchecked().compile(&src).map_err(|e| e.to_string())?;
+            println!("{}", ceu::analysis::flowgraph::to_dot(&p));
+            Ok(())
+        }
+        "report" => {
+            let p = compiler.compile(&src).map_err(|e| e.to_string())?;
+            let r = ceu::codegen::memory_report(&p);
+            println!("ROM (generated C bytes): {}", r.rom_bytes);
+            println!("RAM (static state bytes): {}", r.ram_bytes);
+            println!("tracks: {}  gates: {}  data slots: {}  instructions: {}", r.tracks, r.gates, r.data_slots, r.instrs);
+            Ok(())
+        }
+        "run" => {
+            let p = compiler.compile(&src).map_err(|e| e.to_string())?;
+            let script = match args.get(2) {
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+                }
+                None => String::new(),
+            };
+            exec_script(p, &script)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn exec_script(p: ceu::CompiledProgram, script: &str) -> Result<(), String> {
+    // map original names to unique slots for `print`
+    let names: Vec<String> = p.slots.iter().map(|s| s.name.clone()).collect();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().map_err(|e| e.to_string())?;
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let word = it.next().unwrap();
+        let res = match word {
+            "event" => {
+                let name = it.next().ok_or_else(|| err(lineno, "event needs a name"))?;
+                let value = it
+                    .next()
+                    .map(|v| v.parse::<i64>().map(Value::Int))
+                    .transpose()
+                    .map_err(|_| err(lineno, "event value must be an integer"))?;
+                sim.event(name, value).map(|_| ()).map_err(|e| e.to_string())
+            }
+            "time" => {
+                let t = it.next().ok_or_else(|| err(lineno, "time needs a duration"))?;
+                let us = ceu::ast::TimeSpec::parse(t)
+                    .map(|t| t.us)
+                    .or_else(|| t.parse::<u64>().ok())
+                    .ok_or_else(|| err(lineno, "bad duration"))?;
+                sim.advance_by(us).map(|_| ()).map_err(|e| e.to_string())
+            }
+            "async" => {
+                let n: usize = it
+                    .next()
+                    .unwrap_or("1000")
+                    .parse()
+                    .map_err(|_| err(lineno, "bad slice count"))?;
+                sim.run_asyncs(n).map(|_| ()).map_err(|e| e.to_string())
+            }
+            "print" => {
+                let name = it.next().ok_or_else(|| err(lineno, "print needs a variable"))?;
+                let unique = names
+                    .iter()
+                    .find(|n| n.split('#').next() == Some(name))
+                    .ok_or_else(|| err(lineno, &format!("no variable `{name}`")))?;
+                match sim.read_var(unique) {
+                    Some(v) => {
+                        println!("{name} = {v}");
+                        Ok(())
+                    }
+                    None => Err(err(lineno, "variable not readable")),
+                }
+            }
+            other => Err(err(lineno, &format!("unknown directive `{other}`"))),
+        };
+        res?;
+        if sim.status().is_terminated() {
+            break;
+        }
+    }
+    match sim.status() {
+        ceu::Status::Terminated(Some(v)) => println!("terminated: {v}"),
+        ceu::Status::Terminated(None) => println!("terminated"),
+        ceu::Status::Running => println!("still reactive"),
+    }
+    Ok(())
+}
+
+fn err(lineno: usize, msg: &str) -> String {
+    format!("script line {}: {msg}", lineno + 1)
+}

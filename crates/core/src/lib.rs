@@ -1,0 +1,58 @@
+//! # ceu — *Céu: Embedded, Safe, and Reactive Programming*, in Rust
+//!
+//! This crate is the facade of a full reproduction of the Céu language
+//! (Sant'Anna, Rodriguez, Ierusalimschy): a synchronous reactive language
+//! for embedded systems with parallel trail compositions, first-class
+//! wall-clock time, internal events with stack policy, compile-time
+//! bounded-execution and determinism analyses, and asynchronous blocks
+//! that enable simulating programs in the language itself.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ceu::{Compiler, Simulator};
+//! use ceu::runtime::{NullHost, Value, Status};
+//!
+//! let program = Compiler::new()
+//!     .compile(
+//!         "input int Tick;
+//!          int total = 0;
+//!          loop do
+//!             int t = await Tick;
+//!             total = total + t;
+//!             if total >= 10 then
+//!                break;
+//!             end
+//!          end
+//!          return total;",
+//!     )
+//!     .unwrap();
+//!
+//! let mut sim = Simulator::new(program, NullHost);
+//! sim.start().unwrap();
+//! for _ in 0..4 {
+//!     sim.event("Tick", Some(Value::Int(3))).unwrap();
+//! }
+//! assert_eq!(sim.status(), Status::Terminated(Some(12)));
+//! ```
+//!
+//! The pipeline is: parse (`ceu-parser`) → desugar/resolve (`ceu-ast`) →
+//! bounded-execution check and DFA temporal analysis (`ceu-analysis`) →
+//! track/gate code generation (`ceu-codegen`) → execution on the
+//! synchronous VM (`ceu-runtime`).
+
+pub mod compiler;
+pub mod simulator;
+
+pub use compiler::{CompileOptions, Compiler, Error};
+pub use simulator::Simulator;
+
+/// Re-exports of the component crates, for direct access.
+pub use ceu_analysis as analysis;
+pub use ceu_ast as ast;
+pub use ceu_codegen as codegen;
+pub use ceu_parser as parser;
+pub use ceu_runtime as runtime;
+
+pub use ceu_codegen::CompiledProgram;
+pub use ceu_runtime::{Host, Machine, NullHost, RecordingHost, Status, Value};

@@ -1,0 +1,171 @@
+//! A driver that owns a [`Machine`] and a [`Host`] and applies the paper's
+//! driving discipline (§2, §4.5): reactions run to completion, asyncs only
+//! execute while the input side is quiet, and time advances explicitly.
+
+use ceu_codegen::CompiledProgram;
+use ceu_runtime::{Host, Machine, Result, RuntimeError, Status, Tracer, Value};
+
+/// A machine plus its host, with convenience driving methods. This is what
+/// the examples and the WSN/Arduino substrates embed.
+pub struct Simulator<H: Host> {
+    machine: Machine,
+    host: H,
+}
+
+impl<H: Host> Simulator<H> {
+    pub fn new(program: CompiledProgram, host: H) -> Self {
+        Simulator { machine: Machine::new(program), host }
+    }
+
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn set_tracer(&mut self, t: Tracer) {
+        self.machine.set_tracer(t);
+    }
+
+    pub fn status(&self) -> Status {
+        self.machine.status()
+    }
+
+    /// Boot reaction, then let any started asyncs run.
+    pub fn start(&mut self) -> Result<Status> {
+        self.machine.go_init(&mut self.host)?;
+        self.settle()?;
+        Ok(self.status())
+    }
+
+    /// Feeds one external input event (by name) and reacts to it.
+    pub fn event(&mut self, name: &str, value: Option<Value>) -> Result<Status> {
+        let id = self.machine.event_id(name).ok_or_else(|| {
+            RuntimeError::new(Default::default(), format!("unknown event `{name}`"))
+        })?;
+        self.machine.go_event(id, value, &mut self.host)?;
+        self.settle()?;
+        Ok(self.status())
+    }
+
+    /// Advances the wall clock to the given absolute time (µs).
+    pub fn advance_to(&mut self, us: u64) -> Result<Status> {
+        self.machine.go_time(us, &mut self.host)?;
+        self.settle()?;
+        Ok(self.status())
+    }
+
+    /// Advances the wall clock by a delta (µs).
+    pub fn advance_by(&mut self, us: u64) -> Result<Status> {
+        let target = self.machine.now() + us;
+        self.advance_to(target)
+    }
+
+    /// Runs async blocks until they are all blocked or done (bounded by
+    /// `max_slices` to keep truly unbounded asyncs controllable).
+    pub fn run_asyncs(&mut self, max_slices: usize) -> Result<usize> {
+        let mut n = 0;
+        while n < max_slices
+            && !self.status().is_terminated()
+            && self.machine.go_async(&mut self.host)?
+        {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Lets asyncs settle completely (the common case: asyncs that
+    /// terminate, e.g. simulation drivers).
+    fn settle(&mut self) -> Result<()> {
+        // a generous bound: simulation asyncs emit input and finish; a
+        // truly infinite async must be driven with run_asyncs instead
+        const SETTLE_SLICES: usize = 2_000_000;
+        let mut n = 0;
+        while !self.status().is_terminated() && self.machine.go_async(&mut self.host)? {
+            n += 1;
+            if n >= SETTLE_SLICES {
+                return Err(RuntimeError::new(
+                    Default::default(),
+                    "async blocks did not settle (infinite computation?); drive with run_asyncs",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a variable by its unique name (`name#k`).
+    pub fn read_var(&self, unique: &str) -> Option<&Value> {
+        self.machine.read_var(unique)
+    }
+
+    /// Reads a variable by its source name (first declaration wins when
+    /// scopes shadow; prefer [`Simulator::read_var`] with the unique name
+    /// in that case).
+    pub fn read_source_var(&self, name: &str) -> Option<&Value> {
+        let unique = self
+            .machine
+            .program()
+            .slots
+            .iter()
+            .find(|s| s.name.split('#').next() == Some(name))?
+            .name
+            .clone();
+        self.machine.read_var(&unique)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use ceu_runtime::NullHost;
+
+    #[test]
+    fn simulator_drives_a_simple_program() {
+        let p = Compiler::new()
+            .compile("input int X;\nint v;\nv = await X;\nreturn v * 2;")
+            .unwrap();
+        let mut sim = Simulator::new(p, NullHost);
+        sim.start().unwrap();
+        sim.event("X", Some(Value::Int(21))).unwrap();
+        assert_eq!(sim.status(), Status::Terminated(Some(42)));
+    }
+
+    #[test]
+    fn unknown_event_is_an_error() {
+        let p = Compiler::new().compile("await 1s;").unwrap();
+        let mut sim = Simulator::new(p, NullHost);
+        sim.start().unwrap();
+        assert!(sim.event("Nope", None).is_err());
+    }
+
+    #[test]
+    fn advance_by_accumulates() {
+        let p = Compiler::new()
+            .compile("int n;\nloop do\n await 10ms;\n n = n + 1;\nend")
+            .unwrap();
+        let mut sim = Simulator::new(p, NullHost);
+        sim.start().unwrap();
+        sim.advance_by(25_000).unwrap();
+        sim.advance_by(25_000).unwrap();
+        assert_eq!(sim.read_var("n#0"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn infinite_async_is_reported_not_hung() {
+        let p = Compiler::new()
+            .compile(
+                "int r;\npar/or do\n r = async do\n  int i = 0;\n  loop do\n   i = i + 1;\n  end\n  return i;\n end;\nwith\n await 1s;\nend",
+            )
+            .unwrap();
+        let mut sim = Simulator::new(p, NullHost);
+        let err = sim.start().unwrap_err();
+        assert!(err.message.contains("did not settle"));
+    }
+}

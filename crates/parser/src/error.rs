@@ -1,0 +1,27 @@
+//! Parse diagnostics.
+
+use ceu_ast::Span;
+use std::fmt;
+
+/// A syntax error with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub span: Span,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,707 @@
+//! Recursive-descent parser for the Appendix-A grammar.
+//!
+//! Deviations from the grammar as printed, needed to parse the paper's own
+//! listings verbatim:
+//!
+//! * Semicolons are *separators* and optional (several listings omit them
+//!   after `end` and even after calls, e.g. ring demo line 35).
+//! * `emit TIME` and `await (Exp)` accept any expression, matching the
+//!   ship-game's `await(dt*1000)`.
+//! * `%` (modulo) is accepted although missing from the printed BINOP list
+//!   (the listings use it, e.g. `(_TOS_NODE_ID+1)%3`).
+
+use crate::error::{ParseError, Result};
+use crate::lexer::{Lexer, Tok, Token};
+use ceu_ast::{
+    AssignRhs, BinOp, Block, Expr, ExprKind, ParKind, Program, Span, Stmt, StmtKind, Type, UnOp,
+    VarDef,
+};
+use std::collections::VecDeque;
+
+/// Words that can never be identifiers (note: `C` is context-dependent and
+/// handled separately, since the paper itself declares an *event* named `C`).
+const KEYWORDS: &[&str] = &[
+    "nothing", "input", "internal", "output", "pure", "deterministic", "await", "emit", "if",
+    "then", "else", "loop", "break", "par", "call", "return", "do", "async", "end", "with",
+    "forever", "null", "sizeof", "suspend",
+];
+
+/// Which declaration keyword introduced an event.
+#[derive(Clone, Copy)]
+enum EventDir {
+    Input,
+    Internal,
+    Output,
+}
+
+pub struct Parser<'a> {
+    lexer: Lexer<'a>,
+    buf: VecDeque<Token>,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Parser { lexer: Lexer::new(src), buf: VecDeque::new() }
+    }
+
+    /// Parses a whole program. Statements are *not* numbered; callers use
+    /// [`ceu_ast::number`] (the `ceu` facade does this for you).
+    pub fn parse_program(&mut self) -> Result<Program> {
+        let block = self.parse_block()?;
+        let t = self.peek(0)?.clone();
+        if t.tok != Tok::Eof {
+            return Err(ParseError::new(t.span, format!("expected end of input, found {}", t.tok)));
+        }
+        if block.stmts.is_empty() {
+            return Err(ParseError::new(Span::new(1, 1), "empty program"));
+        }
+        Ok(Program { block })
+    }
+
+    // ---- token plumbing ----------------------------------------------------
+
+    fn peek(&mut self, k: usize) -> Result<&Token> {
+        while self.buf.len() <= k {
+            let t = self.lexer.next_token()?;
+            self.buf.push_back(t);
+        }
+        Ok(&self.buf[k])
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        self.peek(0)?;
+        Ok(self.buf.pop_front().unwrap())
+    }
+
+    fn at_kw(&mut self, kw: &str) -> Result<bool> {
+        Ok(matches!(&self.peek(0)?.tok, Tok::Ident(s) if s == kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<bool> {
+        if self.at_kw(kw)? {
+            self.next()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Span> {
+        let t = self.next()?;
+        match &t.tok {
+            Tok::Ident(s) if s == kw => Ok(t.span),
+            other => Err(ParseError::new(t.span, format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Span> {
+        let t = self.next()?;
+        if t.tok == tok {
+            Ok(t.span)
+        } else {
+            Err(ParseError::new(t.span, format!("expected {tok}, found {}", t.tok)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span)> {
+        let t = self.next()?;
+        match t.tok {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => Ok((s, t.span)),
+            other => Err(ParseError::new(t.span, format!("expected {what}, found {other}"))),
+        }
+    }
+
+    // ---- blocks & statements ----------------------------------------------
+
+    /// Parses statements until `end` / `with` / `else` / EOF (not consumed).
+    fn parse_block(&mut self) -> Result<Block> {
+        let mut stmts = Vec::new();
+        loop {
+            // eat separator semicolons
+            while self.peek(0)?.tok == Tok::Semi {
+                self.next()?;
+            }
+            match &self.peek(0)?.tok {
+                Tok::Eof => break,
+                Tok::Ident(s) if matches!(s.as_str(), "end" | "with" | "else") => break,
+                _ => {}
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Block::new(stmts))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt> {
+        let t = self.peek(0)?.clone();
+        let span = t.span;
+        match &t.tok {
+            Tok::Ident(kw) => match kw.as_str() {
+                "nothing" => {
+                    self.next()?;
+                    Ok(Stmt::new(StmtKind::Nothing, span))
+                }
+                "input" => self.parse_event_decl(EventDir::Input),
+                "internal" => self.parse_event_decl(EventDir::Internal),
+                "output" => self.parse_event_decl(EventDir::Output),
+                "pure" => {
+                    self.next()?;
+                    let names = self.parse_csym_list()?;
+                    Ok(Stmt::new(StmtKind::Pure { names }, span))
+                }
+                "deterministic" => {
+                    self.next()?;
+                    let names = self.parse_csym_list()?;
+                    Ok(Stmt::new(StmtKind::Deterministic { names }, span))
+                }
+                "await" => {
+                    self.next()?;
+                    let kind = self.parse_await_tail()?;
+                    Ok(Stmt::new(kind, span))
+                }
+                "emit" => self.parse_emit(),
+                "if" => self.parse_if(),
+                "loop" => {
+                    self.next()?;
+                    self.expect_kw("do")?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    Ok(Stmt::new(StmtKind::Loop { body }, span))
+                }
+                "break" => {
+                    self.next()?;
+                    Ok(Stmt::new(StmtKind::Break, span))
+                }
+                "par" => {
+                    let (kind, arms) = self.parse_par()?;
+                    Ok(Stmt::new(StmtKind::Par { kind, arms }, span))
+                }
+                "call" => {
+                    self.next()?;
+                    let expr = self.parse_expr()?;
+                    Ok(Stmt::new(StmtKind::Call { expr }, span))
+                }
+                "return" => {
+                    self.next()?;
+                    let value = if self.stmt_boundary()? {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    Ok(Stmt::new(StmtKind::Return { value }, span))
+                }
+                "do" => {
+                    self.next()?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    Ok(Stmt::new(StmtKind::DoBlock { body }, span))
+                }
+                "suspend" => {
+                    self.next()?;
+                    let (event, _) = self.expect_ident("guard event")?;
+                    self.expect_kw("do")?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    Ok(Stmt::new(StmtKind::Suspend { event, body }, span))
+                }
+                "async" => {
+                    self.next()?;
+                    self.expect_kw("do")?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    Ok(Stmt::new(StmtKind::Async { body }, span))
+                }
+                "C" if matches!(&self.peek(1)?.tok, Tok::Ident(d) if d == "do") => {
+                    self.next()?; // C
+                    self.next()?; // do
+                    let code = self.lexer.capture_c_block()?;
+                    Ok(Stmt::new(StmtKind::CBlock { code }, span))
+                }
+                _ => self.parse_decl_or_expr_stmt(),
+            },
+            _ => self.parse_decl_or_expr_stmt(),
+        }
+    }
+
+    /// `true` when the next token cannot start an expression (used to decide
+    /// whether `return` carries a value, given optional semicolons).
+    fn stmt_boundary(&mut self) -> Result<bool> {
+        Ok(matches!(
+            &self.peek(0)?.tok,
+            Tok::Semi | Tok::Eof | Tok::Ident(_)
+        ) && match &self.peek(0)?.tok {
+            Tok::Ident(s) => KEYWORDS.contains(&s.as_str()) || s == "end" || s == "with",
+            _ => true,
+        })
+    }
+
+    fn parse_event_decl(&mut self, dir: EventDir) -> Result<Stmt> {
+        let span = self.next()?.span; // input | internal | output
+        let ty = self.parse_type()?;
+        let mut names = Vec::new();
+        loop {
+            let t = self.next()?;
+            match t.tok {
+                Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => names.push(s),
+                // `C` is a keyword-ish identifier but a legal event name
+                // (`input int A, B, C;` in the paper).
+                Tok::Ident(s) if s == "C" => names.push(s),
+                other => {
+                    return Err(ParseError::new(t.span, format!("expected event name, found {other}")))
+                }
+            }
+            if self.peek(0)?.tok == Tok::Comma {
+                self.next()?;
+            } else {
+                break;
+            }
+        }
+        let kind = match dir {
+            EventDir::Input => StmtKind::InputDecl { ty, names },
+            EventDir::Internal => StmtKind::InternalDecl { ty, names },
+            EventDir::Output => StmtKind::OutputDecl { ty, names },
+        };
+        Ok(Stmt::new(kind, span))
+    }
+
+    fn parse_csym_list(&mut self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        loop {
+            let t = self.next()?;
+            match t.tok {
+                Tok::CSym(mut s) => {
+                    // method-style names: `_lcd.setCursor` → "lcd.setCursor"
+                    while self.peek(0)?.tok == Tok::Dot {
+                        self.next()?;
+                        let f = self.next()?;
+                        match f.tok {
+                            Tok::Ident(part) | Tok::CSym(part) => {
+                                s.push('.');
+                                s.push_str(&part);
+                            }
+                            other => {
+                                return Err(ParseError::new(
+                                    f.span,
+                                    format!("expected method name after `.`, found {other}"),
+                                ))
+                            }
+                        }
+                    }
+                    names.push(s);
+                }
+                other => {
+                    return Err(ParseError::new(
+                        t.span,
+                        format!("expected C symbol (`_name`), found {other}"),
+                    ))
+                }
+            }
+            if self.peek(0)?.tok == Tok::Comma {
+                self.next()?;
+            } else {
+                break;
+            }
+        }
+        Ok(names)
+    }
+
+    /// Everything after the `await` keyword; shared by statement- and
+    /// value-position awaits.
+    fn parse_await_tail(&mut self) -> Result<StmtKind> {
+        let t = self.peek(0)?.clone();
+        match &t.tok {
+            Tok::Time(time) => {
+                let time = *time;
+                self.next()?;
+                Ok(StmtKind::AwaitTime { time })
+            }
+            Tok::LParen => {
+                self.next()?;
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(StmtKind::AwaitExpr { us: e })
+            }
+            Tok::Ident(name) if name == "forever" => {
+                self.next()?;
+                Ok(StmtKind::AwaitForever)
+            }
+            Tok::Ident(name) if !KEYWORDS.contains(&name.as_str()) => {
+                let name = name.clone();
+                self.next()?;
+                Ok(StmtKind::AwaitEvt { name })
+            }
+            other => Err(ParseError::new(
+                t.span,
+                format!("expected event, time, or `forever` after `await`, found {other}"),
+            )),
+        }
+    }
+
+    fn parse_emit(&mut self) -> Result<Stmt> {
+        let span = self.next()?.span; // emit
+        let t = self.peek(0)?.clone();
+        match &t.tok {
+            Tok::Time(time) => {
+                let time = *time;
+                self.next()?;
+                Ok(Stmt::new(StmtKind::EmitTime { time }, span))
+            }
+            Tok::Ident(name) if !KEYWORDS.contains(&name.as_str()) => {
+                let name = name.clone();
+                self.next()?;
+                let value = if self.peek(0)?.tok == Tok::Assign {
+                    self.next()?;
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::new(StmtKind::EmitEvt { name, value }, span))
+            }
+            other => Err(ParseError::new(
+                t.span,
+                format!("expected event or time after `emit`, found {other}"),
+            )),
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt> {
+        let span = self.next()?.span; // if
+        let cond = self.parse_expr()?;
+        self.expect_kw("then")?;
+        let then_blk = self.parse_block()?;
+        let else_blk = if self.eat_kw("else")? {
+            Some(self.parse_block()?)
+        } else {
+            None
+        };
+        self.expect_kw("end")?;
+        Ok(Stmt::new(StmtKind::If { cond, then_blk, else_blk }, span))
+    }
+
+    fn parse_par(&mut self) -> Result<(ParKind, Vec<Block>)> {
+        self.expect_kw("par")?;
+        let kind = if self.peek(0)?.tok == Tok::Slash {
+            self.next()?;
+            let (word, wspan) = match self.next()? {
+                Token { tok: Tok::Ident(s), span } => (s, span),
+                t => return Err(ParseError::new(t.span, "expected `or` or `and` after `par/`")),
+            };
+            match word.as_str() {
+                "or" => ParKind::Or,
+                "and" => ParKind::And,
+                other => {
+                    return Err(ParseError::new(
+                        wspan,
+                        format!("expected `or` or `and` after `par/`, found `{other}`"),
+                    ))
+                }
+            }
+        } else {
+            ParKind::Par
+        };
+        self.expect_kw("do")?;
+        let mut arms = vec![self.parse_block()?];
+        while self.eat_kw("with")? {
+            arms.push(self.parse_block()?);
+        }
+        let end = self.expect_kw("end")?;
+        if arms.len() < 2 {
+            return Err(ParseError::new(end, "parallel statement needs at least two arms (`with`)"));
+        }
+        Ok((kind, arms))
+    }
+
+    /// Declaration (`int v = 0;`, `_message_t* msg;`, `int[10] keys;`) or an
+    /// expression statement (call / assignment).
+    fn parse_decl_or_expr_stmt(&mut self) -> Result<Stmt> {
+        if self.looks_like_decl()? {
+            return self.parse_var_decl();
+        }
+        let span = self.peek(0)?.span;
+        let lhs = self.parse_expr()?;
+        if self.peek(0)?.tok == Tok::Assign {
+            self.next()?;
+            let rhs = self.parse_set_exp()?;
+            return Ok(Stmt::new(StmtKind::Assign { lhs, rhs }, span));
+        }
+        match lhs.kind {
+            ExprKind::Call(..) => Ok(Stmt::new(StmtKind::Call { expr: lhs }, span)),
+            _ => Err(ParseError::new(span, "expression statement must be a call or assignment")),
+        }
+    }
+
+    /// Lookahead test for variable declarations.
+    fn looks_like_decl(&mut self) -> Result<bool> {
+        // first token must be a plain identifier or C symbol (a type name)
+        match &self.peek(0)?.tok {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {}
+            Tok::CSym(_) => {}
+            _ => return Ok(false),
+        }
+        // skip pointer stars
+        let mut k = 1;
+        while self.peek(k)?.tok == Tok::Star {
+            k += 1;
+        }
+        match &self.peek(k)?.tok {
+            // `int v`, `_message_t* msg`
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => Ok(true),
+            // `int[10] keys` — distinguish from `keys[idx] = …` by requiring
+            // NUM ] IDENT right after the bracket.
+            Tok::LBrack if k == 1 => Ok(matches!(self.peek(2)?.tok, Tok::Num(_))
+                && self.peek(3)?.tok == Tok::RBrack
+                && matches!(&self.peek(4)?.tok, Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()))),
+            _ => Ok(false),
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Type> {
+        let t = self.next()?;
+        let name = match t.tok {
+            Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => s,
+            Tok::CSym(s) => s,
+            other => return Err(ParseError::new(t.span, format!("expected type name, found {other}"))),
+        };
+        let mut ptr = 0u8;
+        while self.peek(0)?.tok == Tok::Star {
+            self.next()?;
+            ptr += 1;
+        }
+        Ok(Type::new(name, ptr))
+    }
+
+    fn parse_var_decl(&mut self) -> Result<Stmt> {
+        let span = self.peek(0)?.span;
+        let mut ty = self.parse_type()?;
+        // optional array length, shared by all declarators on this line
+        let array = if self.peek(0)?.tok == Tok::LBrack {
+            self.next()?;
+            let t = self.next()?;
+            let n = match t.tok {
+                Tok::Num(n) if n > 0 => n as u32,
+                _ => return Err(ParseError::new(t.span, "expected positive array length")),
+            };
+            self.expect(Tok::RBrack)?;
+            Some(n)
+        } else {
+            None
+        };
+        // `_message_t* msg`: pointer stars were consumed by parse_type
+        let _ = &mut ty;
+        let mut vars = Vec::new();
+        loop {
+            let (name, _) = self.expect_ident("variable name")?;
+            let init = if self.peek(0)?.tok == Tok::Assign {
+                self.next()?;
+                Some(self.parse_set_exp()?)
+            } else {
+                None
+            };
+            vars.push(VarDef { name, array, init });
+            if self.peek(0)?.tok == Tok::Comma {
+                self.next()?;
+            } else {
+                break;
+            }
+        }
+        Ok(Stmt::new(StmtKind::VarDecl { ty, vars }, span))
+    }
+
+    /// `SetExp ::= Exp | await… | par…/do/async block`
+    fn parse_set_exp(&mut self) -> Result<AssignRhs> {
+        let t = self.peek(0)?.clone();
+        if let Tok::Ident(kw) = &t.tok {
+            match kw.as_str() {
+                "await" => {
+                    self.next()?;
+                    return Ok(match self.parse_await_tail()? {
+                        StmtKind::AwaitEvt { name } => AssignRhs::AwaitEvt(name),
+                        StmtKind::AwaitTime { time } => AssignRhs::AwaitTime(time),
+                        StmtKind::AwaitExpr { us } => AssignRhs::AwaitExpr(us),
+                        StmtKind::AwaitForever => {
+                            return Err(ParseError::new(
+                                t.span,
+                                "`await forever` yields no value and cannot be assigned",
+                            ))
+                        }
+                        _ => unreachable!(),
+                    });
+                }
+                "par" => {
+                    let (kind, arms) = self.parse_par()?;
+                    return Ok(AssignRhs::Par(kind, arms));
+                }
+                "do" => {
+                    self.next()?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    return Ok(AssignRhs::Do(body));
+                }
+                "async" => {
+                    self.next()?;
+                    self.expect_kw("do")?;
+                    let body = self.parse_block()?;
+                    self.expect_kw("end")?;
+                    return Ok(AssignRhs::Async(body));
+                }
+                _ => {}
+            }
+        }
+        Ok(AssignRhs::Expr(self.parse_expr()?))
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_binop(1)
+    }
+
+    fn parse_binop(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.peek_binop()? {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.next()?;
+            let rhs = self.parse_binop(prec + 1)?;
+            let span = lhs.span;
+            lhs = Expr::new(ExprKind::Binop(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&mut self) -> Result<Option<BinOp>> {
+        Ok(Some(match self.peek(0)?.tok {
+            Tok::OrOr => BinOp::Or,
+            Tok::AndAnd => BinOp::And,
+            Tok::Pipe => BinOp::BitOr,
+            Tok::Caret => BinOp::BitXor,
+            Tok::Amp => BinOp::BitAnd,
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Le => BinOp::Le,
+            Tok::Ge => BinOp::Ge,
+            Tok::Lt => BinOp::Lt,
+            Tok::Gt => BinOp::Gt,
+            Tok::Shl => BinOp::Shl,
+            Tok::Shr => BinOp::Shr,
+            Tok::Plus => BinOp::Add,
+            Tok::Minus => BinOp::Sub,
+            Tok::Star => BinOp::Mul,
+            Tok::Slash => BinOp::Div,
+            Tok::Percent => BinOp::Mod,
+            _ => return Ok(None),
+        }))
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        let t = self.peek(0)?.clone();
+        let op = match t.tok {
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Amp => Some(UnOp::Addr),
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Plus => Some(UnOp::Plus),
+            Tok::Tilde => Some(UnOp::BitNot),
+            Tok::Star => Some(UnOp::Deref),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next()?;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::new(ExprKind::Unop(op, Box::new(inner)), t.span));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek(0)?.tok {
+                Tok::LBrack => {
+                    self.next()?;
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBrack)?;
+                    let span = e.span;
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), span);
+                }
+                Tok::LParen => {
+                    self.next()?;
+                    let mut args = Vec::new();
+                    if self.peek(0)?.tok != Tok::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.peek(0)?.tok == Tok::Comma {
+                                self.next()?;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    let span = e.span;
+                    e = Expr::new(ExprKind::Call(Box::new(e), args), span);
+                }
+                Tok::Dot | Tok::Arrow => {
+                    let arrow = self.next()?.tok == Tok::Arrow;
+                    let t = self.next()?;
+                    let name = match t.tok {
+                        Tok::Ident(s) => s,
+                        Tok::CSym(s) => s,
+                        other => {
+                            return Err(ParseError::new(
+                                t.span,
+                                format!("expected field name, found {other}"),
+                            ))
+                        }
+                    };
+                    let span = e.span;
+                    e = Expr::new(ExprKind::Field(Box::new(e), name, arrow), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let t = self.next()?;
+        let span = t.span;
+        Ok(match t.tok {
+            Tok::Num(n) => Expr::num(n, span),
+            Tok::Str(s) => Expr::new(ExprKind::Str(s), span),
+            Tok::Chr(c) => Expr::new(ExprKind::Chr(c), span),
+            Tok::CSym(s) => Expr::csym(s, span),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                e
+            }
+            // `<type> e` — cast
+            Tok::Lt => {
+                let ty = self.parse_type()?;
+                self.expect(Tok::Gt)?;
+                let e = self.parse_unary()?;
+                Expr::new(ExprKind::Cast(ty, Box::new(e)), span)
+            }
+            Tok::Ident(s) => match s.as_str() {
+                "null" => Expr::new(ExprKind::Null, span),
+                "sizeof" => {
+                    self.expect(Tok::Lt)?;
+                    let ty = self.parse_type()?;
+                    self.expect(Tok::Gt)?;
+                    Expr::new(ExprKind::SizeOf(ty), span)
+                }
+                kw if KEYWORDS.contains(&kw) => {
+                    return Err(ParseError::new(
+                        span,
+                        format!("keyword `{kw}` cannot start an expression"),
+                    ))
+                }
+                _ => Expr::var(s, span),
+            },
+            other => {
+                return Err(ParseError::new(span, format!("expected expression, found {other}")))
+            }
+        })
+    }
+}

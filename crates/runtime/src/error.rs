@@ -1,0 +1,28 @@
+//! Runtime diagnostics.
+
+use ceu_ast::Span;
+use std::fmt;
+
+/// A runtime error, mapped back to the source position of the failing
+/// instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeError {
+    pub span: Span,
+    pub message: String,
+}
+
+impl RuntimeError {
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        RuntimeError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,18 @@
+//! The Céu synchronous runtime: a virtual machine over the track/gate IR.
+//!
+//! Mirrors the reference implementation's C runtime (§4.5): a rank-ordered
+//! track queue, gate vectors, a timer set with residual-delta semantics,
+//! stack-policy internal events, and round-robin async execution — exposed
+//! through the paper's four-function API on [`Machine`].
+
+pub mod error;
+pub mod host;
+pub mod machine;
+pub mod trace;
+pub mod value;
+
+pub use error::{Result, RuntimeError};
+pub use host::{Host, HostResult, NullHost, RecordingHost};
+pub use machine::{Machine, Status};
+pub use trace::{Cause, Collector, TraceEvent, Tracer};
+pub use value::{Ptr, Value};

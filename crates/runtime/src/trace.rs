@@ -1,0 +1,52 @@
+//! Execution tracing — the observability layer behind the Figure-1
+//! reaction-chain reproduction and several semantics tests.
+
+use ceu_ast::EventId;
+use ceu_codegen::{BlockId, GateId};
+
+/// What started a reaction chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cause {
+    /// The boot reaction.
+    Boot,
+    /// An external input event.
+    Event(EventId),
+    /// A wall-clock deadline (absolute µs).
+    Timer(u64),
+    /// Completion of an async block.
+    AsyncDone(u32),
+}
+
+/// One trace record. Subscribed via [`Machine::set_tracer`](crate::Machine::set_tracer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    ReactionStart { cause: Cause },
+    /// An occurring event found no active gates and was discarded (§2).
+    Discarded { event: EventId },
+    /// A track was dequeued and executed.
+    TrackRun { block: BlockId, rank: u8 },
+    /// A gate was armed (a trail reached an `await`).
+    GateArmed { gate: GateId },
+    /// A trail awoke from a gate.
+    GateFired { gate: GateId },
+    /// An internal event was emitted (a nested reaction follows).
+    EmitInt { event: EventId },
+    ReactionEnd,
+    Terminated { value: Option<i64> },
+}
+
+/// Trace sink.
+pub type Tracer = Box<dyn FnMut(&TraceEvent)>;
+
+/// A tracer that collects everything into a vector (test helper).
+#[derive(Default)]
+pub struct Collector;
+
+impl Collector {
+    /// Builds a tracer pushing into the given shared buffer.
+    pub fn into_buffer(
+        buf: std::rc::Rc<std::cell::RefCell<Vec<TraceEvent>>>,
+    ) -> Tracer {
+        Box::new(move |e| buf.borrow_mut().push(e.clone()))
+    }
+}

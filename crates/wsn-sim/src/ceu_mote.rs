@@ -1,0 +1,286 @@
+//! The TinyOS-style Céu binding: runs a compiled Céu program on a
+//! simulated mote. Mirrors the paper's TinyOS integration — every OS
+//! service is a `_C` call, every OS event becomes a Céu input event.
+//!
+//! Provided C surface (what the ring demo uses):
+//!
+//! * `_TOS_NODE_ID` — the mote id;
+//! * `_Radio_getPayload(msg)` — pointer into a message buffer;
+//! * `_Radio_send(dst, msg)` — transmit;
+//! * `_Leds_set(mask)`, `_Leds_led0Toggle()`/`1`/`2`;
+//! * input event `Radio_receive` carrying a `_message_t*`.
+
+use crate::radio::Packet;
+use crate::world::{Backend, MoteCtx};
+use ceu::runtime::{Host, HostResult, Machine, Ptr, Value};
+use ceu::CompiledProgram;
+use ceu::ast::EventId;
+use std::collections::HashMap;
+
+/// Pending LED operation, applied to the simulated LEDs after a reaction.
+#[derive(Clone, Copy, Debug)]
+enum LedOp {
+    Set(u8),
+    Toggle(u8),
+}
+
+/// The "C world" of a TinyOS mote.
+pub struct TosHost {
+    node_id: i64,
+    /// Message buffers addressed by host handles.
+    msgs: Vec<Vec<i64>>,
+    /// Source mote of each received buffer (for `_Radio_source`).
+    msg_srcs: Vec<i64>,
+    /// Maps `&localMsg` data addresses to buffers (for `_message_t msg;`).
+    by_data_addr: HashMap<usize, usize>,
+    outbox: Vec<(usize, Packet)>,
+    led_ops: Vec<LedOp>,
+    /// Extra host functions (per-experiment hooks), name → handler.
+    #[allow(clippy::type_complexity)]
+    pub extra: HashMap<String, Box<dyn FnMut(&[Value]) -> Value>>,
+}
+
+impl TosHost {
+    pub fn new(node_id: i64) -> Self {
+        TosHost {
+            node_id,
+            msgs: Vec::new(),
+            msg_srcs: Vec::new(),
+            by_data_addr: HashMap::new(),
+            outbox: Vec::new(),
+            led_ops: Vec::new(),
+            extra: HashMap::new(),
+        }
+    }
+
+    fn alloc_msg(&mut self, payload: Vec<i64>) -> usize {
+        self.alloc_msg_from(payload, -1)
+    }
+
+    fn alloc_msg_from(&mut self, payload: Vec<i64>, src: i64) -> usize {
+        self.msgs.push(payload);
+        self.msg_srcs.push(src);
+        self.msgs.len() - 1
+    }
+
+    /// Resolves a `_message_t*`-ish value to a buffer handle.
+    fn msg_handle(&mut self, v: &Value) -> HostResult<usize> {
+        match v {
+            Value::Ptr(Ptr::Host(h)) => Ok(*h as usize),
+            // `&msg` on a Céu-declared `_message_t msg`: lazily back it
+            // with a real buffer, keyed by its data address
+            Value::Ptr(Ptr::Data(a)) => {
+                if let Some(&h) = self.by_data_addr.get(a) {
+                    return Ok(h);
+                }
+                let h = self.alloc_msg(vec![0]);
+                self.by_data_addr.insert(*a, h);
+                Ok(h)
+            }
+            other => Err(format!("not a message reference: {other}")),
+        }
+    }
+}
+
+impl Host for TosHost {
+    fn call(&mut self, name: &str, args: &[Value]) -> HostResult<Value> {
+        match name {
+            "Radio_getPayload" => {
+                let h = self.msg_handle(args.first().ok_or("getPayload needs a message")?)?;
+                Ok(Value::Ptr(Ptr::Host(h as u64)))
+            }
+            "Radio_send" => {
+                let dst = args
+                    .first()
+                    .and_then(|v| v.as_int())
+                    .ok_or("Radio_send needs a destination")?;
+                let h = self.msg_handle(args.get(1).ok_or("Radio_send needs a message")?)?;
+                let payload = self.msgs[h].clone();
+                self.outbox.push((dst as usize, Packet::new(self.node_id as usize, dst as usize, payload)));
+                Ok(Value::Int(0))
+            }
+            "Radio_source" => {
+                let h = self.msg_handle(args.first().ok_or("Radio_source needs a message")?)?;
+                Ok(Value::Int(self.msg_srcs.get(h).copied().unwrap_or(-1)))
+            }
+            "Leds_set" => {
+                let mask = args.first().and_then(|v| v.as_int()).unwrap_or(0) as u8;
+                self.led_ops.push(LedOp::Set(mask));
+                Ok(Value::Int(0))
+            }
+            "Leds_led0Toggle" => {
+                self.led_ops.push(LedOp::Toggle(0));
+                Ok(Value::Int(0))
+            }
+            "Leds_led1Toggle" => {
+                self.led_ops.push(LedOp::Toggle(1));
+                Ok(Value::Int(0))
+            }
+            "Leds_led2Toggle" => {
+                self.led_ops.push(LedOp::Toggle(2));
+                Ok(Value::Int(0))
+            }
+            other => match self.extra.get_mut(other) {
+                Some(f) => Ok(f(args)),
+                None => Err(format!("TinyOS binding has no function `_{other}`")),
+            },
+        }
+    }
+
+    fn global(&mut self, name: &str) -> HostResult<Value> {
+        match name {
+            "TOS_NODE_ID" => Ok(Value::Int(self.node_id)),
+            other => Err(format!("TinyOS binding has no global `_{other}`")),
+        }
+    }
+
+    fn deref(&mut self, handle: u64) -> HostResult<Value> {
+        self.msgs
+            .get(handle as usize)
+            .and_then(|m| m.first())
+            .map(|&v| Value::Int(v))
+            .ok_or_else(|| format!("bad message handle {handle}"))
+    }
+
+    fn store(&mut self, handle: u64, v: Value) -> HostResult<()> {
+        let cell = self
+            .msgs
+            .get_mut(handle as usize)
+            .and_then(|m| m.first_mut())
+            .ok_or_else(|| format!("bad message handle {handle}"))?;
+        *cell = v.as_int().ok_or("payload must be an integer")?;
+        Ok(())
+    }
+}
+
+/// A mote running a Céu program.
+pub struct CeuMote {
+    machine: Machine,
+    host: TosHost,
+    radio_evt: Option<EventId>,
+    /// go_async slices granted per CPU slice from the world.
+    pub async_per_slice: u32,
+}
+
+impl CeuMote {
+    pub fn new(program: CompiledProgram, node_id: i64) -> Self {
+        let machine = Machine::new(program);
+        let radio_evt = machine.event_id("Radio_receive");
+        CeuMote { machine, host: TosHost::new(node_id), radio_evt, async_per_slice: 8 }
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn host_mut(&mut self) -> &mut TosHost {
+        &mut self.host
+    }
+
+    /// Applies post-reaction effects to the simulation world.
+    fn sync_world(&mut self, ctx: &mut MoteCtx) {
+        for op in self.host.led_ops.drain(..) {
+            match op {
+                LedOp::Set(mask) => ctx.leds.set_mask(ctx.now, mask),
+                LedOp::Toggle(led) => ctx.leds.toggle(ctx.now, led),
+            }
+        }
+        for (dst, pkt) in self.host.outbox.drain(..) {
+            ctx.send(dst, pkt);
+        }
+        if let Some(d) = self.machine.next_deadline() {
+            ctx.set_timer_at(d);
+        }
+        ctx.wants_cpu = self.machine.has_runnable_async();
+    }
+}
+
+impl Backend for CeuMote {
+    fn boot(&mut self, ctx: &mut MoteCtx) {
+        self.machine.go_time(ctx.now, &mut self.host).expect("ceu boot time");
+        self.machine.go_init(&mut self.host).unwrap_or_else(|e| panic!("ceu boot: {e}"));
+        self.sync_world(ctx);
+    }
+
+    fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
+        let Some(evt) = self.radio_evt else { return };
+        // keep the machine clock in sync before handling the event
+        self.machine.go_time(ctx.now, &mut self.host).unwrap_or_else(|e| panic!("ceu time: {e}"));
+        let h = self.host.alloc_msg_from(packet.payload.clone(), packet.src as i64);
+        self.machine
+            .go_event(evt, Some(Value::Ptr(Ptr::Host(h as u64))), &mut self.host)
+            .unwrap_or_else(|e| panic!("ceu receive: {e}"));
+        self.sync_world(ctx);
+    }
+
+    fn timer(&mut self, ctx: &mut MoteCtx) {
+        self.machine.go_time(ctx.now, &mut self.host).unwrap_or_else(|e| panic!("ceu timer: {e}"));
+        self.sync_world(ctx);
+    }
+
+    fn cpu(&mut self, ctx: &mut MoteCtx) {
+        for _ in 0..self.async_per_slice {
+            match self.machine.go_async(&mut self.host) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => panic!("ceu async: {e}"),
+            }
+        }
+        self.sync_world(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::{Radio, Topology};
+    use crate::world::World;
+
+    /// A one-hop echo: wait for a message, add one, send it back.
+    const ECHO: &str = r#"
+        input _message_t* Radio_receive;
+        loop do
+           _message_t* msg = await Radio_receive;
+           int* cnt = _Radio_getPayload(msg);
+           _Leds_set(*cnt);
+           *cnt = *cnt + 1;
+           _Radio_send((_TOS_NODE_ID+1)%2, msg);
+        end
+    "#;
+
+    /// Sends the first message at boot.
+    const KICK: &str = r#"
+        input _message_t* Radio_receive;
+        internal void go;
+        par do
+           loop do
+              _message_t* msg = await Radio_receive;
+              int* cnt = _Radio_getPayload(msg);
+              _Leds_set(*cnt);
+              *cnt = *cnt + 1;
+              _Radio_send((_TOS_NODE_ID+1)%2, msg);
+           end
+        with
+           _message_t msg;
+           int* cnt = _Radio_getPayload(&msg);
+           *cnt = 1;
+           _Radio_send(1, &msg)
+           await forever;
+        end
+    "#;
+
+    #[test]
+    fn two_ceu_motes_bounce_a_counter() {
+        let prog = ceu::Compiler::new().compile(ECHO).unwrap();
+        let kick = ceu::Compiler::new().compile(KICK).unwrap();
+        let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 1));
+        w.add_mote(Box::new(CeuMote::new(kick, 0)));
+        w.add_mote(Box::new(CeuMote::new(prog, 1)));
+        w.boot();
+        w.run_until(10_500);
+        // 1ms per hop, counter bounces: mote1 sees 1,3,5,… mote0 sees 2,4,…
+        assert!(w.stats.delivered >= 10, "delivered {}", w.stats.delivered);
+        let m1_first = w.leds(1).history.first().cloned();
+        assert_eq!(m1_first, Some((1_000, 0, true)), "mote 1 lit led0 from mask 1 at 1ms");
+    }
+}

@@ -1,0 +1,23 @@
+//! `wsn-sim` — a discrete-event wireless-sensor-network simulator.
+//!
+//! This is the substrate standing in for the paper's micaz/TinyOS testbed
+//! (see DESIGN.md for the substitution argument). It provides:
+//!
+//! * a virtual-time [`World`] with motes, timers, CPU slices and radio;
+//! * a TinyOS-style Céu binding ([`CeuMote`]) running compiled programs;
+//! * an event-driven **nesC-analog** backend (Table 1 baselines);
+//! * a preemptive-thread **MantisOS-analog** scheduler (Table 2 baseline,
+//!   blink-synchronization experiment);
+//! * an **occam-analog** message-passing layer over the same scheduler.
+
+pub mod ceu_mote;
+pub mod mantis;
+pub mod nesc;
+pub mod radio;
+pub mod world;
+
+pub use ceu_mote::{CeuMote, TosHost};
+pub use mantis::{BlinkThread, MantisMote, OccamLedProc, OccamTimerProc, Step, ThreadBody, ThreadCtx};
+pub use nesc::NescApp;
+pub use radio::{Packet, Radio, Topology};
+pub use world::{Backend, Leds, MoteCtx, MoteId, World};

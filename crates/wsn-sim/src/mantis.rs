@@ -1,0 +1,388 @@
+//! MantisOS-analog: a preemptive multithreaded mote OS, simulated in
+//! virtual time.
+//!
+//! Threads are cooperatively *written* (Rust cannot be preempted safely)
+//! but *scheduled* preemptively in the model: each [`ThreadBody::step`]
+//! call represents one scheduler quantum; the highest-priority ready
+//! thread wins, ties rotate round-robin; `sleep` wakes at
+//! `call-time + duration (+ wake-up latency)`, which is exactly the drift
+//! source the paper's blink experiment demonstrates (§5): unlike Céu's
+//! logical deadlines, a preempted thread re-arms its timer from whenever
+//! it actually ran.
+//!
+//! The same scheduler hosts the occam-analog processes (message passing
+//! via channels instead of shared state).
+
+use crate::radio::Packet;
+use crate::world::{Backend, MoteCtx};
+use std::collections::VecDeque;
+
+/// What a thread did with its quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Used the CPU; wants to keep running.
+    Run,
+    /// Blocks for the given duration (µs), measured from *now* — the
+    /// drift-accumulating sleep of preemptive systems.
+    Sleep(u64),
+    /// Blocks until a packet arrives in the mote mailbox.
+    WaitRecv,
+    /// Blocks until the given channel has a message.
+    WaitChan(usize),
+    /// Thread finished.
+    Done,
+}
+
+/// Services available to a thread during its quantum.
+pub struct ThreadCtx<'a> {
+    pub now: u64,
+    pub node_id: usize,
+    /// Incoming radio mailbox (shared by all threads of the mote).
+    pub mailbox: &'a mut VecDeque<Packet>,
+    /// occam-analog channels (index-addressed).
+    pub channels: &'a mut Vec<VecDeque<i64>>,
+    /// Outgoing transmissions, flushed after the quantum.
+    pub sends: Vec<(usize, Packet)>,
+    /// LED mask writes and toggles, flushed after the quantum.
+    pub led_sets: Vec<u8>,
+    pub led_toggles: Vec<u8>,
+}
+
+impl ThreadCtx<'_> {
+    pub fn send(&mut self, dst: usize, p: Packet) {
+        self.sends.push((dst, p));
+    }
+
+    pub fn chan_send(&mut self, chan: usize, v: i64) {
+        if self.channels.len() <= chan {
+            self.channels.resize_with(chan + 1, VecDeque::new);
+        }
+        self.channels[chan].push_back(v);
+    }
+
+    pub fn chan_recv(&mut self, chan: usize) -> Option<i64> {
+        self.channels.get_mut(chan).and_then(|c| c.pop_front())
+    }
+}
+
+/// A thread's behaviour: one quantum per call.
+pub trait ThreadBody {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step;
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Sleeping(u64),
+    WaitingRecv,
+    WaitingChan(usize),
+    Done,
+}
+
+struct Thread {
+    body: Box<dyn ThreadBody>,
+    priority: u8,
+    state: TState,
+}
+
+/// A mote running the preemptive-thread OS.
+pub struct MantisMote {
+    node_id: usize,
+    threads: Vec<Thread>,
+    rr: usize,
+    mailbox: VecDeque<Packet>,
+    channels: Vec<VecDeque<i64>>,
+    /// Mailbox capacity: arrivals beyond it are lost (radio overrun).
+    pub mailbox_cap: usize,
+    /// Shared loss counter, readable by harnesses after the run.
+    pub lost: std::rc::Rc<std::cell::Cell<u64>>,
+    /// Fixed context-switch / wake-up latency added to every sleep (µs).
+    pub wake_latency_us: u64,
+}
+
+impl MantisMote {
+    pub fn new(node_id: usize) -> Self {
+        MantisMote {
+            node_id,
+            threads: Vec::new(),
+            rr: 0,
+            mailbox: VecDeque::new(),
+            channels: Vec::new(),
+            mailbox_cap: 1,
+            lost: std::rc::Rc::new(std::cell::Cell::new(0)),
+            wake_latency_us: 150,
+        }
+    }
+
+    /// Spawns a thread; higher `priority` preempts lower.
+    pub fn spawn(&mut self, priority: u8, body: Box<dyn ThreadBody>) {
+        self.threads.push(Thread { body, priority, state: TState::Ready });
+    }
+
+    fn runnable(&self, now: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let n = self.threads.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            let t = &self.threads[i];
+            let ready = match t.state {
+                TState::Ready => true,
+                TState::Sleeping(until) => until <= now,
+                TState::WaitingRecv => !self.mailbox.is_empty(),
+                TState::WaitingChan(c) => {
+                    self.channels.get(c).map(|c| !c.is_empty()).unwrap_or(false)
+                }
+                TState::Done => false,
+            };
+            if ready {
+                match best {
+                    Some(b) if self.threads[b].priority >= t.priority => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+
+    /// Earliest wake-up among sleeping threads.
+    fn next_wake(&self) -> Option<u64> {
+        self.threads
+            .iter()
+            .filter_map(|t| match t.state {
+                TState::Sleeping(until) => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    fn run_quantum(&mut self, ctx: &mut MoteCtx) {
+        let Some(i) = self.runnable(ctx.now) else {
+            self.arm(ctx);
+            return;
+        };
+        self.rr = (i + 1) % self.threads.len();
+        let mut tctx = ThreadCtx {
+            now: ctx.now,
+            node_id: self.node_id,
+            mailbox: &mut self.mailbox,
+            channels: &mut self.channels,
+            sends: Vec::new(),
+            led_sets: Vec::new(),
+            led_toggles: Vec::new(),
+        };
+        let step = self.threads[i].body.step(&mut tctx);
+        let sends = std::mem::take(&mut tctx.sends);
+        let led_sets = std::mem::take(&mut tctx.led_sets);
+        let led_toggles = std::mem::take(&mut tctx.led_toggles);
+        self.threads[i].state = match step {
+            Step::Run => TState::Ready,
+            // the sleep is measured from the *actual* run instant, plus a
+            // wake-up latency: this is where preemptive blinkers drift
+            Step::Sleep(us) => TState::Sleeping(ctx.now + us + self.wake_latency_us),
+            Step::WaitRecv => TState::WaitingRecv,
+            Step::WaitChan(c) => TState::WaitingChan(c),
+            Step::Done => TState::Done,
+        };
+        for (dst, p) in sends {
+            ctx.send(dst, p);
+        }
+        for mask in led_sets {
+            ctx.leds.set_mask(ctx.now, mask);
+        }
+        for led in led_toggles {
+            ctx.leds.toggle(ctx.now, led);
+        }
+        self.arm(ctx);
+    }
+
+    /// Requests the world resources the scheduler needs next.
+    fn arm(&mut self, ctx: &mut MoteCtx) {
+        if self.runnable(ctx.now).is_some() {
+            ctx.wants_cpu = true;
+        } else if let Some(w) = self.next_wake() {
+            ctx.set_timer_at(w);
+        }
+    }
+}
+
+impl Backend for MantisMote {
+    fn boot(&mut self, ctx: &mut MoteCtx) {
+        ctx.wants_cpu = true;
+        self.arm(ctx);
+    }
+
+    fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
+        if self.mailbox.len() >= self.mailbox_cap {
+            self.lost.set(self.lost.get() + 1);
+        } else {
+            self.mailbox.push_back(packet);
+        }
+        ctx.wants_cpu = true;
+        self.arm(ctx);
+    }
+
+    fn timer(&mut self, ctx: &mut MoteCtx) {
+        ctx.wants_cpu = true;
+        self.arm(ctx);
+    }
+
+    fn cpu(&mut self, ctx: &mut MoteCtx) {
+        self.run_quantum(ctx);
+    }
+}
+
+/// A thread that toggles one led forever with a fixed period — the naive
+/// preemptive blinker from §5.
+pub struct BlinkThread {
+    pub led: u8,
+    pub period_us: u64,
+}
+
+impl ThreadBody for BlinkThread {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+        ctx.led_toggles.push(self.led);
+        Step::Sleep(self.period_us)
+    }
+}
+
+/// occam-analog blinker: a timer process sends ticks over a channel, a
+/// guardian process owns the led. Same drift behaviour, no shared state.
+pub struct OccamTimerProc {
+    pub chan: usize,
+    pub period_us: u64,
+}
+
+impl ThreadBody for OccamTimerProc {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+        ctx.chan_send(self.chan, 1);
+        Step::Sleep(self.period_us)
+    }
+}
+
+/// Led guardian: toggles its led for every message on its channel.
+pub struct OccamLedProc {
+    pub chan: usize,
+    pub led: u8,
+}
+
+impl ThreadBody for OccamLedProc {
+    fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+        match ctx.chan_recv(self.chan) {
+            Some(_) => {
+                ctx.led_toggles.push(self.led);
+                Step::WaitChan(self.chan)
+            }
+            None => Step::WaitChan(self.chan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::Radio;
+    use crate::world::World;
+
+    #[test]
+    fn preemptive_blinker_drifts() {
+        let mut w = World::new(Radio::ideal(0));
+        let mut mote = MantisMote::new(0);
+        mote.spawn(1, Box::new(BlinkThread { led: 0, period_us: 400_000 }));
+        w.add_mote(Box::new(mote));
+        w.boot();
+        w.run_until(10_000_000);
+        let times = w.leds(0).on_times(0);
+        assert!(times.len() >= 10, "{times:?}");
+        // each iteration adds wake latency: the last switch-on is late
+        // compared to the ideal 800ms on-grid (first on at ~0)
+        let last = *times.last().unwrap();
+        let ideal = (times.len() as u64 - 1) * 800_000;
+        assert!(last > ideal + 1_000, "expected drift, got last={last} ideal={ideal}");
+    }
+
+    #[test]
+    fn higher_priority_thread_preempts() {
+        struct Worker {
+            pub count: std::rc::Rc<std::cell::RefCell<(u32, u32)>>,
+            pub hi: bool,
+        }
+        impl ThreadBody for Worker {
+            fn step(&mut self, _: &mut ThreadCtx) -> Step {
+                let mut c = self.count.borrow_mut();
+                if self.hi {
+                    c.0 += 1;
+                    if c.0 > 5 {
+                        return Step::Done;
+                    }
+                } else {
+                    c.1 += 1;
+                }
+                Step::Run
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        let mut w = World::new(Radio::ideal(0));
+        let mut mote = MantisMote::new(0);
+        mote.spawn(1, Box::new(Worker { count: count.clone(), hi: false }));
+        mote.spawn(5, Box::new(Worker { count: count.clone(), hi: true }));
+        w.add_mote(Box::new(mote));
+        w.boot();
+        w.run_until(2_000);
+        let (hi, lo) = *count.borrow();
+        // the high-priority thread runs to completion before the low one
+        assert_eq!(hi, 6);
+        assert!(lo > 0, "low-priority thread runs after");
+    }
+
+    #[test]
+    fn mailbox_overruns_are_lost() {
+        struct SlowRecv;
+        impl ThreadBody for SlowRecv {
+            fn step(&mut self, ctx: &mut ThreadCtx) -> Step {
+                if ctx.mailbox.pop_front().is_some() {
+                    // pretend processing takes 5ms
+                    Step::Sleep(5_000)
+                } else {
+                    Step::WaitRecv
+                }
+            }
+        }
+        let mut w = World::new(Radio::ideal(10));
+        let mut mote = MantisMote::new(0);
+        mote.mailbox_cap = 1;
+        let lost = mote.lost.clone();
+        mote.spawn(1, Box::new(SlowRecv));
+        w.add_mote(Box::new(mote));
+
+        // a second backend floods mote 0 every millisecond
+        struct Flood;
+        impl Backend for Flood {
+            fn boot(&mut self, ctx: &mut MoteCtx) {
+                ctx.set_timer_at(1_000);
+            }
+            fn deliver(&mut self, _: &mut MoteCtx, _: Packet) {}
+            fn timer(&mut self, ctx: &mut MoteCtx) {
+                ctx.send(0, Packet::with_value(1, 0, 1));
+                ctx.set_timer_at(ctx.now + 1_000);
+            }
+            fn cpu(&mut self, _: &mut MoteCtx) {}
+        }
+        w.add_mote(Box::new(Flood));
+        w.boot();
+        w.run_until(100_000);
+        assert!(w.stats.delivered > 50);
+        assert!(lost.get() > 0, "a 5ms-per-message receiver cannot sustain 1ms arrivals");
+    }
+
+    #[test]
+    fn occam_processes_blink_via_channels() {
+        let mut w = World::new(Radio::ideal(0));
+        let mut mote = MantisMote::new(0);
+        mote.spawn(1, Box::new(OccamTimerProc { chan: 0, period_us: 400_000 }));
+        mote.spawn(1, Box::new(OccamLedProc { chan: 0, led: 0 }));
+        w.add_mote(Box::new(mote));
+        w.boot();
+        w.run_until(5_000_000);
+        assert!(w.leds(0).history.len() >= 5, "{:?}", w.leds(0).history);
+    }
+}

@@ -1,0 +1,135 @@
+//! The radio medium: topology, latency, and loss.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A radio message. The payload mirrors TinyOS's `message_t` closely
+/// enough for the paper's demos: an opaque little buffer the application
+//  reads and writes through `_Radio_getPayload`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    pub src: usize,
+    pub dst: usize,
+    pub payload: Vec<i64>,
+}
+
+impl Packet {
+    pub fn new(src: usize, dst: usize, payload: Vec<i64>) -> Self {
+        Packet { src, dst, payload }
+    }
+
+    /// Single-word payload (the ring demo's counter).
+    pub fn with_value(src: usize, dst: usize, value: i64) -> Self {
+        Packet::new(src, dst, vec![value])
+    }
+
+    pub fn value(&self) -> i64 {
+        self.payload.first().copied().unwrap_or(0)
+    }
+}
+
+/// Which links exist.
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// Every mote hears every other.
+    Full,
+    /// Mote `i` reaches `(i+1) % n` (the ring demo).
+    Ring { n: usize },
+    /// Explicit adjacency.
+    Links(Vec<(usize, usize)>),
+}
+
+impl Topology {
+    fn connected(&self, from: usize, to: usize) -> bool {
+        match self {
+            Topology::Full => true,
+            Topology::Ring { n } => (from + 1) % n == to,
+            Topology::Links(ls) => ls.iter().any(|&(a, b)| a == from && b == to),
+        }
+    }
+}
+
+/// The medium: decides whether and when a transmission arrives.
+pub struct Radio {
+    pub topology: Topology,
+    /// Per-hop latency in µs.
+    pub latency_us: u64,
+    /// Probability a transmission is lost.
+    pub loss: f64,
+    /// Motes currently powered off (failure injection).
+    pub down: Vec<bool>,
+    rng: StdRng,
+}
+
+impl Radio {
+    /// Fully connected, lossless medium with fixed latency.
+    pub fn ideal(latency_us: u64) -> Self {
+        Radio::new(Topology::Full, latency_us, 0.0, 42)
+    }
+
+    pub fn new(topology: Topology, latency_us: u64, loss: f64, seed: u64) -> Self {
+        Radio { topology, latency_us, loss, down: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Marks a mote as failed (drops everything to/from it).
+    pub fn set_down(&mut self, mote: usize, down: bool) {
+        if self.down.len() <= mote {
+            self.down.resize(mote + 1, false);
+        }
+        self.down[mote] = down;
+    }
+
+    fn is_down(&self, mote: usize) -> bool {
+        self.down.get(mote).copied().unwrap_or(false)
+    }
+
+    /// Returns the arrival time of the packet, or `None` if it is lost.
+    pub fn transmit(&mut self, now: u64, from: usize, to: usize, _p: &Packet) -> Option<u64> {
+        if self.is_down(from) || self.is_down(to) || !self.topology.connected(from, to) {
+            return None;
+        }
+        if self.loss > 0.0 && self.rng.gen::<f64>() < self.loss {
+            return None;
+        }
+        Some(now + self.latency_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_topology_is_directional() {
+        let mut r = Radio::new(Topology::Ring { n: 3 }, 100, 0.0, 1);
+        let p = Packet::with_value(0, 1, 5);
+        assert_eq!(r.transmit(0, 0, 1, &p), Some(100));
+        assert_eq!(r.transmit(0, 1, 2, &p), Some(100));
+        assert_eq!(r.transmit(0, 2, 0, &p), Some(100));
+        assert_eq!(r.transmit(0, 0, 2, &p), None, "no shortcut across the ring");
+        assert_eq!(r.transmit(0, 1, 0, &p), None, "ring is one-way");
+    }
+
+    #[test]
+    fn down_motes_drop_traffic() {
+        let mut r = Radio::ideal(10);
+        let p = Packet::with_value(0, 1, 1);
+        assert!(r.transmit(0, 0, 1, &p).is_some());
+        r.set_down(1, true);
+        assert!(r.transmit(0, 0, 1, &p).is_none());
+        r.set_down(1, false);
+        assert!(r.transmit(0, 0, 1, &p).is_some());
+    }
+
+    #[test]
+    fn loss_is_probabilistic_but_seeded() {
+        let mut r1 = Radio::new(Topology::Full, 0, 0.5, 7);
+        let mut r2 = Radio::new(Topology::Full, 0, 0.5, 7);
+        let p = Packet::with_value(0, 1, 1);
+        let a: Vec<_> = (0..100).map(|_| r1.transmit(0, 0, 1, &p).is_some()).collect();
+        let b: Vec<_> = (0..100).map(|_| r2.transmit(0, 0, 1, &p).is_some()).collect();
+        assert_eq!(a, b, "same seed, same losses");
+        let lost = a.iter().filter(|x| !**x).count();
+        assert!(lost > 20 && lost < 80, "≈50% loss, got {lost}");
+    }
+}

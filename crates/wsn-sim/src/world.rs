@@ -1,0 +1,340 @@
+//! The discrete-event wireless-sensor-network simulator.
+//!
+//! Substitutes for the paper's micaz testbed (see DESIGN.md): a virtual
+//! clock in microseconds, motes with pluggable application backends, and a
+//! radio medium with per-link latency and loss. The paper's own argument
+//! (§2.8) justifies the substitution — a reactive program's behaviour
+//! depends only on the order of its input events.
+
+use crate::radio::{Packet, Radio};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Node id within a network.
+pub type MoteId = usize;
+
+/// What a scheduled simulation event does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fire {
+    /// Deliver a packet to a mote's radio.
+    Deliver { to: MoteId, packet: Packet },
+    /// A mote's requested timer expires.
+    Timer { mote: MoteId },
+    /// Grant a CPU slice to a mote (long computations / threads).
+    Cpu { mote: MoteId },
+}
+
+/// The environment handle passed to application backends.
+pub struct MoteCtx<'w> {
+    pub id: MoteId,
+    pub now: u64,
+    /// LED state (bitmask) plus toggle history, recorded by the harnesses.
+    pub leds: &'w mut Leds,
+    /// Packets to transmit, collected after the callback returns.
+    pub outbox: Vec<(MoteId, Packet)>,
+    /// Absolute time of the next timer callback this mote wants (if any).
+    pub timer_request: Option<u64>,
+    /// Whether this mote wants CPU slices (long computations pending).
+    pub wants_cpu: bool,
+}
+
+impl MoteCtx<'_> {
+    pub fn send(&mut self, to: MoteId, packet: Packet) {
+        self.outbox.push((to, packet));
+    }
+
+    pub fn set_timer_at(&mut self, at: u64) {
+        self.timer_request = Some(match self.timer_request {
+            Some(t) => t.min(at),
+            None => at,
+        });
+    }
+}
+
+/// LED state with a full toggle history (timestamps in µs) — the
+/// measurement surface of the blink-synchronization experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Leds {
+    pub state: u8,
+    /// `(time, led, new_state)` for every change.
+    pub history: Vec<(u64, u8, bool)>,
+}
+
+impl Leds {
+    pub fn set_mask(&mut self, now: u64, mask: u8) {
+        for led in 0..3 {
+            let new = mask & (1 << led) != 0;
+            let old = self.state & (1 << led) != 0;
+            if new != old {
+                self.history.push((now, led, new));
+            }
+        }
+        self.state = mask;
+    }
+
+    pub fn toggle(&mut self, now: u64, led: u8) {
+        let new = self.state & (1 << led) == 0;
+        self.state ^= 1 << led;
+        self.history.push((now, led, new));
+    }
+
+    /// Times at which the given led switched on.
+    pub fn on_times(&self, led: u8) -> Vec<u64> {
+        self.history
+            .iter()
+            .filter(|(_, l, on)| *l == led && *on)
+            .map(|(t, _, _)| *t)
+            .collect()
+    }
+}
+
+/// An application running on a mote. Backends: Céu machines, event-driven
+/// (nesC-analog) handlers, preemptive-thread (MantisOS-analog) schedulers.
+pub trait Backend {
+    /// Called once at virtual time zero.
+    fn boot(&mut self, ctx: &mut MoteCtx);
+    /// A packet arrived (already past the radio medium).
+    fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet);
+    /// The previously requested timer fired.
+    fn timer(&mut self, ctx: &mut MoteCtx);
+    /// One CPU slice was granted; runs a bounded amount of computation.
+    fn cpu(&mut self, ctx: &mut MoteCtx);
+}
+
+struct MoteSlot {
+    backend: Box<dyn Backend>,
+    leds: Leds,
+    /// Absolute time of the pending Timer event (dedup guard).
+    timer_at: Option<u64>,
+    cpu_scheduled: bool,
+}
+
+/// Simulation statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    pub delivered: u64,
+    pub lost: u64,
+    pub cpu_slices: u64,
+}
+
+/// The network simulator.
+pub struct World {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    fires: Vec<Fire>,
+    motes: Vec<MoteSlot>,
+    pub radio: Radio,
+    /// Virtual CPU cost of one granted slice (µs).
+    pub cpu_slice_us: u64,
+    pub stats: Stats,
+}
+
+impl World {
+    pub fn new(radio: Radio) -> Self {
+        World {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            fires: Vec::new(),
+            motes: Vec::new(),
+            radio,
+            cpu_slice_us: 100,
+            stats: Stats::default(),
+        }
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub fn add_mote(&mut self, backend: Box<dyn Backend>) -> MoteId {
+        let id = self.motes.len();
+        self.motes.push(MoteSlot {
+            backend,
+            leds: Leds::default(),
+            timer_at: None,
+            cpu_scheduled: false,
+        });
+        id
+    }
+
+    pub fn leds(&self, mote: MoteId) -> &Leds {
+        &self.motes[mote].leds
+    }
+
+    fn schedule(&mut self, at: u64, fire: Fire) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.seq += 1;
+        let idx = self.fires.len();
+        self.fires.push(fire);
+        self.queue.push(Reverse((at, self.seq, idx)));
+    }
+
+    /// Boots every mote (virtual time 0).
+    pub fn boot(&mut self) {
+        for id in 0..self.motes.len() {
+            self.with_ctx(id, |backend, ctx| backend.boot(ctx));
+        }
+    }
+
+    /// Runs until the given virtual time (µs), or until nothing is left.
+    pub fn run_until(&mut self, deadline: u64) {
+        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+            if at > deadline {
+                break;
+            }
+            let Reverse((at, _, idx)) = self.queue.pop().unwrap();
+            self.now = at;
+            let fire = self.fires[idx].clone();
+            match fire {
+                Fire::Deliver { to, packet } => {
+                    self.stats.delivered += 1;
+                    self.with_ctx(to, |backend, ctx| backend.deliver(ctx, packet));
+                }
+                Fire::Timer { mote } => {
+                    // stale timer? (the mote re-requested a different time)
+                    if self.motes[mote].timer_at == Some(at) {
+                        self.motes[mote].timer_at = None;
+                        self.with_ctx(mote, |backend, ctx| backend.timer(ctx));
+                    }
+                }
+                Fire::Cpu { mote } => {
+                    self.stats.cpu_slices += 1;
+                    self.motes[mote].cpu_scheduled = false;
+                    self.with_ctx(mote, |backend, ctx| backend.cpu(ctx));
+                }
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs one backend callback and applies its effects (sends, timer
+    /// requests, CPU requests).
+    fn with_ctx(&mut self, id: MoteId, f: impl FnOnce(&mut dyn Backend, &mut MoteCtx)) {
+        let slot = &mut self.motes[id];
+        let mut backend = std::mem::replace(&mut slot.backend, Box::new(Inert));
+        let mut ctx = MoteCtx {
+            id,
+            now: self.now,
+            leds: &mut slot.leds,
+            outbox: Vec::new(),
+            timer_request: None,
+            wants_cpu: false,
+        };
+        f(backend.as_mut(), &mut ctx);
+        let outbox = std::mem::take(&mut ctx.outbox);
+        let timer_request = ctx.timer_request;
+        let wants_cpu = ctx.wants_cpu;
+        self.motes[id].backend = backend;
+        for (to, packet) in outbox {
+            if let Some(arrival) = self.radio.transmit(self.now, id, to, &packet) {
+                self.schedule(arrival, Fire::Deliver { to, packet });
+            } else {
+                self.stats.lost += 1;
+            }
+        }
+        if let Some(at) = timer_request {
+            let at = at.max(self.now);
+            let better = match self.motes[id].timer_at {
+                Some(t) => at < t,
+                None => true,
+            };
+            if better {
+                self.motes[id].timer_at = Some(at);
+                self.schedule(at, Fire::Timer { mote: id });
+            }
+        }
+        if wants_cpu && !self.motes[id].cpu_scheduled {
+            self.motes[id].cpu_scheduled = true;
+            let at = self.now + self.cpu_slice_us;
+            self.schedule(at, Fire::Cpu { mote: id });
+        }
+    }
+}
+
+/// Placeholder while a backend is checked out during a callback.
+struct Inert;
+
+impl Backend for Inert {
+    fn boot(&mut self, _: &mut MoteCtx) {}
+    fn deliver(&mut self, _: &mut MoteCtx, _: Packet) {}
+    fn timer(&mut self, _: &mut MoteCtx) {}
+    fn cpu(&mut self, _: &mut MoteCtx) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::Radio;
+
+    /// Backend that pings a peer every millisecond.
+    struct Pinger {
+        peer: MoteId,
+        received: u32,
+    }
+
+    impl Backend for Pinger {
+        fn boot(&mut self, ctx: &mut MoteCtx) {
+            ctx.set_timer_at(1_000);
+        }
+        fn deliver(&mut self, ctx: &mut MoteCtx, _p: Packet) {
+            self.received += 1;
+            ctx.leds.toggle(ctx.now, 0);
+        }
+        fn timer(&mut self, ctx: &mut MoteCtx) {
+            ctx.send(self.peer, Packet::with_value(ctx.id, self.peer, 1));
+            ctx.set_timer_at(ctx.now + 1_000);
+        }
+        fn cpu(&mut self, _: &mut MoteCtx) {}
+    }
+
+    #[test]
+    fn timers_and_delivery_flow() {
+        let mut w = World::new(Radio::ideal(1_000));
+        let a = w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        let b = w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        assert_eq!((a, b), (0, 1));
+        w.boot();
+        w.run_until(10_500);
+        // pings at 1..=10ms, 1ms latency: arrivals at 2..=10ms by 10.5ms
+        assert_eq!(w.stats.delivered, 18);
+        assert_eq!(w.leds(0).history.len(), 9);
+        assert_eq!(w.leds(1).history.len(), 9);
+    }
+
+    #[test]
+    fn led_history_records_on_times() {
+        let mut leds = Leds::default();
+        leds.toggle(5, 1);
+        leds.toggle(10, 1);
+        leds.toggle(15, 1);
+        assert_eq!(leds.on_times(1), vec![5, 15]);
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = World::new(Radio::ideal(0));
+        struct Recorder {
+            seen: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        }
+        impl Backend for Recorder {
+            fn boot(&mut self, ctx: &mut MoteCtx) {
+                ctx.set_timer_at(500);
+            }
+            fn deliver(&mut self, _: &mut MoteCtx, _: Packet) {}
+            fn timer(&mut self, ctx: &mut MoteCtx) {
+                self.seen.borrow_mut().push(ctx.now);
+                if ctx.now < 2_000 {
+                    ctx.set_timer_at(ctx.now + 500);
+                }
+            }
+            fn cpu(&mut self, _: &mut MoteCtx) {}
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        w.add_mote(Box::new(Recorder { seen: seen.clone() }));
+        w.boot();
+        w.run_until(3_000);
+        assert_eq!(*seen.borrow(), vec![500, 1000, 1500, 2000]);
+    }
+}

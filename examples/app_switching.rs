@@ -1,0 +1,132 @@
+//! Remote application switching (end of §3.1): several applications are
+//! compiled into one image; a `Switch` request kills the running one and
+//! starts another — the composition pattern the paper proposes for motes
+//! that cannot be physically recovered.
+//!
+//! The paper's memory observation is checked too: ROM grows with the sum
+//! of the installed applications, but RAM is the *maximum* across them,
+//! because they never run in parallel (overlay allocation, §4.2).
+//!
+//! ```sh
+//! cargo run --example app_switching
+//! ```
+
+use ceu::runtime::{RecordingHost, Value};
+use ceu::{Compiler, Simulator};
+
+/// APP 1: fast blinker on led0. APP 2: slow heartbeat pattern on led1.
+const COMBINED: &str = r#"
+    input int Switch;
+    deterministic _led0, _led1;
+    int cur_app = 1;
+    loop do
+       par/or do
+          cur_app = await Switch;
+       with
+          if cur_app == 1 then
+             // CODE for APP1: 400ms blinker with a local duty counter
+             int duty = 0;
+             loop do
+                _led0(duty % 2);
+                duty = duty + 1;
+                await 400ms;
+             end
+          end
+          if cur_app == 2 then
+             // CODE for APP2: double-pulse heartbeat every 2s
+             int phase = 0, beats = 0;
+             loop do
+                _led1(1);
+                await 100ms;
+                _led1(0);
+                await 100ms;
+                _led1(1);
+                await 100ms;
+                _led1(0);
+                phase = phase + 1;
+                beats = beats + 1;
+                await 1700ms;
+             end
+          end
+          await forever;
+       end
+    end
+"#;
+
+/// The two applications on their own, for the memory comparison.
+const APP1: &str = r#"
+    int duty = 0;
+    loop do
+       _led0(duty % 2);
+       duty = duty + 1;
+       await 400ms;
+    end
+"#;
+
+const APP2: &str = r#"
+    int phase = 0, beats = 0;
+    loop do
+       _led1(1);
+       await 100ms;
+       _led1(0);
+       await 100ms;
+       _led1(1);
+       await 100ms;
+       _led1(0);
+       phase = phase + 1;
+       beats = beats + 1;
+       await 1700ms;
+    end
+"#;
+
+fn main() {
+    let combined = Compiler::new().compile(COMBINED).expect("combined image is safe");
+    let app1 = Compiler::new().compile(APP1).unwrap();
+    let app2 = Compiler::new().compile(APP2).unwrap();
+
+    // ---- the paper's memory claim ----
+    let rc = ceu::codegen::memory_report(&combined);
+    let r1 = ceu::codegen::memory_report(&app1);
+    let r2 = ceu::codegen::memory_report(&app2);
+    println!("ROM: app1={}  app2={}  combined={}", r1.rom_bytes, r2.rom_bytes, rc.rom_bytes);
+    println!(
+        "RAM data slots: app1={}  app2={}  combined={}",
+        r1.data_slots, r2.data_slots, rc.data_slots
+    );
+    // ROM of the combined image carries both apps…
+    assert!(rc.rom_bytes as f64 > 0.8 * (r1.rom_bytes + r2.rom_bytes) as f64 - 2000.0);
+    // …but app variables overlay: the combined image needs the max, not
+    // the sum (+1 slot for cur_app)
+    assert!(
+        rc.data_slots <= r1.data_slots.max(r2.data_slots) + 1,
+        "RAM must be the max across apps, not the sum"
+    );
+
+    // ---- drive the switching ----
+    let mut sim = Simulator::new(combined, RecordingHost::new());
+    sim.start().unwrap();
+    sim.advance_by(2_000_000).unwrap();
+    let led0_calls = sim.host().calls.iter().filter(|(n, _)| n == "led0").count();
+    println!("t=2s    app1 ran: {led0_calls} led0 updates");
+    assert!(led0_calls >= 5);
+
+    println!("t=2s    Switch → app 2");
+    sim.event("Switch", Some(Value::Int(2))).unwrap();
+    let before = sim.host().calls.len();
+    sim.advance_by(4_000_000).unwrap();
+    let after: Vec<_> = sim.host().calls[before..].iter().map(|(n, _)| n.clone()).collect();
+    let led1_calls = after.iter().filter(|n| *n == "led1").count();
+    let led0_after = after.iter().filter(|n| *n == "led0").count();
+    println!("t=6s    app2 ran: {led1_calls} led1 updates, {led0_after} led0 updates");
+    assert!(led1_calls >= 8, "heartbeat pattern must run");
+    assert_eq!(led0_after, 0, "app1 must be completely dead");
+
+    println!("t=6s    Switch → app 1 again");
+    sim.event("Switch", Some(Value::Int(1))).unwrap();
+    let before = sim.host().calls.len();
+    sim.advance_by(2_000_000).unwrap();
+    let led0_back =
+        sim.host().calls[before..].iter().filter(|(n, _)| n == "led0").count();
+    assert!(led0_back >= 5, "app1 restarted from scratch");
+    println!("switching ok — one image, one app live at a time, RAM = max not sum");
+}

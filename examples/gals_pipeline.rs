@@ -1,0 +1,124 @@
+//! GALS multi-process composition — the paper's **future-work** sketch
+//! ("Multiple processes"), implemented: programs declare `output` events;
+//! the environment (here, this driver playing the role of the OS) links
+//! one process's outputs to another's inputs. Each process keeps its own
+//! synchronous clock; the composition is globally asynchronous.
+//!
+//! Process 1 (producer) samples a sensor every 100 ms and emits each
+//! reading. Process 2 (consumer) smooths readings and raises an alarm
+//! when the smoothed value crosses a threshold — and clears it when it
+//! falls back.
+//!
+//! ```sh
+//! cargo run --example gals_pipeline
+//! ```
+
+use ceu::runtime::{Host, HostResult, Machine, NullHost, Value};
+use ceu::Compiler;
+
+/// The producer: `output int Sample;` — §"Future work" syntax, verbatim
+/// (`emit A` from synchronous code).
+const PRODUCER: &str = r#"
+    output int Sample;
+    int reading;
+    loop do
+       reading = _sensor();
+       emit Sample = reading;
+       await 100ms;
+    end
+"#;
+
+/// The consumer: a 4-sample moving average with hysteresis alarms.
+const CONSUMER: &str = r#"
+    input int Sample;
+    output int Alarm;
+    int[4] window;
+    int idx, n, sum, avg, alarmed;
+    loop do
+       int s = await Sample;
+       sum = sum - window[idx] + s;
+       window[idx] = s;
+       idx = (idx + 1) % 4;
+       if n < 4 then
+          n = n + 1;
+       end
+       avg = sum / n;
+       if avg > 75 then
+          if !alarmed then
+             alarmed = 1;
+             emit Alarm = avg;
+          end
+       else
+          if avg < 60 then
+             if alarmed then
+                alarmed = 0;
+                emit Alarm = 0;
+             end
+          end
+       end
+    end
+"#;
+
+/// The producer's sensor: a deterministic spike waveform.
+struct SensorHost {
+    t: i64,
+}
+
+impl Host for SensorHost {
+    fn call(&mut self, name: &str, _args: &[Value]) -> HostResult<Value> {
+        match name {
+            "sensor" => {
+                self.t += 1;
+                // calm …, spike between samples 20-35, calm again
+                let v = if (20..35).contains(&self.t) { 90 } else { 40 };
+                Ok(Value::Int(v))
+            }
+            other => Err(format!("no `_{other}`")),
+        }
+    }
+}
+
+fn main() {
+    let producer = Compiler::new().compile(PRODUCER).expect("producer is safe");
+    let consumer = Compiler::new().compile(CONSUMER).expect("consumer is safe");
+
+    let mut p1 = Machine::new(producer);
+    let mut p2 = Machine::new(consumer);
+    let mut h1 = SensorHost { t: 0 };
+    let mut h2 = NullHost;
+
+    let sample_out = p1.event_id("Sample").unwrap();
+    let sample_in = p2.event_id("Sample").unwrap();
+
+    p1.go_init(&mut h1).unwrap();
+    p2.go_init(&mut h2).unwrap();
+
+    // The "OS": each process runs on its own clock (GALS) — the consumer's
+    // clock even drifts relative to the producer's; only the *order* of the
+    // linked events matters, so the composition still behaves.
+    let mut alarms: Vec<(u64, i64)> = Vec::new();
+    for tick in 1..=60u64 {
+        let t1 = tick * 100_000;
+        p1.go_time(t1, &mut h1).unwrap();
+        // link: producer outputs → consumer inputs
+        for (eid, value) in p1.take_outputs() {
+            assert_eq!(eid, sample_out);
+            p2.go_event(sample_in, value, &mut h2).unwrap();
+        }
+        // the consumer's local clock runs 3% slow — irrelevant, as promised
+        p2.go_time(t1 * 97 / 100, &mut h2).unwrap();
+        for (eid, value) in p2.take_outputs() {
+            let name = &p2.program().events.get(eid).name;
+            let v = value.and_then(|v| v.as_int()).unwrap_or(0);
+            println!("t={:>4}ms  {name} = {v}", t1 / 1000);
+            alarms.push((t1, v));
+        }
+    }
+
+    // the spike (samples 20..35) must raise exactly one alarm and clear it
+    assert_eq!(alarms.len(), 2, "one raise + one clear: {alarms:?}");
+    assert!(alarms[0].1 > 75, "raised with the smoothed value");
+    assert_eq!(alarms[1].1, 0, "cleared after the spike");
+    assert!(alarms[0].0 < alarms[1].0);
+    println!("gals pipeline ok — two synchronous processes, asynchronous composition");
+}

@@ -1,0 +1,112 @@
+//! `suspend` extension demo — a game-style pause screen.
+//!
+//! The paper's related-work section singles out Esterel's `suspend` as a
+//! statement "which we are considering to incorporate into Céu"; this
+//! reproduction implements it (level-sensitive, like Céu v2's `pause/if`).
+//! A game clock, a spawn timer, and an animation all live inside one
+//! `suspend` block; the pause button freezes all of them at once — their
+//! timers do not age while paused — while the menu trail outside keeps
+//! reacting.
+//!
+//! ```sh
+//! cargo run --example pause_resume
+//! ```
+
+use ceu::runtime::{RecordingHost, Value};
+use ceu::{Compiler, Simulator};
+
+const GAME: &str = r#"
+    input int Pause;
+    input void MenuKey;
+    deterministic _tick, _spawn, _frame, _menu;
+    int seconds, enemies, frames, menu_hits;
+
+    par do
+       suspend Pause do
+          par do
+             loop do                  // the game clock
+                await 1s;
+                seconds = seconds + 1;
+                _tick(seconds);
+             end
+          with
+             loop do                  // enemy spawner
+                await 700ms;
+                enemies = enemies + 1;
+                _spawn(enemies);
+             end
+          with
+             loop do                  // animation
+                await 250ms;
+                frames = frames + 1;
+                _frame(frames);
+             end
+          end
+       end
+       await forever;
+    with
+       loop do                        // the pause menu lives outside
+          await MenuKey;
+          menu_hits = menu_hits + 1;
+          _menu(menu_hits);
+       end
+    end
+"#;
+
+fn read(sim: &Simulator<RecordingHost>, name: &str) -> i64 {
+    let unique = sim
+        .machine()
+        .program()
+        .slots
+        .iter()
+        .find(|s| s.name.split('#').next() == Some(name))
+        .unwrap()
+        .name
+        .clone();
+    sim.read_var(&unique).and_then(|v| v.as_int()).unwrap()
+}
+
+fn main() {
+    let program = Compiler::new().compile(GAME).expect("game is safe");
+    let mut sim = Simulator::new(program, RecordingHost::new());
+    sim.start().unwrap();
+
+    // 3 seconds of play
+    sim.advance_to(3_000_000).unwrap();
+    println!(
+        "t=3s    clock={}s enemies={} frames={}",
+        read(&sim, "seconds"),
+        read(&sim, "enemies"),
+        read(&sim, "frames")
+    );
+    assert_eq!(read(&sim, "seconds"), 3);
+    assert_eq!(read(&sim, "enemies"), 4); // 0.7, 1.4, 2.1, 2.8
+    assert_eq!(read(&sim, "frames"), 12);
+
+    // pause for 10 seconds; the menu still reacts, the game is frozen
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    println!("t=3s    PAUSED");
+    sim.advance_to(8_000_000).unwrap();
+    sim.event("MenuKey", None).unwrap();
+    sim.advance_to(13_000_000).unwrap();
+    sim.event("MenuKey", None).unwrap();
+    assert_eq!(read(&sim, "seconds"), 3, "clock frozen");
+    assert_eq!(read(&sim, "frames"), 12, "animation frozen");
+    assert_eq!(read(&sim, "menu_hits"), 2, "menu alive");
+    println!("t=13s   still clock=3s, menu handled {} keys", read(&sim, "menu_hits"));
+
+    // resume: every timer owes exactly its remaining share, not 10s worth
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    println!("t=13s   RESUMED");
+    sim.advance_to(16_000_000).unwrap();
+    println!(
+        "t=16s   clock={}s enemies={} frames={}",
+        read(&sim, "seconds"),
+        read(&sim, "enemies"),
+        read(&sim, "frames")
+    );
+    // 3s of play before + 3s after = 6 ticks; no burst of 10 stale ticks
+    assert_eq!(read(&sim, "seconds"), 6);
+    assert_eq!(read(&sim, "frames"), 24);
+    println!("pause/resume ok — frozen timers resumed with their remainders, no catch-up burst");
+}

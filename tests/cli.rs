@@ -1,0 +1,134 @@
+//! End-to-end tests of the `ceuc` CLI binary (spawned as a subprocess).
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn ceuc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceuc"))
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ceuc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+const OK_PROGRAM: &str = "input int Restart;\nint v = 0;\npar/or do\n loop do\n  await 1s;\n  v = v + 1;\n end\nwith\n v = await Restart;\nend\nreturn v;";
+
+#[test]
+fn check_accepts_safe_program() {
+    let path = write_tmp("ok.ceu", OK_PROGRAM);
+    let out = ceuc().arg("check").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok (bounded, deterministic)"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_tight_loop_with_diagnostic() {
+    let path = write_tmp("tight.ceu", "int v;\nloop do\n v = v + 1;\nend");
+    let out = ceuc().arg("check").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tight loop"), "{stderr}");
+    assert!(stderr.contains("2:1"), "span points at the loop: {stderr}");
+}
+
+#[test]
+fn check_rejects_nondeterminism_with_both_spans() {
+    let path = write_tmp(
+        "race.ceu",
+        "int v;\npar/and do\n v = 1;\nwith\n v = 2;\nend\nreturn v;",
+    );
+    let out = ceuc().arg("check").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("concurrent access to variable `v`"), "{stderr}");
+}
+
+#[test]
+fn run_executes_a_script() {
+    let prog = write_tmp("run.ceu", OK_PROGRAM);
+    let script = write_tmp(
+        "run.script",
+        "time 2500ms\nprint v\nevent Restart 7  # reset\n",
+    );
+    let out = ceuc().arg("run").arg(&prog).arg(&script).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("v = 2"), "{stdout}");
+    assert!(stdout.contains("terminated: 7"), "{stdout}");
+}
+
+#[test]
+fn emit_c_produces_the_paper_shape() {
+    let path = write_tmp("emit.ceu", OK_PROGRAM);
+    let out = ceuc().arg("emit-c").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let c = String::from_utf8_lossy(&out.stdout);
+    assert!(c.contains("switch (track)"), "{c}");
+    assert!(c.contains("void ceu_go_event"));
+}
+
+#[test]
+fn dfa_and_flow_emit_dot() {
+    let path = write_tmp("dot.ceu", OK_PROGRAM);
+    for cmd in ["dfa", "flow"] {
+        let out = ceuc().arg(cmd).arg(&path).output().unwrap();
+        assert!(out.status.success(), "{cmd}");
+        let dot = String::from_utf8_lossy(&out.stdout);
+        assert!(dot.starts_with("digraph"), "{cmd}: {dot}");
+    }
+}
+
+#[test]
+fn report_prints_memory_numbers() {
+    let path = write_tmp("report.ceu", OK_PROGRAM);
+    let out = ceuc().arg("report").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ROM (generated C bytes):"), "{stdout}");
+    assert!(stdout.contains("RAM (static state bytes):"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_and_missing_files_fail_cleanly() {
+    let out = ceuc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = ceuc().arg("check").arg("/nonexistent/x.ceu").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let path = write_tmp("cmd.ceu", OK_PROGRAM);
+    let out = ceuc().arg("frobnicate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn script_errors_carry_line_numbers() {
+    let prog = write_tmp("se.ceu", OK_PROGRAM);
+    let script = write_tmp("se.script", "time 1s\nevent Nope\n");
+    let out = ceuc().arg("run").arg(&prog).arg(&script).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown event"), "{stderr}");
+}
+
+#[test]
+fn fmt_produces_canonical_reparsable_output() {
+    let path = write_tmp("fmt.ceu", "int   v;v=1\n;;await 1s;");
+    let out = ceuc().arg("fmt").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let formatted = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(formatted.contains("int v;"), "{formatted}");
+    // formatting is idempotent: fmt(fmt(x)) == fmt(x)
+    let path2 = write_tmp("fmt2.ceu", &formatted);
+    let out2 = ceuc().arg("fmt").arg(&path2).output().unwrap();
+    assert_eq!(formatted, String::from_utf8_lossy(&out2.stdout));
+}

@@ -1,0 +1,256 @@
+//! Corpus driver: every `.ceu` file under `corpus/` is run through the
+//! pipeline and checked against the expectation directives in its header
+//! comments (rustc-UI-test style).
+//!
+//! * `corpus/accept/*.ceu` — `// expect: ok`: must pass every analysis.
+//! * `corpus/reject/*.ceu` — `// expect: parse-error | resolve-error |
+//!   unbounded | nondeterministic <kind>`: must be refused at the right
+//!   stage.
+//! * `corpus/run/*.ceu` — executed with `// run:` directives (the `ceuc`
+//!   script syntax) and checked against `// assert-var`, `// assert-status`,
+//!   `// assert-calls`, `// assert-output` directives.
+
+use ceu::runtime::{RecordingHost, Status, Value};
+use ceu::{Compiler, Error, Simulator};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir(sub: &str) -> PathBuf {
+    // tests run from the crate dir (crates/core); corpus sits at the root
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    here.join("../../corpus").join(sub)
+}
+
+fn ceu_files(sub: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir(sub))
+        .unwrap_or_else(|e| panic!("corpus/{sub} missing: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ceu"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus/{sub} is empty");
+    files
+}
+
+/// Extracts `// key: value` directives from the header comments.
+fn directives<'a>(src: &'a str, key: &str) -> Vec<&'a str> {
+    let prefix = format!("// {key}:");
+    src.lines()
+        .filter_map(|l| l.trim().strip_prefix(&prefix))
+        .map(|v| v.trim())
+        .collect()
+}
+
+#[test]
+fn accept_corpus_passes_all_analyses() {
+    for path in ceu_files("accept") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(directives(&src, "expect"), vec!["ok"], "{path:?} must declare expect: ok");
+        Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{}: expected acceptance, got: {e}", path.display()));
+    }
+}
+
+#[test]
+fn reject_corpus_fails_at_the_declared_stage() {
+    for path in ceu_files("reject") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let expects = directives(&src, "expect");
+        assert_eq!(expects.len(), 1, "{path:?} needs exactly one expect directive");
+        let expect = expects[0];
+        let err = Compiler::new()
+            .compile(&src)
+            .expect_err(&format!("{} must be refused", path.display()));
+        let ok = match (expect, &err) {
+            ("parse-error", Error::Parse(_)) => true,
+            ("resolve-error", Error::Resolve(_)) => true,
+            ("unbounded", Error::Unbounded(_)) => true,
+            (e, Error::Nondeterministic(cs)) if e.starts_with("nondeterministic") => {
+                let kind = e.trim_start_matches("nondeterministic").trim();
+                use ceu::analysis::ConflictKind::*;
+                let want = match kind {
+                    "variable" => Variable,
+                    "internal-event" => InternalEvent,
+                    "c-call" => CCall,
+                    other => panic!("{path:?}: unknown conflict kind `{other}`"),
+                };
+                cs.iter().any(|c| c.kind == want)
+            }
+            _ => false,
+        };
+        assert!(ok, "{}: expected `{expect}`, got: {err}", path.display());
+    }
+}
+
+#[test]
+fn run_corpus_behaves_as_declared() {
+    for path in ceu_files("run") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program = Compiler::new()
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // keep the original-name → unique-name map for assert-var
+        let slot_names: Vec<String> = program.slots.iter().map(|s| s.name.clone()).collect();
+        let mut sim = Simulator::new(program, RecordingHost::new());
+        sim.start().unwrap_or_else(|e| panic!("{}: boot: {e}", path.display()));
+
+        for d in directives(&src, "run") {
+            if sim.status().is_terminated() {
+                break;
+            }
+            let mut it = d.split_whitespace();
+            match it.next() {
+                Some("event") => {
+                    let name = it.next().expect("event name");
+                    let value = it.next().map(|v| Value::Int(v.parse().unwrap()));
+                    sim.event(name, value)
+                        .unwrap_or_else(|e| panic!("{}: event {name}: {e}", path.display()));
+                }
+                Some("time") => {
+                    let t = it.next().expect("duration");
+                    let us = ceu::ast::TimeSpec::parse(t)
+                        .map(|t| t.us)
+                        .or_else(|| t.parse().ok())
+                        .unwrap_or_else(|| panic!("{}: bad duration `{t}`", path.display()));
+                    sim.advance_by(us).unwrap_or_else(|e| panic!("{}: time: {e}", path.display()));
+                }
+                Some("async") => {
+                    let n: usize = it.next().unwrap_or("1000").parse().unwrap();
+                    sim.run_asyncs(n).unwrap();
+                }
+                other => panic!("{}: unknown run directive {other:?}", path.display()),
+            }
+        }
+
+        for d in directives(&src, "assert-var") {
+            let mut it = d.split_whitespace();
+            let name = it.next().expect("var name");
+            let want: i64 = it.next().expect("value").parse().unwrap();
+            let unique = slot_names
+                .iter()
+                .find(|n| n.split('#').next() == Some(name))
+                .unwrap_or_else(|| panic!("{}: no variable `{name}`", path.display()));
+            let got = sim.read_var(unique).and_then(|v| v.as_int());
+            assert_eq!(got, Some(want), "{}: var {name}", path.display());
+        }
+
+        for d in directives(&src, "assert-status") {
+            let mut it = d.split_whitespace();
+            match it.next() {
+                Some("running") => assert_eq!(
+                    sim.status(),
+                    Status::Running,
+                    "{}: status",
+                    path.display()
+                ),
+                Some("terminated") => match it.next() {
+                    Some(v) => assert_eq!(
+                        sim.status(),
+                        Status::Terminated(Some(v.parse().unwrap())),
+                        "{}: status",
+                        path.display()
+                    ),
+                    None => assert!(
+                        sim.status().is_terminated(),
+                        "{}: expected termination",
+                        path.display()
+                    ),
+                },
+                other => panic!("{}: bad assert-status {other:?}", path.display()),
+            }
+        }
+
+        for d in directives(&src, "assert-calls") {
+            let want: Vec<&str> = d.split(',').map(|s| s.trim()).collect();
+            assert_eq!(sim.host().call_names(), want, "{}: calls", path.display());
+        }
+
+        for d in directives(&src, "assert-output") {
+            let mut it = d.split_whitespace();
+            let name = it.next().expect("output name");
+            let value = it.next().map(|v| Value::Int(v.parse().unwrap()));
+            assert!(
+                sim.host().outputs.iter().any(|(n, v)| n == name && *v == value),
+                "{}: missing output {name} {value:?}; got {:?}",
+                path.display(),
+                sim.host().outputs
+            );
+        }
+    }
+}
+
+#[test]
+fn accept_corpus_round_trips_through_the_printer() {
+    // every accepted program must survive print → parse → print
+    for path in ceu_files("accept") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let ast = ceu::parser::parse(&src).unwrap();
+        let printed = ceu::ast::pretty(&ast);
+        let again = ceu::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: reparse: {e}\n{printed}", path.display()));
+        assert_eq!(printed, ceu::ast::pretty(&again), "{}", path.display());
+    }
+}
+
+#[test]
+fn accept_corpus_emits_complete_c() {
+    // the C backend covers every accepted program
+    for path in ceu_files("accept") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let program = Compiler::new().compile(&src).unwrap();
+        let c = ceu::codegen::cbackend::emit_c(&program);
+        assert!(c.contains("switch (track)"), "{}", path.display());
+        // every track appears as a case
+        for i in 0..program.blocks.len() {
+            assert!(c.contains(&format!("case {i}:")), "{}: track {i}", path.display());
+        }
+    }
+}
+
+#[test]
+fn run_corpus_is_deterministic_across_replays() {
+    // the central promise, checked over the whole run corpus: repeat every
+    // scripted run and require identical data and host-call logs
+    for path in ceu_files("run") {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let run_once = || {
+            let program = Compiler::new().compile(&src).unwrap();
+            let mut sim = Simulator::new(program, RecordingHost::new());
+            sim.start().unwrap();
+            for d in directives(&src, "run") {
+                if sim.status().is_terminated() {
+                    break;
+                }
+                let mut it = d.split_whitespace();
+                match it.next() {
+                    Some("event") => {
+                        let name = it.next().unwrap();
+                        let value = it.next().map(|v| Value::Int(v.parse().unwrap()));
+                        sim.event(name, value).unwrap();
+                    }
+                    Some("time") => {
+                        let t = it.next().unwrap();
+                        let us = ceu::ast::TimeSpec::parse(t)
+                            .map(|t| t.us)
+                            .or_else(|| t.parse().ok())
+                            .unwrap();
+                        sim.advance_by(us).unwrap();
+                    }
+                    Some("async") => {
+                        let n: usize = it.next().unwrap_or("1000").parse().unwrap();
+                        sim.run_asyncs(n).unwrap();
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let data = sim.machine().data().to_vec();
+            let calls = sim.host().call_names().join(",");
+            (data, calls, sim.status())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.0, b.0, "{}: data", path.display());
+        assert_eq!(a.1, b.1, "{}: calls", path.display());
+        assert_eq!(a.2, b.2, "{}: status", path.display());
+    }
+}

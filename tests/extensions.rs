@@ -1,0 +1,166 @@
+//! Tests for the implemented future-work extension: `output` events and
+//! multi-process (GALS) composition (paper §"Future work").
+
+use ceu::runtime::{Machine, NullHost, RecordingHost, Value};
+use ceu::{Compiler, Error, Simulator};
+
+#[test]
+fn outputs_reach_the_host_in_order() {
+    let src = r#"
+        input void Go;
+        output int A, B;
+        loop do
+           await Go;
+           emit A = 1;
+           emit B = 2;
+           emit A = 3;
+        end
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, RecordingHost::new());
+    sim.start().unwrap();
+    sim.event("Go", None).unwrap();
+    assert_eq!(
+        sim.host().outputs,
+        vec![
+            ("A".to_string(), Some(Value::Int(1))),
+            ("B".to_string(), Some(Value::Int(2))),
+            ("A".to_string(), Some(Value::Int(3))),
+        ]
+    );
+}
+
+#[test]
+fn machine_buffers_outputs_for_linking() {
+    let src = "output int Tick;\nloop do\n emit Tick = 7;\n await 100ms;\nend";
+    let p = Compiler::new().compile(src).unwrap();
+    let mut m = Machine::new(p);
+    let mut h = NullHost;
+    m.go_init(&mut h).unwrap();
+    m.go_time(250_000, &mut h).unwrap();
+    let outs = m.take_outputs();
+    assert_eq!(outs.len(), 3); // boot + 100ms + 200ms
+    assert!(outs.iter().all(|(_, v)| *v == Some(Value::Int(7))));
+    // drained
+    assert!(m.take_outputs().is_empty());
+}
+
+#[test]
+fn void_outputs_carry_no_value() {
+    let src = "output void Blip;\nemit Blip;\nawait 1s;";
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, RecordingHost::new());
+    sim.start().unwrap();
+    assert_eq!(sim.host().outputs, vec![("Blip".to_string(), None)]);
+}
+
+#[test]
+fn awaiting_an_output_is_rejected() {
+    let err = Compiler::new().compile("output int A;\nawait A;").unwrap_err();
+    assert!(matches!(err, Error::Resolve(_)));
+    assert!(err.to_string().contains("cannot be awaited"), "{err}");
+}
+
+#[test]
+fn output_value_rules_match_event_type() {
+    // valued output without a value
+    assert!(Compiler::new().compile("output int A;\nemit A;\nawait 1s;").is_err());
+    // void output with a value
+    assert!(Compiler::new().compile("output void A;\nemit A = 1;\nawait 1s;").is_err());
+}
+
+#[test]
+fn concurrent_output_emissions_are_nondeterministic() {
+    // the environment observes the order of outputs, so two concurrent
+    // emissions of the same output event are refused, like internal events
+    let src = r#"
+        input void E;
+        output int A;
+        par do
+           loop do
+              await E;
+              emit A = 1;
+           end
+        with
+           loop do
+              await E;
+              emit A = 2;
+           end
+        end
+    "#;
+    let err = Compiler::new().compile(src).unwrap_err();
+    assert!(matches!(err, Error::Nondeterministic(_)), "{err}");
+    // …while different output events are fine
+    let ok = src.replace("output int A;", "output int A, B;").replace("emit A = 2", "emit B = 2");
+    Compiler::new().compile(&ok).unwrap();
+}
+
+#[test]
+fn emitting_output_from_async_is_allowed() {
+    // asyncs talk to the environment freely (globally asynchronous side)
+    let src = r#"
+        output int Done;
+        int r;
+        r = async do
+           return 5;
+        end;
+        emit Done = r;
+        await 1s;
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, RecordingHost::new());
+    sim.start().unwrap();
+    assert_eq!(sim.host().outputs, vec![("Done".to_string(), Some(Value::Int(5)))]);
+}
+
+#[test]
+fn c_backend_emits_output_calls() {
+    let src = "output int A;\nemit A = 1;\nawait 1s;";
+    let p = Compiler::new().compile(src).unwrap();
+    let c = ceu::codegen::cbackend::emit_c(&p);
+    assert!(c.contains("ceu_out(0, 1);"), "{c}");
+}
+
+#[test]
+fn two_linked_processes_round_trip() {
+    // echo process: doubles every input — linked to a driver process
+    let echo = Compiler::new()
+        .compile("input int In;\noutput int Out;\nloop do\n int v = await In;\n emit Out = v * 2;\nend")
+        .unwrap();
+    let driver = Compiler::new()
+        .compile(
+            "input int Back;\noutput int Fwd;\nint total;\npar/and do\n emit Fwd = 1;\n await 1us;\n emit Fwd = 3;\nwith\n int a = await Back;\n int b = await Back;\n total = a + b;\nend\nreturn total;",
+        )
+        .unwrap();
+    let mut pe = Machine::new(echo);
+    let mut pd = Machine::new(driver);
+    let mut h = NullHost;
+    pe.go_init(&mut h).unwrap();
+    pd.go_init(&mut h).unwrap();
+    let in_e = pe.event_id("In").unwrap();
+    let back = pd.event_id("Back").unwrap();
+    // pump the link until both sides are quiet
+    for t in 1..10u64 {
+        pd.go_time(t, &mut h).unwrap();
+        for (_, v) in pd.take_outputs() {
+            pe.go_event(in_e, v, &mut h).unwrap();
+        }
+        for (_, v) in pe.take_outputs() {
+            pd.go_event(back, v, &mut h).unwrap();
+        }
+        if pd.status().is_terminated() {
+            break;
+        }
+    }
+    assert_eq!(pd.status(), ceu::Status::Terminated(Some(8))); // 1*2 + 3*2
+}
+
+#[test]
+fn outputs_print_and_parse_round_trip() {
+    let src = "output int A, B;\nemit A = 1;\nawait 1s;";
+    let ast = ceu::parser::parse(src).unwrap();
+    let printed = ceu::ast::pretty(&ast);
+    assert!(printed.contains("output int A, B;"), "{printed}");
+    let again = ceu::parser::parse(&printed).unwrap();
+    assert_eq!(printed, ceu::ast::pretty(&again));
+}

@@ -1,0 +1,330 @@
+//! Tests for the `suspend` extension (Esterel's suspend, which the paper
+//! "is considering to incorporate"; implemented in the level-sensitive
+//! style of Céu v2's `pause/if`): while the guard event's last value is
+//! truthy, the body's trails see no events and their timers stop aging.
+
+use ceu::runtime::{NullHost, RecordingHost, Status, Value};
+use ceu::{Compiler, Simulator};
+
+const COUNTER: &str = r#"
+    input int Pause;
+    input void Tick;
+    int n;
+    suspend Pause do
+       loop do
+          await Tick;
+          n = n + 1;
+       end
+    end
+"#;
+
+#[test]
+fn suspended_trails_miss_events() {
+    let p = Compiler::new().compile(COUNTER).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Tick", None).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(2)));
+
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.event("Tick", None).unwrap();
+    sim.event("Tick", None).unwrap();
+    // events during the pause are *not* buffered (they pass by, §2)
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(2)));
+
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(3)));
+}
+
+#[test]
+fn suspended_timers_freeze_and_resume_shifted() {
+    let src = r#"
+        input int Pause;
+        int done;
+        suspend Pause do
+           await 100ms;
+           done = 1;
+        end
+        await forever;
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    // run 40ms, pause for 200ms, resume: the timer still owes 60ms
+    sim.advance_to(40_000).unwrap();
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.advance_to(240_000).unwrap();
+    assert_eq!(sim.read_var("done#0"), Some(&Value::Int(0)), "frozen timer must not fire");
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    sim.advance_to(290_000).unwrap();
+    assert_eq!(sim.read_var("done#0"), Some(&Value::Int(0)), "still 10ms to go");
+    sim.advance_to(300_000).unwrap();
+    assert_eq!(sim.read_var("done#0"), Some(&Value::Int(1)), "fires at 40+200+60 = 300ms");
+}
+
+#[test]
+fn trails_outside_the_suspend_keep_running() {
+    let src = r#"
+        input int Pause;
+        input void Tick;
+        int inside, outside;
+        par do
+           suspend Pause do
+              loop do
+                 await Tick;
+                 inside = inside + 1;
+              end
+           end
+           await forever;
+        with
+           loop do
+              await Tick;
+              outside = outside + 1;
+           end
+        end
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.event("Tick", None).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("inside#0"), Some(&Value::Int(0)));
+    assert_eq!(sim.read_var("outside#1"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn nested_suspends_pause_independently() {
+    let src = r#"
+        input int P1, P2;
+        input void Tick;
+        int n;
+        suspend P1 do
+           suspend P2 do
+              loop do
+                 await Tick;
+                 n = n + 1;
+              end
+           end
+           await forever;
+        end
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("P2", Some(Value::Int(1))).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(0)), "inner pause blocks");
+    sim.event("P2", Some(Value::Int(0))).unwrap();
+    sim.event("P1", Some(Value::Int(1))).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(0)), "outer pause blocks too");
+    sim.event("P1", Some(Value::Int(0))).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(1)));
+}
+
+#[test]
+fn internal_events_can_guard_suspends() {
+    let src = r#"
+        input void Tick, Toggle;
+        internal int gate;
+        int n, on;
+        par do
+           suspend gate do
+              loop do
+                 await Tick;
+                 n = n + 1;
+              end
+           end
+           await forever;
+        with
+           loop do
+              await Toggle;
+              on = 1 - on;
+              emit gate = on;
+           end
+        end
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Tick", None).unwrap();
+    sim.event("Toggle", None).unwrap(); // gate = 1 → paused
+    sim.event("Tick", None).unwrap();
+    sim.event("Toggle", None).unwrap(); // gate = 0 → resumed
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn suspend_body_can_terminate_normally() {
+    let src = r#"
+        input int Pause;
+        input void Go;
+        int v;
+        suspend Pause do
+           await Go;
+           v = 42;
+        end
+        return v;
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Go", None).unwrap();
+    assert_eq!(sim.status(), Status::Terminated(Some(42)));
+}
+
+#[test]
+fn resolve_rejects_bad_guards() {
+    // void guard (no level to read)
+    let err = Compiler::new()
+        .compile("input void P, T;\nint n;\nsuspend P do\n await T;\n n = 1;\nend")
+        .unwrap_err();
+    assert!(err.to_string().contains("must carry a value"), "{err}");
+    // output guard
+    let err = Compiler::new()
+        .compile("output int P;\ninput void T;\nsuspend P do\n await T;\nend")
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot guard"), "{err}");
+    // undeclared guard
+    assert!(Compiler::new().compile("input void T;\nsuspend Nope do\n await T;\nend").is_err());
+}
+
+#[test]
+fn suspend_round_trips_through_the_printer() {
+    let ast = ceu::parser::parse(COUNTER).unwrap();
+    let printed = ceu::ast::pretty(&ast);
+    assert!(printed.contains("suspend Pause do"), "{printed}");
+    let again = ceu::parser::parse(&printed).unwrap();
+    assert_eq!(printed, ceu::ast::pretty(&again));
+}
+
+#[test]
+fn pausing_while_paused_is_idempotent() {
+    let p = Compiler::new().compile(COUNTER).unwrap();
+    let mut sim = Simulator::new(p, RecordingHost::new());
+    sim.start().unwrap();
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.event("Pause", Some(Value::Int(5))).unwrap(); // still paused
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(0)));
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    sim.event("Pause", Some(Value::Int(0))).unwrap(); // still resumed
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_var("n#0"), Some(&Value::Int(1)));
+}
+
+#[test]
+fn par_or_kills_a_paused_suspend_body() {
+    // the watchdog fires while the body is frozen: the kill must work
+    // regardless of the pause (region clears are unconditional)
+    let src = r#"
+        input int Pause;
+        input void Go, Tick;
+        int n, killed;
+        par/or do
+           suspend Pause do
+              loop do
+                 await Tick;
+                 n = n + 1;
+              end
+           end
+           await forever;
+        with
+           await Go;
+           killed = 1;
+        end
+        await Tick;
+        n = 100;
+        await forever;
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.event("Go", None).unwrap(); // kills the frozen body
+    assert_eq!(sim.read_source_var("killed"), Some(&Value::Int(1)));
+    // the post-kill trail reacts even though the (dead) body was paused
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_source_var("n"), Some(&Value::Int(100)));
+}
+
+#[test]
+fn loop_reenters_suspend_with_level_semantics() {
+    // the pause state is a *level*: re-entering the body while the guard
+    // is high starts frozen (documented level-sensitive semantics)
+    let src = r#"
+        input int Pause;
+        input void Next, Tick;
+        int n;
+        loop do
+           par/or do
+              suspend Pause do
+                 loop do
+                    await Tick;
+                    n = n + 1;
+                 end
+              end
+              await forever;
+           with
+              await Next;
+           end
+        end
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_source_var("n"), Some(&Value::Int(1)));
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.event("Next", None).unwrap(); // restart the composition
+    sim.event("Tick", None).unwrap(); // still paused: the level holds
+    assert_eq!(sim.read_source_var("n"), Some(&Value::Int(1)));
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    sim.event("Tick", None).unwrap();
+    assert_eq!(sim.read_source_var("n"), Some(&Value::Int(2)));
+}
+
+#[test]
+fn residual_delta_composes_with_pause_shift() {
+    // chained awaits keep their logical base *and* the pause shift:
+    // 30ms + (paused 100ms) + 70ms-remainder, then an immediate 10ms that
+    // accumulates from the shifted logical deadline
+    let src = r#"
+        input int Pause;
+        int a, b;
+        await 100ms;
+        a = 1;
+        await 10ms;
+        b = 1;
+        await forever;
+    "#;
+    let p = Compiler::new().compile(src).unwrap();
+    // wrap the timers in a suspend via a second compilation below; here
+    // first establish the unpaused baseline
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.advance_to(110_000).unwrap();
+    assert_eq!(sim.read_source_var("b"), Some(&Value::Int(1)));
+
+    let src_paused = format!("suspend Pause do\n{}\nend", &src[src.find("int a").unwrap()..]);
+    let src_paused = format!("input int Pause;\n{src_paused}");
+    let p = Compiler::new().compile(&src_paused).unwrap();
+    let mut sim = Simulator::new(p, NullHost);
+    sim.start().unwrap();
+    sim.advance_to(30_000).unwrap();
+    sim.event("Pause", Some(Value::Int(1))).unwrap();
+    sim.advance_to(130_000).unwrap(); // frozen through the pause
+    sim.event("Pause", Some(Value::Int(0))).unwrap();
+    // first timer now owes 70ms: fires at 200ms; the chained 10ms await
+    // runs from the logical deadline → b at 210ms
+    sim.advance_to(205_000).unwrap();
+    assert_eq!(sim.read_source_var("a"), Some(&Value::Int(1)));
+    assert_eq!(sim.read_source_var("b"), Some(&Value::Int(0)));
+    sim.advance_to(210_000).unwrap();
+    assert_eq!(sim.read_source_var("b"), Some(&Value::Int(1)));
+}
