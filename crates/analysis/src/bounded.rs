@@ -236,7 +236,8 @@ mod tests {
 
     #[test]
     fn paper_example_3_par_or_with_instant_arm() {
-        let src = "input void A;\nint v;\nloop do\n par/or do\n  await A;\n with\n  v = 1;\n end\nend";
+        let src =
+            "input void A;\nint v;\nloop do\n par/or do\n  await A;\n with\n  v = 1;\n end\nend";
         assert_eq!(check(src).len(), 1);
     }
 
@@ -247,13 +248,15 @@ mod tests {
 
     #[test]
     fn paper_example_5_par_and_ok() {
-        let src = "input void A;\nint v;\nloop do\n par/and do\n  await A;\n with\n  v = 1;\n end\nend";
+        let src =
+            "input void A;\nint v;\nloop do\n par/and do\n  await A;\n with\n  v = 1;\n end\nend";
         assert!(check(src).is_empty());
     }
 
     #[test]
     fn break_makes_loop_bounded() {
-        assert!(check("int v;\nloop do\n if v then\n  break;\n else\n  await 1s;\n end\nend").is_empty());
+        assert!(check("int v;\nloop do\n if v then\n  break;\n else\n  await 1s;\n end\nend")
+            .is_empty());
         // …even with no await at all (executes at most once)
         assert!(check("loop do\n break;\nend").is_empty());
     }
@@ -271,8 +274,9 @@ mod tests {
     }
 
     #[test]
-    fn async_loops_are_exempt(){
-        let src = "int r;\nr = async do\n int i = 0;\n loop do\n  i = i + 1;\n end\n return i;\nend;";
+    fn async_loops_are_exempt() {
+        let src =
+            "int r;\nr = async do\n int i = 0;\n loop do\n  i = i + 1;\n end\n return i;\nend;";
         assert!(check(src).is_empty());
     }
 

@@ -78,7 +78,10 @@ pub enum Label {
     Event(EventId),
     /// Expiry of the earliest known deadline, possibly coinciding with
     /// unknown-duration timers.
-    Time { rel: u64, with_unknown: Vec<GateId> },
+    Time {
+        rel: u64,
+        with_unknown: Vec<GateId>,
+    },
     /// Unknown-duration timers firing (alone or together).
     Unknown(Vec<GateId>),
     AsyncDone(AsyncId),
@@ -118,11 +121,7 @@ impl fmt::Display for Conflict {
             ConflictKind::InternalEvent => "concurrent access to internal event",
             ConflictKind::CCall => "concurrent C calls",
         };
-        write!(
-            f,
-            "nondeterminism: {kind} {} (at {} and {})",
-            self.what, self.spans.0, self.spans.1
-        )
+        write!(f, "nondeterminism: {kind} {} (at {} and {})", self.what, self.spans.0, self.spans.1)
     }
 }
 
@@ -274,11 +273,8 @@ pub fn analyze(prog: &CompiledProgram, opts: &DfaOptions) -> Dfa {
             }
         }
     }
-    let internal = prog
-        .events
-        .iter()
-        .map(|(_, e)| e.kind == ceu_ast::EventKind::Internal)
-        .collect();
+    let internal =
+        prog.events.iter().map(|(_, e)| e.kind == ceu_ast::EventKind::Internal).collect();
     let az = Analyzer { prog, opts, slot_name, internal };
     az.build()
 }
@@ -302,8 +298,7 @@ impl<'a> Analyzer<'a> {
 
         // boot transition
         let st0 = dfa.states[0].clone();
-        let boot_outcomes =
-            self.expand(&st0, Label::Boot, vec![], Some(self.prog.boot), &mut dfa);
+        let boot_outcomes = self.expand(&st0, Label::Boot, vec![], Some(self.prog.boot), &mut dfa);
         for st in boot_outcomes {
             let idx = intern(&mut dfa, &mut interned, &mut work, st);
             dfa.transitions.push(Trans { from: 0, label: Label::Boot, to: idx });
@@ -315,7 +310,8 @@ impl<'a> Analyzer<'a> {
                 break;
             }
             for (label, roots) in self.labels_of(&dfa.states[s]) {
-                let outcomes = self.expand(&dfa.states[s].clone(), label.clone(), roots, None, &mut dfa);
+                let outcomes =
+                    self.expand(&dfa.states[s].clone(), label.clone(), roots, None, &mut dfa);
                 for st in outcomes {
                     let idx = intern(&mut dfa, &mut interned, &mut work, st);
                     dfa.transitions.push(Trans { from: s, label: label.clone(), to: idx });
@@ -619,12 +615,8 @@ impl<'a> Analyzer<'a> {
 
     fn clear_region(&self, cfg: &mut Config, r: RegionId) {
         let region = self.prog.region(r);
-        let doomed: Vec<GateId> = cfg
-            .gates
-            .keys()
-            .copied()
-            .filter(|g| (region.lo..region.hi).contains(g))
-            .collect();
+        let doomed: Vec<GateId> =
+            cfg.gates.keys().copied().filter(|g| (region.lo..region.hi).contains(g)).collect();
         for g in doomed {
             cfg.gates.remove(&g);
         }
@@ -694,7 +686,9 @@ impl<'a> Analyzer<'a> {
                 let conflict = match (&a.kind, &b.kind) {
                     (AccessKind::VarWrite(x), AccessKind::VarWrite(y))
                     | (AccessKind::VarWrite(x), AccessKind::VarRead(y))
-                    | (AccessKind::VarRead(x), AccessKind::VarWrite(y)) if x == y => {
+                    | (AccessKind::VarRead(x), AccessKind::VarWrite(y))
+                        if x == y =>
+                    {
                         Some((ConflictKind::Variable, format!("`{}`", strip(x))))
                     }
                     (AccessKind::EmitOut(x), AccessKind::EmitOut(y)) if x == y => Some((
@@ -703,15 +697,16 @@ impl<'a> Analyzer<'a> {
                     )),
                     (AccessKind::EmitInt(x), AccessKind::EmitInt(y))
                     | (AccessKind::EmitInt(x), AccessKind::AwaitInt(y))
-                    | (AccessKind::AwaitInt(x), AccessKind::EmitInt(y)) if x == y => {
+                    | (AccessKind::AwaitInt(x), AccessKind::EmitInt(y))
+                        if x == y =>
+                    {
                         Some((
                             ConflictKind::InternalEvent,
                             format!("`{}`", self.prog.events.get(*x).name),
                         ))
                     }
                     (AccessKind::CCall(f), AccessKind::CCall(g))
-                        if self.opts.check_ccalls
-                            && !self.prog.annotations.compatible(f, g) =>
+                        if self.opts.check_ccalls && !self.prog.annotations.compatible(f, g) =>
                     {
                         Some((ConflictKind::CCall, format!("`_{f}` and `_{g}`")))
                     }
@@ -751,10 +746,7 @@ fn push_track(cfg: &mut Config, prog: &CompiledProgram, block: BlockId, group: u
 /// Used for emit-awakened trails: they run before previously queued tracks
 /// (stack policy approximation).
 fn push_front_track(cfg: &mut Config, prog: &CompiledProgram, block: BlockId, group: u32) {
-    cfg.queue.insert(
-        0,
-        QTrack { rank: prog.block(block).rank, seq: 0, block, group },
-    );
+    cfg.queue.insert(0, QTrack { rank: prog.block(block).rank, seq: 0, block, group });
 }
 
 /// Enqueues a continuation keeping the given group (emitter resumption).
@@ -794,7 +786,14 @@ fn dedup_conflicts(conflicts: &mut Vec<Conflict>) {
     conflicts.retain(|c| {
         let mut spans = [c.spans.0, c.spans.1];
         spans.sort_by_key(|s| (s.line, s.col));
-        let key = (c.kind as u8, c.what.clone(), spans[0].line, spans[0].col, spans[1].line, spans[1].col);
+        let key = (
+            c.kind as u8,
+            c.what.clone(),
+            spans[0].line,
+            spans[0].col,
+            spans[1].line,
+            spans[1].col,
+        );
         seen.insert(key)
     });
 }
@@ -819,11 +818,7 @@ pub fn to_dot(dfa: &Dfa, prog: &CompiledProgram) -> String {
             };
             let _ = write!(label, "g{g}: {what} [{}]\\n", gi.span);
         }
-        let style = if conflict_states.contains(&i) {
-            ", color=red, penwidth=2"
-        } else {
-            ""
-        };
+        let style = if conflict_states.contains(&i) { ", color=red, penwidth=2" } else { "" };
         let _ = writeln!(out, "  s{i} [label=\"{label}\"{style}];");
     }
     for t in &dfa.transitions {

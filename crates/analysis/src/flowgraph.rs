@@ -32,11 +32,8 @@ pub fn to_dot(prog: &CompiledProgram) -> String {
                         GateKind::Never => "forever".into(),
                         GateKind::AsyncDone(a) => format!("async{a}"),
                     };
-                    let _ = writeln!(
-                        out,
-                        "  b{i} -> b{} [style=dashed, label=\"{lab}\"];",
-                        info.cont
-                    );
+                    let _ =
+                        writeln!(out, "  b{i} -> b{} [style=dashed, label=\"{lab}\"];", info.cont);
                 }
                 _ => {}
             }

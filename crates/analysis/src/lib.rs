@@ -144,13 +144,15 @@ mod tests {
 
     #[test]
     fn deterministic_annotation_allows_concurrent_calls() {
-        let src = "deterministic _led1On, _led2On;\npar/and do\n _led1On();\nwith\n _led2On();\nend";
+        let src =
+            "deterministic _led1On, _led2On;\npar/and do\n _led1On();\nwith\n _led2On();\nend";
         assert!(conflicts(src).is_empty());
     }
 
     #[test]
     fn pure_annotation_allows_concurrency_with_anything() {
-        let src = "pure _abs;\nint a, b;\npar/and do\n a = _abs(1);\nwith\n b = _f(2);\nend\nreturn a+b;";
+        let src =
+            "pure _abs;\nint a, b;\npar/and do\n a = _abs(1);\nwith\n b = _f(2);\nend\nreturn a+b;";
         assert!(conflicts(src).is_empty());
     }
 

@@ -10,10 +10,7 @@ fn conflicts(src: &str) -> Vec<ceu_analysis::Conflict> {
 }
 
 fn dfa(src: &str) -> ceu_analysis::Dfa {
-    analyze(
-        &compile_source(src).unwrap_or_else(|e| panic!("{e}")),
-        &DfaOptions::default(),
-    )
+    analyze(&compile_source(src).unwrap_or_else(|e| panic!("{e}")), &DfaOptions::default())
 }
 
 #[test]
@@ -80,10 +77,7 @@ fn two_unknown_timers_may_coincide() {
     assert!(cs.iter().any(|c| c.kind == ConflictKind::CCall), "{cs:?}");
     // the pairwise-unknown transition exists
     let d = dfa(src);
-    assert!(d
-        .transitions
-        .iter()
-        .any(|t| matches!(&t.label, Label::Unknown(gs) if gs.len() == 2)));
+    assert!(d.transitions.iter().any(|t| matches!(&t.label, Label::Unknown(gs) if gs.len() == 2)));
 }
 
 #[test]
@@ -209,10 +203,7 @@ fn three_phase_timer_cycle_converges() {
     assert!(d.states.len() <= 8);
     // relative deadlines appear in the states
     use ceu_analysis::GateSt;
-    assert!(d
-        .states
-        .iter()
-        .any(|s| s.gates.values().any(|g| matches!(g, GateSt::Time(_)))));
+    assert!(d.states.iter().any(|s| s.gates.values().any(|g| matches!(g, GateSt::Time(_)))));
 }
 
 #[test]

@@ -21,10 +21,7 @@ impl Lcd {
 
     /// `lcd.setCursor(col, row)` — Arduino argument order.
     pub fn set_cursor(&mut self, col: i64, row: i64) {
-        self.cursor = (
-            (row.max(0) as usize).min(ROWS - 1),
-            (col.max(0) as usize).min(COLS - 1),
-        );
+        self.cursor = ((row.max(0) as usize).min(ROWS - 1), (col.max(0) as usize).min(COLS - 1));
     }
 
     /// `lcd.write(c)` — writes at the cursor and advances it.

@@ -57,7 +57,10 @@ impl Host for MarioHost {
             }
             "rand" => {
                 // glibc-style LCG constants; deterministic across replays
-                self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.rng_state = self
+                    .rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Ok(Value::Int(((self.rng_state >> 33) & 0x7FFF_FFFF) as i64))
             }
             "redraw" => {

@@ -165,11 +165,7 @@ impl Host for ShipHost {
             // `_MAP[row][step]` → character
             Value::Ptr(Ptr::Host(h)) if *h > ROW_HANDLE && *h <= ROW_HANDLE + 2 => {
                 let row = (h - ROW_HANDLE - 1) as usize;
-                let c = self
-                    .map[row]
-                    .get(idx.max(0) as usize)
-                    .copied()
-                    .unwrap_or(' ');
+                let c = self.map[row].get(idx.max(0) as usize).copied().unwrap_or(' ');
                 Ok(Value::Int(c as i64))
             }
             other => Err(format!("cannot index {other}")),
@@ -186,18 +182,14 @@ mod tests {
         let mut h = ShipHost::new(7, 100);
         h.call("map_generate", &[]).unwrap();
         for i in 0..100 {
-            assert!(
-                h.map[0][i] != '#' || h.map[1][i] != '#',
-                "column {i} fully blocked"
-            );
+            assert!(h.map[0][i] != '#' || h.map[1][i] != '#', "column {i} fully blocked");
         }
         for i in 0..4 {
             assert_eq!(h.map[0][i], ' ');
             assert_eq!(h.map[1][i], ' ');
         }
         // some meteors exist
-        let meteors: usize =
-            h.map.iter().map(|r| r.iter().filter(|&&c| c == '#').count()).sum();
+        let meteors: usize = h.map.iter().map(|r| r.iter().filter(|&&c| c == '#').count()).sum();
         assert!(meteors > 10, "{meteors}");
     }
 

@@ -36,10 +36,7 @@ fn desugar_block(block: &mut Block) {
                 .collect();
             out.push(stmt);
             for (name, rhs) in inits {
-                out.push(Stmt::new(
-                    StmtKind::Assign { lhs: Expr::var(name, span), rhs },
-                    span,
-                ));
+                out.push(Stmt::new(StmtKind::Assign { lhs: Expr::var(name, span), rhs }, span));
             }
         } else {
             out.push(stmt);

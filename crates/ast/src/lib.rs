@@ -97,9 +97,7 @@ mod tests {
             block: Block {
                 stmts: vec![
                     stmt(StmtKind::Nothing),
-                    stmt(StmtKind::Loop {
-                        body: Block { stmts: vec![stmt(StmtKind::Break)] },
-                    }),
+                    stmt(StmtKind::Loop { body: Block { stmts: vec![stmt(StmtKind::Break)] } }),
                     stmt(StmtKind::Nothing),
                 ],
             },

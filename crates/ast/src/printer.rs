@@ -240,10 +240,7 @@ mod tests {
         let s = Span::new(1, 1);
         let p = Program {
             block: Block::new(vec![
-                Stmt::new(
-                    StmtKind::InputDecl { ty: Type::int(), names: vec!["A".into()] },
-                    s,
-                ),
+                Stmt::new(StmtKind::InputDecl { ty: Type::int(), names: vec!["A".into()] }, s),
                 Stmt::new(
                     StmtKind::Loop {
                         body: Block::new(vec![Stmt::new(

@@ -324,9 +324,7 @@ fn resolve_stmt(stmt: &mut Stmt, ctx: &mut Ctx) -> Result<()> {
                 return Err(ResolveError::new(span, "`await` is not allowed inside `async`"));
             }
             match ctx.events.lookup(name) {
-                None => {
-                    return Err(ResolveError::new(span, format!("undeclared event `{name}`")))
-                }
+                None => return Err(ResolveError::new(span, format!("undeclared event `{name}`"))),
                 Some(eid) if ctx.events.get(eid).kind == EventKind::Output => {
                     return Err(ResolveError::new(
                         span,
@@ -447,7 +445,9 @@ fn resolve_stmt(stmt: &mut Stmt, ctx: &mut Ctx) -> Result<()> {
             if !info.ty.has_value() {
                 return Err(ResolveError::new(
                     span,
-                    format!("suspend guard `{event}` must carry a value (0 resumes, nonzero pauses)"),
+                    format!(
+                        "suspend guard `{event}` must carry a value (0 resumes, nonzero pauses)"
+                    ),
                 ));
             }
             resolve_block(body, ctx)?;

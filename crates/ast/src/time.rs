@@ -12,13 +12,8 @@
 use std::fmt;
 
 /// Microseconds per unit, largest first (the grammar's fixed unit order).
-pub const UNITS: [(&str, u64); 5] = [
-    ("h", 3_600_000_000),
-    ("min", 60_000_000),
-    ("s", 1_000_000),
-    ("ms", 1_000),
-    ("us", 1),
-];
+pub const UNITS: [(&str, u64); 5] =
+    [("h", 3_600_000_000), ("min", 60_000_000), ("s", 1_000_000), ("ms", 1_000), ("us", 1)];
 
 /// A wall-clock duration, canonicalised to microseconds.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -37,7 +37,7 @@ fn sync_stats(on0: &[u64], on1: &[u64]) -> (usize, i64) {
     (coincidences, drift)
 }
 
-fn run_ceu() -> (usize, i64) {
+fn run_ceu() -> (usize, i64, ceu::runtime::Metrics) {
     struct LedHost {
         on0: Vec<u64>,
         on1: Vec<u64>,
@@ -58,6 +58,7 @@ fn run_ceu() -> (usize, i64) {
     }
     let program = Compiler::new().compile(BLINK_SYNC_CEU).expect("blink is safe");
     let mut sim = Simulator::new(program, LedHost { on0: vec![], on1: vec![], now: 0 });
+    sim.enable_metrics();
     sim.start().unwrap();
     let mut t = 0;
     while t < HOUR_US {
@@ -74,8 +75,13 @@ fn run_ceu() -> (usize, i64) {
     // the host recorded poll-time stamps; re-run with exact accounting
     // is unnecessary — Céu toggles land exactly on multiples of 400ms in
     // machine time, so recompute from count
+    let metrics = sim.take_metrics().expect("metrics enabled");
     let h = sim.host();
-    (sync_stats(&ideal_grid(h.on0.len(), 800_000), &ideal_grid(h.on1.len(), 2_000_000)).0, 0)
+    (
+        sync_stats(&ideal_grid(h.on0.len(), 800_000), &ideal_grid(h.on1.len(), 2_000_000)).0,
+        0,
+        metrics,
+    )
 }
 
 /// The machine fires at exact logical deadlines k·period; reconstruct.
@@ -118,9 +124,17 @@ struct Row {
     drift_us: i64,
 }
 
+#[derive(Serialize)]
+struct MachineRow {
+    reactions: u64,
+    timer_firings: u64,
+    tracks_run: u64,
+    reaction_wall_p99_ns: u64,
+}
+
 fn main() {
     println!("§5 blink-synchronization experiment (1 virtual hour, leds at 400ms / 1000ms)\n");
-    let (ceu_sync, ceu_drift) = run_ceu();
+    let (ceu_sync, ceu_drift, ceu_metrics) = run_ceu();
     let (mt_sync, mt_drift) = run_threads();
     let (oc_sync, oc_drift) = run_occam();
 
@@ -130,13 +144,14 @@ fn main() {
         vec!["preemptive threads".to_string(), mt_sync.to_string(), format!("{}µs", mt_drift)],
         vec!["occam-analog".to_string(), oc_sync.to_string(), format!("{}µs", oc_drift)],
     ];
-    println!("{}", table::render(&["model", "joint switch-ons (exp. ~900)", "led0 grid drift"], &rows));
+    println!(
+        "{}",
+        table::render(&["model", "joint switch-ons (exp. ~900)", "led0 grid drift"], &rows)
+    );
 
-    for (model, sync, drift) in [
-        ("ceu", ceu_sync, ceu_drift),
-        ("threads", mt_sync, mt_drift),
-        ("occam", oc_sync, oc_drift),
-    ] {
+    for (model, sync, drift) in
+        [("ceu", ceu_sync, ceu_drift), ("threads", mt_sync, mt_drift), ("occam", oc_sync, oc_drift)]
+    {
         table::record(
             "blink_sync",
             &Row { model: model.into(), coincidences: sync, drift_us: drift },
@@ -147,11 +162,19 @@ fn main() {
         ceu_sync >= expected - 1,
         "Céu must stay synchronized the whole hour ({ceu_sync}/{expected})"
     );
-    assert!(
-        mt_sync < expected / 10,
-        "preemptive threads must lose synchronism ({mt_sync})"
-    );
+    assert!(mt_sync < expected / 10, "preemptive threads must lose synchronism ({mt_sync})");
     assert!(oc_sync < expected / 10, "occam processes must lose synchronism ({oc_sync})");
     assert!(mt_drift > 100_000, "thread drift accumulates ({mt_drift}µs)");
+
+    // profile of the Céu run itself: one timer reaction per poll tick
+    table::record(
+        "blink_sync_machine",
+        &MachineRow {
+            reactions: ceu_metrics.reactions,
+            timer_firings: ceu_metrics.timer_firings,
+            tracks_run: ceu_metrics.tracks_run,
+            reaction_wall_p99_ns: ceu_metrics.reaction_wall_ns.quantile(0.99),
+        },
+    );
     println!("paper's observation reproduced: only the synchronous model stays locked ✓");
 }

@@ -37,7 +37,8 @@ fn main() {
     let mut rejected = 0usize;
     for path in &files {
         let src = std::fs::read_to_string(path).unwrap();
-        let loc = src.lines().filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//")).count();
+        let loc =
+            src.lines().filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//")).count();
         let name = path
             .strip_prefix("corpus")
             .unwrap()
@@ -79,7 +80,10 @@ fn main() {
         }
         rows.push(vec![name, loc.to_string(), tracks, gates, states, verdict]);
     }
-    println!("Corpus census — {} programs ({accepted} accepted, {rejected} refused)\n", files.len());
+    println!(
+        "Corpus census — {} programs ({accepted} accepted, {rejected} refused)\n",
+        files.len()
+    );
     println!(
         "{}",
         table::render(&["program", "loc", "tracks", "gates", "dfa states", "verdict"], &rows)
@@ -95,11 +99,8 @@ fn main() {
         }
     }
     // keep the DFA-size observation honest: the biggest machine stays small
-    let max_states: usize = rows
-        .iter()
-        .filter_map(|r| r[4].parse::<usize>().ok())
-        .max()
-        .unwrap_or(0);
+    let max_states: usize =
+        rows.iter().filter_map(|r| r[4].parse::<usize>().ok()).max().unwrap_or(0);
     println!("largest DFA across the corpus: {max_states} states");
     let _ = DfaOptions::default();
 }

@@ -3,16 +3,18 @@
 //! trail 4's parent); a second `A` is discarded; `B` finishes everything;
 //! the enqueued `C` never gets a reaction because the program terminated.
 //!
-//! The harness traces the real machine and prints the chains in the
-//! figure's structure.
+//! The harness traces the real machine, prints the chains in the
+//! figure's structure, and exports the run as a Chrome/Perfetto trace
+//! plus a metrics snapshot under `target/experiments/`.
 //!
 //! ```sh
 //! cargo run -p ceu-bench --bin fig1_reaction
 //! ```
 
-use ceu::runtime::{Cause, Collector, NullHost, Status, TraceEvent, Value};
+use ceu::runtime::telemetry::{self, ChromeTraceSink, TraceSink};
+use ceu::runtime::{Cause, NullHost, Status, TraceEvent, Value};
 use ceu::{Compiler, Simulator};
-use ceu_bench::FIG1_PROGRAM;
+use ceu_bench::{out_dir, table, FIG1_PROGRAM};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -20,7 +22,18 @@ fn main() {
     let program = Compiler::new().compile(FIG1_PROGRAM).expect("figure-1 program is safe");
     let buf = Rc::new(RefCell::new(Vec::new()));
     let mut sim = Simulator::new(program, NullHost);
-    sim.set_tracer(Collector::into_buffer(buf.clone()));
+    sim.machine_mut().enable_metrics();
+
+    let trace_path = out_dir().join("fig1_trace.json");
+    let file = std::io::BufWriter::new(
+        std::fs::File::create(&trace_path).expect("create fig1_trace.json"),
+    );
+    let (chrome, mut chrome_tracer) = telemetry::shared(ChromeTraceSink::new(file));
+    let tap = Rc::clone(&buf);
+    sim.set_tracer(Box::new(move |e| {
+        tap.borrow_mut().push(*e);
+        chrome_tracer(e);
+    }));
 
     sim.start().unwrap();
     let s1 = sim.event("A", None).unwrap();
@@ -34,7 +47,7 @@ fn main() {
     let mut chain = 0;
     for e in buf.borrow().iter() {
         match e {
-            TraceEvent::ReactionStart { cause } => {
+            TraceEvent::ReactionStart { cause, .. } => {
                 chain += 1;
                 let label = match cause {
                     Cause::Boot => "boot".to_string(),
@@ -53,8 +66,8 @@ fn main() {
                 println!("    event #{} DISCARDED (no awaiting trails)", event.0)
             }
             TraceEvent::Terminated { .. } => println!("    program terminates"),
-            TraceEvent::ReactionEnd => println!(),
-            TraceEvent::EmitInt { .. } => {}
+            TraceEvent::ReactionEnd { .. } => println!(),
+            _ => {}
         }
     }
 
@@ -63,14 +76,36 @@ fn main() {
     assert_eq!(s2, Status::Running, "the second A is discarded, nothing changes");
     assert_eq!(s3, Status::Terminated(None), "B finishes the program");
     assert!(s4, "post-termination events are no-ops");
-    let events = buf.borrow();
-    let discards = events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).count();
-    assert_eq!(discards, 1);
-    // boot + A + A(discarded) + B = four reaction chains, no reaction to C
-    let chains = events
-        .iter()
-        .filter(|e| matches!(e, TraceEvent::ReactionStart { .. }))
-        .count();
-    assert_eq!(chains, 4);
+    {
+        let events = buf.borrow();
+        let discards = events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).count();
+        assert_eq!(discards, 1);
+        // boot + A + A(discarded) + B = four reaction chains, no reaction to C
+        let chains =
+            events.iter().filter(|e| matches!(e, TraceEvent::ReactionStart { .. })).count();
+        assert_eq!(chains, 4);
+    }
+
+    chrome.borrow_mut().finish();
+    let metrics = sim.machine().metrics().expect("metrics enabled").clone();
+    table::record(
+        "fig1_metrics",
+        &MetricsRow {
+            reactions: metrics.reactions,
+            tracks_run: metrics.tracks_run,
+            discarded_events: metrics.discarded_events,
+            gates_fired: metrics.gates_fired,
+        },
+    );
+    println!("perfetto trace -> {}", trace_path.display());
+    print!("{}", metrics.summary());
     println!("figure-1 behaviour reproduced: 4 chains, 1 discard, C never reacts ✓");
+}
+
+#[derive(serde::Serialize)]
+struct MetricsRow {
+    reactions: u64,
+    tracks_run: u64,
+    discarded_events: u64,
+    gates_fired: u64,
 }

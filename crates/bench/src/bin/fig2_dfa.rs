@@ -24,10 +24,7 @@ fn main() {
     println!("conflicts:   {}", d.conflicts.len());
     for c in &d.conflicts {
         println!("  {c}");
-        println!(
-            "  → first reachable on input occurrence #{}",
-            d.conflict_depth(c).unwrap()
-        );
+        println!("  → first reachable on input occurrence #{}", d.conflict_depth(c).unwrap());
     }
 
     let dot = dfa::to_dot(&d, &program);

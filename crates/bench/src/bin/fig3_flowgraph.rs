@@ -30,19 +30,10 @@ fn main() {
     assert!(prioritized >= 2, "par/or and loop escapes carry priorities");
     // the loop escape (outer) must have a lower priority (= larger rank)
     // than the par/or escape (inner)
-    let rank_of = |label: &str| {
-        program
-            .blocks
-            .iter()
-            .find(|b| b.label == label)
-            .map(|b| b.rank)
-            .unwrap_or(0)
-    };
+    let rank_of =
+        |label: &str| program.blocks.iter().find(|b| b.label == label).map(|b| b.rank).unwrap_or(0);
     let (loop_esc, par_esc) = (rank_of("loop.esc"), rank_of("par.esc"));
-    assert!(
-        loop_esc > par_esc,
-        "outer escape must run later: loop {loop_esc} vs par/or {par_esc}"
-    );
+    assert!(loop_esc > par_esc, "outer escape must run later: loop {loop_esc} vs par/or {par_esc}");
 
     let path = ceu_bench::out_dir().join("fig3_flowgraph.dot");
     std::fs::write(&path, &dot).expect("write dot");

@@ -69,9 +69,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for (name, ceu_src, nesc) in &apps {
-        let program = ceu::Compiler::new()
-            .compile(ceu_src)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let program =
+            ceu::Compiler::new().compile(ceu_src).unwrap_or_else(|e| panic!("{name}: {e}"));
         let rep = ceu::codegen::memory_report(&program);
         let nesc_rom = nesc.nesc_source().len() as u32;
         let nesc_ram = nesc.ram_bytes() + NESC_FIXED_RAM;

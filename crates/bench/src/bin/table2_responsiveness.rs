@@ -73,7 +73,9 @@ impl<B: Backend> Backend for Metered<B> {
         self.inner.deliver(ctx, packet);
         self.meter.count.set(self.meter.count.get() + 1);
         self.meter.last_at.set(ctx.now);
-        self.meter.latency_sum.set(self.meter.latency_sum.get() + (ctx.now - sent - RADIO_LATENCY_US));
+        self.meter
+            .latency_sum
+            .set(self.meter.latency_sum.get() + (ctx.now - sent - RADIO_LATENCY_US));
     }
     fn timer(&mut self, ctx: &mut MoteCtx) {
         self.inner.timer(ctx);
@@ -95,9 +97,9 @@ impl ThreadBody for RecvThread {
                 let sent = p.payload.get(1).copied().unwrap_or(0) as u64;
                 self.meter.count.set(self.meter.count.get() + 1);
                 self.meter.last_at.set(ctx.now);
-                self.meter
-                    .latency_sum
-                    .set(self.meter.latency_sum.get() + ctx.now.saturating_sub(sent + RADIO_LATENCY_US));
+                self.meter.latency_sum.set(
+                    self.meter.latency_sum.get() + ctx.now.saturating_sub(sent + RADIO_LATENCY_US),
+                );
                 Step::Run
             }
             None => Step::WaitRecv,
@@ -115,7 +117,7 @@ impl ThreadBody for Spin {
 }
 
 /// Runs one configuration; returns `(total_time_s, mean_latency_us)`.
-fn run(receiver: Box<dyn Backend>, meter: Meter, senders: usize) -> (f64, f64) {
+fn run(label: &str, receiver: Box<dyn Backend>, meter: Meter, senders: usize) -> (f64, f64) {
     let mut w = World::new(Radio::new(Topology::Full, RADIO_LATENCY_US, 0.0, 1));
     w.add_mote(receiver);
     for _ in 0..senders {
@@ -129,6 +131,26 @@ fn run(receiver: Box<dyn Backend>, meter: Meter, senders: usize) -> (f64, f64) {
         w.run_until(t);
     }
     assert!(meter.count.get() >= TARGET, "did not receive {TARGET} messages in time");
+
+    // the simulator's own accounting must agree with the meter
+    let rx = *w.mote_stats(0);
+    assert!(rx.received >= TARGET, "per-mote receive count lags the meter");
+    assert_eq!(
+        w.radio.stats.delivered + w.radio.stats.dropped_link + w.radio.stats.dropped_loss,
+        w.radio.stats.attempts
+    );
+    table::record(
+        "table2_wsn",
+        &WsnRow {
+            config: label.to_string(),
+            senders,
+            receiver_received: rx.received,
+            sender0_sent: w.mote_stats(1).sent,
+            radio_attempts: w.radio.stats.attempts,
+            radio_delivered: w.radio.stats.delivered,
+        },
+    );
+
     let total = meter.last_at.get() as f64 / 1e6;
     let lat = meter.latency_sum.get() as f64 / meter.count.get() as f64;
     (total, lat)
@@ -179,6 +201,17 @@ struct Row {
     mean_latency_us: f64,
 }
 
+/// Per-run simulator accounting (per-mote + medium counters).
+#[derive(Serialize)]
+struct WsnRow {
+    config: String,
+    senders: usize,
+    receiver_received: u64,
+    sender0_sent: u64,
+    radio_attempts: u64,
+    radio_delivered: u64,
+}
+
 fn main() {
     println!("Table 2 — responsiveness: time to receive {TARGET} messages (7ms radio floor)\n");
     let mut rows = Vec::new();
@@ -200,7 +233,8 @@ fn main() {
             } else {
                 mantis_receiver(loops, boost, meter.clone())
             };
-            let (total, lat) = run(receiver, meter, senders);
+            let label = format!("{system}/{loops}loops");
+            let (total, lat) = run(&label, receiver, meter, senders);
             rows.push(vec![
                 format!("{senders} sender{}", if senders > 1 { "s" } else { "" }),
                 system.to_string(),

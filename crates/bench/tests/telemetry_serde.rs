@@ -1,0 +1,74 @@
+//! The serde impls on the telemetry types (feature `telemetry-json`,
+//! enabled by this crate) must agree byte-for-byte with the runtime's
+//! dependency-free JSON writer — the canonical wire format — and must
+//! produce parseable JSON.
+
+use ceu::ast::EventId;
+use ceu::codegen::{AsyncId, BlockId, GateId};
+use ceu::runtime::telemetry::{cause_to_json, event_to_json};
+use ceu::runtime::{Cause, TraceEvent};
+
+fn all_variants() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::ReactionStart { cause: Cause::Boot, now_us: 0, wall_ns: 17 },
+        TraceEvent::ReactionStart {
+            cause: Cause::Event(EventId(3)),
+            now_us: 1_500,
+            wall_ns: 2_000,
+        },
+        TraceEvent::ReactionStart { cause: Cause::Timer(1_500), now_us: 1_500, wall_ns: 9 },
+        TraceEvent::ReactionStart { cause: Cause::AsyncDone(2 as AsyncId), now_us: 7, wall_ns: 8 },
+        TraceEvent::Discarded { event: EventId(4) },
+        TraceEvent::TrackRun { block: 9 as BlockId, rank: 3 },
+        TraceEvent::GateArmed { gate: 5 as GateId },
+        TraceEvent::GateFired { gate: 5 as GateId },
+        TraceEvent::EmitInt { event: EventId(1), depth: 2 },
+        TraceEvent::AsyncSlice { async_id: 0 as AsyncId },
+        TraceEvent::BudgetExceeded { tracks: 4_096, wall_ns: 1_000_000 },
+        TraceEvent::ReactionEnd {
+            now_us: 1_500,
+            wall_ns: 3_000,
+            tracks: 12,
+            emits: 2,
+            gates_fired: 3,
+            gates_armed: 4,
+            queue_peak: 5,
+            emit_depth_max: 1,
+        },
+        TraceEvent::Terminated { value: Some(-7) },
+        TraceEvent::Terminated { value: None },
+    ]
+}
+
+#[test]
+fn serde_serialize_matches_the_canonical_writer() {
+    for e in all_variants() {
+        let via_serde = serde_json::to_string(&e).expect("serialize");
+        assert_eq!(via_serde, event_to_json(&e), "variant {}", e.kind());
+    }
+    for c in [Cause::Boot, Cause::Event(EventId(1)), Cause::Timer(9), Cause::AsyncDone(0)] {
+        assert_eq!(serde_json::to_string(&c).unwrap(), cause_to_json(&c));
+    }
+}
+
+#[test]
+fn every_event_serializes_to_parseable_json_with_its_kind() {
+    for e in all_variants() {
+        let text = event_to_json(&e);
+        let doc = serde_json::from_str(&text)
+            .unwrap_or_else(|err| panic!("{}: bad JSON {text}: {err:?}", e.kind()));
+        let ev = doc.get("ev").and_then(|v| v.as_str());
+        assert_eq!(ev, Some(e.kind()), "the `ev` discriminant names the variant");
+    }
+}
+
+#[test]
+fn metrics_json_round_trips_through_the_parser() {
+    let mut m = ceu::runtime::Metrics { reactions: 3, ..Default::default() };
+    m.reaction_wall_ns.record(1_000);
+    m.reaction_wall_ns.record(2_000);
+    let via_serde = serde_json::to_string(&m).expect("serialize metrics");
+    assert_eq!(via_serde, m.to_json());
+    let doc = serde_json::from_str(&via_serde).expect("metrics JSON parses");
+    assert_eq!(doc.get("reactions").and_then(|v| v.as_u64()), Some(3));
+}

@@ -80,17 +80,30 @@ pub struct Instr {
 
 #[derive(Clone, Debug, PartialEq)]
 pub enum Op {
-    Assign { dst: Place, src: Rv },
+    Assign {
+        dst: Place,
+        src: Rv,
+    },
     /// Evaluate for side effects (a statement-position C call).
     Eval(Rv),
     /// Arm an event gate (`GATES[g] = cont` in the paper).
-    ActivateEvt { gate: GateId },
+    ActivateEvt {
+        gate: GateId,
+    },
     /// Arm a timer gate; the deadline is `logical now + us`.
-    ActivateTime { gate: GateId, us: TimeAmount },
+    ActivateTime {
+        gate: GateId,
+        us: TimeAmount,
+    },
     /// Arm an `await forever` gate (keeps the trail alive, never fires).
-    ActivateNever { gate: GateId },
+    ActivateNever {
+        gate: GateId,
+    },
     /// Start asynchronous block `async_id`; its completion fires `gate`.
-    ActivateAsync { gate: GateId, async_id: AsyncId },
+    ActivateAsync {
+        gate: GateId,
+        async_id: AsyncId,
+    },
     /// Kill every trail of a region: deactivate its gate range and abort
     /// asyncs hanging off gates in the range.
     ClearRegion(RegionId),
@@ -98,18 +111,30 @@ pub enum Op {
     Spawn(BlockId),
     /// Emit an internal event — runs the awakened trails as a nested
     /// reaction (stack policy, §2.2) before the next instruction.
-    EmitInt { event: EventId, value: Option<Rv> },
+    EmitInt {
+        event: EventId,
+        value: Option<Rv>,
+    },
     /// Emit an input event from an `async` (simulation, §2.8).
-    EmitExt { event: EventId, value: Option<Rv> },
+    EmitExt {
+        event: EventId,
+        value: Option<Rv>,
+    },
     /// Emit an output event towards the environment (future-work
     /// extension: multi-process GALS composition).
-    EmitOut { event: EventId, value: Option<Rv> },
+    EmitOut {
+        event: EventId,
+        value: Option<Rv>,
+    },
     /// Emit the passage of wall-clock time from an `async`.
     EmitTime(TimeAmount),
     /// Set a par/and completion flag.
     SetFlag(SlotId),
     /// Reset the completion flags `[lo, hi)` of a par/and at fork time.
-    ClearFlags { lo: SlotId, hi: SlotId },
+    ClearFlags {
+        lo: SlotId,
+        hi: SlotId,
+    },
 }
 
 /// Block terminator.
@@ -118,13 +143,25 @@ pub enum Term {
     /// Yield to the scheduler (the paper's `halt`).
     Halt,
     Goto(BlockId),
-    If { cond: Rv, then_b: BlockId, else_b: BlockId },
+    If {
+        cond: Rv,
+        then_b: BlockId,
+        else_b: BlockId,
+    },
     /// par/and rejoin: proceed to `cont` iff all flags in `[lo, hi)` are set.
-    JoinAnd { lo: SlotId, hi: SlotId, cont: BlockId },
+    JoinAnd {
+        lo: SlotId,
+        hi: SlotId,
+        cont: BlockId,
+    },
     /// Top-level `return` / program end.
-    TerminateProgram { value: Option<Rv> },
+    TerminateProgram {
+        value: Option<Rv>,
+    },
     /// `return` inside an `async` / async body end.
-    TerminateAsync { value: Option<Rv> },
+    TerminateAsync {
+        value: Option<Rv>,
+    },
 }
 
 /// A basic block ("track").
@@ -251,7 +288,13 @@ impl CompiledProgram {
 impl fmt::Display for CompiledProgram {
     /// Human-readable IR dump, for tests and debugging.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; data: {} slots, {} gates, {} regions", self.data_len, self.gates.len(), self.regions.len())?;
+        writeln!(
+            f,
+            "; data: {} slots, {} gates, {} regions",
+            self.data_len,
+            self.gates.len(),
+            self.regions.len()
+        )?;
         for (i, b) in self.blocks.iter().enumerate() {
             writeln!(f, "{i}: {} (rank {})", b.label, b.rank)?;
             for instr in &b.instrs {

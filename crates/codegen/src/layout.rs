@@ -89,9 +89,8 @@ fn layout_block(
                 for d in defs {
                     let len = d.array.unwrap_or(1);
                     let info = vars.get(d.name.as_str());
-                    let elem_bytes = info.map(|v| target_size(&v.ty)).unwrap_or_else(|| {
-                        target_size(ty)
-                    });
+                    let elem_bytes =
+                        info.map(|v| target_size(&v.ty)).unwrap_or_else(|| target_size(ty));
                     l.slot_of_var.insert(d.name.clone(), (cur, d.array.is_some()));
                     l.slots.push(SlotInfo {
                         name: d.name.clone(),
@@ -172,12 +171,7 @@ fn layout_par(
 
 fn alloc_hidden(l: &mut Layout, cur: &mut u32, stmt: &Stmt, label: &str) -> SlotId {
     let slot = *cur;
-    l.slots.push(SlotInfo {
-        name: format!("{label}@{}", stmt.id),
-        slot,
-        len: 1,
-        target_bytes: 2,
-    });
+    l.slots.push(SlotInfo { name: format!("{label}@{}", stmt.id), slot, len: 1, target_bytes: 2 });
     *cur += 1;
     slot
 }

@@ -39,9 +39,8 @@ mod tests {
     fn simple_await_splits_tracks() {
         // the paper's §4.4 example: two awaits in sequence split the code
         // into three parts
-        let p = compile_ok(
-            "input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;",
-        );
+        let p =
+            compile_ok("input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;");
         assert_eq!(p.gates.len(), 2);
         // boot + aft.A + aft.B
         assert!(p.blocks.len() >= 3);
@@ -50,10 +49,7 @@ mod tests {
         assert!(matches!(boot.instrs.last().unwrap().op, Op::ActivateEvt { gate: 0 }));
         assert_eq!(boot.term, Term::Halt);
         // final track terminates the program (fallthrough)
-        assert!(p
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, Term::TerminateProgram { .. })));
+        assert!(p.blocks.iter().any(|b| matches!(b.term, Term::TerminateProgram { .. })));
     }
 
     #[test]
@@ -82,9 +78,8 @@ mod tests {
 
     #[test]
     fn par_or_escape_outranks_normal_tracks() {
-        let p = compile_ok(
-            "input void A, B;\npar/or do\n await A;\nwith\n await B;\nend\nawait A;",
-        );
+        let p =
+            compile_ok("input void A, B;\npar/or do\n await A;\nwith\n await B;\nend\nawait A;");
         let esc = p.blocks.iter().find(|b| b.label == "par.esc").unwrap();
         assert!(esc.rank > 0, "escape blocks must run after normal tracks");
         assert!(esc.instrs.iter().any(|i| matches!(i.op, Op::ClearRegion(_))));
@@ -107,11 +102,7 @@ mod tests {
         let p = compile_ok("input void A, B;\npar/and do\n await A;\nwith\n await B;\nend");
         let boot = p.block(p.boot);
         assert!(boot.instrs.iter().any(|i| matches!(i.op, Op::ClearFlags { .. })));
-        let joins = p
-            .blocks
-            .iter()
-            .filter(|b| matches!(b.term, Term::JoinAnd { .. }))
-            .count();
+        let joins = p.blocks.iter().filter(|b| matches!(b.term, Term::JoinAnd { .. })).count();
         assert_eq!(joins, 2);
     }
 
@@ -124,7 +115,11 @@ mod tests {
         let breaker = p
             .blocks
             .iter()
-            .find(|b| b.instrs.iter().any(|i| matches!(i.op, Op::Spawn(_))) && b.term == Term::Halt && b.label.starts_with("aft."))
+            .find(|b| {
+                b.instrs.iter().any(|i| matches!(i.op, Op::Spawn(_)))
+                    && b.term == Term::Halt
+                    && b.label.starts_with("aft.")
+            })
             .expect("break block");
         assert!(breaker.label.contains("aft.A"));
     }
@@ -150,17 +145,12 @@ mod tests {
         assert!(a.result.is_some());
         assert_eq!(p.gate(a.done_gate).kind, GateKind::AsyncDone(0));
         // async bodies terminate with TerminateAsync
-        assert!(p
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, Term::TerminateAsync { .. })));
+        assert!(p.blocks.iter().any(|b| matches!(b.term, Term::TerminateAsync { .. })));
     }
 
     #[test]
     fn async_break_uses_goto_not_spawn() {
-        let p = compile_ok(
-            "int r;\nr = async do\n loop do\n  break;\n end\n return 1;\nend;",
-        );
+        let p = compile_ok("int r;\nr = async do\n loop do\n  break;\n end\n return 1;\nend;");
         // no Spawn instruction inside the async entry chain other than the
         // sync-side fork; async loops compile to direct gotos
         let async_entry = p.asyncs[0].entry as usize;
@@ -173,16 +163,10 @@ mod tests {
         let p = compile_ok(
             "input int Start;\ninternal void tick;\npar/or do\n emit tick;\n await forever;\nwith\n async do\n  emit Start = 1;\n end\nend",
         );
-        let has_int = p
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i.op, Op::EmitInt { .. }));
-        let has_ext = p
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i.op, Op::EmitExt { .. }));
+        let has_int =
+            p.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(i.op, Op::EmitInt { .. }));
+        let has_ext =
+            p.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(i.op, Op::EmitExt { .. }));
         assert!(has_int && has_ext);
     }
 
@@ -195,9 +179,8 @@ mod tests {
 
     #[test]
     fn c_backend_emits_paper_shape() {
-        let p = compile_ok(
-            "input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;",
-        );
+        let p =
+            compile_ok("input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;");
         let c = cbackend::emit_c(&p);
         assert!(c.contains("_SWITCH:"), "goto label per the paper");
         assert!(c.contains("switch (track)"));
@@ -208,9 +191,8 @@ mod tests {
 
     #[test]
     fn c_backend_kill_is_memset() {
-        let p = compile_ok(
-            "input void A, B;\npar/or do\n await A;\nwith\n await B;\nend\nawait B;",
-        );
+        let p =
+            compile_ok("input void A, B;\npar/or do\n await A;\nwith\n await B;\nend\nawait B;");
         let c = cbackend::emit_c(&p);
         assert!(c.contains("memset(GATES +"), "region kill must be a memset:\n{c}");
     }

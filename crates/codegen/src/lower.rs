@@ -7,9 +7,7 @@
 
 use crate::ir::*;
 use crate::layout::{self, Layout};
-use ceu_ast::{
-    AssignRhs, Block, Expr, ExprKind, ParKind, Resolved, Span, Stmt, StmtKind, UnOp,
-};
+use ceu_ast::{AssignRhs, Block, Expr, ExprKind, ParKind, Resolved, Span, Stmt, StmtKind, UnOp};
 use std::fmt;
 
 /// A lowering error (constructs the runtime cannot express).
@@ -161,7 +159,12 @@ impl<'a> Lower<'a> {
         debug_assert_eq!(popped, Some(id));
     }
 
-    fn lower_seq(&mut self, stmts: &[Stmt], mut cur: BlockId, flow: &Flow) -> Result<Option<BlockId>> {
+    fn lower_seq(
+        &mut self,
+        stmts: &[Stmt],
+        mut cur: BlockId,
+        flow: &Flow,
+    ) -> Result<Option<BlockId>> {
         for stmt in stmts {
             match self.lower_stmt(stmt, cur, flow)? {
                 Some(next) => cur = next,
@@ -310,11 +313,9 @@ impl<'a> Lower<'a> {
                 if self.in_async {
                     return Err(CompileError::new(span, "`suspend` inside `async`"));
                 }
-                let eid = self
-                    .resolved
-                    .events
-                    .lookup(event)
-                    .ok_or_else(|| CompileError::new(span, format!("undeclared event `{event}`")))?;
+                let eid = self.resolved.events.lookup(event).ok_or_else(|| {
+                    CompileError::new(span, format!("undeclared event `{event}`"))
+                })?;
                 // the body's gates form a region the runtime can gate on
                 let region = self.open_region("suspend");
                 let end = self.lower_seq(&body.stmts, cur, flow)?;
@@ -654,10 +655,16 @@ impl<'a> Lower<'a> {
                             ));
                         }
                     }
-                    return Err(CompileError::new(e.span, "cannot take the address of this expression"));
+                    return Err(CompileError::new(
+                        e.span,
+                        "cannot take the address of this expression",
+                    ));
                 }
                 _ => {
-                    return Err(CompileError::new(e.span, "cannot take the address of this expression"))
+                    return Err(CompileError::new(
+                        e.span,
+                        "cannot take the address of this expression",
+                    ))
                 }
             },
             ExprKind::Unop(UnOp::Deref, inner) => Rv::Deref(Box::new(self.lower_expr(inner)?)),
@@ -665,16 +672,12 @@ impl<'a> Lower<'a> {
             ExprKind::Binop(op, a, b) => {
                 Rv::Bin(*op, Box::new(self.lower_expr(a)?), Box::new(self.lower_expr(b)?))
             }
-            ExprKind::Index(base, idx) => Rv::Index(
-                Box::new(self.lower_expr(base)?),
-                Box::new(self.lower_expr(idx)?),
-            ),
+            ExprKind::Index(base, idx) => {
+                Rv::Index(Box::new(self.lower_expr(base)?), Box::new(self.lower_expr(idx)?))
+            }
             ExprKind::Call(callee, args) => {
                 let name = flatten_callee(callee).ok_or_else(|| {
-                    CompileError::new(
-                        e.span,
-                        "only C functions (`_name`) can be called",
-                    )
+                    CompileError::new(e.span, "only C functions (`_name`) can be called")
                 })?;
                 let args = args.iter().map(|a| self.lower_expr(a)).collect::<Result<Vec<_>>>()?;
                 Rv::CCall(name, args)

@@ -35,8 +35,7 @@ pub fn memory_report(p: &CompiledProgram) -> MemoryReport {
     let rom_bytes = cbackend::emit_c(p).len() as u32;
     let data_bytes: u32 = p.slots.iter().map(|s| s.target_bytes).sum();
     let gate_bytes = p.gates.len() as u32 * 2; // uint16_t per gate
-    let timer_bytes =
-        p.gates.iter().filter(|g| g.kind == GateKind::Timer).count() as u32 * 4;
+    let timer_bytes = p.gates.iter().filter(|g| g.kind == GateKind::Timer).count() as u32 * 4;
     let evtval_bytes = p.events.len() as u32 * 2;
     // the queue must hold every simultaneously spawnable track; bounded by
     // the gate count + arms of the widest fork — we use the static block

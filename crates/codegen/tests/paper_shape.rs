@@ -59,10 +59,9 @@ fn memory_reuses_loop_slots_after_it() {
 fn await_sequence_splits_into_three_parts() {
     // §4.4: "the generated code must be split in three parts: before
     // awaiting A, before awaiting B, and finally performing the addition"
-    let p = compile_source(
-        "input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;",
-    )
-    .unwrap();
+    let p =
+        compile_source("input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;")
+            .unwrap();
     // part 1 (boot) arms gate A and halts
     let boot = p.block(p.boot);
     assert!(matches!(boot.instrs.last().unwrap().op, Op::ActivateEvt { .. }));
@@ -121,8 +120,5 @@ fn instruction_count_is_stable_for_the_guiding_example() {
     // same source will trip this (update deliberately when they do)
     let p = compile_source(GUIDING).unwrap();
     let instrs = p.instr_count();
-    assert!(
-        (20..=60).contains(&instrs),
-        "guiding example instruction count drifted: {instrs}"
-    );
+    assert!((20..=60).contains(&instrs), "guiding example instruction count drifted: {instrs}");
 }

@@ -10,6 +10,18 @@
 //! ceuc run     <file.ceu> [script]    # execute with a scripted input sequence
 //! ```
 //!
+//! `run` accepts observability flags (anywhere after the subcommand):
+//!
+//! ```text
+//! --trace[=FMT]        trace execution; FMT is text (default), jsonl,
+//!                      or chrome/perfetto (a Chrome trace-event JSON
+//!                      array for ui.perfetto.dev)
+//! --trace-out PATH     write the trace to PATH instead of stderr
+//! --metrics            print the metrics summary after the run
+//! --max-reaction-us N  watchdog: abort reactions over N µs wall time
+//! --max-tracks N       watchdog: abort reactions over N tracks
+//! ```
+//!
 //! Run scripts are plain text, one directive per line:
 //!
 //! ```text
@@ -19,6 +31,7 @@
 //! print v               # print a variable (by source name)
 //! ```
 
+use ceu::runtime::telemetry::TraceFormat;
 use ceu::runtime::{NullHost, Value};
 use ceu::{Compiler, Simulator};
 use std::process::ExitCode;
@@ -34,11 +47,59 @@ fn main() -> ExitCode {
     }
 }
 
+/// Observability options for `ceuc run`.
+#[derive(Default)]
+struct RunOpts {
+    trace: Option<TraceFormat>,
+    trace_out: Option<String>,
+    metrics: bool,
+    max_reaction_us: Option<u64>,
+    max_tracks: Option<u32>,
+}
+
+/// Splits `--flag`-style options out of argv (valid anywhere), leaving
+/// the positionals (`cmd file [script]`) in order.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
+    let mut pos = Vec::new();
+    let mut opts = RunOpts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => opts.trace = Some(opts.trace.unwrap_or(TraceFormat::Text)),
+            "--metrics" => opts.metrics = true,
+            "--trace-out" => {
+                let path = it.next().ok_or("--trace-out needs a path")?;
+                opts.trace_out = Some(path.clone());
+                opts.trace = Some(opts.trace.unwrap_or(TraceFormat::Text));
+            }
+            "--max-reaction-us" => {
+                let n = it.next().ok_or("--max-reaction-us needs a number")?;
+                opts.max_reaction_us =
+                    Some(n.parse().map_err(|_| "--max-reaction-us: bad number")?);
+            }
+            "--max-tracks" => {
+                let n = it.next().ok_or("--max-tracks needs a number")?;
+                opts.max_tracks = Some(n.parse().map_err(|_| "--max-tracks: bad number")?);
+            }
+            other if other.starts_with("--trace=") => {
+                let fmt = &other["--trace=".len()..];
+                opts.trace = Some(fmt.parse()?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            _ => pos.push(a.clone()),
+        }
+    }
+    Ok((pos, opts))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    let (cmd, file) = match args {
+    let (pos, opts) = parse_flags(args)?;
+    let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--max-reaction-us N] [--max-tracks N]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -77,27 +138,53 @@ fn run(args: &[String]) -> Result<(), String> {
             let r = ceu::codegen::memory_report(&p);
             println!("ROM (generated C bytes): {}", r.rom_bytes);
             println!("RAM (static state bytes): {}", r.ram_bytes);
-            println!("tracks: {}  gates: {}  data slots: {}  instructions: {}", r.tracks, r.gates, r.data_slots, r.instrs);
+            println!(
+                "tracks: {}  gates: {}  data slots: {}  instructions: {}",
+                r.tracks, r.gates, r.data_slots, r.instrs
+            );
             Ok(())
         }
         "run" => {
             let p = compiler.compile(&src).map_err(|e| e.to_string())?;
-            let script = match args.get(2) {
+            let script = match pos.get(2) {
                 Some(path) => {
                     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
                 }
                 None => String::new(),
             };
-            exec_script(p, &script)
+            exec_script(p, &script, &opts)
         }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn exec_script(p: ceu::CompiledProgram, script: &str) -> Result<(), String> {
+fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<(), String> {
     // map original names to unique slots for `print`
     let names: Vec<String> = p.slots.iter().map(|s| s.name.clone()).collect();
     let mut sim = Simulator::new(p, NullHost);
+
+    let sink = match opts.trace {
+        Some(fmt) => {
+            let out: Box<dyn std::io::Write> = match &opts.trace_out {
+                Some(path) => Box::new(std::io::BufWriter::new(
+                    std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?,
+                )),
+                None => Box::new(std::io::stderr()),
+            };
+            let (sink, tracer) = fmt.build(out);
+            sim.set_tracer(tracer);
+            Some(sink)
+        }
+        None => None,
+    };
+    if opts.metrics {
+        sim.enable_metrics();
+    }
+    if opts.max_reaction_us.is_some() || opts.max_tracks.is_some() {
+        sim.set_reaction_limits(opts.max_reaction_us, opts.max_tracks);
+    }
+
     sim.start().map_err(|e| e.to_string())?;
     for (lineno, line) in script.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
@@ -152,6 +239,14 @@ fn exec_script(p: ceu::CompiledProgram, script: &str) -> Result<(), String> {
         if sim.status().is_terminated() {
             break;
         }
+    }
+    if let Some(sink) = sink {
+        sink.borrow_mut().finish();
+    }
+    if opts.metrics {
+        let m = sim.metrics().expect("metrics enabled").clone();
+        println!("--- metrics ---");
+        print!("{}", m.summary());
     }
     match sim.status() {
         ceu::Status::Terminated(Some(v)) => println!("terminated: {v}"),

@@ -60,11 +60,7 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions {
-            check_bounded: true,
-            check_determinism: true,
-            dfa: DfaOptions::default(),
-        }
+        CompileOptions { check_bounded: true, check_determinism: true, dfa: DfaOptions::default() }
     }
 }
 
@@ -177,9 +173,6 @@ mod tests {
 
     #[test]
     fn resolve_errors_surface() {
-        assert!(matches!(
-            Compiler::new().compile("await Nope;"),
-            Err(Error::Resolve(_))
-        ));
+        assert!(matches!(Compiler::new().compile("await Nope;"), Err(Error::Resolve(_))));
     }
 }

@@ -29,8 +29,32 @@ impl<H: Host> Simulator<H> {
         &self.machine
     }
 
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
     pub fn set_tracer(&mut self, t: Tracer) {
         self.machine.set_tracer(t);
+    }
+
+    /// Switches on the machine's metrics registry (idempotent).
+    pub fn enable_metrics(&mut self) {
+        self.machine.enable_metrics();
+    }
+
+    /// The metrics registry, if enabled.
+    pub fn metrics(&self) -> Option<&ceu_runtime::Metrics> {
+        self.machine.metrics()
+    }
+
+    /// Snapshots and resets the metrics registry (`None` when disabled).
+    pub fn take_metrics(&mut self) -> Option<ceu_runtime::Metrics> {
+        self.machine.take_metrics()
+    }
+
+    /// Arms the reaction watchdog (see [`Machine::set_reaction_limits`]).
+    pub fn set_reaction_limits(&mut self, max_reaction_us: Option<u64>, max_tracks: Option<u32>) {
+        self.machine.set_reaction_limits(max_reaction_us, max_tracks);
     }
 
     pub fn status(&self) -> Status {
@@ -128,9 +152,8 @@ mod tests {
 
     #[test]
     fn simulator_drives_a_simple_program() {
-        let p = Compiler::new()
-            .compile("input int X;\nint v;\nv = await X;\nreturn v * 2;")
-            .unwrap();
+        let p =
+            Compiler::new().compile("input int X;\nint v;\nv = await X;\nreturn v * 2;").unwrap();
         let mut sim = Simulator::new(p, NullHost);
         sim.start().unwrap();
         sim.event("X", Some(Value::Int(21))).unwrap();
@@ -147,9 +170,7 @@ mod tests {
 
     #[test]
     fn advance_by_accumulates() {
-        let p = Compiler::new()
-            .compile("int n;\nloop do\n await 10ms;\n n = n + 1;\nend")
-            .unwrap();
+        let p = Compiler::new().compile("int n;\nloop do\n await 10ms;\n n = n + 1;\nend").unwrap();
         let mut sim = Simulator::new(p, NullHost);
         sim.start().unwrap();
         sim.advance_by(25_000).unwrap();

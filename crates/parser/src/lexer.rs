@@ -282,9 +282,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&mut self, span: Span) -> Result<Token> {
         let start = self.pos;
-        if self.peek_byte() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
-        {
+        if self.peek_byte() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
             self.bump();
             self.bump();
             let hex_start = self.pos;
@@ -309,15 +307,13 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-            let time = TimeSpec::parse(text).ok_or_else(|| {
-                ParseError::new(span, format!("malformed time literal `{text}`"))
-            })?;
+            let time = TimeSpec::parse(text)
+                .ok_or_else(|| ParseError::new(span, format!("malformed time literal `{text}`")))?;
             return Ok(Token { tok: Tok::Time(time), span });
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        let n: i64 = text
-            .parse()
-            .map_err(|_| ParseError::new(span, "integer literal out of range"))?;
+        let n: i64 =
+            text.parse().map_err(|_| ParseError::new(span, "integer literal out of range"))?;
         Ok(Token { tok: Tok::Num(n), span })
     }
 
@@ -373,10 +369,9 @@ impl<'a> Lexer<'a> {
             Some(b'\\') => Ok('\\'),
             Some(b'\'') => Ok('\''),
             Some(b'"') => Ok('"'),
-            Some(other) => Err(ParseError::new(
-                span,
-                format!("unknown escape `\\{}`", other as char),
-            )),
+            Some(other) => {
+                Err(ParseError::new(span, format!("unknown escape `\\{}`", other as char)))
+            }
             None => Err(ParseError::new(span, "unterminated escape")),
         }
     }
@@ -545,10 +540,7 @@ mod tests {
     #[test]
     fn skips_comments() {
         let toks = lex_all("a // comment\n /* block \n comment */ b");
-        assert_eq!(
-            toks,
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
-        );
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
     }
 
     #[test]

@@ -21,9 +21,30 @@ use std::collections::VecDeque;
 /// Words that can never be identifiers (note: `C` is context-dependent and
 /// handled separately, since the paper itself declares an *event* named `C`).
 const KEYWORDS: &[&str] = &[
-    "nothing", "input", "internal", "output", "pure", "deterministic", "await", "emit", "if",
-    "then", "else", "loop", "break", "par", "call", "return", "do", "async", "end", "with",
-    "forever", "null", "sizeof", "suspend",
+    "nothing",
+    "input",
+    "internal",
+    "output",
+    "pure",
+    "deterministic",
+    "await",
+    "emit",
+    "if",
+    "then",
+    "else",
+    "loop",
+    "break",
+    "par",
+    "call",
+    "return",
+    "do",
+    "async",
+    "end",
+    "with",
+    "forever",
+    "null",
+    "sizeof",
+    "suspend",
 ];
 
 /// Which declaration keyword introduced an event.
@@ -182,11 +203,7 @@ impl<'a> Parser<'a> {
                 }
                 "return" => {
                     self.next()?;
-                    let value = if self.stmt_boundary()? {
-                        None
-                    } else {
-                        Some(self.parse_expr()?)
-                    };
+                    let value = if self.stmt_boundary()? { None } else { Some(self.parse_expr()?) };
                     Ok(Stmt::new(StmtKind::Return { value }, span))
                 }
                 "do" => {
@@ -225,13 +242,11 @@ impl<'a> Parser<'a> {
     /// `true` when the next token cannot start an expression (used to decide
     /// whether `return` carries a value, given optional semicolons).
     fn stmt_boundary(&mut self) -> Result<bool> {
-        Ok(matches!(
-            &self.peek(0)?.tok,
-            Tok::Semi | Tok::Eof | Tok::Ident(_)
-        ) && match &self.peek(0)?.tok {
-            Tok::Ident(s) => KEYWORDS.contains(&s.as_str()) || s == "end" || s == "with",
-            _ => true,
-        })
+        Ok(matches!(&self.peek(0)?.tok, Tok::Semi | Tok::Eof | Tok::Ident(_))
+            && match &self.peek(0)?.tok {
+                Tok::Ident(s) => KEYWORDS.contains(&s.as_str()) || s == "end" || s == "with",
+                _ => true,
+            })
     }
 
     fn parse_event_decl(&mut self, dir: EventDir) -> Result<Stmt> {
@@ -246,7 +261,10 @@ impl<'a> Parser<'a> {
                 // (`input int A, B, C;` in the paper).
                 Tok::Ident(s) if s == "C" => names.push(s),
                 other => {
-                    return Err(ParseError::new(t.span, format!("expected event name, found {other}")))
+                    return Err(ParseError::new(
+                        t.span,
+                        format!("expected event name, found {other}"),
+                    ))
                 }
             }
             if self.peek(0)?.tok == Tok::Comma {
@@ -368,11 +386,7 @@ impl<'a> Parser<'a> {
         let cond = self.parse_expr()?;
         self.expect_kw("then")?;
         let then_blk = self.parse_block()?;
-        let else_blk = if self.eat_kw("else")? {
-            Some(self.parse_block()?)
-        } else {
-            None
-        };
+        let else_blk = if self.eat_kw("else")? { Some(self.parse_block()?) } else { None };
         self.expect_kw("end")?;
         Ok(Stmt::new(StmtKind::If { cond, then_blk, else_blk }, span))
     }
@@ -405,7 +419,10 @@ impl<'a> Parser<'a> {
         }
         let end = self.expect_kw("end")?;
         if arms.len() < 2 {
-            return Err(ParseError::new(end, "parallel statement needs at least two arms (`with`)"));
+            return Err(ParseError::new(
+                end,
+                "parallel statement needs at least two arms (`with`)",
+            ));
         }
         Ok((kind, arms))
     }
@@ -459,7 +476,9 @@ impl<'a> Parser<'a> {
         let name = match t.tok {
             Tok::Ident(s) if !KEYWORDS.contains(&s.as_str()) => s,
             Tok::CSym(s) => s,
-            other => return Err(ParseError::new(t.span, format!("expected type name, found {other}"))),
+            other => {
+                return Err(ParseError::new(t.span, format!("expected type name, found {other}")))
+            }
         };
         let mut ptr = 0u8;
         while self.peek(0)?.tok == Tok::Star {

@@ -120,9 +120,7 @@ fn casts_and_sizeof() {
 
 #[test]
 fn char_and_string_escapes() {
-    let p = parse_ok(
-        "int v;\n_f(\"tab\\t nl\\n quote\\\" back\\\\\", '\\n', '\\'', '\\0');",
-    );
+    let p = parse_ok("int v;\n_f(\"tab\\t nl\\n quote\\\" back\\\\\", '\\n', '\\'', '\\0');");
     let text = pretty(&p);
     assert!(text.contains("\\t"), "{text}");
 }
@@ -141,18 +139,12 @@ fn all_time_units_parse() {
 
 #[test]
 fn comments_everywhere() {
-    parse_ok(
-        "// leading\nint v; // trailing\n/* block */ await /* inline */ 1s; /* end */",
-    );
+    parse_ok("// leading\nint v; // trailing\n/* block */ await /* inline */ 1s; /* end */");
 }
 
 #[test]
 fn error_spans_point_at_the_problem() {
-    let cases = [
-        ("await ;", 1, 7),
-        ("int v;\nv = ;", 2, 5),
-        ("loop do\nawait 1s;\nod", 3, 1),
-    ];
+    let cases = [("await ;", 1, 7), ("int v;\nv = ;", 2, 5), ("loop do\nawait 1s;\nod", 3, 1)];
     for (src, line, col) in cases {
         let err = parse(src).unwrap_err();
         assert_eq!((err.span.line, err.span.col), (line, col), "{src:?}: {err}");

@@ -102,10 +102,7 @@ impl Host for RecordingHost {
     }
 
     fn global(&mut self, name: &str) -> HostResult<Value> {
-        self.globals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("no canned global `_{name}`"))
+        self.globals.get(name).cloned().ok_or_else(|| format!("no canned global `_{name}`"))
     }
 
     fn deref(&mut self, handle: u64) -> HostResult<Value> {

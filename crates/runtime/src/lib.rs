@@ -8,11 +8,16 @@
 pub mod error;
 pub mod host;
 pub mod machine;
+pub mod telemetry;
 pub mod trace;
 pub mod value;
 
 pub use error::{Result, RuntimeError};
 pub use host::{Host, HostResult, NullHost, RecordingHost};
 pub use machine::{Machine, Status};
+pub use telemetry::{
+    ChromeTraceSink, Histogram, JsonLinesSink, Metrics, ReactionSpan, SpanCollector, TextSink,
+    TraceFormat, TraceSink,
+};
 pub use trace::{Cause, Collector, TraceEvent, Tracer};
 pub use value::{Ptr, Value};

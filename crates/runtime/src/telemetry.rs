@@ -1,0 +1,845 @@
+//! Telemetry: metrics registry, reaction spans, and pluggable trace sinks.
+//!
+//! The machine emits a flat [`TraceEvent`] stream (see
+//! [`trace`](crate::trace)); everything here is built *on top of* that
+//! stream so it composes with any tracer and costs nothing when no
+//! tracer/metrics are installed:
+//!
+//! * [`Metrics`] — counters and log₂-bucketed latency histograms,
+//!   maintained by the machine itself when enabled via
+//!   [`Machine::enable_metrics`](crate::Machine::enable_metrics);
+//! * [`ReactionSpan`] / [`SpanCollector`] — reconstructs one span per
+//!   reaction chain (cause, virtual time, host wall time, counters,
+//!   nested events) from the event stream;
+//! * [`TextSink`] — human-readable log lines;
+//! * [`JsonLinesSink`] — one JSON object per event (`jsonl`), using the
+//!   dependency-free writer [`event_to_json`];
+//! * [`ChromeTraceSink`] — Chrome `trace_event` / Perfetto JSON: `B`/`E`
+//!   span pairs per reaction on the host-time axis, instant events for
+//!   emits/discards/termination.
+//!
+//! Sinks implement [`TraceSink`]; [`shared`] turns any sink into a
+//! [`Tracer`] plus a shared handle for post-run extraction (needed by
+//! sinks with a footer, e.g. [`ChromeTraceSink::finish`]).
+
+use crate::trace::{Cause, TraceEvent, Tracer};
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+// ---- metrics registry ------------------------------------------------------
+
+/// A log₂-bucketed histogram of `u64` samples (latencies, counts).
+///
+/// Bucket `i` holds samples whose value has `i` significant bits, i.e.
+/// `v == 0` → bucket 0, otherwise bucket `64 - v.leading_zeros()`; the
+/// upper bound of bucket `i > 0` is `2^i - 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1).
+    /// An estimate: exact to within a factor of two, clamped to `max`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let ub = if i == 0 { 0 } else { (1u64 << i).wrapping_sub(1) };
+                return ub.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Counter + histogram registry maintained by the machine (and by the
+/// simulators on top of it). All counters are cumulative since
+/// [`Machine::enable_metrics`](crate::Machine::enable_metrics).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Reaction chains completed.
+    pub reactions: u64,
+    /// Reactions by [`Cause::index`]: boot, event, timer, async-done.
+    pub reactions_by_cause: [u64; 4],
+    /// Tracks executed (basic blocks dequeued and run).
+    pub tracks_run: u64,
+    /// Tracks actually enqueued (spawn-dedup hits excluded).
+    pub trail_spawns: u64,
+    /// Active gates cleared by region aborts (`par/or`, `ClearRegion`).
+    pub trail_kills: u64,
+    /// Internal events emitted (§2.2 stack policy).
+    pub emits_int: u64,
+    /// Input events emitted by asyncs toward the synchronous side.
+    pub emits_ext: u64,
+    /// Output events delivered to the host.
+    pub emits_out: u64,
+    /// Timer gates fired (deadline expiries that awoke a trail).
+    pub timer_firings: u64,
+    /// Events (external or internal) that found no active gate.
+    pub discarded_events: u64,
+    /// Round-robin async slices executed (§2.7).
+    pub async_slices: u64,
+    pub gates_armed: u64,
+    pub gates_fired: u64,
+    /// High-water mark of the internal-event stack across all reactions.
+    pub emit_depth_hwm: u32,
+    /// High-water mark of the track queue across all reactions.
+    pub queue_peak: u32,
+    /// Reaction watchdog trips (see [`Machine::set_reaction_limits`](crate::Machine::set_reaction_limits)).
+    pub watchdog_trips: u64,
+    /// Host wall time per reaction chain (ns).
+    pub reaction_wall_ns: Histogram,
+    /// Tracks executed per reaction chain.
+    pub tracks_per_reaction: Histogram,
+}
+
+impl Metrics {
+    /// Human-readable multi-line summary (the `--metrics` report).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln_kv(&mut out, "reactions", self.reactions);
+        out.push_str(&format!(
+            "    by cause: boot={} event={} timer={} async={}\n",
+            self.reactions_by_cause[0],
+            self.reactions_by_cause[1],
+            self.reactions_by_cause[2],
+            self.reactions_by_cause[3],
+        ));
+        let _ = writeln_kv(&mut out, "tracks run", self.tracks_run);
+        let _ = writeln_kv(&mut out, "trail spawns", self.trail_spawns);
+        let _ = writeln_kv(&mut out, "trail kills", self.trail_kills);
+        let _ = writeln_kv(&mut out, "emits (internal)", self.emits_int);
+        let _ = writeln_kv(&mut out, "emits (async input)", self.emits_ext);
+        let _ = writeln_kv(&mut out, "emits (output)", self.emits_out);
+        let _ = writeln_kv(&mut out, "timer firings", self.timer_firings);
+        let _ = writeln_kv(&mut out, "discarded events", self.discarded_events);
+        let _ = writeln_kv(&mut out, "async slices", self.async_slices);
+        let _ = writeln_kv(&mut out, "gates armed", self.gates_armed);
+        let _ = writeln_kv(&mut out, "gates fired", self.gates_fired);
+        let _ = writeln_kv(&mut out, "emit-stack high-water", self.emit_depth_hwm as u64);
+        let _ = writeln_kv(&mut out, "queue high-water", self.queue_peak as u64);
+        let _ = writeln_kv(&mut out, "watchdog trips", self.watchdog_trips);
+        if !self.reaction_wall_ns.is_empty() {
+            out.push_str(&format!(
+                "  reaction latency: mean={:.0}ns p50≤{}ns p99≤{}ns max={}ns\n",
+                self.reaction_wall_ns.mean(),
+                self.reaction_wall_ns.quantile(0.50),
+                self.reaction_wall_ns.quantile(0.99),
+                self.reaction_wall_ns.max,
+            ));
+        }
+        if !self.tracks_per_reaction.is_empty() {
+            out.push_str(&format!(
+                "  tracks/reaction:  mean={:.1} max={}\n",
+                self.tracks_per_reaction.mean(),
+                self.tracks_per_reaction.max,
+            ));
+        }
+        out
+    }
+
+    /// One JSON object (dependency-free; stable key order).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.num("reactions", self.reactions);
+        o.raw(
+            "reactions_by_cause",
+            &format!(
+                "[{},{},{},{}]",
+                self.reactions_by_cause[0],
+                self.reactions_by_cause[1],
+                self.reactions_by_cause[2],
+                self.reactions_by_cause[3]
+            ),
+        );
+        o.num("tracks_run", self.tracks_run);
+        o.num("trail_spawns", self.trail_spawns);
+        o.num("trail_kills", self.trail_kills);
+        o.num("emits_int", self.emits_int);
+        o.num("emits_ext", self.emits_ext);
+        o.num("emits_out", self.emits_out);
+        o.num("timer_firings", self.timer_firings);
+        o.num("discarded_events", self.discarded_events);
+        o.num("async_slices", self.async_slices);
+        o.num("gates_armed", self.gates_armed);
+        o.num("gates_fired", self.gates_fired);
+        o.num("emit_depth_hwm", self.emit_depth_hwm as u64);
+        o.num("queue_peak", self.queue_peak as u64);
+        o.num("watchdog_trips", self.watchdog_trips);
+        o.raw("reaction_wall_ns", &hist_json(&self.reaction_wall_ns));
+        o.raw("tracks_per_reaction", &hist_json(&self.tracks_per_reaction));
+        o.finish()
+    }
+}
+
+fn writeln_kv(out: &mut String, k: &str, v: u64) -> std::fmt::Result {
+    use std::fmt::Write as _;
+    writeln!(out, "  {k:<22} {v}")
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let mut o = JsonObj::new();
+    o.num("count", h.count);
+    o.num("sum", h.sum);
+    o.num("min", if h.count == 0 { 0 } else { h.min });
+    o.num("max", h.max);
+    o.raw("mean", &format!("{:.3}", h.mean()));
+    o.num("p50", h.quantile(0.50));
+    o.num("p90", h.quantile(0.90));
+    o.num("p99", h.quantile(0.99));
+    o.finish()
+}
+
+#[cfg(feature = "telemetry-json")]
+impl serde::Serialize for Metrics {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        s.raw(&self.to_json());
+    }
+}
+
+// ---- dependency-free JSON writing ------------------------------------------
+
+/// Tiny JSON object builder (keys written in call order, no escaping on
+/// keys — all call sites use static identifier-like keys).
+struct JsonObj {
+    out: String,
+    first: bool,
+}
+
+impl JsonObj {
+    fn new() -> Self {
+        JsonObj { out: String::from("{"), first: true }
+    }
+
+    fn sep(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":");
+    }
+
+    fn num(&mut self, key: &str, v: u64) {
+        self.sep(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    fn str(&mut self, key: &str, v: &str) {
+        self.sep(key);
+        push_json_string(&mut self.out, v);
+    }
+
+    /// Inserts pre-rendered JSON verbatim.
+    fn raw(&mut self, key: &str, json: &str) {
+        self.sep(key);
+        self.out.push_str(json);
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a [`Cause`] as JSON, e.g. `{"type":"event","id":3}`.
+pub fn cause_to_json(c: &Cause) -> String {
+    let mut o = JsonObj::new();
+    match c {
+        Cause::Boot => o.str("type", "boot"),
+        Cause::Event(e) => {
+            o.str("type", "event");
+            o.num("id", e.0 as u64);
+        }
+        Cause::Timer(d) => {
+            o.str("type", "timer");
+            o.num("deadline_us", *d);
+        }
+        Cause::AsyncDone(a) => {
+            o.str("type", "async");
+            o.num("id", *a as u64);
+        }
+    }
+    o.finish()
+}
+
+/// Renders one [`TraceEvent`] as a single JSON object (the `jsonl`
+/// format; also the payload of the `telemetry-json` serde impls).
+pub fn event_to_json(e: &TraceEvent) -> String {
+    let mut o = JsonObj::new();
+    o.str("ev", e.kind());
+    match e {
+        TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+            o.raw("cause", &cause_to_json(cause));
+            o.num("now_us", *now_us);
+            o.num("wall_ns", *wall_ns);
+        }
+        TraceEvent::Discarded { event } => o.num("event", event.0 as u64),
+        TraceEvent::TrackRun { block, rank } => {
+            o.num("block", *block as u64);
+            o.num("rank", *rank as u64);
+        }
+        TraceEvent::GateArmed { gate } => o.num("gate", *gate as u64),
+        TraceEvent::GateFired { gate } => o.num("gate", *gate as u64),
+        TraceEvent::EmitInt { event, depth } => {
+            o.num("event", event.0 as u64);
+            o.num("depth", *depth as u64);
+        }
+        TraceEvent::AsyncSlice { async_id } => o.num("async_id", *async_id as u64),
+        TraceEvent::BudgetExceeded { tracks, wall_ns } => {
+            o.num("tracks", *tracks as u64);
+            o.num("wall_ns", *wall_ns);
+        }
+        TraceEvent::ReactionEnd {
+            now_us,
+            wall_ns,
+            tracks,
+            emits,
+            gates_fired,
+            gates_armed,
+            queue_peak,
+            emit_depth_max,
+        } => {
+            o.num("now_us", *now_us);
+            o.num("wall_ns", *wall_ns);
+            o.num("tracks", *tracks as u64);
+            o.num("emits", *emits as u64);
+            o.num("gates_fired", *gates_fired as u64);
+            o.num("gates_armed", *gates_armed as u64);
+            o.num("queue_peak", *queue_peak as u64);
+            o.num("emit_depth_max", *emit_depth_max as u64);
+        }
+        TraceEvent::Terminated { value } => match value {
+            Some(v) => o.raw("value", &v.to_string()),
+            None => o.raw("value", "null"),
+        },
+    }
+    o.finish()
+}
+
+// ---- spans -----------------------------------------------------------------
+
+/// One reaction chain, reconstructed from the event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReactionSpan {
+    pub cause: Cause,
+    /// Virtual clock at chain start (µs).
+    pub now_us: u64,
+    /// Host clock at chain start (ns since machine creation).
+    pub wall_start_ns: u64,
+    /// Host-time duration of the chain (ns).
+    pub wall_dur_ns: u64,
+    pub tracks: u32,
+    pub emits: u32,
+    pub gates_fired: u32,
+    pub gates_armed: u32,
+    pub queue_peak: u32,
+    pub emit_depth_max: u32,
+    /// Every event inside the chain, boundaries excluded, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+// ---- sinks -----------------------------------------------------------------
+
+/// A consumer of the machine's trace stream. Implementors are plugged in
+/// through [`shared`] (keeping a handle) or [`into_tracer`].
+pub trait TraceSink {
+    fn on_event(&mut self, e: &TraceEvent);
+
+    /// Writes any trailer the format needs (e.g. closing a JSON array).
+    /// Idempotence is not required; call exactly once, after the run.
+    fn finish(&mut self) {}
+}
+
+/// Wraps a sink into a [`Tracer`], returning a shared handle for
+/// post-run access (`spans()`, `finish()`, buffer extraction).
+pub fn shared<S: TraceSink + 'static>(sink: S) -> (Rc<RefCell<S>>, Tracer) {
+    let rc = Rc::new(RefCell::new(sink));
+    let tap = Rc::clone(&rc);
+    (rc, Box::new(move |e| tap.borrow_mut().on_event(e)))
+}
+
+/// Wraps a sink into a [`Tracer`], discarding the handle (fire-and-forget
+/// formats with no trailer, e.g. [`TextSink`], [`JsonLinesSink`]).
+pub fn into_tracer<S: TraceSink + 'static>(sink: S) -> Tracer {
+    let mut s = sink;
+    Box::new(move |e| s.on_event(e))
+}
+
+/// Collects [`ReactionSpan`]s (plus any events seen outside a reaction,
+/// e.g. `AsyncSlice`, kept in `orphans`).
+#[derive(Default)]
+pub struct SpanCollector {
+    spans: Vec<ReactionSpan>,
+    orphans: Vec<TraceEvent>,
+    open: Option<ReactionSpan>,
+}
+
+impl SpanCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn spans(&self) -> &[ReactionSpan] {
+        &self.spans
+    }
+
+    pub fn orphans(&self) -> &[TraceEvent] {
+        &self.orphans
+    }
+
+    pub fn into_spans(self) -> Vec<ReactionSpan> {
+        self.spans
+    }
+}
+
+impl TraceSink for SpanCollector {
+    fn on_event(&mut self, e: &TraceEvent) {
+        match e {
+            TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+                self.open = Some(ReactionSpan {
+                    cause: *cause,
+                    now_us: *now_us,
+                    wall_start_ns: *wall_ns,
+                    wall_dur_ns: 0,
+                    tracks: 0,
+                    emits: 0,
+                    gates_fired: 0,
+                    gates_armed: 0,
+                    queue_peak: 0,
+                    emit_depth_max: 0,
+                    events: Vec::new(),
+                });
+            }
+            TraceEvent::ReactionEnd {
+                wall_ns,
+                tracks,
+                emits,
+                gates_fired,
+                gates_armed,
+                queue_peak,
+                emit_depth_max,
+                ..
+            } => {
+                if let Some(mut span) = self.open.take() {
+                    span.wall_dur_ns = wall_ns.saturating_sub(span.wall_start_ns);
+                    span.tracks = *tracks;
+                    span.emits = *emits;
+                    span.gates_fired = *gates_fired;
+                    span.gates_armed = *gates_armed;
+                    span.queue_peak = *queue_peak;
+                    span.emit_depth_max = *emit_depth_max;
+                    self.spans.push(span);
+                }
+            }
+            other => match &mut self.open {
+                Some(span) => span.events.push(*other),
+                None => self.orphans.push(*other),
+            },
+        }
+    }
+}
+
+/// Human-readable log lines, nested events indented under their reaction.
+pub struct TextSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TextSink<W> {
+    pub fn new(out: W) -> Self {
+        TextSink { out }
+    }
+}
+
+impl<W: Write> TraceSink for TextSink<W> {
+    fn on_event(&mut self, e: &TraceEvent) {
+        let line = match e {
+            TraceEvent::ReactionStart { cause, now_us, .. } => {
+                format!("[{:>10}µs] reaction <- {}", now_us, cause.label())
+            }
+            TraceEvent::Discarded { event } => {
+                format!("             | discarded event:{}", event.0)
+            }
+            TraceEvent::TrackRun { block, rank } => {
+                format!("             | run block:{block} rank:{rank}")
+            }
+            TraceEvent::GateArmed { gate } => format!("             | arm gate:{gate}"),
+            TraceEvent::GateFired { gate } => format!("             | fire gate:{gate}"),
+            TraceEvent::EmitInt { event, depth } => {
+                format!("             | emit event:{} depth:{}", event.0, depth)
+            }
+            TraceEvent::AsyncSlice { async_id } => {
+                format!("             ~ async slice id:{async_id}")
+            }
+            TraceEvent::BudgetExceeded { tracks, .. } => {
+                format!("             ! watchdog tripped after {tracks} tracks")
+            }
+            TraceEvent::ReactionEnd { wall_ns, tracks, emits, .. } => {
+                format!("             ` end: {tracks} tracks, {emits} emits, {wall_ns}ns")
+            }
+            TraceEvent::Terminated { value } => match value {
+                Some(v) => format!("             * terminated({v})"),
+                None => "             * terminated".to_string(),
+            },
+        };
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// One JSON object per line, per event (the `jsonl` format).
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn on_event(&mut self, e: &TraceEvent) {
+        let _ = writeln!(self.out, "{}", event_to_json(e));
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Chrome `trace_event` / Perfetto JSON ("JSON Array Format").
+///
+/// Each reaction chain becomes a `B`/`E` duration pair on the host-time
+/// axis (`ts` in µs, fractional); emits, discards, watchdog trips and
+/// termination become instant (`i`) events. Load the output in
+/// `ui.perfetto.dev` or `chrome://tracing`. Call [`finish`](TraceSink::finish)
+/// once after the run to close the array (the viewers tolerate a missing
+/// `]`, but the validity test does not).
+pub struct ChromeTraceSink<W: Write> {
+    out: W,
+    /// Process id recorded on every event — simulators map mote ids here.
+    pub pid: u32,
+    wrote_any: bool,
+    open_cause: Option<Cause>,
+    /// Wall clock of the last boundary event — instants (`EmitInt`,
+    /// `Discarded`, `Terminated` carry no timestamp) land here.
+    last_wall_ns: u64,
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    pub fn new(out: W) -> Self {
+        Self::with_pid(out, 1)
+    }
+
+    pub fn with_pid(out: W, pid: u32) -> Self {
+        ChromeTraceSink { out, pid, wrote_any: false, open_cause: None, last_wall_ns: 0 }
+    }
+
+    /// The underlying writer (e.g. to take a `Vec<u8>` buffer back out).
+    pub fn writer_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
+    fn entry(&mut self, name: &str, ph: char, wall_ns: u64, args: Option<String>) {
+        let lead = if self.wrote_any { ",\n" } else { "[\n" };
+        self.wrote_any = true;
+        let mut o = JsonObj::new();
+        o.str("name", name);
+        o.str("ph", &ph.to_string());
+        o.raw("ts", &format!("{:.3}", wall_ns as f64 / 1000.0));
+        o.num("pid", self.pid as u64);
+        o.num("tid", 1);
+        if ph == 'i' {
+            // scope: thread — keeps instants attached to the track
+            o.str("s", "t");
+        }
+        if let Some(a) = args {
+            o.raw("args", &a);
+        }
+        let _ = write!(self.out, "{lead}{}", o.finish());
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn on_event(&mut self, e: &TraceEvent) {
+        match e {
+            TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+                self.open_cause = Some(*cause);
+                self.last_wall_ns = *wall_ns;
+                let mut args = JsonObj::new();
+                args.num("now_us", *now_us);
+                args.raw("cause", &cause_to_json(cause));
+                self.entry(
+                    &format!("reaction:{}", cause.label()),
+                    'B',
+                    *wall_ns,
+                    Some(args.finish()),
+                );
+            }
+            TraceEvent::ReactionEnd { wall_ns, tracks, emits, queue_peak, .. } => {
+                self.last_wall_ns = *wall_ns;
+                let cause = self.open_cause.take().unwrap_or(Cause::Boot);
+                let mut args = JsonObj::new();
+                args.num("tracks", *tracks as u64);
+                args.num("emits", *emits as u64);
+                args.num("queue_peak", *queue_peak as u64);
+                self.entry(
+                    &format!("reaction:{}", cause.label()),
+                    'E',
+                    *wall_ns,
+                    Some(args.finish()),
+                );
+            }
+            TraceEvent::EmitInt { event, depth } => {
+                let mut args = JsonObj::new();
+                args.num("event", event.0 as u64);
+                args.num("depth", *depth as u64);
+                let ts = self.last_wall_ns;
+                self.entry("emit", 'i', ts, Some(args.finish()));
+            }
+            TraceEvent::Discarded { event } => {
+                let mut args = JsonObj::new();
+                args.num("event", event.0 as u64);
+                let ts = self.last_wall_ns;
+                self.entry("discarded", 'i', ts, Some(args.finish()));
+            }
+            TraceEvent::BudgetExceeded { tracks, wall_ns } => {
+                let mut args = JsonObj::new();
+                args.num("tracks", *tracks as u64);
+                self.entry("watchdog", 'i', *wall_ns, Some(args.finish()));
+            }
+            TraceEvent::Terminated { value } => {
+                let mut args = JsonObj::new();
+                match value {
+                    Some(v) => args.raw("value", &v.to_string()),
+                    None => args.raw("value", "null"),
+                }
+                let ts = self.last_wall_ns;
+                self.entry("terminated", 'i', ts, Some(args.finish()));
+            }
+            // per-track/gate detail is too fine for the timeline view
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        if self.wrote_any {
+            let _ = writeln!(self.out, "\n]");
+        } else {
+            let _ = writeln!(self.out, "[]");
+        }
+        let _ = self.out.flush();
+    }
+}
+
+// ---- format selection ------------------------------------------------------
+
+/// Trace output formats understood by drivers (`ceuc run --trace=<fmt>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable lines ([`TextSink`]).
+    Text,
+    /// One JSON object per event per line ([`JsonLinesSink`]).
+    Jsonl,
+    /// Chrome trace-event / Perfetto JSON array ([`ChromeTraceSink`]).
+    Chrome,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" | "txt" => Ok(TraceFormat::Text),
+            "jsonl" | "json" => Ok(TraceFormat::Jsonl),
+            "chrome" | "perfetto" => Ok(TraceFormat::Chrome),
+            other => {
+                Err(format!("unknown trace format `{other}` (expected text, jsonl, or chrome)"))
+            }
+        }
+    }
+}
+
+impl TraceFormat {
+    /// Builds a sink of this format over a writer, returning the shared
+    /// handle (call `finish` on it after the run) and the tracer.
+    pub fn build<W: Write + 'static>(self, out: W) -> (Rc<RefCell<dyn TraceSink>>, Tracer) {
+        match self {
+            TraceFormat::Text => {
+                let (rc, t) = shared(TextSink::new(out));
+                (rc as Rc<RefCell<dyn TraceSink>>, t)
+            }
+            TraceFormat::Jsonl => {
+                let (rc, t) = shared(JsonLinesSink::new(out));
+                (rc as Rc<RefCell<dyn TraceSink>>, t)
+            }
+            TraceFormat::Chrome => {
+                let (rc, t) = shared(ChromeTraceSink::new(out));
+                (rc as Rc<RefCell<dyn TraceSink>>, t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceu_ast::EventId;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 1107.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0);
+        // p50 falls in the 2-3 bucket: upper bound 3
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn event_json_is_one_object_per_event() {
+        let e = TraceEvent::ReactionStart {
+            cause: Cause::Event(EventId(3)),
+            now_us: 42,
+            wall_ns: 1500,
+        };
+        assert_eq!(
+            event_to_json(&e),
+            r#"{"ev":"ReactionStart","cause":{"type":"event","id":3},"now_us":42,"wall_ns":1500}"#
+        );
+        let t = TraceEvent::Terminated { value: None };
+        assert_eq!(event_to_json(&t), r#"{"ev":"Terminated","value":null}"#);
+    }
+
+    #[test]
+    fn span_collector_builds_spans() {
+        let mut c = SpanCollector::new();
+        c.on_event(&TraceEvent::ReactionStart { cause: Cause::Boot, now_us: 0, wall_ns: 100 });
+        c.on_event(&TraceEvent::TrackRun { block: 0, rank: 0 });
+        c.on_event(&TraceEvent::GateArmed { gate: 2 });
+        c.on_event(&TraceEvent::ReactionEnd {
+            now_us: 0,
+            wall_ns: 600,
+            tracks: 1,
+            emits: 0,
+            gates_fired: 0,
+            gates_armed: 1,
+            queue_peak: 1,
+            emit_depth_max: 0,
+        });
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cause, Cause::Boot);
+        assert_eq!(spans[0].wall_dur_ns, 500);
+        assert_eq!(spans[0].tracks, 1);
+        assert_eq!(spans[0].events.len(), 2);
+    }
+
+    #[test]
+    fn chrome_sink_emits_balanced_pairs() {
+        let buf: Vec<u8> = Vec::new();
+        let mut sink = ChromeTraceSink::new(buf);
+        sink.on_event(&TraceEvent::ReactionStart {
+            cause: Cause::Timer(500),
+            now_us: 500,
+            wall_ns: 2000,
+        });
+        sink.on_event(&TraceEvent::ReactionEnd {
+            now_us: 500,
+            wall_ns: 9000,
+            tracks: 2,
+            emits: 0,
+            gates_fired: 1,
+            gates_armed: 1,
+            queue_peak: 1,
+            emit_depth_max: 0,
+        });
+        sink.finish();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(text.matches("\"ph\":\"E\"").count(), 1);
+        assert!(text.contains("\"ts\":2"));
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!("jsonl".parse::<TraceFormat>().unwrap(), TraceFormat::Jsonl);
+        assert_eq!("perfetto".parse::<TraceFormat>().unwrap(), TraceFormat::Chrome);
+        assert_eq!("text".parse::<TraceFormat>().unwrap(), TraceFormat::Text);
+        assert!("yaml".parse::<TraceFormat>().is_err());
+    }
+}

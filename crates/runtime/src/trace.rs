@@ -1,8 +1,18 @@
-//! Execution tracing — the observability layer behind the Figure-1
-//! reaction-chain reproduction and several semantics tests.
+//! Execution tracing — the structured event model behind the Figure-1
+//! reaction-chain reproduction, the profiling sinks in
+//! [`telemetry`](crate::telemetry), and several semantics tests.
+//!
+//! Every record is self-contained: reaction boundaries carry both the
+//! *virtual* clock (`now_us`, the machine's logical time in µs) and the
+//! *host* clock (`wall_ns`, nanoseconds since the machine was created),
+//! so downstream sinks can reconstruct spans without asking the machine
+//! anything. [`TraceEvent::ReactionEnd`] additionally summarises the
+//! whole chain (tracks run, gates fired/armed, emits, queue high-water,
+//! internal-event stack depth) — the per-reaction numbers that feed the
+//! [`Metrics`](crate::telemetry::Metrics) registry.
 
 use ceu_ast::EventId;
-use ceu_codegen::{BlockId, GateId};
+use ceu_codegen::{AsyncId, BlockId, GateId};
 
 /// What started a reaction chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,22 +27,108 @@ pub enum Cause {
     AsyncDone(u32),
 }
 
+impl Cause {
+    /// Stable small index (per-cause metric arrays).
+    pub fn index(&self) -> usize {
+        match self {
+            Cause::Boot => 0,
+            Cause::Event(_) => 1,
+            Cause::Timer(_) => 2,
+            Cause::AsyncDone(_) => 3,
+        }
+    }
+
+    /// Short human label, e.g. `event:3` or `timer@1500`.
+    pub fn label(&self) -> String {
+        match self {
+            Cause::Boot => "boot".into(),
+            Cause::Event(e) => format!("event:{}", e.0),
+            Cause::Timer(d) => format!("timer@{d}"),
+            Cause::AsyncDone(a) => format!("async:{a}"),
+        }
+    }
+}
+
 /// One trace record. Subscribed via [`Machine::set_tracer`](crate::Machine::set_tracer).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
-    ReactionStart { cause: Cause },
+    /// A reaction chain begins. `now_us` is the virtual clock, `wall_ns`
+    /// the host clock relative to machine creation.
+    ReactionStart {
+        cause: Cause,
+        now_us: u64,
+        wall_ns: u64,
+    },
     /// An occurring event found no active gates and was discarded (§2).
-    Discarded { event: EventId },
+    Discarded {
+        event: EventId,
+    },
     /// A track was dequeued and executed.
-    TrackRun { block: BlockId, rank: u8 },
+    TrackRun {
+        block: BlockId,
+        rank: u8,
+    },
     /// A gate was armed (a trail reached an `await`).
-    GateArmed { gate: GateId },
+    GateArmed {
+        gate: GateId,
+    },
     /// A trail awoke from a gate.
-    GateFired { gate: GateId },
-    /// An internal event was emitted (a nested reaction follows).
-    EmitInt { event: EventId },
-    ReactionEnd,
-    Terminated { value: Option<i64> },
+    GateFired {
+        gate: GateId,
+    },
+    /// An internal event was emitted; a nested reaction follows at stack
+    /// depth `depth` (1 = emitted from the outermost reaction).
+    EmitInt {
+        event: EventId,
+        depth: u32,
+    },
+    /// One round-robin slice of an async block ran (§2.7).
+    AsyncSlice {
+        async_id: AsyncId,
+    },
+    /// The reaction watchdog tripped (`tracks` executed so far); the
+    /// machine aborts the reaction with a runtime error right after.
+    BudgetExceeded {
+        tracks: u32,
+        wall_ns: u64,
+    },
+    /// The reaction chain ran to completion; summary of the whole chain.
+    ReactionEnd {
+        now_us: u64,
+        /// Host clock at chain end (same epoch as `ReactionStart`).
+        wall_ns: u64,
+        /// Tracks executed, nested reactions included.
+        tracks: u32,
+        /// Internal events emitted within the chain.
+        emits: u32,
+        gates_fired: u32,
+        gates_armed: u32,
+        /// High-water mark of the track queue during the chain.
+        queue_peak: u32,
+        /// High-water mark of the internal-event stack (§2.2).
+        emit_depth_max: u32,
+    },
+    Terminated {
+        value: Option<i64>,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind name (JSON `ev` field, text sink tags).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ReactionStart { .. } => "ReactionStart",
+            TraceEvent::Discarded { .. } => "Discarded",
+            TraceEvent::TrackRun { .. } => "TrackRun",
+            TraceEvent::GateArmed { .. } => "GateArmed",
+            TraceEvent::GateFired { .. } => "GateFired",
+            TraceEvent::EmitInt { .. } => "EmitInt",
+            TraceEvent::AsyncSlice { .. } => "AsyncSlice",
+            TraceEvent::BudgetExceeded { .. } => "BudgetExceeded",
+            TraceEvent::ReactionEnd { .. } => "ReactionEnd",
+            TraceEvent::Terminated { .. } => "Terminated",
+        }
+    }
 }
 
 /// Trace sink.
@@ -44,9 +140,31 @@ pub struct Collector;
 
 impl Collector {
     /// Builds a tracer pushing into the given shared buffer.
-    pub fn into_buffer(
-        buf: std::rc::Rc<std::cell::RefCell<Vec<TraceEvent>>>,
-    ) -> Tracer {
-        Box::new(move |e| buf.borrow_mut().push(e.clone()))
+    pub fn into_buffer(buf: std::rc::Rc<std::cell::RefCell<Vec<TraceEvent>>>) -> Tracer {
+        Box::new(move |e| buf.borrow_mut().push(*e))
+    }
+}
+
+#[cfg(feature = "telemetry-json")]
+mod serde_impls {
+    //! Hand-written `Serialize` impls (the offline serde derive does not
+    //! handle tuple variants — see `third_party/README.md`). The output
+    //! is kept byte-identical to the dependency-free writer in
+    //! [`telemetry::event_to_json`](crate::telemetry::event_to_json);
+    //! `crates/bench/tests/telemetry_json.rs` pins that equivalence.
+
+    use super::{Cause, TraceEvent};
+    use serde::{Serialize, Serializer};
+
+    impl Serialize for Cause {
+        fn serialize(&self, s: &mut Serializer) {
+            s.raw(&crate::telemetry::cause_to_json(self));
+        }
+    }
+
+    impl Serialize for TraceEvent {
+        fn serialize(&self, s: &mut Serializer) {
+            s.raw(&crate::telemetry::event_to_json(self));
+        }
     }
 }

@@ -100,7 +100,7 @@ fn trace_covers_the_full_lifecycle() {
             TraceEvent::GateArmed { .. } => "armed",
             TraceEvent::GateFired { .. } => "fired",
             TraceEvent::Terminated { .. } => "terminated",
-            TraceEvent::ReactionEnd => "end",
+            TraceEvent::ReactionEnd { .. } => "end",
             _ => "other",
         });
     }

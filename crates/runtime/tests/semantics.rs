@@ -2,8 +2,8 @@
 //! describes is pinned down here against the real pipeline
 //! (parse → resolve → compile → run).
 
-use ceu_runtime::*;
 use ceu_codegen::compile_source;
+use ceu_runtime::*;
 
 fn machine(src: &str) -> Machine {
     Machine::new(compile_source(src).unwrap_or_else(|e| panic!("compile: {e}")))
@@ -198,7 +198,7 @@ fn equal_deadlines_share_one_reaction() {
     let reactions = buf
         .borrow()
         .iter()
-        .filter(|e| matches!(e, TraceEvent::ReactionStart { cause: Cause::Timer(_) }))
+        .filter(|e| matches!(e, TraceEvent::ReactionStart { cause: Cause::Timer(_), .. }))
         .count();
     assert_eq!(reactions, 1, "simultaneous deadlines must share a reaction");
 }

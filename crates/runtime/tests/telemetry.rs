@@ -1,0 +1,145 @@
+//! Observability integration tests: the figure-1 reaction chains seen
+//! through the span API, and the Chrome/Perfetto exporter producing a
+//! structurally valid trace for the same run.
+
+use ceu_codegen::compile_source;
+use ceu_runtime::telemetry::{self, ChromeTraceSink, SpanCollector, TraceSink};
+use ceu_runtime::{Cause, Machine, NullHost, TraceEvent};
+
+/// The paper's Figure 1 program (§2): boot splits one trail into three,
+/// `A` awakes trails 1 and 3, a second `A` is discarded, `B` finishes.
+const FIG1: &str = r#"
+    input void A, B, C;
+    par do
+       await A;
+    with
+       await B;
+    with
+       await A;
+       par do
+          await B;
+       with
+          await B;
+       end
+    end
+"#;
+
+/// Drives the figure-1 input sequence: boot, A, A (discarded), B.
+fn drive_fig1(m: &mut Machine) {
+    let a = m.event_id("A").unwrap();
+    let b = m.event_id("B").unwrap();
+    let mut h = NullHost;
+    m.go_init(&mut h).unwrap();
+    m.go_event(a, None, &mut h).unwrap();
+    m.go_event(a, None, &mut h).unwrap();
+    m.go_event(b, None, &mut h).unwrap();
+}
+
+#[test]
+fn fig1_reaction_chains_through_the_span_api() {
+    let mut m = Machine::new(compile_source(FIG1).unwrap());
+    let (sink, tracer) = telemetry::shared(SpanCollector::new());
+    m.set_tracer(tracer);
+    drive_fig1(&mut m);
+
+    let sink = sink.borrow();
+    let spans = sink.spans();
+    assert_eq!(spans.len(), 4, "boot + A + discarded A + B");
+    assert!(sink.orphans().is_empty(), "every event belongs to a chain");
+
+    // golden structure, chain by chain (the figure's shape)
+    let a = Machine::new(compile_source(FIG1).unwrap()).event_id("A").unwrap();
+    let b = Machine::new(compile_source(FIG1).unwrap()).event_id("B").unwrap();
+    assert_eq!(spans[0].cause, Cause::Boot);
+    assert_eq!(spans[1].cause, Cause::Event(a));
+    assert_eq!(spans[2].cause, Cause::Event(a));
+    assert_eq!(spans[3].cause, Cause::Event(b));
+
+    // boot: the par arms one gate per awaiting trail, nothing fires yet
+    assert!(spans[0].tracks >= 1);
+    assert!(spans[0].gates_armed >= 3, "three trails await after boot");
+    assert_eq!(spans[0].gates_fired, 0);
+
+    // first A: trails 1 and 3 awake; trail 3 forks two awaiters of B
+    assert_eq!(spans[1].gates_fired, 2);
+    assert!(spans[1].gates_armed >= 2, "the inner par arms two B-gates");
+
+    // second A: no one awaits A anymore — discarded, no tracks run
+    assert_eq!(spans[2].tracks, 0);
+    let discards: Vec<_> =
+        spans[2].events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).collect();
+    assert_eq!(discards.len(), 1);
+
+    // B: everything left awakes and the program terminates
+    assert!(spans[3].gates_fired >= 1);
+    assert!(spans[3].events.iter().any(|e| matches!(e, TraceEvent::Terminated { .. })));
+
+    // wall-clock accounting is monotone across chains
+    for w in spans.windows(2) {
+        assert!(w[1].wall_start_ns >= w[0].wall_start_ns + w[0].wall_dur_ns);
+    }
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_matching_begin_end_pairs() {
+    let mut m = Machine::new(compile_source(FIG1).unwrap());
+    let (sink, tracer) = telemetry::shared(ChromeTraceSink::new(Vec::new()));
+    m.set_tracer(tracer);
+    drive_fig1(&mut m);
+    sink.borrow_mut().finish();
+
+    let bytes = std::mem::take(sink.borrow_mut().writer_mut());
+    let text = String::from_utf8(bytes).unwrap();
+    let doc = serde_json::from_str(&text).expect("exporter output must parse as JSON");
+    let entries = doc.as_array().expect("a trace-event JSON array");
+    assert!(!entries.is_empty());
+
+    // duration events must nest: every B has its E, never negative depth
+    let mut depth = 0i64;
+    let (mut begins, mut ends, mut instants) = (0, 0, 0);
+    let mut last_ts = 0.0f64;
+    for e in entries {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("every entry has ph");
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("every entry has ts");
+        assert!(ts >= last_ts, "timestamps are monotone ({ts} < {last_ts})");
+        last_ts = ts;
+        match ph {
+            "B" => {
+                depth += 1;
+                begins += 1;
+                let name = e.get("name").and_then(|v| v.as_str()).unwrap();
+                assert!(name.starts_with("reaction:"), "span name is the cause: {name}");
+            }
+            "E" => {
+                depth -= 1;
+                ends += 1;
+                assert!(depth >= 0, "E without a matching B");
+            }
+            "i" => instants += 1,
+            other => panic!("unexpected phase {other}"),
+        }
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+    }
+    assert_eq!(depth, 0, "unclosed span at end of trace");
+    assert_eq!(begins, 4, "one B/E pair per reaction chain");
+    assert_eq!(begins, ends);
+    assert!(instants >= 1, "the discarded A shows up as an instant");
+}
+
+#[test]
+fn metrics_agree_with_the_span_view() {
+    let mut m = Machine::new(compile_source(FIG1).unwrap());
+    m.enable_metrics();
+    let (sink, tracer) = telemetry::shared(SpanCollector::new());
+    m.set_tracer(tracer);
+    drive_fig1(&mut m);
+
+    let metrics = m.metrics().unwrap();
+    let sink = sink.borrow();
+    let spans = sink.spans();
+    assert_eq!(metrics.reactions, spans.len() as u64);
+    assert_eq!(metrics.tracks_run, spans.iter().map(|s| s.tracks as u64).sum::<u64>());
+    assert_eq!(metrics.discarded_events, 1);
+    assert_eq!(metrics.reactions_by_cause[Cause::Boot.index()], 1);
+    assert_eq!(metrics.reaction_wall_ns.count, 4);
+}

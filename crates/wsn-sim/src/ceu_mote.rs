@@ -12,9 +12,9 @@
 
 use crate::radio::Packet;
 use crate::world::{Backend, MoteCtx};
+use ceu::ast::EventId;
 use ceu::runtime::{Host, HostResult, Machine, Ptr, Value};
 use ceu::CompiledProgram;
-use ceu::ast::EventId;
 use std::collections::HashMap;
 
 /// Pending LED operation, applied to the simulated LEDs after a reaction.
@@ -96,7 +96,10 @@ impl Host for TosHost {
                     .ok_or("Radio_send needs a destination")?;
                 let h = self.msg_handle(args.get(1).ok_or("Radio_send needs a message")?)?;
                 let payload = self.msgs[h].clone();
-                self.outbox.push((dst as usize, Packet::new(self.node_id as usize, dst as usize, payload)));
+                self.outbox.push((
+                    dst as usize,
+                    Packet::new(self.node_id as usize, dst as usize, payload),
+                ));
                 Ok(Value::Int(0))
             }
             "Radio_source" => {
@@ -160,17 +163,51 @@ pub struct CeuMote {
     radio_evt: Option<EventId>,
     /// go_async slices granted per CPU slice from the world.
     pub async_per_slice: u32,
+    /// Largest gap observed between world time and the machine's clock at
+    /// the moment a callback arrived (how stale the mote's view of time
+    /// was, before the pre-reaction `go_time` resync).
+    max_clock_lag_us: u64,
 }
 
 impl CeuMote {
     pub fn new(program: CompiledProgram, node_id: i64) -> Self {
         let machine = Machine::new(program);
         let radio_evt = machine.event_id("Radio_receive");
-        CeuMote { machine, host: TosHost::new(node_id), radio_evt, async_per_slice: 8 }
+        CeuMote {
+            machine,
+            host: TosHost::new(node_id),
+            radio_evt,
+            async_per_slice: 8,
+            max_clock_lag_us: 0,
+        }
     }
 
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Switches on the embedded machine's metrics registry.
+    pub fn enable_metrics(&mut self) {
+        self.machine.enable_metrics();
+    }
+
+    pub fn metrics(&self) -> Option<&ceu::runtime::Metrics> {
+        self.machine.metrics()
+    }
+
+    /// High-water mark of virtual-clock drift: how far world time had run
+    /// ahead of the mote's synchronous clock when a callback was delivered.
+    pub fn max_clock_lag_us(&self) -> u64 {
+        self.max_clock_lag_us
+    }
+
+    fn note_lag(&mut self, world_now: u64) {
+        let lag = world_now.saturating_sub(self.machine.now());
+        self.max_clock_lag_us = self.max_clock_lag_us.max(lag);
     }
 
     pub fn host_mut(&mut self) -> &mut TosHost {
@@ -205,6 +242,7 @@ impl Backend for CeuMote {
     fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
         let Some(evt) = self.radio_evt else { return };
         // keep the machine clock in sync before handling the event
+        self.note_lag(ctx.now);
         self.machine.go_time(ctx.now, &mut self.host).unwrap_or_else(|e| panic!("ceu time: {e}"));
         let h = self.host.alloc_msg_from(packet.payload.clone(), packet.src as i64);
         self.machine
@@ -214,6 +252,7 @@ impl Backend for CeuMote {
     }
 
     fn timer(&mut self, ctx: &mut MoteCtx) {
+        self.note_lag(ctx.now);
         self.machine.go_time(ctx.now, &mut self.host).unwrap_or_else(|e| panic!("ceu timer: {e}"));
         self.sync_world(ctx);
     }
@@ -282,5 +321,34 @@ mod tests {
         assert!(w.stats.delivered >= 10, "delivered {}", w.stats.delivered);
         let m1_first = w.leds(1).history.first().cloned();
         assert_eq!(m1_first, Some((1_000, 0, true)), "mote 1 lit led0 from mask 1 at 1ms");
+        // per-mote accounting: what mote 1 received, mote 0 sent (the
+        // final packet may still be in flight at the deadline)
+        let in_flight = w.mote_stats(0).sent - w.mote_stats(1).received;
+        assert!(in_flight <= 1, "at most one packet in flight, got {in_flight}");
+        assert!(w.mote_stats(0).received >= 5);
+    }
+
+    #[test]
+    fn shared_handle_exposes_metrics_and_clock_lag() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let prog = ceu::Compiler::new().compile(ECHO).unwrap();
+        let kick = ceu::Compiler::new().compile(KICK).unwrap();
+        let echo = Rc::new(RefCell::new(CeuMote::new(prog, 1)));
+        echo.borrow_mut().enable_metrics();
+        let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 1));
+        w.add_mote(Box::new(CeuMote::new(kick, 0)));
+        w.add_mote(Box::new(Rc::clone(&echo)));
+        w.boot();
+        w.run_until(10_500);
+
+        let mote = echo.borrow();
+        let m = mote.metrics().expect("metrics enabled");
+        assert!(m.reactions >= 5, "one reaction per delivered message, got {}", m.reactions);
+        assert_eq!(m.discarded_events, 0);
+        // deliveries arrive 1ms after the machine last saw time advance,
+        // so the drift high-water mark is at least one radio hop
+        assert!(mote.max_clock_lag_us() >= 1_000, "lag {}", mote.max_clock_lag_us());
     }
 }

@@ -17,7 +17,9 @@ pub mod radio;
 pub mod world;
 
 pub use ceu_mote::{CeuMote, TosHost};
-pub use mantis::{BlinkThread, MantisMote, OccamLedProc, OccamTimerProc, Step, ThreadBody, ThreadCtx};
+pub use mantis::{
+    BlinkThread, MantisMote, OccamLedProc, OccamTimerProc, Step, ThreadBody, ThreadCtx,
+};
 pub use nesc::NescApp;
-pub use radio::{Packet, Radio, Topology};
-pub use world::{Backend, Leds, MoteCtx, MoteId, World};
+pub use radio::{Packet, Radio, RadioStats, Topology};
+pub use world::{Backend, Leds, MoteCtx, MoteId, MoteStats, World};

@@ -49,6 +49,20 @@ impl Topology {
     }
 }
 
+/// Counters kept by the medium itself, one step below the per-mote view:
+/// how many transmissions were attempted and why the failed ones failed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RadioStats {
+    /// Transmissions offered to the medium.
+    pub attempts: u64,
+    /// Transmissions that will arrive.
+    pub delivered: u64,
+    /// Dropped because no link exists or an endpoint is down.
+    pub dropped_link: u64,
+    /// Dropped by the probabilistic loss model.
+    pub dropped_loss: u64,
+}
+
 /// The medium: decides whether and when a transmission arrives.
 pub struct Radio {
     pub topology: Topology,
@@ -58,6 +72,7 @@ pub struct Radio {
     pub loss: f64,
     /// Motes currently powered off (failure injection).
     pub down: Vec<bool>,
+    pub stats: RadioStats,
     rng: StdRng,
 }
 
@@ -68,7 +83,14 @@ impl Radio {
     }
 
     pub fn new(topology: Topology, latency_us: u64, loss: f64, seed: u64) -> Self {
-        Radio { topology, latency_us, loss, down: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+        Radio {
+            topology,
+            latency_us,
+            loss,
+            down: Vec::new(),
+            stats: RadioStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Marks a mote as failed (drops everything to/from it).
@@ -85,12 +107,16 @@ impl Radio {
 
     /// Returns the arrival time of the packet, or `None` if it is lost.
     pub fn transmit(&mut self, now: u64, from: usize, to: usize, _p: &Packet) -> Option<u64> {
+        self.stats.attempts += 1;
         if self.is_down(from) || self.is_down(to) || !self.topology.connected(from, to) {
+            self.stats.dropped_link += 1;
             return None;
         }
         if self.loss > 0.0 && self.rng.gen::<f64>() < self.loss {
+            self.stats.dropped_loss += 1;
             return None;
         }
+        self.stats.delivered += 1;
         Some(now + self.latency_us)
     }
 }

@@ -80,11 +80,7 @@ impl Leds {
 
     /// Times at which the given led switched on.
     pub fn on_times(&self, led: u8) -> Vec<u64> {
-        self.history
-            .iter()
-            .filter(|(_, l, on)| *l == led && *on)
-            .map(|(t, _, _)| *t)
-            .collect()
+        self.history.iter().filter(|(_, l, on)| *l == led && *on).map(|(t, _, _)| *t).collect()
     }
 }
 
@@ -107,6 +103,7 @@ struct MoteSlot {
     /// Absolute time of the pending Timer event (dedup guard).
     timer_at: Option<u64>,
     cpu_scheduled: bool,
+    stats: MoteStats,
 }
 
 /// Simulation statistics.
@@ -114,6 +111,22 @@ struct MoteSlot {
 pub struct Stats {
     pub delivered: u64,
     pub lost: u64,
+    pub cpu_slices: u64,
+}
+
+/// Per-mote statistics (the network-wide aggregates live in [`Stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoteStats {
+    /// Packets handed to the radio medium.
+    pub sent: u64,
+    /// Packets delivered to this mote.
+    pub received: u64,
+    /// Packets this mote sent that the medium dropped (loss, partition,
+    /// or a downed endpoint).
+    pub lost: u64,
+    /// Timer callbacks delivered.
+    pub timer_firings: u64,
+    /// CPU slices granted.
     pub cpu_slices: u64,
 }
 
@@ -155,12 +168,22 @@ impl World {
             leds: Leds::default(),
             timer_at: None,
             cpu_scheduled: false,
+            stats: MoteStats::default(),
         });
         id
     }
 
     pub fn leds(&self, mote: MoteId) -> &Leds {
         &self.motes[mote].leds
+    }
+
+    /// Per-mote counters (sends, receives, losses, timers, CPU slices).
+    pub fn mote_stats(&self, mote: MoteId) -> &MoteStats {
+        &self.motes[mote].stats
+    }
+
+    pub fn mote_count(&self) -> usize {
+        self.motes.len()
     }
 
     fn schedule(&mut self, at: u64, fire: Fire) {
@@ -190,17 +213,20 @@ impl World {
             match fire {
                 Fire::Deliver { to, packet } => {
                     self.stats.delivered += 1;
+                    self.motes[to].stats.received += 1;
                     self.with_ctx(to, |backend, ctx| backend.deliver(ctx, packet));
                 }
                 Fire::Timer { mote } => {
                     // stale timer? (the mote re-requested a different time)
                     if self.motes[mote].timer_at == Some(at) {
                         self.motes[mote].timer_at = None;
+                        self.motes[mote].stats.timer_firings += 1;
                         self.with_ctx(mote, |backend, ctx| backend.timer(ctx));
                     }
                 }
                 Fire::Cpu { mote } => {
                     self.stats.cpu_slices += 1;
+                    self.motes[mote].stats.cpu_slices += 1;
                     self.motes[mote].cpu_scheduled = false;
                     self.with_ctx(mote, |backend, ctx| backend.cpu(ctx));
                 }
@@ -228,10 +254,12 @@ impl World {
         let wants_cpu = ctx.wants_cpu;
         self.motes[id].backend = backend;
         for (to, packet) in outbox {
+            self.motes[id].stats.sent += 1;
             if let Some(arrival) = self.radio.transmit(self.now, id, to, &packet) {
                 self.schedule(arrival, Fire::Deliver { to, packet });
             } else {
                 self.stats.lost += 1;
+                self.motes[id].stats.lost += 1;
             }
         }
         if let Some(at) = timer_request {
@@ -250,6 +278,24 @@ impl World {
             let at = self.now + self.cpu_slice_us;
             self.schedule(at, Fire::Cpu { mote: id });
         }
+    }
+}
+
+/// Shared-handle backends: a harness can keep an `Rc<RefCell<B>>` to a
+/// mote it adds to the world and read its state (metrics, clock drift)
+/// after the run.
+impl<B: Backend> Backend for std::rc::Rc<std::cell::RefCell<B>> {
+    fn boot(&mut self, ctx: &mut MoteCtx) {
+        self.borrow_mut().boot(ctx)
+    }
+    fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
+        self.borrow_mut().deliver(ctx, packet)
+    }
+    fn timer(&mut self, ctx: &mut MoteCtx) {
+        self.borrow_mut().timer(ctx)
+    }
+    fn cpu(&mut self, ctx: &mut MoteCtx) {
+        self.borrow_mut().cpu(ctx)
     }
 }
 
@@ -301,6 +347,30 @@ mod tests {
         assert_eq!(w.stats.delivered, 18);
         assert_eq!(w.leds(0).history.len(), 9);
         assert_eq!(w.leds(1).history.len(), 9);
+        // per-mote view agrees with the aggregate
+        for m in [a, b] {
+            assert_eq!(w.mote_stats(m).sent, 10);
+            assert_eq!(w.mote_stats(m).received, 9);
+            assert_eq!(w.mote_stats(m).lost, 0);
+            assert_eq!(w.mote_stats(m).timer_firings, 10);
+        }
+        assert_eq!(w.radio.stats.attempts, 20);
+        assert_eq!(w.radio.stats.delivered, 20, "two arrivals are past the deadline, not lost");
+    }
+
+    #[test]
+    fn per_mote_losses_attribute_to_the_sender() {
+        // mote 0 can reach mote 1 but not vice versa
+        let mut w = World::new(Radio::new(crate::radio::Topology::Links(vec![(0, 1)]), 10, 0.0, 1));
+        let a = w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        let b = w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.boot();
+        w.run_until(5_000);
+        assert_eq!(w.mote_stats(a).lost, 0);
+        assert_eq!(w.mote_stats(b).lost, w.mote_stats(b).sent);
+        assert_eq!(w.stats.lost, w.mote_stats(b).lost);
+        assert_eq!(w.radio.stats.dropped_link, w.stats.lost);
+        assert_eq!(w.mote_count(), 2);
     }
 
     #[test]

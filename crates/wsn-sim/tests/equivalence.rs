@@ -4,7 +4,7 @@
 //! using preexisting applications … we intend not to choose specific
 //! scenarios that favor one language or the other").
 
-use ceu::runtime::{Value, HostResult};
+use ceu::runtime::{HostResult, Value};
 use ceu::Compiler;
 use wsn_sim::nesc;
 use wsn_sim::{CeuMote, Radio, World};

@@ -158,8 +158,7 @@ fn mantis_round_robin_is_fair_among_equals() {
     }
     let mut w = World::new(Radio::ideal(0));
     let mut mote = MantisMote::new(0);
-    let counters: Vec<_> =
-        (0..4).map(|_| std::rc::Rc::new(std::cell::Cell::new(0u64))).collect();
+    let counters: Vec<_> = (0..4).map(|_| std::rc::Rc::new(std::cell::Cell::new(0u64))).collect();
     for c in &counters {
         mote.spawn(1, Box::new(Counter { c: c.clone() }));
     }

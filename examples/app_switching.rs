@@ -125,8 +125,7 @@ fn main() {
     sim.event("Switch", Some(Value::Int(1))).unwrap();
     let before = sim.host().calls.len();
     sim.advance_by(2_000_000).unwrap();
-    let led0_back =
-        sim.host().calls[before..].iter().filter(|(n, _)| n == "led0").count();
+    let led0_back = sim.host().calls[before..].iter().filter(|(n, _)| n == "led0").count();
     assert!(led0_back >= 5, "app1 restarted from scratch");
     println!("switching ok — one image, one app live at a time, RAM = max not sum");
 }

@@ -186,8 +186,7 @@ fn main() {
     sim.start().expect("the whole session runs inside the language");
 
     let host = sim.host();
-    let marks: std::collections::HashMap<i64, usize> =
-        host.marks.iter().copied().collect();
+    let marks: std::collections::HashMap<i64, usize> = host.marks.iter().copied().collect();
     let (m1, m2, m3) = (marks[&1], marks[&2], marks[&3]);
     let original = &host.frames[..m1];
     let forward = &host.frames[m1..m2];

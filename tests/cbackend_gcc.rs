@@ -9,9 +9,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn have_cc() -> Option<&'static str> {
-    ["gcc", "cc"]
-        .into_iter()
-        .find(|cc| Command::new(cc).arg("--version").output().is_ok())
+    ["gcc", "cc"].into_iter().find(|cc| Command::new(cc).arg("--version").output().is_ok())
 }
 
 fn compile_c(cc: &str, c_src: &str, tag: &str) -> Result<(), String> {

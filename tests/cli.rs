@@ -39,10 +39,7 @@ fn check_rejects_tight_loop_with_diagnostic() {
 
 #[test]
 fn check_rejects_nondeterminism_with_both_spans() {
-    let path = write_tmp(
-        "race.ceu",
-        "int v;\npar/and do\n v = 1;\nwith\n v = 2;\nend\nreturn v;",
-    );
+    let path = write_tmp("race.ceu", "int v;\npar/and do\n v = 1;\nwith\n v = 2;\nend\nreturn v;");
     let out = ceuc().arg("check").arg(&path).output().unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -52,10 +49,7 @@ fn check_rejects_nondeterminism_with_both_spans() {
 #[test]
 fn run_executes_a_script() {
     let prog = write_tmp("run.ceu", OK_PROGRAM);
-    let script = write_tmp(
-        "run.script",
-        "time 2500ms\nprint v\nevent Restart 7  # reset\n",
-    );
+    let script = write_tmp("run.script", "time 2500ms\nprint v\nevent Restart 7  # reset\n");
     let out = ceuc().arg("run").arg(&prog).arg(&script).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -118,6 +112,78 @@ fn script_errors_carry_line_numbers() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown event"), "{stderr}");
+}
+
+#[test]
+fn run_trace_jsonl_pairs_reactions_with_injected_events() {
+    let prog = write_tmp("trace.ceu", OK_PROGRAM);
+    let script = write_tmp("trace.script", "time 1500ms\nevent Restart 3\n");
+    let trace = std::env::temp_dir().join("ceuc-cli-tests").join("trace.jsonl");
+    let out = ceuc()
+        .arg("run")
+        .arg(&prog)
+        .arg(&script)
+        .arg("--trace=jsonl")
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let (mut starts, mut ends) = (0, 0);
+    let mut depth = 0i64;
+    for line in text.lines() {
+        let doc = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line is not valid JSON: {line} ({e:?})"));
+        match doc.get("ev").and_then(|v| v.as_str()).expect("every line has `ev`") {
+            "ReactionStart" => {
+                starts += 1;
+                depth += 1;
+            }
+            "ReactionEnd" => {
+                ends += 1;
+                depth -= 1;
+            }
+            _ => {}
+        }
+        assert!((0..=1).contains(&depth), "reactions must not nest or underflow");
+    }
+    // boot + one timer expiry (1s) + the Restart event = 3 chains
+    assert_eq!(starts, 3, "one ReactionStart per cause:\n{text}");
+    assert_eq!(starts, ends, "every chain closes:\n{text}");
+}
+
+#[test]
+fn run_metrics_prints_a_summary() {
+    let prog = write_tmp("met.ceu", OK_PROGRAM);
+    let script = write_tmp("met.script", "time 2s\nevent Restart 1\n");
+    let out = ceuc().arg("run").arg(&prog).arg(&script).arg("--metrics").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--- metrics ---"), "{stdout}");
+    // boot + 2 timer reactions + the event
+    assert!(stdout.contains("reactions"), "{stdout}");
+    assert!(stdout.contains("terminated: 1"), "{stdout}");
+}
+
+#[test]
+fn run_watchdog_aborts_runaway_reactions() {
+    let prog = write_tmp("wd.ceu", OK_PROGRAM);
+    let script = write_tmp("wd.script", "time 1s\n");
+    let out =
+        ceuc().arg("run").arg(&prog).arg(&script).args(["--max-tracks", "1"]).output().unwrap();
+    assert!(!out.status.success(), "the boot chain alone exceeds one track");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("track"), "{stderr}");
+}
+
+#[test]
+fn run_rejects_unknown_flags() {
+    let prog = write_tmp("uf.ceu", OK_PROGRAM);
+    let out = ceuc().arg("run").arg(&prog).arg("--no-such-flag").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
 
 #[test]

@@ -34,10 +34,7 @@ fn ceu_files(sub: &str) -> Vec<PathBuf> {
 /// Extracts `// key: value` directives from the header comments.
 fn directives<'a>(src: &'a str, key: &str) -> Vec<&'a str> {
     let prefix = format!("// {key}:");
-    src.lines()
-        .filter_map(|l| l.trim().strip_prefix(&prefix))
-        .map(|v| v.trim())
-        .collect()
+    src.lines().filter_map(|l| l.trim().strip_prefix(&prefix)).map(|v| v.trim()).collect()
 }
 
 #[test]
@@ -86,9 +83,8 @@ fn reject_corpus_fails_at_the_declared_stage() {
 fn run_corpus_behaves_as_declared() {
     for path in ceu_files("run") {
         let src = std::fs::read_to_string(&path).unwrap();
-        let program = Compiler::new()
-            .compile(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let program =
+            Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         // keep the original-name → unique-name map for assert-var
         let slot_names: Vec<String> = program.slots.iter().map(|s| s.name.clone()).collect();
         let mut sim = Simulator::new(program, RecordingHost::new());
@@ -137,12 +133,9 @@ fn run_corpus_behaves_as_declared() {
         for d in directives(&src, "assert-status") {
             let mut it = d.split_whitespace();
             match it.next() {
-                Some("running") => assert_eq!(
-                    sim.status(),
-                    Status::Running,
-                    "{}: status",
-                    path.display()
-                ),
+                Some("running") => {
+                    assert_eq!(sim.status(), Status::Running, "{}: status", path.display())
+                }
                 Some("terminated") => match it.next() {
                     Some(v) => assert_eq!(
                         sim.status(),

@@ -4,8 +4,8 @@
 use arduino_sim::{MarioHost, ShipHost, KEY_DOWN};
 use ceu::runtime::Value;
 use ceu::{Compiler, Simulator};
-use wsn_sim::{CeuMote, MantisMote, Radio, Topology, World};
 use wsn_sim::{BlinkThread, OccamLedProc, OccamTimerProc};
+use wsn_sim::{CeuMote, MantisMote, Radio, Topology, World};
 
 const RING: &str = r#"
     input _message_t* Radio_receive;
@@ -83,10 +83,7 @@ fn ring_detects_failure_and_recovers() {
     w.radio.set_down(2, true);
     w.run_until(25_000_000);
     // network-down mode: the red led blinks on the starved motes
-    assert!(
-        w.leds(0).on_times(0).len() >= 5,
-        "mote 0 must blink during the outage"
-    );
+    assert!(w.leds(0).on_times(0).len() >= 5, "mote 0 must blink during the outage");
     w.radio.set_down(2, false);
     w.run_until(60_000_000);
     assert!(w.leds(1).state > healthy, "counter resumed after recovery");

@@ -125,7 +125,9 @@ fn c_backend_emits_output_calls() {
 fn two_linked_processes_round_trip() {
     // echo process: doubles every input — linked to a driver process
     let echo = Compiler::new()
-        .compile("input int In;\noutput int Out;\nloop do\n int v = await In;\n emit Out = v * 2;\nend")
+        .compile(
+            "input int In;\noutput int Out;\nloop do\n int v = await In;\n emit Out = v * 2;\nend",
+        )
         .unwrap();
     let driver = Compiler::new()
         .compile(

@@ -109,9 +109,7 @@ fn analyze_exposes_dfa_for_nondeterministic_programs() {
 fn memory_report_tracks_app_growth() {
     // Céu's fixed runtime cost amortises: bigger app → smaller relative
     // overhead (the Table-1 trend)
-    let blink = Compiler::new()
-        .compile("loop do\n _led0Toggle();\n await 250ms;\nend")
-        .unwrap();
+    let blink = Compiler::new().compile("loop do\n _led0Toggle();\n await 250ms;\nend").unwrap();
     let bigger = Compiler::new()
         .compile(
             r#"
@@ -187,10 +185,7 @@ fn dfa_options_cap_state_explosion() {
     // state space; the cap must kick in instead of hanging
     let mut src = String::from("int x;\npar do\n");
     for i in 0..6 {
-        src.push_str(&format!(
-            " loop do\n  await {}ms;\n  x = x + 0;\n end\nwith\n",
-            7 + i * 13
-        ));
+        src.push_str(&format!(" loop do\n  await {}ms;\n  x = x + 0;\n end\nwith\n", 7 + i * 13));
     }
     src.push_str(" await forever;\nend");
     let program = Compiler::unchecked().compile(&src).unwrap();
@@ -230,9 +225,7 @@ fn conflict_kinds_cover_all_three_sources() {
             "input void A;\ninternal void e;\npar do\n loop do\n await A;\n emit e;\n end\nwith\n loop do\n await A;\n emit e;\n end\nwith\n loop do await e; end\nend",
         )
         .unwrap_err();
-    let ccall = Compiler::new()
-        .compile("par/and do _led1On(); with _led2On(); end")
-        .unwrap_err();
+    let ccall = Compiler::new().compile("par/and do _led1On(); with _led2On(); end").unwrap_err();
     for (err, kind) in [
         (var, ConflictKind::Variable),
         (evt, ConflictKind::InternalEvent),

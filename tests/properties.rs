@@ -52,25 +52,24 @@ fn arb_await() -> impl Strategy<Value = String> {
 /// generated programs always pass the bounded-execution check.
 fn arb_block(depth: u32) -> BoxedStrategy<String> {
     if depth == 0 {
-        return prop::collection::vec(prop_oneof![arb_instant().boxed(), arb_await().boxed()], 1..4)
-            .prop_map(|v| v.join("\n"))
-            .boxed();
+        return prop::collection::vec(
+            prop_oneof![arb_instant().boxed(), arb_await().boxed()],
+            1..4,
+        )
+        .prop_map(|v| v.join("\n"))
+        .boxed();
     }
     let inner = arb_block(depth - 1);
     prop_oneof![
-        prop::collection::vec(
-            prop_oneof![arb_instant().boxed(), arb_await().boxed()],
-            1..4
-        )
-        .prop_map(|v| v.join("\n")),
+        prop::collection::vec(prop_oneof![arb_instant().boxed(), arb_await().boxed()], 1..4)
+            .prop_map(|v| v.join("\n")),
         (inner.clone(), arb_await()).prop_map(|(b, a)| format!("loop do\n{b}\n{a}\nbreak;\nend")),
         (inner.clone(), inner.clone())
             .prop_map(|(a, b)| format!("par/or do\n{a}\nawait A;\nwith\n{b}\nawait B;\nend")),
         (inner.clone(), inner.clone())
             .prop_map(|(a, b)| format!("par/and do\n{a}\nawait A;\nwith\n{b}\nawait B;\nend")),
-        (arb_expr(), inner.clone(), inner).prop_map(|(c, a, b)| format!(
-            "if {c} then\n{a}\nelse\n{b}\nend"
-        )),
+        (arb_expr(), inner.clone(), inner)
+            .prop_map(|(c, a, b)| format!("if {c} then\n{a}\nelse\n{b}\nend")),
     ]
     .boxed()
 }

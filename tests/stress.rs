@@ -46,10 +46,7 @@ fn deep_emit_chain() {
     src.push_str(&(0..n).map(|i| format!("e{i}")).collect::<Vec<_>>().join(", "));
     src.push_str(";\npar do\n");
     for i in 0..n - 1 {
-        src.push_str(&format!(
-            " loop do\n  await e{i};\n  emit e{};\n end\nwith\n",
-            i + 1
-        ));
+        src.push_str(&format!(" loop do\n  await e{i};\n  emit e{};\n end\nwith\n", i + 1));
     }
     src.push_str(&format!(
         " loop do\n  await e{};\n  v = v + 1;\n end\nwith\n loop do\n  await Go;\n  emit e0;\n end\nend",

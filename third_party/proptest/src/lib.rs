@@ -1,0 +1,573 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `proptest` to this minimal reimplementation (see
+//! `third_party/README.md`). It keeps the *surface* the repo's property
+//! tests use — `proptest!`, `prop_oneof!`, `prop_assert*!`, `Just`,
+//! ranges-as-strategies, tuples, `prop_map`, `prop_recursive`, `boxed`,
+//! `collection::vec`, `sample::select` — over a deterministic RNG.
+//!
+//! **Deliberate simplifications** versus real proptest:
+//! * no shrinking: a failing case reports its inputs but is not minimised;
+//! * generation is seeded per test name (override with `PROPTEST_SEED`),
+//!   so runs are reproducible by default;
+//! * `prop_recursive` builds a bounded tower of the recursion closure
+//!   instead of a weighted size-driven recursion.
+
+// ---- RNG ----------------------------------------------------------------------
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator (same family as the
+    /// `third_party/rand` stub, duplicated to keep the stubs standalone).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            TestRng { state: if z == 0 { 0x853c_49e6_748f_ea9b } else { z } }
+        }
+
+        /// Seeded from the test name (stable across runs) unless the
+        /// `PROPTEST_SEED` environment variable overrides it.
+        pub fn deterministic(name: &str) -> Self {
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = s.parse::<u64>() {
+                    return TestRng::seed_from_u64(seed ^ hash_name(name));
+                }
+            }
+            TestRng::seed_from_u64(hash_name(name))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    fn hash_name(name: &str) -> u64 {
+        // FNV-1a
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property (carries the formatted assertion message).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(s: String) -> Self {
+            TestCaseError(s)
+        }
+    }
+
+    impl From<&str> for TestCaseError {
+        fn from(s: &str) -> Self {
+            TestCaseError(s.to_string())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+// ---- Strategy core ------------------------------------------------------------
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of values. Unlike real proptest there is no value
+    /// tree / shrinking: `new_value` produces the final value directly.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f: Rc::new(f) }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy { inner: Rc::new(self) }
+        }
+
+        /// Bounded recursion: applies `recurse` to the strategy-so-far a
+        /// random number of times up to `depth`, then samples.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive { base: self.boxed(), grow: Rc::new(move |b| recurse(b).boxed()), depth }
+        }
+    }
+
+    /// Object-safe view of a strategy (the boxing substrate).
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.inner.dyn_new_value(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T> {
+            self
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: Rc<F>,
+    }
+
+    impl<S: Clone, F> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+        }
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        grow: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive { base: self.base.clone(), grow: Rc::clone(&self.grow), depth: self.depth }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let levels = rng.below(self.depth as u64 + 1) as u32;
+            let mut s = self.base.clone();
+            for _ in 0..levels {
+                s = (self.grow)(s);
+            }
+            s.new_value(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { arms: self.arms.clone() }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.arms.len() as u64) as usize;
+            self.arms[k].new_value(rng)
+        }
+    }
+
+    // ranges are strategies
+    macro_rules! impl_range_strategy_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    ((self.start as i64) + rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // tuples of strategies are strategies
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+// ---- collections & sampling ---------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    pub struct Select<T> {
+        items: Rc<Vec<T>>,
+    }
+
+    impl<T> Clone for Select<T> {
+        fn clone(&self) -> Self {
+            Select { items: Rc::clone(&self.items) }
+        }
+    }
+
+    /// `prop::sample::select(vec![...])` — uniform choice of one element.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items: Rc::new(items) }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.items.len() as u64) as usize;
+            self.items[k].clone()
+        }
+    }
+}
+
+// ---- macros -------------------------------------------------------------------
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::from(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::from(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::from(
+                format!("prop_assert_eq! failed: {:?} != {:?}", a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::from(
+                format!("prop_assert_eq! failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::from(format!(
+                "prop_assert_ne! failed: both {:?}",
+                a
+            )));
+        }
+    }};
+}
+
+/// The property-test harness macro. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, s in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..cfg.cases {
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = (|| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}\n(offline stub: no shrinking; rerun with PROPTEST_SEED to vary)",
+                            stringify!($name), case + 1, cfg.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+// ---- prelude ------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace the real prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        let s = (0u8..4, (-5i64..5)).prop_map(|(a, b)| format!("{a}/{b}"));
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!(v.contains('/'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_select_cover_all_arms() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        let s = prop_oneof![Just("a"), Just("b"), prop::sample::select(vec!["c", "d"])];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t3");
+        let leaf = (0u8..10).prop_map(|n| n.to_string());
+        let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        for _ in 0..50 {
+            let v = expr.new_value(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_works(x in 0u64..100, v in prop::collection::vec(0u8..3, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

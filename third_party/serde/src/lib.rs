@@ -1,0 +1,245 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! patches `serde` to this minimal subset (see `third_party/README.md`).
+//! Unlike real serde there is no data-model abstraction: [`Serialize`]
+//! writes JSON directly through a [`Serializer`] that wraps a string
+//! buffer. `#[derive(Serialize)]` is provided by the sibling
+//! `serde_derive` stub for plain structs with named fields; richer
+//! types implement the trait by hand (see `ceu-runtime`'s
+//! `telemetry-json` feature for examples).
+
+pub use serde_derive::Serialize;
+
+/// A JSON value writer. Tracks whether a comma is needed before the next
+/// element so `Serialize` impls can be written as straight-line code.
+pub struct Serializer {
+    out: String,
+    needs_comma: bool,
+}
+
+impl Default for Serializer {
+    fn default() -> Self {
+        Serializer::new()
+    }
+}
+
+impl Serializer {
+    pub fn new() -> Self {
+        Serializer { out: String::with_capacity(128), needs_comma: false }
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn elem_prefix(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.needs_comma = false;
+    }
+
+    pub fn begin_object(&mut self) {
+        self.elem_prefix();
+        self.out.push('{');
+    }
+
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma = true;
+    }
+
+    pub fn begin_array(&mut self) {
+        self.elem_prefix();
+        self.out.push('[');
+    }
+
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma = true;
+    }
+
+    /// Writes `"name":` and the value (inside an object).
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &str, value: &T) {
+        self.elem_prefix();
+        write_json_string(&mut self.out, name);
+        self.out.push(':');
+        self.needs_comma = false;
+        value.serialize(self);
+        self.needs_comma = true;
+    }
+
+    /// Writes `"name":` and leaves the serializer expecting the value
+    /// (for incremental object construction, e.g. tagged enums).
+    pub fn key(&mut self, name: &str) {
+        self.elem_prefix();
+        write_json_string(&mut self.out, name);
+        self.out.push(':');
+        self.needs_comma = false;
+    }
+
+    /// Writes one array element.
+    pub fn element<T: Serialize + ?Sized>(&mut self, value: &T) {
+        self.elem_prefix();
+        value.serialize(self);
+        self.needs_comma = true;
+    }
+
+    /// Writes a bare scalar that is already valid JSON (numbers, etc.).
+    pub fn raw(&mut self, json: &str) {
+        self.elem_prefix();
+        self.out.push_str(json);
+        self.needs_comma = true;
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.elem_prefix();
+        write_json_string(&mut self.out, s);
+        self.needs_comma = true;
+    }
+}
+
+/// Writes `s` as a JSON string literal (with escaping) onto `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialization to JSON. The single method appends this value's JSON
+/// encoding to the serializer.
+pub trait Serialize {
+    fn serialize(&self, s: &mut Serializer);
+}
+
+macro_rules! impl_serialize_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                if self.is_finite() {
+                    s.raw(&format!("{self}"));
+                } else {
+                    s.raw("null"); // JSON has no NaN/Inf; match serde_json's lossy default
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(&self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_array();
+        for v in self {
+            s.element(v);
+        }
+        s.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_object();
+        for (k, v) in self {
+            s.field(k, v);
+        }
+        s.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers_encode() {
+        let mut s = Serializer::new();
+        s.begin_object();
+        s.field("n", &42u64);
+        s.field("x", &-1.5f64);
+        s.field("ok", &true);
+        s.field("name", "a\"b");
+        s.field("none", &Option::<u32>::None);
+        s.field("list", &vec![1u8, 2, 3]);
+        s.end_object();
+        assert_eq!(
+            s.into_string(),
+            r#"{"n":42,"x":-1.5,"ok":true,"name":"a\"b","none":null,"list":[1,2,3]}"#
+        );
+    }
+}

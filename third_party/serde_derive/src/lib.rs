@@ -1,0 +1,232 @@
+//! Offline stand-in for `serde_derive`: a `#[derive(Serialize)]` macro
+//! written against `proc_macro` directly (no syn/quote, which are not
+//! available in the offline build container).
+//!
+//! Supported shapes:
+//! * structs with named fields → `{"field": value, ...}`;
+//! * unit structs → `{}`;
+//! * enums with unit variants → `"Variant"`;
+//! * enums with named-field variants → `{"Variant": {"field": ...}}`
+//!   (serde's externally-tagged default).
+//!
+//! Tuple structs/variants and generic types are rejected with a
+//! `compile_error!` pointing here — implement `serde::Serialize` by hand
+//! for those.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // skip outer attributes and visibility
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde stub derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde stub derive: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generic type `{name}`; \
+                 implement serde::Serialize manually (see third_party/serde)"
+            ));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                struct_body(&fields)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => struct_body(&[]),
+            None => struct_body(&[]),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub derive does not support tuple struct `{name}`; \
+                     implement serde::Serialize manually"
+                ));
+            }
+            other => return Err(format!("serde stub derive: unexpected token {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, g.stream())?
+            }
+            other => return Err(format!("serde stub derive: expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("serde stub derive: cannot derive for `{other}`")),
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, __s: &mut ::serde::Serializer) {{\n{body}    }}\n\
+         }}\n"
+    ))
+}
+
+fn struct_body(fields: &[String]) -> String {
+    let mut out = String::from("        __s.begin_object();\n");
+    for f in fields {
+        out.push_str(&format!("        __s.field({f:?}, &self.{f});\n"));
+    }
+    out.push_str("        __s.end_object();\n");
+    out
+}
+
+fn enum_body(name: &str, stream: TokenStream) -> Result<String, String> {
+    let variants = parse_variants(stream)?;
+    let mut arms = String::new();
+    for (vname, fields) in &variants {
+        match fields {
+            None => {
+                arms.push_str(&format!("            {name}::{vname} => __s.string({vname:?}),\n"));
+            }
+            Some(fs) => {
+                let binds = fs.join(", ");
+                let mut writes = String::new();
+                for f in fs {
+                    writes.push_str(&format!("__s.field({f:?}, {f}); "));
+                }
+                arms.push_str(&format!(
+                    "            {name}::{vname} {{ {binds} }} => {{\n\
+                                     __s.begin_object();\n\
+                                     __s.key({vname:?});\n\
+                                     __s.begin_object();\n\
+                                     {writes}\n\
+                                     __s.end_object();\n\
+                                     __s.end_object();\n\
+                                 }}\n"
+                ));
+            }
+        }
+    }
+    Ok(format!("        match self {{\n{arms}        }}\n"))
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes and
+/// visibility. Tracks `<...>` depth so commas inside generics don't split.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // skip attributes / visibility
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let fname = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("serde stub derive: expected field name, got {other:?}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde stub derive: expected `:`, got {other:?}")),
+        }
+        // consume the type up to a top-level comma
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+type Variant = (String, Option<Vec<String>>);
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // skip attributes
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let vname = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("serde stub derive: expected variant, got {other:?}")),
+        };
+        let mut fields = None;
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match toks.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                fields = Some(parse_named_fields(g.stream())?);
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub derive does not support tuple variant `{vname}`; \
+                     implement serde::Serialize manually"
+                ));
+            }
+            _ => {}
+        }
+        // skip an optional discriminant, then the separating comma
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push((vname, fields));
+    }
+    Ok(variants)
+}
