@@ -491,7 +491,7 @@ impl<'a> Analyzer<'a> {
                         cur = *b;
                     }
                     Term::If { cond, then_b, else_b } => {
-                        self.reads(&mut cfg, cond, group, Span::default());
+                        self.reads(&mut cfg, self.prog.expr(*cond), group, Span::default());
                         // explore both branches
                         let mut other = cfg.clone();
                         push_front_track(&mut other, self.prog, *else_b, group);
@@ -521,7 +521,7 @@ impl<'a> Analyzer<'a> {
                     }
                     Term::TerminateProgram { value } => {
                         if let Some(v) = value {
-                            self.reads(&mut cfg, v, group, Span::default());
+                            self.reads(&mut cfg, self.prog.expr(*v), group, Span::default());
                         }
                         cfg.gates.clear();
                         cfg.queue.clear();
@@ -537,10 +537,10 @@ impl<'a> Analyzer<'a> {
     fn exec_abs(&self, cfg: &mut Config, op: &Op, span: Span, group: u32) {
         match op {
             Op::Assign { dst, src } => {
-                self.reads(cfg, src, group, span);
+                self.reads(cfg, self.prog.expr(*src), group, span);
                 self.write_place(cfg, dst, group, span);
             }
-            Op::Eval(rv) => self.reads(cfg, rv, group, span),
+            Op::Eval(rv) => self.reads(cfg, self.prog.expr(*rv), group, span),
             Op::ActivateEvt { gate } => {
                 cfg.gates.insert(*gate, GateSt::Event);
                 if let GateKind::Evt(e) = self.prog.gate(*gate).kind {
@@ -553,7 +553,7 @@ impl<'a> Analyzer<'a> {
                 let st = match us {
                     TimeAmount::Const(c) => GateSt::Time(*c),
                     TimeAmount::Dyn(rv) => {
-                        self.reads(cfg, rv, group, span);
+                        self.reads(cfg, self.prog.expr(*rv), group, span);
                         GateSt::TimeUnknown
                     }
                 };
@@ -573,7 +573,7 @@ impl<'a> Analyzer<'a> {
             }
             Op::EmitInt { event, value } => {
                 if let Some(v) = value {
-                    self.reads(cfg, v, group, span);
+                    self.reads(cfg, self.prog.expr(*v), group, span);
                 }
                 record(cfg, AccessKind::EmitInt(*event), group, span);
                 // awaken listeners as children of the emitter (sequenced)
@@ -594,7 +594,7 @@ impl<'a> Analyzer<'a> {
             }
             Op::EmitOut { event, value } => {
                 if let Some(v) = value {
-                    self.reads(cfg, v, group, span);
+                    self.reads(cfg, self.prog.expr(*v), group, span);
                 }
                 record(cfg, AccessKind::EmitOut(*event), group, span);
             }
@@ -626,11 +626,11 @@ impl<'a> Analyzer<'a> {
         match place {
             Place::Slot(s) => self.var_access(cfg, *s, true, group, span),
             Place::Index(s, idx) => {
-                self.reads(cfg, idx, group, span);
+                self.reads(cfg, self.prog.expr(*idx), group, span);
                 self.var_access(cfg, *s, true, group, span);
             }
             Place::Deref(rv) => {
-                self.reads(cfg, rv, group, span);
+                self.reads(cfg, self.prog.expr(*rv), group, span);
                 record(cfg, AccessKind::VarWrite("*<pointer>".into()), group, span);
             }
         }

@@ -15,12 +15,11 @@ use ceu::runtime::telemetry::{self, ChromeTraceSink, TraceSink};
 use ceu::runtime::{Cause, NullHost, Status, TraceEvent, Value};
 use ceu::{Compiler, Simulator};
 use ceu_bench::{out_dir, table, FIG1_PROGRAM};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let program = Compiler::new().compile(FIG1_PROGRAM).expect("figure-1 program is safe");
-    let buf = Rc::new(RefCell::new(Vec::new()));
+    let buf = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Simulator::new(program, NullHost);
     sim.machine_mut().enable_metrics();
 
@@ -29,9 +28,9 @@ fn main() {
         std::fs::File::create(&trace_path).expect("create fig1_trace.json"),
     );
     let (chrome, mut chrome_tracer) = telemetry::shared(ChromeTraceSink::new(file));
-    let tap = Rc::clone(&buf);
+    let tap = Arc::clone(&buf);
     sim.set_tracer(Box::new(move |e| {
-        tap.borrow_mut().push(*e);
+        tap.lock().unwrap().push(*e);
         chrome_tracer(e);
     }));
 
@@ -45,7 +44,7 @@ fn main() {
     // render the trace, one block per reaction chain
     println!("Figure 1 — reaction chains\n");
     let mut chain = 0;
-    for e in buf.borrow().iter() {
+    for e in buf.lock().unwrap().iter() {
         match e {
             TraceEvent::ReactionStart { cause, .. } => {
                 chain += 1;
@@ -77,7 +76,7 @@ fn main() {
     assert_eq!(s3, Status::Terminated(None), "B finishes the program");
     assert!(s4, "post-termination events are no-ops");
     {
-        let events = buf.borrow();
+        let events = buf.lock().unwrap();
         let discards = events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).count();
         assert_eq!(discards, 1);
         // boot + A + A(discarded) + B = four reaction chains, no reaction to C
@@ -86,7 +85,7 @@ fn main() {
         assert_eq!(chains, 4);
     }
 
-    chrome.borrow_mut().finish();
+    chrome.lock().unwrap().finish();
     let metrics = sim.machine().metrics().expect("metrics enabled").clone();
     table::record(
         "fig1_metrics",

@@ -1,0 +1,156 @@
+//! **Parallel corpus throughput** — the shareable-artifact experiment.
+//!
+//! One `CompiledProgram` is compiled once, wrapped in an `Arc`, and
+//! instanced as N independent machines that are driven through M reaction
+//! chains each, on 1..=T worker threads. Because the artifact is
+//! immutable and `Send + Sync`, the workers share it with zero copies and
+//! zero locks; scaling is bounded only by cores.
+//!
+//! Also reports the same workload under the `use_tree_eval` ablation so
+//! the flat-vs-tree evaluator speedup is measured in the same run.
+//!
+//! Rows land in `target/experiments/par_throughput.jsonl`:
+//! `{workload, machines, reactions, threads, tree_eval, wall_ns, throughput_rps, speedup}`.
+//!
+//! ```sh
+//! cargo run --release -p ceu-bench --bin par_throughput -- \
+//!     [--machines N] [--reactions M] [--threads 1,2,4]
+//! ```
+
+use ceu::runtime::{Machine, NullHost};
+use ceu::Compiler;
+use ceu_bench::{table, DATAFLOW_CHAIN};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct Row {
+    workload: &'static str,
+    machines: usize,
+    reactions: u64,
+    threads: usize,
+    tree_eval: bool,
+    wall_ns: u64,
+    throughput_rps: f64,
+    speedup: f64,
+}
+
+/// Drives `per_worker` machines, M reaction chains each, on one thread.
+fn worker(prog: Arc<ceu::CompiledProgram>, machines: usize, reactions: u64, tree_eval: bool) {
+    let go = {
+        let m = Machine::from_arc(Arc::clone(&prog));
+        m.event_id("Go").expect("dataflow chain declares Go")
+    };
+    for _ in 0..machines {
+        let mut m = Machine::from_arc(Arc::clone(&prog));
+        m.use_tree_eval = tree_eval;
+        m.go_init(&mut NullHost).expect("boot");
+        for _ in 0..reactions {
+            m.go_event(go, None, &mut NullHost).expect("react");
+        }
+        // cross-check: v3 = (v1 + 1) * 2 with v1 = 10 * reactions
+        let v3 = m.read_var("v3#2").and_then(|v| v.as_int()).expect("v3");
+        assert_eq!(v3, (10 * reactions as i64 + 1) * 2, "dataflow invariant");
+    }
+}
+
+/// One timed configuration; returns the wall time.
+fn run(
+    prog: &Arc<ceu::CompiledProgram>,
+    machines: usize,
+    reactions: u64,
+    threads: usize,
+    tree_eval: bool,
+) -> std::time::Duration {
+    let start = Instant::now();
+    if threads <= 1 {
+        worker(Arc::clone(prog), machines, reactions, tree_eval);
+    } else {
+        // split machines across workers; remainder spread over the front
+        let base = machines / threads;
+        let extra = machines % threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let n = base + usize::from(t < extra);
+                if n == 0 {
+                    continue;
+                }
+                let prog = Arc::clone(prog);
+                s.spawn(move || worker(prog, n, reactions, tree_eval));
+            }
+        });
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let mut machines = 32usize;
+    let mut reactions = 5_000u64;
+    let mut threads: Vec<usize> = vec![];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machines" => {
+                machines = args.next().and_then(|v| v.parse().ok()).expect("--machines N")
+            }
+            "--reactions" => {
+                reactions = args.next().and_then(|v| v.parse().ok()).expect("--reactions M")
+            }
+            "--threads" => {
+                let list = args.next().expect("--threads 1,2,4");
+                threads = list.split(',').map(|t| t.parse().expect("thread count")).collect();
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    if threads.is_empty() {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        threads = vec![1, 2, cores.max(2)];
+        threads.dedup();
+    }
+
+    let prog = Arc::new(Compiler::new().compile(DATAFLOW_CHAIN).expect("dataflow chain compiles"));
+    println!(
+        "parallel throughput — {} machines × {} reactions over one Arc<CompiledProgram>\n",
+        machines, reactions
+    );
+
+    // warm-up (page in code, spin up allocator arenas)
+    run(&prog, machines.min(4), reactions.min(500), 1, false);
+
+    let total = machines as f64 * reactions as f64;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut base_rps = 0.0;
+    for &t in &threads {
+        for tree_eval in [false, true] {
+            let wall = run(&prog, machines, reactions, t, tree_eval);
+            let rps = total / wall.as_secs_f64();
+            if t == threads[0] && !tree_eval {
+                base_rps = rps;
+            }
+            let speedup = rps / base_rps;
+            rows.push(vec![
+                t.to_string(),
+                if tree_eval { "tree" } else { "flat" }.into(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                format!("{:.0}", rps),
+                format!("{speedup:.2}x"),
+            ]);
+            table::record(
+                "par_throughput",
+                &Row {
+                    workload: "dataflow_chain",
+                    machines,
+                    reactions,
+                    threads: t,
+                    tree_eval,
+                    wall_ns: wall.as_nanos() as u64,
+                    throughput_rps: rps,
+                    speedup,
+                },
+            );
+        }
+    }
+    println!("{}", table::render(&["threads", "eval", "wall ms", "reactions/s", "speedup"], &rows));
+    println!("rows -> {}", ceu_bench::out_dir().join("par_throughput.jsonl").display());
+}

@@ -19,8 +19,8 @@
 
 use ceu_bench::{receiver_ceu, table};
 use serde::Serialize;
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use wsn_sim::mantis::{MantisMote, Step, ThreadBody, ThreadCtx};
 use wsn_sim::{Backend, CeuMote, MoteCtx, Packet, Radio, Topology, World};
 
@@ -52,9 +52,9 @@ impl Backend for Sender {
 /// cumulative arrival→processing latency.
 #[derive(Clone, Default)]
 struct Meter {
-    count: Rc<Cell<u64>>,
-    last_at: Rc<Cell<u64>>,
-    latency_sum: Rc<Cell<u64>>,
+    count: Arc<AtomicU64>,
+    last_at: Arc<AtomicU64>,
+    latency_sum: Arc<AtomicU64>,
 }
 
 /// Wraps a backend, timestamping each processed delivery (for Céu, the
@@ -71,11 +71,9 @@ impl<B: Backend> Backend for Metered<B> {
     fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
         let sent = packet.payload.get(1).copied().unwrap_or(0) as u64;
         self.inner.deliver(ctx, packet);
-        self.meter.count.set(self.meter.count.get() + 1);
-        self.meter.last_at.set(ctx.now);
-        self.meter
-            .latency_sum
-            .set(self.meter.latency_sum.get() + (ctx.now - sent - RADIO_LATENCY_US));
+        self.meter.count.fetch_add(1, Ordering::Relaxed);
+        self.meter.last_at.store(ctx.now, Ordering::Relaxed);
+        self.meter.latency_sum.fetch_add(ctx.now - sent - RADIO_LATENCY_US, Ordering::Relaxed);
     }
     fn timer(&mut self, ctx: &mut MoteCtx) {
         self.inner.timer(ctx);
@@ -95,11 +93,11 @@ impl ThreadBody for RecvThread {
         match ctx.mailbox.pop_front() {
             Some(p) => {
                 let sent = p.payload.get(1).copied().unwrap_or(0) as u64;
-                self.meter.count.set(self.meter.count.get() + 1);
-                self.meter.last_at.set(ctx.now);
-                self.meter.latency_sum.set(
-                    self.meter.latency_sum.get() + ctx.now.saturating_sub(sent + RADIO_LATENCY_US),
-                );
+                self.meter.count.fetch_add(1, Ordering::Relaxed);
+                self.meter.last_at.store(ctx.now, Ordering::Relaxed);
+                self.meter
+                    .latency_sum
+                    .fetch_add(ctx.now.saturating_sub(sent + RADIO_LATENCY_US), Ordering::Relaxed);
                 Step::Run
             }
             None => Step::WaitRecv,
@@ -126,11 +124,14 @@ fn run(label: &str, receiver: Box<dyn Backend>, meter: Meter, senders: usize) ->
     }
     w.boot();
     let mut t = 0u64;
-    while meter.count.get() < TARGET && t < 120_000_000 {
+    while meter.count.load(Ordering::Relaxed) < TARGET && t < 120_000_000 {
         t += 50_000;
         w.run_until(t);
     }
-    assert!(meter.count.get() >= TARGET, "did not receive {TARGET} messages in time");
+    assert!(
+        meter.count.load(Ordering::Relaxed) >= TARGET,
+        "did not receive {TARGET} messages in time"
+    );
 
     // the simulator's own accounting must agree with the meter
     let rx = *w.mote_stats(0);
@@ -151,8 +152,9 @@ fn run(label: &str, receiver: Box<dyn Backend>, meter: Meter, senders: usize) ->
         },
     );
 
-    let total = meter.last_at.get() as f64 / 1e6;
-    let lat = meter.latency_sum.get() as f64 / meter.count.get() as f64;
+    let total = meter.last_at.load(Ordering::Relaxed) as f64 / 1e6;
+    let lat = meter.latency_sum.load(Ordering::Relaxed) as f64
+        / meter.count.load(Ordering::Relaxed) as f64;
     (total, lat)
 }
 

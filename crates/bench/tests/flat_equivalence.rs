@@ -1,0 +1,153 @@
+//! Differential test: the flat postfix evaluator is observationally
+//! identical to the tree-walking evaluator it replaced.
+//!
+//! Every corpus program is compiled **once** and instanced twice over the
+//! same `Arc<CompiledProgram>` — one machine on the flat hot path, one on
+//! the `use_tree_eval` ablation. Both are driven through an identical
+//! scripted schedule (boot, every declared input event with values, timer
+//! advances past every corpus period, async slices), and must agree on:
+//!
+//! - the full trace stream (wall-clock timestamps normalised to zero),
+//!   which pins reaction boundaries, track order, gate arming/firing,
+//!   emit depths, and reaction counts;
+//! - every host interaction (calls with argument values, outputs);
+//! - the final data slots and termination status.
+
+use ceu::runtime::{Machine, RecordingHost, TraceEvent, Value};
+use ceu_bench::{
+    receiver_ceu, BLINK_CEU, BLINK_SYNC_CEU, CLIENT_CEU, DATAFLOW_CHAIN, FIG1_PROGRAM,
+    GUIDING_EXAMPLE, SENSE_CEU, SERVER_CEU,
+};
+use std::sync::{Arc, Mutex};
+
+/// Zeroes the host-clock fields (the only nondeterminism in a trace).
+fn normalize(e: &TraceEvent) -> TraceEvent {
+    match *e {
+        TraceEvent::ReactionStart { cause, now_us, .. } => {
+            TraceEvent::ReactionStart { cause, now_us, wall_ns: 0 }
+        }
+        TraceEvent::ReactionEnd {
+            now_us,
+            tracks,
+            emits,
+            gates_fired,
+            gates_armed,
+            queue_peak,
+            emit_depth_max,
+            ..
+        } => TraceEvent::ReactionEnd {
+            now_us,
+            wall_ns: 0,
+            tracks,
+            emits,
+            gates_fired,
+            gates_armed,
+            queue_peak,
+            emit_depth_max,
+        },
+        TraceEvent::BudgetExceeded { tracks, .. } => {
+            TraceEvent::BudgetExceeded { tracks, wall_ns: 0 }
+        }
+        other => other,
+    }
+}
+
+/// A host every corpus program can run against: canned returns for the
+/// sensor read, recorded calls/outputs for comparison.
+fn host() -> RecordingHost {
+    RecordingHost::new()
+        .with_return("Read_read", 5)
+        .with_return("Radio_getPayload", Value::Ptr(ceu::runtime::Ptr::Host(1)))
+        .with_return("Radio_source", 0)
+        .with_global("TOS_NODE_ID", 0)
+}
+
+struct Observed {
+    trace: Vec<TraceEvent>,
+    calls: Vec<(String, Vec<Value>)>,
+    outputs: Vec<(String, Option<Value>)>,
+    data: Vec<Value>,
+    status: ceu::Status,
+    reactions: u64,
+}
+
+/// Drives one machine through the scripted schedule and captures
+/// everything observable.
+fn drive(prog: Arc<ceu::CompiledProgram>, tree_eval: bool) -> Observed {
+    let mut m = Machine::from_arc(Arc::clone(&prog));
+    m.use_tree_eval = tree_eval;
+    m.enable_metrics();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    {
+        let tap = Arc::clone(&buf);
+        m.set_tracer(Box::new(move |e| tap.lock().unwrap().push(*e)));
+    }
+    let mut h = host();
+
+    let _ = m.go_init(&mut h);
+    // every declared input event, three rounds of values (drives Restart,
+    // Radio_receive, Go, A/B/C, ... whatever the program declares)
+    let inputs: Vec<_> = (0..prog.events.len())
+        .filter_map(|i| {
+            let info = prog.events.get(ceu_ast::EventId(i as u16));
+            info.external().then_some(ceu_ast::EventId(i as u16))
+        })
+        .collect();
+    for round in 0..3i64 {
+        for &ev in &inputs {
+            if m.status().is_terminated() {
+                break;
+            }
+            let _ = m.go_event(ev, Some(Value::Int(round + 1)), &mut h);
+        }
+        // step past every corpus period (250ms/400ms/1s…)
+        if !m.status().is_terminated() {
+            let _ = m.go_time(m.now() + 1_000_000, &mut h);
+        }
+        // bounded async slices (receiver_ceu's loops are infinite)
+        for _ in 0..100 {
+            if m.status().is_terminated() || !matches!(m.go_async(&mut h), Ok(true)) {
+                break;
+            }
+        }
+    }
+
+    let trace = buf.lock().unwrap().iter().map(normalize).collect();
+    Observed {
+        trace,
+        calls: h.calls,
+        outputs: h.outputs,
+        data: m.data().to_vec(),
+        status: m.status(),
+        reactions: m.metrics().expect("metrics enabled").reactions,
+    }
+}
+
+#[test]
+fn flat_and_tree_evaluators_are_observationally_identical() {
+    let corpus: Vec<(&str, String)> = vec![
+        ("blink", BLINK_CEU.into()),
+        ("sense", SENSE_CEU.into()),
+        ("client", CLIENT_CEU.into()),
+        ("server", SERVER_CEU.into()),
+        ("guiding", GUIDING_EXAMPLE.into()),
+        ("fig1", FIG1_PROGRAM.into()),
+        ("dataflow", DATAFLOW_CHAIN.into()),
+        ("blink_sync", BLINK_SYNC_CEU.into()),
+        ("receiver0", receiver_ceu(0)),
+        ("receiver5", receiver_ceu(5)),
+    ];
+    for (name, src) in corpus {
+        let prog =
+            Arc::new(ceu::Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+        let flat = drive(Arc::clone(&prog), false);
+        let tree = drive(prog, true);
+        assert_eq!(flat.status, tree.status, "{name}: status");
+        assert_eq!(flat.reactions, tree.reactions, "{name}: reaction count");
+        assert_eq!(flat.data, tree.data, "{name}: final data slots");
+        assert_eq!(flat.calls, tree.calls, "{name}: host calls");
+        assert_eq!(flat.outputs, tree.outputs, "{name}: host outputs");
+        assert_eq!(flat.trace, tree.trace, "{name}: trace stream");
+        assert!(flat.reactions > 0, "{name}: schedule must actually drive reactions");
+    }
+}

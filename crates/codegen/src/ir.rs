@@ -11,9 +11,16 @@
 //! * the block terminator covers straight-line flow (goto / branch / halt).
 //!
 //! Expressions are lowered to [`Rv`] with variable references resolved to
-//! slot indices, so the runtime never does name lookups.
+//! slot indices, so the runtime never does name lookups. Instructions do
+//! not embed expression trees: every expression is interned at lower time
+//! and referenced by [`ExprId`] — the tree lives in
+//! [`CompiledProgram::exprs`] (for the C backend, the analyses, and the
+//! runtime's tree-eval ablation) and its postfix form in
+//! [`CompiledProgram::flat`] (the runtime's hot path).
 
+use crate::flat::FlatPool;
 use ceu_ast::{BinOp, EventId, EventTable, Span, UnOp};
+use std::collections::HashMap;
 use std::fmt;
 
 pub type BlockId = u32;
@@ -21,6 +28,9 @@ pub type GateId = u32;
 pub type RegionId = u32;
 pub type SlotId = u32;
 pub type AsyncId = u32;
+/// Index of an interned expression: `CompiledProgram::exprs[id]` is the
+/// tree, `CompiledProgram::flat.code_of(id)` its postfix code.
+pub type ExprId = u32;
 
 /// A lowered r-value expression.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,21 +64,21 @@ pub enum Rv {
 }
 
 /// A lowered l-value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Place {
     /// A scalar slot.
     Slot(SlotId),
     /// `arr[idx]` where `arr` is a Céu array starting at the given slot.
-    Index(SlotId, Rv),
+    Index(SlotId, ExprId),
     /// `*p = …` — store through a pointer (data or host).
-    Deref(Rv),
+    Deref(ExprId),
 }
 
 /// A timer duration: compile-time constant or computed (µs).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TimeAmount {
     Const(u64),
-    Dyn(Rv),
+    Dyn(ExprId),
 }
 
 /// One instruction.
@@ -78,14 +88,14 @@ pub struct Instr {
     pub op: Op,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Op {
     Assign {
         dst: Place,
-        src: Rv,
+        src: ExprId,
     },
     /// Evaluate for side effects (a statement-position C call).
-    Eval(Rv),
+    Eval(ExprId),
     /// Arm an event gate (`GATES[g] = cont` in the paper).
     ActivateEvt {
         gate: GateId,
@@ -113,18 +123,18 @@ pub enum Op {
     /// reaction (stack policy, §2.2) before the next instruction.
     EmitInt {
         event: EventId,
-        value: Option<Rv>,
+        value: Option<ExprId>,
     },
     /// Emit an input event from an `async` (simulation, §2.8).
     EmitExt {
         event: EventId,
-        value: Option<Rv>,
+        value: Option<ExprId>,
     },
     /// Emit an output event towards the environment (future-work
     /// extension: multi-process GALS composition).
     EmitOut {
         event: EventId,
-        value: Option<Rv>,
+        value: Option<ExprId>,
     },
     /// Emit the passage of wall-clock time from an `async`.
     EmitTime(TimeAmount),
@@ -138,13 +148,13 @@ pub enum Op {
 }
 
 /// Block terminator.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Term {
     /// Yield to the scheduler (the paper's `halt`).
     Halt,
     Goto(BlockId),
     If {
-        cond: Rv,
+        cond: ExprId,
         then_b: BlockId,
         else_b: BlockId,
     },
@@ -156,11 +166,11 @@ pub enum Term {
     },
     /// Top-level `return` / program end.
     TerminateProgram {
-        value: Option<Rv>,
+        value: Option<ExprId>,
     },
     /// `return` inside an `async` / async body end.
     TerminateAsync {
-        value: Option<Rv>,
+        value: Option<ExprId>,
     },
 }
 
@@ -237,8 +247,63 @@ pub struct SlotInfo {
     pub target_bytes: u32,
 }
 
+/// Precomputed dispatch tables (§4.3's static gate tables, generalised):
+/// everything the runtime would otherwise derive by scanning `gates`,
+/// `suspends` or `slots` on a hot path, computed once at compile time.
+#[derive(Clone, Debug, Default)]
+pub struct Dispatch {
+    /// Gates awaiting each event, indexed by `EventId` (ascending gate order).
+    pub event_gates: Vec<Vec<GateId>>,
+    /// All timer gates, in ascending order.
+    pub timer_gates: Vec<GateId>,
+    /// For each gate, the indices into `suspends` whose region covers it.
+    pub gate_suspends: Vec<Vec<u32>>,
+    /// For each event, the indices into `suspends` guarded by it.
+    pub event_suspends: Vec<Vec<u32>>,
+    /// Unique (alpha-renamed) variable name → first slot.
+    pub slot_by_name: HashMap<String, SlotId>,
+}
+
+impl Dispatch {
+    /// Builds the tables from the raw program structures.
+    pub fn build(
+        gates: &[GateInfo],
+        regions: &[RegionInfo],
+        suspends: &[SuspendInfo],
+        slots: &[SlotInfo],
+        n_events: usize,
+    ) -> Self {
+        let mut event_gates = vec![Vec::new(); n_events];
+        let mut timer_gates = Vec::new();
+        for (g, info) in gates.iter().enumerate() {
+            match info.kind {
+                GateKind::Evt(e) => event_gates[e.index()].push(g as GateId),
+                GateKind::Timer => timer_gates.push(g as GateId),
+                GateKind::Never | GateKind::AsyncDone(_) => {}
+            }
+        }
+        let mut gate_suspends = vec![Vec::new(); gates.len()];
+        let mut event_suspends = vec![Vec::new(); n_events];
+        for (i, s) in suspends.iter().enumerate() {
+            let r = &regions[s.region as usize];
+            for g in r.lo..r.hi {
+                gate_suspends[g as usize].push(i as u32);
+            }
+            event_suspends[s.event.index()].push(i as u32);
+        }
+        let slot_by_name =
+            slots.iter().map(|s| (s.name.clone(), s.slot)).collect::<HashMap<_, _>>();
+        Dispatch { event_gates, timer_gates, gate_suspends, event_suspends, slot_by_name }
+    }
+}
+
 /// A fully compiled program, executable by `ceu-runtime` and printable by
 /// the C backend.
+///
+/// This is the *shareable execution artifact*: everything in it is
+/// immutable after compilation and `Send + Sync` (enforced below), so one
+/// `Arc<CompiledProgram>` can back any number of concurrently running
+/// machine instances — all mutable state lives in the machine.
 #[derive(Clone, Debug)]
 pub struct CompiledProgram {
     pub blocks: Vec<BBlock>,
@@ -255,7 +320,22 @@ pub struct CompiledProgram {
     pub suspends: Vec<SuspendInfo>,
     /// Concatenated `C do … end` code, passed through to the C backend.
     pub c_code: String,
+    /// Interned expression trees, indexed by [`ExprId`] (C backend,
+    /// analyses, tree-eval ablation).
+    pub exprs: Vec<Rv>,
+    /// Postfix code for the same expressions (the runtime's hot path).
+    pub flat: FlatPool,
+    /// Precomputed runtime dispatch tables.
+    pub dispatch: Dispatch,
 }
+
+// The whole point of the artifact: compile once, share across threads.
+// A build error here means a non-thread-safe type leaked into the
+// compiled form.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledProgram>();
+};
 
 impl CompiledProgram {
     pub fn block(&self, id: BlockId) -> &BBlock {
@@ -270,13 +350,15 @@ impl CompiledProgram {
         &self.regions[id as usize]
     }
 
-    /// Gates that await the given event.
+    /// The tree form of an interned expression.
+    #[inline]
+    pub fn expr(&self, id: ExprId) -> &Rv {
+        &self.exprs[id as usize]
+    }
+
+    /// Gates that await the given event (precomputed table).
     pub fn gates_of_event(&self, event: EventId) -> impl Iterator<Item = GateId> + '_ {
-        self.gates
-            .iter()
-            .enumerate()
-            .filter(move |(_, g)| g.kind == GateKind::Evt(event))
-            .map(|(i, _)| i as GateId)
+        self.dispatch.event_gates.get(event.index()).into_iter().flatten().copied()
     }
 
     /// Total instruction count (ROM-analog building block).

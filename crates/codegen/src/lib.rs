@@ -6,11 +6,13 @@
 //! `ceu-runtime` and printable as C by [`cbackend::emit_c`].
 
 pub mod cbackend;
+pub mod flat;
 pub mod ir;
 pub mod layout;
 pub mod lower;
 pub mod report;
 
+pub use flat::{FlatOp, FlatPool};
 pub use ir::*;
 pub use layout::{layout, Layout};
 pub use lower::{compile, CompileError};

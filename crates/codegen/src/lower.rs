@@ -5,6 +5,7 @@
 //! halt; `par/or` and loop terminations go through low-priority *escape*
 //! blocks that clear the composition's gate region and then continue.
 
+use crate::flat::FlatPool;
 use crate::ir::*;
 use crate::layout::{self, Layout};
 use ceu_ast::{AssignRhs, Block, Expr, ExprKind, ParKind, Resolved, Span, Stmt, StmtKind, UnOp};
@@ -60,6 +61,10 @@ struct Lower<'a> {
     asyncs: Vec<AsyncBlock>,
     suspends: Vec<SuspendInfo>,
     c_code: String,
+    /// Interned expression trees (indexed by `ExprId`).
+    exprs: Vec<Rv>,
+    /// Postfix code for the same expressions.
+    flat: FlatPool,
     region_stack: Vec<RegionId>,
     /// Nesting depth of rank-carrying constructs (loops, par/or, value blocks).
     depth: u8,
@@ -83,6 +88,8 @@ pub fn compile_with_layout(resolved: &Resolved, layout: &Layout) -> Result<Compi
         asyncs: Vec::new(),
         suspends: Vec::new(),
         c_code: String::new(),
+        exprs: Vec::new(),
+        flat: FlatPool::default(),
         region_stack: Vec::new(),
         depth: 0,
         in_async: false,
@@ -93,6 +100,8 @@ pub fn compile_with_layout(resolved: &Resolved, layout: &Layout) -> Result<Compi
     if let Some(b) = end {
         lw.blocks[b as usize].term = Term::TerminateProgram { value: None };
     }
+    let dispatch =
+        Dispatch::build(&lw.gates, &lw.regions, &lw.suspends, &layout.slots, resolved.events.len());
     Ok(CompiledProgram {
         blocks: lw.blocks,
         boot,
@@ -105,6 +114,9 @@ pub fn compile_with_layout(resolved: &Resolved, layout: &Layout) -> Result<Compi
         asyncs: lw.asyncs,
         suspends: lw.suspends,
         c_code: lw.c_code,
+        exprs: lw.exprs,
+        flat: lw.flat,
+        dispatch,
     })
 }
 
@@ -133,6 +145,21 @@ impl<'a> Lower<'a> {
         let id = self.gates.len() as GateId;
         self.gates.push(GateInfo { kind, cont, span });
         id
+    }
+
+    /// Interns a lowered expression: keeps the tree and flattens it into
+    /// the postfix pool under the same id.
+    fn intern(&mut self, rv: Rv) -> ExprId {
+        let id = self.flat.intern(&rv);
+        debug_assert_eq!(id as usize, self.exprs.len());
+        self.exprs.push(rv);
+        id
+    }
+
+    /// Lowers an AST expression and interns it in one step.
+    fn lower_rv(&mut self, e: &Expr) -> Result<ExprId> {
+        let rv = self.lower_expr(e)?;
+        Ok(self.intern(rv))
     }
 
     /// Rank for an escape block at the current depth: outer constructs get
@@ -201,7 +228,7 @@ impl<'a> Lower<'a> {
                 Ok(Some(self.await_time(cur, TimeAmount::Const(time.us), span)))
             }
             StmtKind::AwaitExpr { us } => {
-                let amount = TimeAmount::Dyn(self.lower_expr(us)?);
+                let amount = TimeAmount::Dyn(self.lower_rv(us)?);
                 Ok(Some(self.await_time(cur, amount, span)))
             }
             StmtKind::AwaitForever => {
@@ -213,7 +240,7 @@ impl<'a> Lower<'a> {
 
             StmtKind::EmitEvt { name, value } => {
                 let eid = self.resolved.events.lookup(name).expect("resolved event");
-                let value = value.as_ref().map(|v| self.lower_expr(v)).transpose()?;
+                let value = value.as_ref().map(|v| self.lower_rv(v)).transpose()?;
                 let kind = self.resolved.events.get(eid).kind;
                 if kind == ceu_ast::EventKind::Output {
                     self.push(cur, span, Op::EmitOut { event: eid, value });
@@ -238,7 +265,7 @@ impl<'a> Lower<'a> {
             }
 
             StmtKind::If { cond, then_blk, else_blk } => {
-                let cond = self.lower_expr(cond)?;
+                let cond = self.lower_rv(cond)?;
                 let then_b = self.new_block("if.then", 0);
                 let else_b = self.new_block("if.else", 0);
                 self.term(cur, Term::If { cond, then_b, else_b });
@@ -280,7 +307,7 @@ impl<'a> Lower<'a> {
             StmtKind::Par { kind, arms } => self.lower_par(stmt, *kind, arms, cur, flow, None),
 
             StmtKind::Call { expr } => {
-                let rv = self.lower_expr(expr)?;
+                let rv = self.lower_rv(expr)?;
                 self.push(cur, span, Op::Eval(rv));
                 Ok(Some(cur))
             }
@@ -288,7 +315,7 @@ impl<'a> Lower<'a> {
             StmtKind::Assign { lhs, rhs } => self.lower_assign(stmt, lhs, rhs, cur, flow),
 
             StmtKind::Return { value } => {
-                let value = value.as_ref().map(|v| self.lower_expr(v)).transpose()?;
+                let value = value.as_ref().map(|v| self.lower_rv(v)).transpose()?;
                 match &flow.ret {
                     Ret::Program => self.term(cur, Term::TerminateProgram { value }),
                     Ret::Async => self.term(cur, Term::TerminateAsync { value }),
@@ -406,7 +433,8 @@ impl<'a> Lower<'a> {
             self.push(cur, span, Op::ClearFlags { lo, hi: lo + n });
         }
         if let Some((_, result)) = value {
-            self.push(cur, span, Op::Assign { dst: Place::Slot(result), src: Rv::Const(0) });
+            let zero = self.intern(Rv::Const(0));
+            self.push(cur, span, Op::Assign { dst: Place::Slot(result), src: zero });
         }
         let entries: Vec<BlockId> =
             (0..arms.len()).map(|i| self.new_block(format!("par.arm{i}"), 0)).collect();
@@ -450,7 +478,8 @@ impl<'a> Lower<'a> {
             self.push(esc, span, Op::ClearRegion(region));
             if let Some((lhs, result)) = value {
                 let dst = self.lower_place(lhs)?;
-                self.push(esc, span, Op::Assign { dst, src: Rv::Slot(result) });
+                let src = self.intern(Rv::Slot(result));
+                self.push(esc, span, Op::Assign { dst, src });
             }
             self.term(esc, Term::Goto(after));
         }
@@ -473,7 +502,7 @@ impl<'a> Lower<'a> {
         let span = stmt.span;
         match rhs {
             AssignRhs::Expr(e) => {
-                let src = self.lower_expr(e)?;
+                let src = self.lower_rv(e)?;
                 let dst = self.lower_place(lhs)?;
                 self.push(cur, span, Op::Assign { dst, src });
                 Ok(Some(cur))
@@ -482,20 +511,23 @@ impl<'a> Lower<'a> {
                 let eid = self.resolved.events.lookup(name).expect("resolved event");
                 let cont = self.await_event(cur, name, span)?;
                 let dst = self.lower_place(lhs)?;
-                self.push(cont, span, Op::Assign { dst, src: Rv::EventVal(eid) });
+                let src = self.intern(Rv::EventVal(eid));
+                self.push(cont, span, Op::Assign { dst, src });
                 Ok(Some(cont))
             }
             AssignRhs::AwaitTime(t) => {
                 let cont = self.await_time(cur, TimeAmount::Const(t.us), span);
                 let dst = self.lower_place(lhs)?;
-                self.push(cont, span, Op::Assign { dst, src: Rv::Const(0) });
+                let src = self.intern(Rv::Const(0));
+                self.push(cont, span, Op::Assign { dst, src });
                 Ok(Some(cont))
             }
             AssignRhs::AwaitExpr(e) => {
-                let amount = TimeAmount::Dyn(self.lower_expr(e)?);
+                let amount = TimeAmount::Dyn(self.lower_rv(e)?);
                 let cont = self.await_time(cur, amount, span);
                 let dst = self.lower_place(lhs)?;
-                self.push(cont, span, Op::Assign { dst, src: Rv::Const(0) });
+                let src = self.intern(Rv::Const(0));
+                self.push(cont, span, Op::Assign { dst, src });
                 Ok(Some(cont))
             }
             AssignRhs::Par(kind, arms) => {
@@ -518,7 +550,8 @@ impl<'a> Lower<'a> {
                 let esc = self.new_block("do.esc", self.esc_rank());
                 let region = self.open_region("do");
                 self.depth += 1;
-                self.push(cur, span, Op::Assign { dst: Place::Slot(result), src: Rv::Const(0) });
+                let zero = self.intern(Rv::Const(0));
+                self.push(cur, span, Op::Assign { dst: Place::Slot(result), src: zero });
                 let inner = Flow { loop_esc: flow.loop_esc, ret: Ret::Value { result, esc } };
                 let end = self.lower_seq(&body.stmts, cur, &inner)?;
                 if let Some(b) = end {
@@ -528,7 +561,8 @@ impl<'a> Lower<'a> {
                 self.close_region(region);
                 self.push(esc, span, Op::ClearRegion(region));
                 let dst = self.lower_place(lhs)?;
-                self.push(esc, span, Op::Assign { dst, src: Rv::Slot(result) });
+                let src = self.intern(Rv::Slot(result));
+                self.push(esc, span, Op::Assign { dst, src });
                 self.term(esc, Term::Goto(after));
                 Ok(Some(after))
             }
@@ -541,7 +575,8 @@ impl<'a> Lower<'a> {
                     .expect("layout allocated result slot");
                 let cont = self.lower_async(body, Some(result), cur, span)?;
                 let dst = self.lower_place(lhs)?;
-                self.push(cont, span, Op::Assign { dst, src: Rv::Slot(result) });
+                let src = self.intern(Rv::Slot(result));
+                self.push(cont, span, Op::Assign { dst, src });
                 Ok(Some(cont))
             }
         }
@@ -592,27 +627,28 @@ impl<'a> Lower<'a> {
                     ExprKind::Var(unique) => {
                         let (slot, is_array) = self.var_slot(unique, base.span)?;
                         if is_array {
-                            Ok(Place::Index(slot, idx))
+                            Ok(Place::Index(slot, self.intern(idx)))
                         } else {
                             // indexing through a pointer variable
-                            Ok(Place::Deref(Rv::Bin(
+                            let addr = Rv::Bin(
                                 ceu_ast::BinOp::Add,
                                 Box::new(Rv::Slot(slot)),
                                 Box::new(idx),
-                            )))
+                            );
+                            Ok(Place::Deref(self.intern(addr)))
                         }
                     }
                     _ => {
                         let base = self.lower_expr(base)?;
-                        Ok(Place::Deref(Rv::Bin(
-                            ceu_ast::BinOp::Add,
-                            Box::new(base),
-                            Box::new(idx),
-                        )))
+                        let addr = Rv::Bin(ceu_ast::BinOp::Add, Box::new(base), Box::new(idx));
+                        Ok(Place::Deref(self.intern(addr)))
                     }
                 }
             }
-            ExprKind::Unop(UnOp::Deref, p) => Ok(Place::Deref(self.lower_expr(p)?)),
+            ExprKind::Unop(UnOp::Deref, p) => {
+                let rv = self.lower_expr(p)?;
+                Ok(Place::Deref(self.intern(rv)))
+            }
             _ => Err(CompileError::new(lhs.span, "unsupported assignment target")),
         }
     }

@@ -55,6 +55,9 @@ struct RunOpts {
     metrics: bool,
     max_reaction_us: Option<u64>,
     max_tracks: Option<u32>,
+    /// Evaluate expressions by walking the IR trees instead of the flat
+    /// postfix code (ablation / differential debugging).
+    tree_eval: bool,
 }
 
 /// Splits `--flag`-style options out of argv (valid anywhere), leaving
@@ -67,6 +70,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
         match a.as_str() {
             "--trace" => opts.trace = Some(opts.trace.unwrap_or(TraceFormat::Text)),
             "--metrics" => opts.metrics = true,
+            "--tree-eval" => opts.tree_eval = true,
             "--trace-out" => {
                 let path = it.next().ok_or("--trace-out needs a path")?;
                 opts.trace_out = Some(path.clone());
@@ -99,7 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--max-reaction-us N] [--max-tracks N]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -162,10 +166,11 @@ fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<
     // map original names to unique slots for `print`
     let names: Vec<String> = p.slots.iter().map(|s| s.name.clone()).collect();
     let mut sim = Simulator::new(p, NullHost);
+    sim.machine_mut().use_tree_eval = opts.tree_eval;
 
     let sink = match opts.trace {
         Some(fmt) => {
-            let out: Box<dyn std::io::Write> = match &opts.trace_out {
+            let out: Box<dyn std::io::Write + Send> = match &opts.trace_out {
                 Some(path) => Box::new(std::io::BufWriter::new(
                     std::fs::File::create(path)
                         .map_err(|e| format!("cannot create {path}: {e}"))?,
@@ -241,7 +246,7 @@ fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<
         }
     }
     if let Some(sink) = sink {
-        sink.borrow_mut().finish();
+        sink.lock().unwrap().finish();
     }
     if opts.metrics {
         let m = sim.metrics().expect("metrics enabled").clone();

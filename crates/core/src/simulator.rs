@@ -4,6 +4,7 @@
 
 use ceu_codegen::CompiledProgram;
 use ceu_runtime::{Host, Machine, Result, RuntimeError, Status, Tracer, Value};
+use std::sync::Arc;
 
 /// A machine plus its host, with convenience driving methods. This is what
 /// the examples and the WSN/Arduino substrates embed.
@@ -15,6 +16,12 @@ pub struct Simulator<H: Host> {
 impl<H: Host> Simulator<H> {
     pub fn new(program: CompiledProgram, host: H) -> Self {
         Simulator { machine: Machine::new(program), host }
+    }
+
+    /// Instantiates over an already-shared artifact — the cheap path when
+    /// many simulators (motes, bench workers) run one program.
+    pub fn from_arc(program: Arc<CompiledProgram>, host: H) -> Self {
+        Simulator { machine: Machine::from_arc(program), host }
     }
 
     pub fn host(&self) -> &H {

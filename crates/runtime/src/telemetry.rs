@@ -23,9 +23,8 @@
 //! sinks with a footer, e.g. [`ChromeTraceSink::finish`]).
 
 use crate::trace::{Cause, TraceEvent, Tracer};
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 // ---- metrics registry ------------------------------------------------------
 
@@ -412,16 +411,17 @@ pub trait TraceSink {
 }
 
 /// Wraps a sink into a [`Tracer`], returning a shared handle for
-/// post-run access (`spans()`, `finish()`, buffer extraction).
-pub fn shared<S: TraceSink + 'static>(sink: S) -> (Rc<RefCell<S>>, Tracer) {
-    let rc = Rc::new(RefCell::new(sink));
-    let tap = Rc::clone(&rc);
-    (rc, Box::new(move |e| tap.borrow_mut().on_event(e)))
+/// post-run access (`spans()`, `finish()`, buffer extraction). The
+/// handle is `Arc<Mutex<_>>` so traced machines stay `Send`.
+pub fn shared<S: TraceSink + Send + 'static>(sink: S) -> (Arc<Mutex<S>>, Tracer) {
+    let arc = Arc::new(Mutex::new(sink));
+    let tap = Arc::clone(&arc);
+    (arc, Box::new(move |e| tap.lock().unwrap().on_event(e)))
 }
 
 /// Wraps a sink into a [`Tracer`], discarding the handle (fire-and-forget
 /// formats with no trailer, e.g. [`TextSink`], [`JsonLinesSink`]).
-pub fn into_tracer<S: TraceSink + 'static>(sink: S) -> Tracer {
+pub fn into_tracer<S: TraceSink + Send + 'static>(sink: S) -> Tracer {
     let mut s = sink;
     Box::new(move |e| s.on_event(e))
 }
@@ -727,19 +727,22 @@ impl std::str::FromStr for TraceFormat {
 impl TraceFormat {
     /// Builds a sink of this format over a writer, returning the shared
     /// handle (call `finish` on it after the run) and the tracer.
-    pub fn build<W: Write + 'static>(self, out: W) -> (Rc<RefCell<dyn TraceSink>>, Tracer) {
+    pub fn build<W: Write + Send + 'static>(
+        self,
+        out: W,
+    ) -> (Arc<Mutex<dyn TraceSink + Send>>, Tracer) {
         match self {
             TraceFormat::Text => {
-                let (rc, t) = shared(TextSink::new(out));
-                (rc as Rc<RefCell<dyn TraceSink>>, t)
+                let (h, t) = shared(TextSink::new(out));
+                (h as Arc<Mutex<dyn TraceSink + Send>>, t)
             }
             TraceFormat::Jsonl => {
-                let (rc, t) = shared(JsonLinesSink::new(out));
-                (rc as Rc<RefCell<dyn TraceSink>>, t)
+                let (h, t) = shared(JsonLinesSink::new(out));
+                (h as Arc<Mutex<dyn TraceSink + Send>>, t)
             }
             TraceFormat::Chrome => {
-                let (rc, t) = shared(ChromeTraceSink::new(out));
-                (rc as Rc<RefCell<dyn TraceSink>>, t)
+                let (h, t) = shared(ChromeTraceSink::new(out));
+                (h as Arc<Mutex<dyn TraceSink + Send>>, t)
             }
         }
     }

@@ -131,8 +131,8 @@ impl TraceEvent {
     }
 }
 
-/// Trace sink.
-pub type Tracer = Box<dyn FnMut(&TraceEvent)>;
+/// Trace sink. `Send` so a traced machine can move across threads.
+pub type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
 
 /// A tracer that collects everything into a vector (test helper).
 #[derive(Default)]
@@ -140,8 +140,8 @@ pub struct Collector;
 
 impl Collector {
     /// Builds a tracer pushing into the given shared buffer.
-    pub fn into_buffer(buf: std::rc::Rc<std::cell::RefCell<Vec<TraceEvent>>>) -> Tracer {
-        Box::new(move |e| buf.borrow_mut().push(*e))
+    pub fn into_buffer(buf: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>) -> Tracer {
+        Box::new(move |e| buf.lock().unwrap().push(*e))
     }
 }
 

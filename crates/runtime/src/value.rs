@@ -6,7 +6,7 @@
 //! handle (anything returned by C calls).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Where a pointer points.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -17,12 +17,13 @@ pub enum Ptr {
     Host(u64),
 }
 
-/// A runtime value.
+/// A runtime value. `Str` payloads are `Arc<str>` so values stay `Send`
+/// and machine instances can run on any thread.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Value {
     Int(i64),
     Ptr(Ptr),
-    Str(Rc<str>),
+    Str(Arc<str>),
     Null,
 }
 
@@ -62,7 +63,7 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(Rc::from(s))
+        Value::Str(Arc::from(s))
     }
 }
 

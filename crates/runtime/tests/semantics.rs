@@ -187,7 +187,7 @@ fn equal_deadlines_share_one_reaction() {
             b = 1;
         end
     "#;
-    let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut m = machine(src);
     m.set_tracer(Collector::into_buffer(buf.clone()));
     let mut h = NullHost;
@@ -196,7 +196,8 @@ fn equal_deadlines_share_one_reaction() {
     assert_eq!(m.read_var("a#0"), Some(&Value::Int(1)));
     assert_eq!(m.read_var("b#1"), Some(&Value::Int(1)));
     let reactions = buf
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|e| matches!(e, TraceEvent::ReactionStart { cause: Cause::Timer(_), .. }))
         .count();
@@ -355,7 +356,7 @@ fn discarded_events_do_not_buffer() {
         await A;
         v = 1;
     "#;
-    let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut m = machine(src);
     m.set_tracer(Collector::into_buffer(buf.clone()));
     let mut h = NullHost;
@@ -363,7 +364,7 @@ fn discarded_events_do_not_buffer() {
     let a = m.event_id("A").unwrap();
     let b = m.event_id("B").unwrap();
     m.go_event(a, None, &mut h).unwrap(); // nobody awaits A yet
-    assert!(buf.borrow().iter().any(|e| matches!(e, TraceEvent::Discarded { .. })));
+    assert!(buf.lock().unwrap().iter().any(|e| matches!(e, TraceEvent::Discarded { .. })));
     m.go_event(b, None, &mut h).unwrap();
     assert_eq!(m.read_var("v#0"), Some(&Value::Int(0)), "A was not buffered");
     m.go_event(a, None, &mut h).unwrap();
@@ -704,7 +705,7 @@ fn figure1_reaction_chains() {
            end
         end
     "#;
-    let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut m = machine(src);
     m.set_tracer(Collector::into_buffer(buf.clone()));
     let mut h = NullHost;
@@ -714,7 +715,7 @@ fn figure1_reaction_chains() {
     assert_eq!(m.go_event(a, None, &mut h).unwrap(), Status::Running);
     assert_eq!(m.go_event(a, None, &mut h).unwrap(), Status::Running); // discarded
     assert_eq!(m.go_event(b, None, &mut h).unwrap(), Status::Terminated(None));
-    let events = buf.borrow();
+    let events = buf.lock().unwrap();
     let discards = events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).count();
     assert_eq!(discards, 1);
 }

@@ -42,7 +42,7 @@ fn fig1_reaction_chains_through_the_span_api() {
     m.set_tracer(tracer);
     drive_fig1(&mut m);
 
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap();
     let spans = sink.spans();
     assert_eq!(spans.len(), 4, "boot + A + discarded A + B");
     assert!(sink.orphans().is_empty(), "every event belongs to a chain");
@@ -86,9 +86,9 @@ fn chrome_export_is_valid_json_with_matching_begin_end_pairs() {
     let (sink, tracer) = telemetry::shared(ChromeTraceSink::new(Vec::new()));
     m.set_tracer(tracer);
     drive_fig1(&mut m);
-    sink.borrow_mut().finish();
+    sink.lock().unwrap().finish();
 
-    let bytes = std::mem::take(sink.borrow_mut().writer_mut());
+    let bytes = std::mem::take(sink.lock().unwrap().writer_mut());
     let text = String::from_utf8(bytes).unwrap();
     let doc = serde_json::from_str(&text).expect("exporter output must parse as JSON");
     let entries = doc.as_array().expect("a trace-event JSON array");
@@ -135,7 +135,7 @@ fn metrics_agree_with_the_span_view() {
     drive_fig1(&mut m);
 
     let metrics = m.metrics().unwrap();
-    let sink = sink.borrow();
+    let sink = sink.lock().unwrap();
     let spans = sink.spans();
     assert_eq!(metrics.reactions, spans.len() as u64);
     assert_eq!(metrics.tracks_run, spans.iter().map(|s| s.tracks as u64).sum::<u64>());

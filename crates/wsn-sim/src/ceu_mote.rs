@@ -37,7 +37,7 @@ pub struct TosHost {
     led_ops: Vec<LedOp>,
     /// Extra host functions (per-experiment hooks), name → handler.
     #[allow(clippy::type_complexity)]
-    pub extra: HashMap<String, Box<dyn FnMut(&[Value]) -> Value>>,
+    pub extra: HashMap<String, Box<dyn FnMut(&[Value]) -> Value + Send>>,
 }
 
 impl TosHost {
@@ -330,20 +330,19 @@ mod tests {
 
     #[test]
     fn shared_handle_exposes_metrics_and_clock_lag() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let prog = ceu::Compiler::new().compile(ECHO).unwrap();
         let kick = ceu::Compiler::new().compile(KICK).unwrap();
-        let echo = Rc::new(RefCell::new(CeuMote::new(prog, 1)));
-        echo.borrow_mut().enable_metrics();
+        let echo = Arc::new(Mutex::new(CeuMote::new(prog, 1)));
+        echo.lock().unwrap().enable_metrics();
         let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 1));
         w.add_mote(Box::new(CeuMote::new(kick, 0)));
-        w.add_mote(Box::new(Rc::clone(&echo)));
+        w.add_mote(Box::new(Arc::clone(&echo)));
         w.boot();
         w.run_until(10_500);
 
-        let mote = echo.borrow();
+        let mote = echo.lock().unwrap();
         let m = mote.metrics().expect("metrics enabled");
         assert!(m.reactions >= 5, "one reaction per delivered message, got {}", m.reactions);
         assert_eq!(m.discarded_events, 0);

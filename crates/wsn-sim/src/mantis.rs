@@ -65,8 +65,9 @@ impl ThreadCtx<'_> {
     }
 }
 
-/// A thread's behaviour: one quantum per call.
-pub trait ThreadBody {
+/// A thread's behaviour: one quantum per call. `Send` so motes can be
+/// stepped on worker threads (see [`World::run_until_parallel`]).
+pub trait ThreadBody: Send {
     fn step(&mut self, ctx: &mut ThreadCtx) -> Step;
 }
 
@@ -95,7 +96,7 @@ pub struct MantisMote {
     /// Mailbox capacity: arrivals beyond it are lost (radio overrun).
     pub mailbox_cap: usize,
     /// Shared loss counter, readable by harnesses after the run.
-    pub lost: std::rc::Rc<std::cell::Cell<u64>>,
+    pub lost: std::sync::Arc<std::sync::atomic::AtomicU64>,
     /// Fixed context-switch / wake-up latency added to every sleep (µs).
     pub wake_latency_us: u64,
 }
@@ -109,7 +110,7 @@ impl MantisMote {
             mailbox: VecDeque::new(),
             channels: Vec::new(),
             mailbox_cap: 1,
-            lost: std::rc::Rc::new(std::cell::Cell::new(0)),
+            lost: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
             wake_latency_us: 150,
         }
     }
@@ -213,7 +214,7 @@ impl Backend for MantisMote {
 
     fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
         if self.mailbox.len() >= self.mailbox_cap {
-            self.lost.set(self.lost.get() + 1);
+            self.lost.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         } else {
             self.mailbox.push_back(packet);
         }
@@ -303,12 +304,12 @@ mod tests {
     #[test]
     fn higher_priority_thread_preempts() {
         struct Worker {
-            pub count: std::rc::Rc<std::cell::RefCell<(u32, u32)>>,
+            pub count: std::sync::Arc<std::sync::Mutex<(u32, u32)>>,
             pub hi: bool,
         }
         impl ThreadBody for Worker {
             fn step(&mut self, _: &mut ThreadCtx) -> Step {
-                let mut c = self.count.borrow_mut();
+                let mut c = self.count.lock().unwrap();
                 if self.hi {
                     c.0 += 1;
                     if c.0 > 5 {
@@ -320,7 +321,7 @@ mod tests {
                 Step::Run
             }
         }
-        let count = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        let count = std::sync::Arc::new(std::sync::Mutex::new((0u32, 0u32)));
         let mut w = World::new(Radio::ideal(0));
         let mut mote = MantisMote::new(0);
         mote.spawn(1, Box::new(Worker { count: count.clone(), hi: false }));
@@ -328,7 +329,7 @@ mod tests {
         w.add_mote(Box::new(mote));
         w.boot();
         w.run_until(2_000);
-        let (hi, lo) = *count.borrow();
+        let (hi, lo) = *count.lock().unwrap();
         // the high-priority thread runs to completion before the low one
         assert_eq!(hi, 6);
         assert!(lo > 0, "low-priority thread runs after");
@@ -371,7 +372,10 @@ mod tests {
         w.boot();
         w.run_until(100_000);
         assert!(w.stats.delivered > 50);
-        assert!(lost.get() > 0, "a 5ms-per-message receiver cannot sustain 1ms arrivals");
+        assert!(
+            lost.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "a 5ms-per-message receiver cannot sustain 1ms arrivals"
+        );
     }
 
     #[test]

@@ -93,6 +93,17 @@ impl Radio {
         }
     }
 
+    /// The smallest delay the medium can impose on any transmission —
+    /// the *lookahead* of conservative parallel simulation: a packet
+    /// emitted at `t` cannot affect any other mote before
+    /// `t + min_latency()`, so motes may be stepped independently in
+    /// windows of this width (see [`World::run_until_parallel`]).
+    ///
+    /// [`World::run_until_parallel`]: crate::world::World::run_until_parallel
+    pub fn min_latency(&self) -> u64 {
+        self.latency_us
+    }
+
     /// Marks a mote as failed (drops everything to/from it).
     pub fn set_down(&mut self, mote: usize, down: bool) {
         if self.down.len() <= mote {

@@ -86,7 +86,11 @@ impl Leds {
 
 /// An application running on a mote. Backends: Céu machines, event-driven
 /// (nesC-analog) handlers, preemptive-thread (MantisOS-analog) schedulers.
-pub trait Backend {
+///
+/// `Send` so the world can step disjoint motes on worker threads
+/// ([`World::run_until_parallel`]); every backend is still only ever
+/// called from one thread at a time.
+pub trait Backend: Send {
     /// Called once at virtual time zero.
     fn boot(&mut self, ctx: &mut MoteCtx);
     /// A packet arrived (already past the radio medium).
@@ -107,7 +111,7 @@ struct MoteSlot {
 }
 
 /// Simulation statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     pub delivered: u64,
     pub lost: u64,
@@ -235,6 +239,133 @@ impl World {
         self.now = self.now.max(deadline);
     }
 
+    /// Runs until the given virtual time (µs), stepping disjoint motes on
+    /// up to `threads` worker threads.
+    ///
+    /// Conservative parallel discrete-event simulation: the radio's
+    /// minimum per-hop latency is the *lookahead* — a packet emitted at
+    /// `t` cannot reach any mote before `t + lookahead` — so simulation
+    /// advances in windows of that width. Within a window every mote's
+    /// pending events (plus any timers/CPU slices it schedules for itself
+    /// inside the window) are run on a worker with no shared state; at
+    /// the window boundary the workers' outputs are merged back
+    /// **deterministically**, in `(emit time, mote id, emission order)`
+    /// order, so the result is identical for any thread count — and, for
+    /// a lossless medium, identical to [`run_until`](World::run_until).
+    ///
+    /// A zero-latency medium has no lookahead; such worlds (and
+    /// `threads <= 1`) fall back to the sequential stepper.
+    pub fn run_until_parallel(&mut self, deadline: u64, threads: usize) {
+        let lookahead = self.radio.min_latency();
+        if threads <= 1 || lookahead == 0 || self.motes.len() <= 1 {
+            return self.run_until(deadline);
+        }
+        loop {
+            // window = [first pending event, first event + lookahead),
+            // clipped to the deadline (run_until's contract: nothing
+            // after `deadline` fires).
+            let window_start = match self.queue.peek() {
+                Some(&Reverse((at, _, _))) if at <= deadline => at,
+                _ => break,
+            };
+            let run_end = (window_start + lookahead).min(deadline.saturating_add(1));
+
+            // Drain this window's events into per-mote batches.
+            let mut batches: Vec<WindowBatch> = vec![Vec::new(); self.motes.len()];
+            while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+                if at >= run_end {
+                    break;
+                }
+                let Reverse((at, seq, idx)) = self.queue.pop().unwrap();
+                let fire = self.fires[idx].clone();
+                let mote = match &fire {
+                    Fire::Deliver { to, .. } => *to,
+                    Fire::Timer { mote } | Fire::Cpu { mote } => *mote,
+                };
+                batches[mote].push((at, seq, fire));
+            }
+
+            // Check the motes out of the world and step them in parallel.
+            let seq_base = self.seq;
+            let cpu_slice_us = self.cpu_slice_us;
+            let mut work: Vec<WindowWork> = Vec::new();
+            for (id, batch) in batches.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let slot = std::mem::replace(
+                    &mut self.motes[id],
+                    MoteSlot {
+                        backend: Box::new(Inert),
+                        leds: Leds::default(),
+                        timer_at: None,
+                        cpu_scheduled: false,
+                        stats: MoteStats::default(),
+                    },
+                );
+                work.push((id, slot, batch));
+            }
+            let workers = threads.min(work.len()).max(1);
+            let chunk_size = work.len().div_ceil(workers);
+            let mut chunks: Vec<Vec<WindowWork>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, item) in work.into_iter().enumerate() {
+                chunks[i / chunk_size].push(item);
+            }
+            let outs: Vec<WindowOut> = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .into_iter()
+                                .map(|(id, slot, batch)| {
+                                    run_mote_window(
+                                        id,
+                                        slot,
+                                        batch,
+                                        run_end,
+                                        seq_base,
+                                        cpu_slice_us,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("mote worker")).collect()
+            });
+
+            // Deterministic merge: check motes back in, then apply every
+            // cross-window effect in (time, mote, emission) order.
+            self.now = run_end.saturating_sub(1).max(self.now);
+            let mut sends: Vec<(u64, MoteId, usize, MoteId, Packet)> = Vec::new();
+            for out in outs {
+                self.stats.delivered += out.delivered;
+                self.stats.cpu_slices += out.cpu_slices;
+                for (i, (at, to, packet)) in out.sends.into_iter().enumerate() {
+                    sends.push((at, out.id, i, to, packet));
+                }
+                for at in out.timers_after {
+                    self.schedule(at, Fire::Timer { mote: out.id });
+                }
+                for at in out.cpus_after {
+                    self.schedule(at, Fire::Cpu { mote: out.id });
+                }
+                self.motes[out.id] = out.slot;
+            }
+            sends.sort_by_key(|a| (a.0, a.1, a.2));
+            for (at, from, _, to, packet) in sends {
+                if let Some(arrival) = self.radio.transmit(at, from, to, &packet) {
+                    self.schedule(arrival, Fire::Deliver { to, packet });
+                } else {
+                    self.stats.lost += 1;
+                    self.motes[from].stats.lost += 1;
+                }
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
     /// Runs one backend callback and applies its effects (sends, timer
     /// requests, CPU requests).
     fn with_ctx(&mut self, id: MoteId, f: impl FnOnce(&mut dyn Backend, &mut MoteCtx)) {
@@ -281,21 +412,164 @@ impl World {
     }
 }
 
-/// Shared-handle backends: a harness can keep an `Rc<RefCell<B>>` to a
+/// What one mote produced during a parallel window ([`World::run_until_parallel`]).
+struct WindowOut {
+    id: MoteId,
+    slot: MoteSlot,
+    /// `(emit time, destination, packet)` in emission order; routed
+    /// through the radio at merge time.
+    sends: Vec<(u64, MoteId, Packet)>,
+    /// Timer requests that fall on/after the window boundary.
+    timers_after: Vec<u64>,
+    /// CPU-slice grants that fall on/after the window boundary.
+    cpus_after: Vec<u64>,
+    delivered: u64,
+    cpu_slices: u64,
+}
+
+/// One window's firings for a single mote: `(at, seq, fire)` triples.
+type WindowBatch = Vec<(u64, u64, Fire)>;
+/// A mote checked out of the world for one window, with its batch.
+type WindowWork = (MoteId, MoteSlot, WindowBatch);
+/// The backend callback a firing dispatches to inside a window.
+type FireFn = fn(&mut dyn Backend, &mut MoteCtx, Option<Packet>);
+
+/// Steps one mote through its window batch, running any timers/CPU slices
+/// it schedules for itself *inside* the window in a local mini event
+/// loop. Mirrors the effect application of [`World::with_ctx`] exactly,
+/// except that packet transmission (which needs the shared radio) is
+/// deferred to the merge.
+fn run_mote_window(
+    id: MoteId,
+    mut slot: MoteSlot,
+    batch: WindowBatch,
+    run_end: u64,
+    seq_base: u64,
+    cpu_slice_us: u64,
+) -> WindowOut {
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut fires: Vec<Fire> = Vec::with_capacity(batch.len());
+    for (at, seq, fire) in batch {
+        let idx = fires.len();
+        fires.push(fire);
+        queue.push(Reverse((at, seq, idx)));
+    }
+    // local events order after the already-queued globals at equal times,
+    // exactly as World::schedule's monotone `seq` would have placed them
+    let mut seq = seq_base;
+    let mut out = WindowOut {
+        id,
+        slot: MoteSlot {
+            backend: Box::new(Inert),
+            leds: Leds::default(),
+            timer_at: None,
+            cpu_scheduled: false,
+            stats: MoteStats::default(),
+        },
+        sends: Vec::new(),
+        timers_after: Vec::new(),
+        cpus_after: Vec::new(),
+        delivered: 0,
+        cpu_slices: 0,
+    };
+    while let Some(Reverse((at, _, idx))) = queue.pop() {
+        debug_assert!(at < run_end);
+        let now = at;
+        let fire = fires[idx].clone();
+        let run: Option<FireFn> = match fire {
+            Fire::Deliver { .. } => {
+                out.delivered += 1;
+                slot.stats.received += 1;
+                Some(|b, ctx, p| b.deliver(ctx, p.unwrap()))
+            }
+            Fire::Timer { .. } => {
+                if slot.timer_at == Some(at) {
+                    slot.timer_at = None;
+                    slot.stats.timer_firings += 1;
+                    Some(|b, ctx, _| b.timer(ctx))
+                } else {
+                    None // stale
+                }
+            }
+            Fire::Cpu { .. } => {
+                out.cpu_slices += 1;
+                slot.stats.cpu_slices += 1;
+                slot.cpu_scheduled = false;
+                Some(|b, ctx, _| b.cpu(ctx))
+            }
+        };
+        let Some(run) = run else { continue };
+        let packet = match fires[idx].clone() {
+            Fire::Deliver { packet, .. } => Some(packet),
+            _ => None,
+        };
+        let mut ctx = MoteCtx {
+            id,
+            now,
+            leds: &mut slot.leds,
+            outbox: Vec::new(),
+            timer_request: None,
+            wants_cpu: false,
+        };
+        run(slot.backend.as_mut(), &mut ctx, packet);
+        let outbox = std::mem::take(&mut ctx.outbox);
+        let timer_request = ctx.timer_request;
+        let wants_cpu = ctx.wants_cpu;
+        for (to, packet) in outbox {
+            slot.stats.sent += 1;
+            out.sends.push((now, to, packet));
+        }
+        if let Some(req) = timer_request {
+            let req = req.max(now);
+            let better = match slot.timer_at {
+                Some(t) => req < t,
+                None => true,
+            };
+            if better {
+                slot.timer_at = Some(req);
+                if req < run_end {
+                    seq += 1;
+                    let idx = fires.len();
+                    fires.push(Fire::Timer { mote: id });
+                    queue.push(Reverse((req, seq, idx)));
+                } else {
+                    out.timers_after.push(req);
+                }
+            }
+        }
+        if wants_cpu && !slot.cpu_scheduled {
+            slot.cpu_scheduled = true;
+            let cat = now + cpu_slice_us;
+            if cat < run_end {
+                seq += 1;
+                let idx = fires.len();
+                fires.push(Fire::Cpu { mote: id });
+                queue.push(Reverse((cat, seq, idx)));
+            } else {
+                out.cpus_after.push(cat);
+            }
+        }
+    }
+    out.slot = slot;
+    out
+}
+
+/// Shared-handle backends: a harness can keep an `Arc<Mutex<B>>` to a
 /// mote it adds to the world and read its state (metrics, clock drift)
-/// after the run.
-impl<B: Backend> Backend for std::rc::Rc<std::cell::RefCell<B>> {
+/// after the run. `Mutex` rather than `RefCell` so the handle stays
+/// `Send` and the mote can be stepped on a worker thread.
+impl<B: Backend> Backend for std::sync::Arc<std::sync::Mutex<B>> {
     fn boot(&mut self, ctx: &mut MoteCtx) {
-        self.borrow_mut().boot(ctx)
+        self.lock().unwrap().boot(ctx)
     }
     fn deliver(&mut self, ctx: &mut MoteCtx, packet: Packet) {
-        self.borrow_mut().deliver(ctx, packet)
+        self.lock().unwrap().deliver(ctx, packet)
     }
     fn timer(&mut self, ctx: &mut MoteCtx) {
-        self.borrow_mut().timer(ctx)
+        self.lock().unwrap().timer(ctx)
     }
     fn cpu(&mut self, ctx: &mut MoteCtx) {
-        self.borrow_mut().cpu(ctx)
+        self.lock().unwrap().cpu(ctx)
     }
 }
 
@@ -373,6 +647,65 @@ mod tests {
         assert_eq!(w.mote_count(), 2);
     }
 
+    fn pinger_world(radio: Radio) -> World {
+        let mut w = World::new(radio);
+        w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 2, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 3, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.boot();
+        w
+    }
+
+    type LedHistory = Vec<(u64, u8, bool)>;
+
+    fn observe(w: &World) -> (Stats, Vec<MoteStats>, Vec<LedHistory>) {
+        (
+            w.stats,
+            (0..w.mote_count()).map(|m| *w.mote_stats(m)).collect(),
+            (0..w.mote_count()).map(|m| w.leds(m).history.clone()).collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_stepping_matches_sequential() {
+        let mut seq = pinger_world(Radio::ideal(1_000));
+        let mut par = pinger_world(Radio::ideal(1_000));
+        seq.run_until(50_500);
+        par.run_until_parallel(50_500, 4);
+        assert_eq!(seq.now(), par.now());
+        let (s_stats, s_motes, s_leds) = observe(&seq);
+        let (p_stats, p_motes, p_leds) = observe(&par);
+        assert_eq!(s_stats.delivered, p_stats.delivered);
+        assert_eq!(s_stats.lost, p_stats.lost);
+        assert_eq!(s_stats.cpu_slices, p_stats.cpu_slices);
+        assert_eq!(s_motes, p_motes);
+        assert_eq!(s_leds, p_leds);
+    }
+
+    #[test]
+    fn parallel_stepping_is_thread_count_invariant() {
+        // a lossy medium exercises the deterministic merge order: any
+        // thread count must produce the identical run
+        let radio = || Radio::new(crate::radio::Topology::Full, 700, 0.25, 9);
+        let mut base = pinger_world(radio());
+        base.run_until_parallel(40_000, 2);
+        for threads in [3, 4, 8] {
+            let mut w = pinger_world(radio());
+            w.run_until_parallel(40_000, threads);
+            assert_eq!(observe(&base), observe(&w), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_latency_media_fall_back_to_sequential() {
+        let mut seq = pinger_world(Radio::ideal(0));
+        let mut par = pinger_world(Radio::ideal(0));
+        seq.run_until(10_000);
+        par.run_until_parallel(10_000, 4);
+        assert_eq!(observe(&seq), observe(&par));
+    }
+
     #[test]
     fn led_history_records_on_times() {
         let mut leds = Leds::default();
@@ -386,7 +719,7 @@ mod tests {
     fn events_fire_in_time_order() {
         let mut w = World::new(Radio::ideal(0));
         struct Recorder {
-            seen: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+            seen: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
         }
         impl Backend for Recorder {
             fn boot(&mut self, ctx: &mut MoteCtx) {
@@ -394,17 +727,17 @@ mod tests {
             }
             fn deliver(&mut self, _: &mut MoteCtx, _: Packet) {}
             fn timer(&mut self, ctx: &mut MoteCtx) {
-                self.seen.borrow_mut().push(ctx.now);
+                self.seen.lock().unwrap().push(ctx.now);
                 if ctx.now < 2_000 {
                     ctx.set_timer_at(ctx.now + 500);
                 }
             }
             fn cpu(&mut self, _: &mut MoteCtx) {}
         }
-        let seen = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(vec![]));
         w.add_mote(Box::new(Recorder { seen: seen.clone() }));
         w.boot();
         w.run_until(3_000);
-        assert_eq!(*seen.borrow(), vec![500, 1000, 1500, 2000]);
+        assert_eq!(*seen.lock().unwrap(), vec![500, 1000, 1500, 2000]);
     }
 }

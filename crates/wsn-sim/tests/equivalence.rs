@@ -87,36 +87,36 @@ fn sense_ceu_matches_nesc_readings() {
     let mut mote = CeuMote::new(prog, 0);
     // the same waveform the nesC-analog Sense samples, phase-shifted to
     // its own read instants
-    let now = std::rc::Rc::new(std::cell::Cell::new(0u64));
+    let now = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     {
         let now = now.clone();
         mote.host_mut().extra.insert(
             "Read_read".into(),
             Box::new(move |_args: &[Value]| -> Value {
-                Value::Int(((now.get() / 1_000) % 1024) as i64)
+                Value::Int(((now.load(std::sync::atomic::Ordering::Relaxed) / 1_000) % 1024) as i64)
             }),
         );
     }
     // track the clock for the closure via a wrapper backend
     struct Clocked {
         inner: CeuMote,
-        now: std::rc::Rc<std::cell::Cell<u64>>,
+        now: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl wsn_sim::Backend for Clocked {
         fn boot(&mut self, ctx: &mut wsn_sim::MoteCtx) {
-            self.now.set(ctx.now);
+            self.now.store(ctx.now, std::sync::atomic::Ordering::Relaxed);
             self.inner.boot(ctx);
         }
         fn deliver(&mut self, ctx: &mut wsn_sim::MoteCtx, p: wsn_sim::Packet) {
-            self.now.set(ctx.now);
+            self.now.store(ctx.now, std::sync::atomic::Ordering::Relaxed);
             self.inner.deliver(ctx, p);
         }
         fn timer(&mut self, ctx: &mut wsn_sim::MoteCtx) {
-            self.now.set(ctx.now);
+            self.now.store(ctx.now, std::sync::atomic::Ordering::Relaxed);
             self.inner.timer(ctx);
         }
         fn cpu(&mut self, ctx: &mut wsn_sim::MoteCtx) {
-            self.now.set(ctx.now);
+            self.now.store(ctx.now, std::sync::atomic::Ordering::Relaxed);
             self.inner.cpu(ctx);
         }
     }

@@ -148,24 +148,26 @@ fn long_computations_do_not_starve_ceu_reception() {
 #[test]
 fn mantis_round_robin_is_fair_among_equals() {
     struct Counter {
-        c: std::rc::Rc<std::cell::Cell<u64>>,
+        c: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl ThreadBody for Counter {
         fn step(&mut self, _: &mut ThreadCtx) -> Step {
-            self.c.set(self.c.get() + 1);
+            self.c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Step::Run
         }
     }
     let mut w = World::new(Radio::ideal(0));
     let mut mote = MantisMote::new(0);
-    let counters: Vec<_> = (0..4).map(|_| std::rc::Rc::new(std::cell::Cell::new(0u64))).collect();
+    let counters: Vec<_> =
+        (0..4).map(|_| std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0))).collect();
     for c in &counters {
         mote.spawn(1, Box::new(Counter { c: c.clone() }));
     }
     w.add_mote(Box::new(mote));
     w.boot();
     w.run_until(100_000);
-    let counts: Vec<u64> = counters.iter().map(|c| c.get()).collect();
+    let counts: Vec<u64> =
+        counters.iter().map(|c| c.load(std::sync::atomic::Ordering::Relaxed)).collect();
     let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
     assert!(max - min <= 1, "round-robin fairness: {counts:?}");
     // the paper asserted "both implementations performed a fair scheduling
