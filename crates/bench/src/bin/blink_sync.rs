@@ -135,6 +135,7 @@ struct MachineRow {
 fn main() {
     println!("§5 blink-synchronization experiment (1 virtual hour, leds at 400ms / 1000ms)\n");
     let (ceu_sync, ceu_drift, ceu_metrics) = run_ceu();
+    ceu_bench::write_metrics_out(&ceu_metrics);
     let (mt_sync, mt_drift) = run_threads();
     let (oc_sync, oc_drift) = run_occam();
 

@@ -50,7 +50,7 @@ fn main() {
                 chain += 1;
                 let label = match cause {
                     Cause::Boot => "boot".to_string(),
-                    Cause::Event(id) => format!("event #{}", id.0),
+                    Cause::Event { event, .. } => format!("event #{}", event.0),
                     Cause::Timer(t) => format!("timer {t}µs"),
                     Cause::AsyncDone(a) => format!("async {a}"),
                 };
@@ -97,6 +97,7 @@ fn main() {
         },
     );
     println!("perfetto trace -> {}", trace_path.display());
+    ceu_bench::write_metrics_out(&metrics);
     print!("{}", metrics.summary());
     println!("figure-1 behaviour reproduced: 4 chains, 1 discard, C never reacts ✓");
 }

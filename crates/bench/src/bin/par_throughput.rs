@@ -100,6 +100,11 @@ fn main() {
                 let list = args.next().expect("--threads 1,2,4");
                 threads = list.split(',').map(|t| t.parse().expect("thread count")).collect();
             }
+            // shared plumbing (ceu_bench::write_metrics_out reads argv)
+            "--metrics-out" => {
+                args.next().expect("--metrics-out PATH");
+            }
+            other if other.starts_with("--metrics-out=") => {}
             other => panic!("unknown flag `{other}`"),
         }
     }
@@ -153,4 +158,16 @@ fn main() {
     }
     println!("{}", table::render(&["threads", "eval", "wall ms", "reactions/s", "speedup"], &rows));
     println!("rows -> {}", ceu_bench::out_dir().join("par_throughput.jsonl").display());
+
+    // --metrics-out: snapshot one representative machine of the workload
+    if ceu_bench::metrics_out_path().is_some() {
+        let mut m = Machine::from_arc(Arc::clone(&prog));
+        m.enable_metrics();
+        let go = m.event_id("Go").expect("dataflow chain declares Go");
+        m.go_init(&mut NullHost).expect("boot");
+        for _ in 0..reactions {
+            m.go_event(go, None, &mut NullHost).expect("react");
+        }
+        ceu_bench::write_metrics_out(m.metrics().expect("metrics enabled"));
+    }
 }

@@ -13,3 +13,44 @@ pub fn out_dir() -> std::path::PathBuf {
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }
+
+/// `--metrics-out PATH` (shared by the harness binaries and `ceuc run`):
+/// the path the final metrics snapshot should be written to, if the flag
+/// is present anywhere on the command line.
+pub fn metrics_out_path() -> Option<std::path::PathBuf> {
+    metrics_out_from(std::env::args().skip(1))
+}
+
+fn metrics_out_from(args: impl Iterator<Item = String>) -> Option<std::path::PathBuf> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
+/// Honours `--metrics-out PATH`: writes the snapshot as one JSON object,
+/// or does nothing when the flag is absent.
+pub fn write_metrics_out(metrics: &ceu::runtime::Metrics) {
+    if let Some(path) = metrics_out_path() {
+        std::fs::write(&path, metrics.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("metrics -> {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod lib_tests {
+    #[test]
+    fn metrics_out_flag_parses_both_forms() {
+        let parse = |v: &[&str]| super::metrics_out_from(v.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["--metrics-out", "m.json"]), Some("m.json".into()));
+        assert_eq!(parse(&["--foo", "--metrics-out=m.json"]), Some("m.json".into()));
+        assert_eq!(parse(&["--foo"]), None);
+    }
+}

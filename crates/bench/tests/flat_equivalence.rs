@@ -23,8 +23,8 @@ use std::sync::{Arc, Mutex};
 /// Zeroes the host-clock fields (the only nondeterminism in a trace).
 fn normalize(e: &TraceEvent) -> TraceEvent {
     match *e {
-        TraceEvent::ReactionStart { cause, now_us, .. } => {
-            TraceEvent::ReactionStart { cause, now_us, wall_ns: 0 }
+        TraceEvent::ReactionStart { id, cause, now_us, .. } => {
+            TraceEvent::ReactionStart { id, cause, now_us, wall_ns: 0 }
         }
         TraceEvent::ReactionEnd {
             now_us,

@@ -6,18 +6,40 @@
 use ceu::ast::EventId;
 use ceu::codegen::{AsyncId, BlockId, GateId};
 use ceu::runtime::telemetry::{cause_to_json, event_to_json};
-use ceu::runtime::{Cause, TraceEvent};
+use ceu::runtime::{Cause, ReactionId, TraceEvent};
 
 fn all_variants() -> Vec<TraceEvent> {
     vec![
-        TraceEvent::ReactionStart { cause: Cause::Boot, now_us: 0, wall_ns: 17 },
         TraceEvent::ReactionStart {
-            cause: Cause::Event(EventId(3)),
+            id: ReactionId::new(0, 1),
+            cause: Cause::Boot,
+            now_us: 0,
+            wall_ns: 17,
+        },
+        TraceEvent::ReactionStart {
+            id: ReactionId::new(0, 2),
+            cause: Cause::event(EventId(3)),
             now_us: 1_500,
             wall_ns: 2_000,
         },
-        TraceEvent::ReactionStart { cause: Cause::Timer(1_500), now_us: 1_500, wall_ns: 9 },
-        TraceEvent::ReactionStart { cause: Cause::AsyncDone(2 as AsyncId), now_us: 7, wall_ns: 8 },
+        TraceEvent::ReactionStart {
+            id: ReactionId::new(2, 3),
+            cause: Cause::Event { event: EventId(3), parent: Some(ReactionId::new(1, 9)) },
+            now_us: 1_500,
+            wall_ns: 2_000,
+        },
+        TraceEvent::ReactionStart {
+            id: ReactionId::new(0, 4),
+            cause: Cause::Timer(1_500),
+            now_us: 1_500,
+            wall_ns: 9,
+        },
+        TraceEvent::ReactionStart {
+            id: ReactionId::new(0, 5),
+            cause: Cause::AsyncDone(2 as AsyncId),
+            now_us: 7,
+            wall_ns: 8,
+        },
         TraceEvent::Discarded { event: EventId(4) },
         TraceEvent::TrackRun { block: 9 as BlockId, rank: 3 },
         TraceEvent::GateArmed { gate: 5 as GateId },
@@ -46,7 +68,13 @@ fn serde_serialize_matches_the_canonical_writer() {
         let via_serde = serde_json::to_string(&e).expect("serialize");
         assert_eq!(via_serde, event_to_json(&e), "variant {}", e.kind());
     }
-    for c in [Cause::Boot, Cause::Event(EventId(1)), Cause::Timer(9), Cause::AsyncDone(0)] {
+    for c in [
+        Cause::Boot,
+        Cause::event(EventId(1)),
+        Cause::Event { event: EventId(1), parent: Some(ReactionId::new(3, 7)) },
+        Cause::Timer(9),
+        Cause::AsyncDone(0),
+    ] {
         assert_eq!(serde_json::to_string(&c).unwrap(), cause_to_json(&c));
     }
 }

@@ -1,0 +1,544 @@
+//! Trace analysis for Céu machine and world traces.
+//!
+//! Reads the stable JSONL wire formats emitted by the runtime and the
+//! WSN simulator and turns them into human answers:
+//!
+//! * **machine traces** — one `event_to_json` object per line, as written
+//!   by `ceuc run --trace=jsonl` and the runtime's `JsonlSink`:
+//!   `{"ev":"ReactionStart","id":{"mote":0,"seq":7},"cause":{…},…}`;
+//! * **world traces** — one [`WorldTraceEvent`] per line, as written by
+//!   `wsn_sim::write_trace_jsonl`: `{"t_us":N,"mote":M,"seq":S,"ev":{…}}`.
+//!
+//! The two are distinguished per line: a world record's `ev` member is an
+//! object, a machine record's `ev` member is the kind string. Every
+//! analysis works on either (a machine trace is a world trace with one
+//! mote and no world clock).
+//!
+//! [`WorldTraceEvent`]: ../wsn_sim/world/struct.WorldTraceEvent.html
+
+use serde_json::Value;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One parsed trace line, normalised to the world-trace shape.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// World time (µs); for machine traces the event's own `now_us`
+    /// (carried forward over events that don't record a clock).
+    pub t_us: u64,
+    pub mote: usize,
+    /// Per-mote emission index (world traces) or the 1-based line number
+    /// (machine traces).
+    pub seq: u64,
+    /// The machine-level event object (`{"ev":"…",…}`).
+    pub ev: Value,
+    /// 1-based line number in the input.
+    pub line: usize,
+}
+
+impl Record {
+    /// The event kind string (`ReactionStart`, `TrackRun`, …).
+    pub fn kind(&self) -> &str {
+        self.ev.get("ev").and_then(|v| v.as_str()).unwrap_or("?")
+    }
+
+    /// The reaction id of a `ReactionStart`, as `(mote, seq)`.
+    pub fn reaction_id(&self) -> Option<(u64, u64)> {
+        let id = self.ev.get("id")?;
+        Some((id.get("mote")?.as_u64()?, id.get("seq")?.as_u64()?))
+    }
+
+    /// The causal parent reaction recorded on a `ReactionStart`.
+    pub fn parent(&self) -> Option<(u64, u64)> {
+        let p = self.ev.get("cause")?.get("parent")?;
+        Some((p.get("mote")?.as_u64()?, p.get("seq")?.as_u64()?))
+    }
+
+    /// Human label for a `ReactionStart` cause.
+    pub fn cause_label(&self) -> String {
+        let Some(c) = self.ev.get("cause") else { return "?".into() };
+        match c.get("type").and_then(|v| v.as_str()) {
+            Some("boot") => "boot".into(),
+            Some("event") => match c.get("id").and_then(|v| v.as_u64()) {
+                Some(id) => format!("event #{id}"),
+                None => "event".into(),
+            },
+            Some("timer") => match c.get("deadline_us").and_then(|v| v.as_u64()) {
+                Some(d) => format!("timer {d}µs"),
+                None => "timer".into(),
+            },
+            Some("async") => "async".into(),
+            _ => "?".into(),
+        }
+    }
+}
+
+/// Parses a whole JSONL trace (machine- or world-format lines, blank
+/// lines ignored). Errors carry the offending line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    let mut clock = 0u64; // machine traces: carry now_us forward
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let rec = if v.get("ev").map(|e| e.as_object().is_some()).unwrap_or(false) {
+            // world-trace wrapper
+            let t_us = v
+                .get("t_us")
+                .and_then(|t| t.as_u64())
+                .ok_or(format!("line {line_no}: world record without t_us"))?;
+            let mote = v
+                .get("mote")
+                .and_then(|m| m.as_u64())
+                .ok_or(format!("line {line_no}: world record without mote"))?;
+            let seq = v
+                .get("seq")
+                .and_then(|s| s.as_u64())
+                .ok_or(format!("line {line_no}: world record without seq"))?;
+            let ev = v.get("ev").cloned().unwrap_or(Value::Null);
+            Record { t_us, mote: mote as usize, seq, ev, line: line_no }
+        } else {
+            // bare machine event; the mote comes from the reaction id
+            if v.get("ev").and_then(|e| e.as_str()).is_none() {
+                return Err(format!("line {line_no}: not a trace event (no `ev`)"));
+            }
+            if let Some(now) = v.get("now_us").and_then(|n| n.as_u64()) {
+                clock = now;
+            }
+            let mote =
+                v.get("id").and_then(|id| id.get("mote")).and_then(|m| m.as_u64()).unwrap_or(0);
+            Record { t_us: clock, mote: mote as usize, seq: line_no as u64, ev: v, line: line_no }
+        };
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// `summary` — shape of the trace: event mix, per-mote reaction counts,
+/// causes, and causal cross-mote links.
+pub fn summary(records: &[Record]) -> String {
+    let mut kinds: HashMap<String, u64> = HashMap::new();
+    let mut causes: HashMap<String, u64> = HashMap::new();
+    let mut per_mote: HashMap<usize, u64> = HashMap::new();
+    let mut cross_links = 0u64;
+    let mut local_links = 0u64;
+    let (mut t_min, mut t_max) = (u64::MAX, 0u64);
+    for r in records {
+        *kinds.entry(r.kind().to_string()).or_default() += 1;
+        t_min = t_min.min(r.t_us);
+        t_max = t_max.max(r.t_us);
+        if r.kind() == "ReactionStart" {
+            *per_mote.entry(r.mote).or_default() += 1;
+            *causes.entry(r.cause_label()).or_default() += 1;
+            if let Some((pm, _)) = r.parent() {
+                if pm as usize == r.mote {
+                    local_links += 1;
+                } else {
+                    cross_links += 1;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "events: {}", records.len());
+    if records.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "span:   {t_min}µs .. {t_max}µs");
+    let mut motes: Vec<_> = per_mote.into_iter().collect();
+    motes.sort();
+    for (mote, n) in motes {
+        let _ = writeln!(out, "mote {mote}: {n} reactions");
+    }
+    let _ = writeln!(out, "causal links: {cross_links} cross-mote, {local_links} same-mote");
+    let mut kinds: Vec<_> = kinds.into_iter().collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let _ = writeln!(out, "by kind:");
+    for (k, n) in kinds {
+        let _ = writeln!(out, "  {n:>8}  {k}");
+    }
+    let mut causes: Vec<_> = causes.into_iter().collect();
+    causes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    if !causes.is_empty() {
+        let _ = writeln!(out, "by cause:");
+        for (c, n) in causes {
+            let _ = writeln!(out, "  {n:>8}  {c}");
+        }
+    }
+    out
+}
+
+/// `hot` — source-attributed execution counts: aggregates `TrackRun`
+/// events per block and renders them against the original `.ceu` source
+/// via the compiler's `DebugMap`.
+pub fn hot(records: &[Record], src: &str, top: usize) -> Result<String, String> {
+    let prog =
+        ceu::Compiler::new().compile(src).map_err(|e| format!("--src does not compile: {e}"))?;
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        if r.kind() == "TrackRun" {
+            if let Some(b) = r.ev.get("block").and_then(|b| b.as_u64()) {
+                *counts.entry(b).or_default() += 1;
+            }
+        }
+    }
+    if counts.is_empty() {
+        return Ok("no TrackRun events in the trace (was it recorded with tracing on?)\n".into());
+    }
+    let total: u64 = counts.values().sum();
+    let mut rows: Vec<(u64, u64)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = String::from("   count     %  block  source\n");
+    for (block, count) in rows.into_iter().take(top) {
+        let span = prog.debug.block_span(block as u32);
+        let pct = 100.0 * count as f64 / total as f64;
+        let loc = if span.line > 0 {
+            let text = lines.get(span.line as usize - 1).map(|l| l.trim()).unwrap_or("");
+            format!("{}:{}: {}", span.line, span.col, text)
+        } else {
+            "<no span>".to_string()
+        };
+        let _ = writeln!(out, "{count:>8} {pct:>5.1}%  #{block:<4} {loc}");
+    }
+    Ok(out)
+}
+
+/// `to-perfetto` — a Chrome trace-event JSON array for ui.perfetto.dev:
+/// one process per mote, `B`/`E` slices per reaction, instants for the
+/// in-reaction events, and `s`/`f` flow arrows from each causal parent
+/// reaction to the reaction it triggered (cross-mote arrows are the
+/// radio packets).
+pub fn to_perfetto(records: &[Record]) -> String {
+    // index reaction starts so flows can anchor on the parent slice
+    let mut starts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut motes: Vec<usize> = Vec::new();
+    for r in records {
+        if !motes.contains(&r.mote) {
+            motes.push(r.mote);
+        }
+        if r.kind() == "ReactionStart" {
+            if let Some(id) = r.reaction_id() {
+                starts.entry(id).or_insert(r.t_us);
+            }
+        }
+    }
+    motes.sort();
+    let mut out: Vec<String> = Vec::new();
+    for m in &motes {
+        out.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{m},\"tid\":{m},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"mote {m}\"}}}}"
+        ));
+    }
+    let mut flow_id = 0u64;
+    for r in records {
+        let (pid, tid, ts) = (r.mote, r.mote, r.t_us);
+        match r.kind() {
+            "ReactionStart" => {
+                let label = match r.reaction_id() {
+                    Some((m, s)) => format!("reaction m{m}.{s} ({})", r.cause_label()),
+                    None => format!("reaction ({})", r.cause_label()),
+                };
+                out.push(format!(
+                    "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+                     \"name\":\"{label}\",\"cat\":\"reaction\"}}"
+                ));
+                // flow arrow from the causal parent's slice to this one
+                if let Some(parent) = r.parent() {
+                    if let Some(&pt) = starts.get(&parent) {
+                        flow_id += 1;
+                        let (pm, ps) = parent;
+                        out.push(format!(
+                            "{{\"ph\":\"s\",\"pid\":{pm},\"tid\":{pm},\"ts\":{pt},\
+                             \"id\":{flow_id},\"name\":\"cause\",\"cat\":\"flow\"}}"
+                        ));
+                        let _ = ps;
+                        out.push(format!(
+                            "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{tid},\
+                             \"ts\":{ts},\"id\":{flow_id},\"name\":\"cause\",\"cat\":\"flow\"}}"
+                        ));
+                    }
+                }
+            }
+            "ReactionEnd" => {
+                out.push(format!("{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"));
+            }
+            kind => {
+                // in-reaction detail as thread-scoped instants
+                let detail = match kind {
+                    "TrackRun" => {
+                        r.ev.get("block").and_then(|b| b.as_u64()).map(|b| format!("TrackRun #{b}"))
+                    }
+                    "GateFired" | "GateArmed" => {
+                        r.ev.get("gate").and_then(|g| g.as_u64()).map(|g| format!("{kind} g{g}"))
+                    }
+                    "EmitInt" | "Discarded" => {
+                        r.ev.get("event").and_then(|e| e.as_u64()).map(|e| format!("{kind} #{e}"))
+                    }
+                    _ => Some(kind.to_string()),
+                };
+                if let Some(name) = detail {
+                    out.push(format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                         \"ts\":{ts},\"name\":\"{name}\",\"cat\":\"vm\"}}"
+                    ));
+                }
+            }
+        }
+    }
+    format!("[\n{}\n]\n", out.join(",\n"))
+}
+
+/// One hop of a causal chain (see [`critical_path`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hop {
+    pub mote: u64,
+    pub seq: u64,
+    pub t_us: u64,
+    pub cause: String,
+}
+
+/// The longest causal chain in the trace: follows `parent` links from
+/// every reaction back to its root and returns the deepest chain,
+/// root-first. This is the critical path of the distributed computation —
+/// the sequence of reactions (and radio hops) nothing could overlap with.
+pub fn critical_path(records: &[Record]) -> Vec<Hop> {
+    struct Node {
+        t_us: u64,
+        cause: String,
+        parent: Option<(u64, u64)>,
+    }
+    let mut nodes: HashMap<(u64, u64), Node> = HashMap::new();
+    for r in records {
+        if r.kind() == "ReactionStart" {
+            if let Some(id) = r.reaction_id() {
+                nodes.entry(id).or_insert(Node {
+                    t_us: r.t_us,
+                    cause: r.cause_label(),
+                    parent: r.parent(),
+                });
+            }
+        }
+    }
+    // depth by walking parent links (chains, so iteration is cheap; a
+    // missing parent — trimmed trace — just roots the chain there)
+    fn depth(
+        id: (u64, u64),
+        nodes: &HashMap<(u64, u64), Node>,
+        memo: &mut HashMap<(u64, u64), u64>,
+    ) -> u64 {
+        if let Some(&d) = memo.get(&id) {
+            return d;
+        }
+        let d = match nodes.get(&id).and_then(|n| n.parent) {
+            Some(p) if nodes.contains_key(&p) => depth(p, nodes, memo) + 1,
+            _ => 1,
+        };
+        memo.insert(id, d);
+        d
+    }
+    let mut memo = HashMap::new();
+    let mut best: Option<((u64, u64), u64)> = None;
+    let mut ids: Vec<_> = nodes.keys().copied().collect();
+    ids.sort();
+    for id in ids {
+        let d = depth(id, &nodes, &mut memo);
+        if best.map(|(_, bd)| d > bd).unwrap_or(true) {
+            best = Some((id, d));
+        }
+    }
+    let Some((mut id, _)) = best else { return Vec::new() };
+    let mut chain = Vec::new();
+    loop {
+        let n = &nodes[&id];
+        chain.push(Hop { mote: id.0, seq: id.1, t_us: n.t_us, cause: n.cause.clone() });
+        match n.parent {
+            Some(p) if nodes.contains_key(&p) => id = p,
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Renders a [`critical_path`] chain for the terminal.
+pub fn render_critical_path(chain: &[Hop]) -> String {
+    if chain.is_empty() {
+        return "no reactions in the trace\n".into();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path: {} reactions, {}µs end to end",
+        chain.len(),
+        chain.last().unwrap().t_us - chain[0].t_us
+    );
+    let mut prev: Option<&Hop> = None;
+    for hop in chain {
+        let lat = match prev {
+            Some(p) if hop.mote != p.mote => format!("  (+{}µs, radio hop)", hop.t_us - p.t_us),
+            Some(p) => format!("  (+{}µs)", hop.t_us - p.t_us),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "  m{}.{} @{}µs  {}{}", hop.mote, hop.seq, hop.t_us, hop.cause, lat);
+        prev = Some(hop);
+    }
+    out
+}
+
+/// The outcome of [`diff`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiffResult {
+    /// Both traces are identical after normalisation.
+    Match { events: usize },
+    /// First divergence: the 1-based record index and both raw lines
+    /// (`None` when one trace ended early).
+    Divergence { index: usize, left: Option<String>, right: Option<String> },
+}
+
+/// Compares two traces event by event, ignoring host-clock (`wall_ns`)
+/// fields — the only nondeterminism the runtime ever records. Reports the
+/// first divergence; identical traces (e.g. sequential vs parallel world
+/// runs, or flat vs tree-eval machine runs) yield [`DiffResult::Match`].
+pub fn diff(left: &str, right: &str) -> Result<DiffResult, String> {
+    let l = parse_jsonl(left).map_err(|e| format!("left: {e}"))?;
+    let r = parse_jsonl(right).map_err(|e| format!("right: {e}"))?;
+    for (i, (a, b)) in l.iter().zip(r.iter()).enumerate() {
+        let (na, nb) = (normalized_key(a), normalized_key(b));
+        if na != nb {
+            return Ok(DiffResult::Divergence {
+                index: i + 1,
+                left: Some(render_record(a)),
+                right: Some(render_record(b)),
+            });
+        }
+    }
+    if l.len() != r.len() {
+        let index = l.len().min(r.len()) + 1;
+        return Ok(DiffResult::Divergence {
+            index,
+            left: l.get(index - 1).map(render_record),
+            right: r.get(index - 1).map(render_record),
+        });
+    }
+    Ok(DiffResult::Match { events: l.len() })
+}
+
+fn render_record(r: &Record) -> String {
+    format!("t={}µs mote={} seq={} {:?}", r.t_us, r.mote, r.seq, r.ev)
+}
+
+/// The comparison key of a record: position + event with `wall_ns`
+/// zeroed.
+fn normalized_key(r: &Record) -> (u64, usize, u64, Value) {
+    let mut ev = r.ev.clone();
+    if let Value::Object(map) = &mut ev {
+        if map.contains_key("wall_ns") {
+            map.insert("wall_ns".into(), Value::Number(0.0));
+        }
+    }
+    (r.t_us, r.mote, r.seq, ev)
+}
+
+/// Renders a [`DiffResult`] for the terminal; `true` means "no
+/// divergence".
+pub fn render_diff(result: &DiffResult) -> (String, bool) {
+    match result {
+        DiffResult::Match { events } => (format!("traces are identical ({events} events)\n"), true),
+        DiffResult::Divergence { index, left, right } => {
+            let mut out = format!("first divergence at event {index}:\n");
+            let _ = writeln!(out, "  left:  {}", left.as_deref().unwrap_or("<trace ended>"));
+            let _ = writeln!(out, "  right: {}", right.as_deref().unwrap_or("<trace ended>"));
+            (out, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORLD: &str = r#"
+{"t_us":0,"mote":0,"seq":1,"ev":{"ev":"ReactionStart","id":{"mote":0,"seq":1},"cause":{"type":"boot"},"now_us":0,"wall_ns":0}}
+{"t_us":0,"mote":0,"seq":2,"ev":{"ev":"TrackRun","block":0,"rank":0}}
+{"t_us":0,"mote":0,"seq":3,"ev":{"ev":"ReactionEnd","now_us":0,"wall_ns":0,"tracks":1,"emits":0,"gates_fired":0,"gates_armed":1,"queue_peak":1,"emit_depth_max":0}}
+{"t_us":1000,"mote":1,"seq":1,"ev":{"ev":"ReactionStart","id":{"mote":1,"seq":1},"cause":{"type":"event","id":0,"parent":{"mote":0,"seq":1}},"now_us":1000,"wall_ns":0}}
+{"t_us":1000,"mote":1,"seq":2,"ev":{"ev":"ReactionEnd","now_us":1000,"wall_ns":0,"tracks":1,"emits":0,"gates_fired":1,"gates_armed":1,"queue_peak":1,"emit_depth_max":0}}
+{"t_us":2000,"mote":0,"seq":4,"ev":{"ev":"ReactionStart","id":{"mote":0,"seq":2},"cause":{"type":"event","id":0,"parent":{"mote":1,"seq":1}},"now_us":2000,"wall_ns":0}}
+{"t_us":2000,"mote":0,"seq":5,"ev":{"ev":"ReactionEnd","now_us":2000,"wall_ns":0,"tracks":1,"emits":0,"gates_fired":1,"gates_armed":1,"queue_peak":1,"emit_depth_max":0}}
+"#;
+
+    #[test]
+    fn parses_world_and_machine_lines() {
+        let recs = parse_jsonl(WORLD).unwrap();
+        assert_eq!(recs.len(), 7);
+        assert_eq!(recs[3].mote, 1);
+        assert_eq!(recs[3].parent(), Some((0, 1)));
+        let machine = r#"{"ev":"ReactionStart","id":{"mote":0,"seq":1},"cause":{"type":"boot"},"now_us":42,"wall_ns":5}"#;
+        let recs = parse_jsonl(machine).unwrap();
+        assert_eq!(recs[0].t_us, 42);
+        assert_eq!(recs[0].kind(), "ReactionStart");
+    }
+
+    #[test]
+    fn summary_counts_cross_mote_links() {
+        let s = summary(&parse_jsonl(WORLD).unwrap());
+        assert!(s.contains("causal links: 2 cross-mote"), "{s}");
+        assert!(s.contains("mote 0: 2 reactions"), "{s}");
+    }
+
+    #[test]
+    fn perfetto_export_has_flow_pairs() {
+        let json = to_perfetto(&parse_jsonl(WORLD).unwrap());
+        let doc = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.as_array().expect("an array");
+        let s = events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s")).count();
+        let f = events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f")).count();
+        assert_eq!(s, 2);
+        assert_eq!(f, 2);
+        // the first flow starts on mote 0's slice and finishes on mote 1's
+        let start =
+            events.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s")).unwrap();
+        assert_eq!(start.get("pid").and_then(|p| p.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn critical_path_follows_parents_across_motes() {
+        let chain = critical_path(&parse_jsonl(WORLD).unwrap());
+        let path: Vec<(u64, u64)> = chain.iter().map(|h| (h.mote, h.seq)).collect();
+        assert_eq!(path, vec![(0, 1), (1, 1), (0, 2)]);
+        let rendered = render_critical_path(&chain);
+        assert!(rendered.contains("3 reactions, 2000µs"), "{rendered}");
+        assert!(rendered.contains("radio hop"), "{rendered}");
+    }
+
+    #[test]
+    fn diff_ignores_wall_clock_but_not_structure() {
+        let a = r#"{"ev":"ReactionStart","id":{"mote":0,"seq":1},"cause":{"type":"boot"},"now_us":0,"wall_ns":123}"#;
+        let b = r#"{"ev":"ReactionStart","id":{"mote":0,"seq":1},"cause":{"type":"boot"},"now_us":0,"wall_ns":456}"#;
+        assert_eq!(diff(a, b).unwrap(), DiffResult::Match { events: 1 });
+        let c = r#"{"ev":"ReactionStart","id":{"mote":0,"seq":2},"cause":{"type":"boot"},"now_us":0,"wall_ns":123}"#;
+        assert!(matches!(diff(a, c).unwrap(), DiffResult::Divergence { index: 1, .. }));
+        // length mismatch is a divergence past the common prefix
+        let two = format!("{a}\n{a}");
+        assert!(matches!(diff(a, &two).unwrap(), DiffResult::Divergence { index: 2, .. }));
+    }
+
+    #[test]
+    fn hot_renders_source_lines() {
+        let src = "input void GO;\nloop do\n await GO;\n _f();\nend";
+        let trace = r#"
+{"ev":"TrackRun","block":0,"rank":0}
+{"ev":"TrackRun","block":1,"rank":0}
+{"ev":"TrackRun","block":1,"rank":0}
+"#;
+        let out = hot(&parse_jsonl(trace).unwrap(), src, 10).unwrap();
+        assert!(out.contains("#1"), "{out}");
+        assert!(out.contains("66.7%"), "{out}");
+    }
+}

@@ -297,6 +297,34 @@ impl Dispatch {
     }
 }
 
+/// Block-level debug info: maps each `BlockId` back to the source span of
+/// its first spanned instruction (falling back to the gate/terminator
+/// span the lowering recorded, or `0:0` for synthetic glue blocks). This
+/// is what lets per-block profiles and traces render as "hot statements"
+/// against the original `.ceu` source.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DebugMap {
+    /// Indexed by `BlockId`; `line == 0` means "no source location".
+    pub block_spans: Vec<Span>,
+}
+
+impl DebugMap {
+    /// Builds the map from lowered blocks: a block's span is the span of
+    /// its first instruction that carries one.
+    pub fn build(blocks: &[BBlock]) -> Self {
+        let block_spans = blocks
+            .iter()
+            .map(|b| b.instrs.iter().map(|i| i.span).find(|s| s.line > 0).unwrap_or_default())
+            .collect();
+        DebugMap { block_spans }
+    }
+
+    /// Source span of a block (`0:0` when unknown).
+    pub fn block_span(&self, block: BlockId) -> Span {
+        self.block_spans.get(block as usize).copied().unwrap_or_default()
+    }
+}
+
 /// A fully compiled program, executable by `ceu-runtime` and printable by
 /// the C backend.
 ///
@@ -327,6 +355,8 @@ pub struct CompiledProgram {
     pub flat: FlatPool,
     /// Precomputed runtime dispatch tables.
     pub dispatch: Dispatch,
+    /// Block → source-span debug info (profiling, trace attribution).
+    pub debug: DebugMap,
 }
 
 // The whole point of the artifact: compile once, share across threads.

@@ -102,6 +102,7 @@ pub fn compile_with_layout(resolved: &Resolved, layout: &Layout) -> Result<Compi
     }
     let dispatch =
         Dispatch::build(&lw.gates, &lw.regions, &lw.suspends, &layout.slots, resolved.events.len());
+    let debug = DebugMap::build(&lw.blocks);
     Ok(CompiledProgram {
         blocks: lw.blocks,
         boot,
@@ -117,6 +118,7 @@ pub fn compile_with_layout(resolved: &Resolved, layout: &Layout) -> Result<Compi
         exprs: lw.exprs,
         flat: lw.flat,
         dispatch,
+        debug,
     })
 }
 

@@ -18,6 +18,9 @@
 //!                      array for ui.perfetto.dev)
 //! --trace-out PATH     write the trace to PATH instead of stderr
 //! --metrics            print the metrics summary after the run
+//! --metrics-out PATH   write the metrics snapshot as JSON to PATH
+//! --profile            per-block execution profile, rendered as hot
+//!                      statements against the original source
 //! --max-reaction-us N  watchdog: abort reactions over N µs wall time
 //! --max-tracks N       watchdog: abort reactions over N tracks
 //! ```
@@ -53,6 +56,10 @@ struct RunOpts {
     trace: Option<TraceFormat>,
     trace_out: Option<String>,
     metrics: bool,
+    /// Write the metrics snapshot (JSON) to this path after the run.
+    metrics_out: Option<String>,
+    /// Per-block profile, rendered as hot statements against the source.
+    profile: bool,
     max_reaction_us: Option<u64>,
     max_tracks: Option<u32>,
     /// Evaluate expressions by walking the IR trees instead of the flat
@@ -70,7 +77,12 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
         match a.as_str() {
             "--trace" => opts.trace = Some(opts.trace.unwrap_or(TraceFormat::Text)),
             "--metrics" => opts.metrics = true,
+            "--profile" => opts.profile = true,
             "--tree-eval" => opts.tree_eval = true,
+            "--metrics-out" => {
+                let path = it.next().ok_or("--metrics-out needs a path")?;
+                opts.metrics_out = Some(path.clone());
+            }
             "--trace-out" => {
                 let path = it.next().ok_or("--trace-out needs a path")?;
                 opts.trace_out = Some(path.clone());
@@ -103,7 +115,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -156,17 +168,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None => String::new(),
             };
-            exec_script(p, &script, &opts)
+            exec_script(p, &src, &script, &opts)
         }
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<(), String> {
+fn exec_script(
+    p: ceu::CompiledProgram,
+    src: &str,
+    script: &str,
+    opts: &RunOpts,
+) -> Result<(), String> {
     // map original names to unique slots for `print`
     let names: Vec<String> = p.slots.iter().map(|s| s.name.clone()).collect();
     let mut sim = Simulator::new(p, NullHost);
     sim.machine_mut().use_tree_eval = opts.tree_eval;
+    if opts.profile {
+        sim.machine_mut().enable_profiling();
+    }
 
     let sink = match opts.trace {
         Some(fmt) => {
@@ -183,7 +203,7 @@ fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<
         }
         None => None,
     };
-    if opts.metrics {
+    if opts.metrics || opts.metrics_out.is_some() {
         sim.enable_metrics();
     }
     if opts.max_reaction_us.is_some() || opts.max_tracks.is_some() {
@@ -252,6 +272,20 @@ fn exec_script(p: ceu::CompiledProgram, script: &str, opts: &RunOpts) -> Result<
         let m = sim.metrics().expect("metrics enabled").clone();
         println!("--- metrics ---");
         print!("{}", m.summary());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let m = sim.metrics().expect("metrics enabled");
+        std::fs::write(path, m.to_json() + "\n")
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if opts.profile {
+        let machine = sim.machine();
+        let profile = machine.profile().expect("profiling enabled");
+        println!("--- profile (hot statements) ---");
+        print!(
+            "{}",
+            ceu::runtime::render_hot_statements(src, &machine.program().debug, profile, 10)
+        );
     }
     match sim.status() {
         ceu::Status::Terminated(Some(v)) => println!("terminated: {v}"),

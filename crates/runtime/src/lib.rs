@@ -16,8 +16,8 @@ pub use error::{Result, RuntimeError};
 pub use host::{Host, HostResult, NullHost, RecordingHost};
 pub use machine::{Machine, Status};
 pub use telemetry::{
-    ChromeTraceSink, Histogram, JsonLinesSink, Metrics, ReactionSpan, SpanCollector, TextSink,
-    TraceFormat, TraceSink,
+    render_hot_statements, BlockProfile, ChromeTraceSink, Histogram, JsonLinesSink, Metrics,
+    ReactionSpan, SpanCollector, TextSink, TraceFormat, TraceSink,
 };
-pub use trace::{Cause, Collector, TraceEvent, Tracer};
+pub use trace::{Cause, Collector, ReactionId, TraceEvent, Tracer};
 pub use value::{Ptr, Value};

@@ -22,7 +22,7 @@
 //! [`Tracer`] plus a shared handle for post-run extraction (needed by
 //! sinks with a footer, e.g. [`ChromeTraceSink::finish`]).
 
-use crate::trace::{Cause, TraceEvent, Tracer};
+use crate::trace::{Cause, ReactionId, TraceEvent, Tracer};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
@@ -239,6 +239,94 @@ impl serde::Serialize for Metrics {
     }
 }
 
+// ---- per-block profiling ---------------------------------------------------
+
+/// Per-block execution counts and cumulative wall time (ns), indexed by
+/// `BlockId`. Switched on via
+/// [`Machine::enable_profiling`](crate::Machine::enable_profiling); wall
+/// time is inclusive (nested reactions triggered by a block's emits count
+/// toward the emitter too). Render against the original source via the
+/// program's `DebugMap` ([`render_hot_statements`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockProfile {
+    pub counts: Vec<u64>,
+    pub wall_ns: Vec<u64>,
+}
+
+impl BlockProfile {
+    pub fn new(n_blocks: usize) -> Self {
+        BlockProfile { counts: vec![0; n_blocks], wall_ns: vec![0; n_blocks] }
+    }
+
+    /// Attributes one execution and `ns` of wall time to `block`.
+    #[inline]
+    pub fn record(&mut self, block: u32, ns: u64) {
+        self.counts[block as usize] += 1;
+        self.wall_ns[block as usize] += ns;
+    }
+
+    /// Executed blocks as `(block, count, wall_ns)`, hottest (by
+    /// cumulative wall time, count as tiebreak) first.
+    pub fn hot(&self) -> Vec<(u32, u64, u64)> {
+        let mut rows: Vec<(u32, u64, u64)> = self
+            .counts
+            .iter()
+            .zip(&self.wall_ns)
+            .enumerate()
+            .filter(|(_, (&c, _))| c > 0)
+            .map(|(b, (&c, &ns))| (b as u32, c, ns))
+            .collect();
+        rows.sort_by(|a, b| (b.2, b.1).cmp(&(a.2, a.1)).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// One JSON object (dependency-free; executed blocks only).
+    pub fn to_json(&self) -> String {
+        let mut items = String::from("[");
+        for (i, (b, c, ns)) in self.hot().into_iter().enumerate() {
+            if i > 0 {
+                items.push(',');
+            }
+            let mut o = JsonObj::new();
+            o.num("block", b as u64);
+            o.num("count", c);
+            o.num("wall_ns", ns);
+            items.push_str(&o.finish());
+        }
+        items.push(']');
+        let mut o = JsonObj::new();
+        o.raw("blocks", &items);
+        o.finish()
+    }
+}
+
+/// Renders a profile as "hot statements" against the original source:
+/// one line per profiled block, hottest first, quoting the source line
+/// its `DebugMap` span points at. `top` bounds the number of rows.
+pub fn render_hot_statements(
+    src: &str,
+    debug: &ceu_codegen::DebugMap,
+    profile: &BlockProfile,
+    top: usize,
+) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let total_ns: u64 = profile.wall_ns.iter().sum();
+    let mut out = String::new();
+    out.push_str("  wall(ns)     %    count  block  source\n");
+    for (b, count, ns) in profile.hot().into_iter().take(top) {
+        let pct = if total_ns == 0 { 0.0 } else { ns as f64 * 100.0 / total_ns as f64 };
+        let span = debug.block_span(b);
+        let loc = if span.line > 0 {
+            let text = lines.get(span.line as usize - 1).map(|l| l.trim()).unwrap_or("");
+            format!("{}:{}: {}", span.line, span.col, text)
+        } else {
+            "<no span>".to_string()
+        };
+        out.push_str(&format!("  {ns:>9} {pct:>5.1}% {count:>8}  #{b:<4} {loc}\n"));
+    }
+    out
+}
+
 // ---- dependency-free JSON writing ------------------------------------------
 
 /// Tiny JSON object builder (keys written in call order, no escaping on
@@ -301,14 +389,26 @@ fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Renders a [`Cause`] as JSON, e.g. `{"type":"event","id":3}`.
+/// Renders a [`ReactionId`] as JSON, e.g. `{"mote":0,"seq":5}`.
+pub fn reaction_id_to_json(id: &ReactionId) -> String {
+    let mut o = JsonObj::new();
+    o.num("mote", id.mote as u64);
+    o.num("seq", id.seq);
+    o.finish()
+}
+
+/// Renders a [`Cause`] as JSON, e.g. `{"type":"event","id":3}` (plus a
+/// `parent` reaction id when the cause records one).
 pub fn cause_to_json(c: &Cause) -> String {
     let mut o = JsonObj::new();
     match c {
         Cause::Boot => o.str("type", "boot"),
-        Cause::Event(e) => {
+        Cause::Event { event, parent } => {
             o.str("type", "event");
-            o.num("id", e.0 as u64);
+            o.num("id", event.0 as u64);
+            if let Some(p) = parent {
+                o.raw("parent", &reaction_id_to_json(p));
+            }
         }
         Cause::Timer(d) => {
             o.str("type", "timer");
@@ -328,7 +428,8 @@ pub fn event_to_json(e: &TraceEvent) -> String {
     let mut o = JsonObj::new();
     o.str("ev", e.kind());
     match e {
-        TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+        TraceEvent::ReactionStart { id, cause, now_us, wall_ns } => {
+            o.raw("id", &reaction_id_to_json(id));
             o.raw("cause", &cause_to_json(cause));
             o.num("now_us", *now_us);
             o.num("wall_ns", *wall_ns);
@@ -381,6 +482,8 @@ pub fn event_to_json(e: &TraceEvent) -> String {
 /// One reaction chain, reconstructed from the event stream.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReactionSpan {
+    /// Causal identity of the chain (see [`ReactionId`]).
+    pub id: ReactionId,
     pub cause: Cause,
     /// Virtual clock at chain start (µs).
     pub now_us: u64,
@@ -456,8 +559,9 @@ impl SpanCollector {
 impl TraceSink for SpanCollector {
     fn on_event(&mut self, e: &TraceEvent) {
         match e {
-            TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+            TraceEvent::ReactionStart { id, cause, now_us, wall_ns } => {
                 self.open = Some(ReactionSpan {
+                    id: *id,
                     cause: *cause,
                     now_us: *now_us,
                     wall_start_ns: *wall_ns,
@@ -627,10 +731,11 @@ impl<W: Write> ChromeTraceSink<W> {
 impl<W: Write> TraceSink for ChromeTraceSink<W> {
     fn on_event(&mut self, e: &TraceEvent) {
         match e {
-            TraceEvent::ReactionStart { cause, now_us, wall_ns } => {
+            TraceEvent::ReactionStart { id, cause, now_us, wall_ns } => {
                 self.open_cause = Some(*cause);
                 self.last_wall_ns = *wall_ns;
                 let mut args = JsonObj::new();
+                args.raw("id", &reaction_id_to_json(id));
                 args.num("now_us", *now_us);
                 args.raw("cause", &cause_to_json(cause));
                 self.entry(
@@ -774,22 +879,50 @@ mod tests {
     #[test]
     fn event_json_is_one_object_per_event() {
         let e = TraceEvent::ReactionStart {
-            cause: Cause::Event(EventId(3)),
+            id: ReactionId::new(0, 7),
+            cause: Cause::event(EventId(3)),
             now_us: 42,
             wall_ns: 1500,
         };
         assert_eq!(
             event_to_json(&e),
-            r#"{"ev":"ReactionStart","cause":{"type":"event","id":3},"now_us":42,"wall_ns":1500}"#
+            r#"{"ev":"ReactionStart","id":{"mote":0,"seq":7},"cause":{"type":"event","id":3},"now_us":42,"wall_ns":1500}"#
+        );
+        let with_parent = TraceEvent::ReactionStart {
+            id: ReactionId::new(2, 1),
+            cause: Cause::Event { event: EventId(3), parent: Some(ReactionId::new(0, 7)) },
+            now_us: 42,
+            wall_ns: 1500,
+        };
+        assert_eq!(
+            event_to_json(&with_parent),
+            r#"{"ev":"ReactionStart","id":{"mote":2,"seq":1},"cause":{"type":"event","id":3,"parent":{"mote":0,"seq":7}},"now_us":42,"wall_ns":1500}"#
         );
         let t = TraceEvent::Terminated { value: None };
         assert_eq!(event_to_json(&t), r#"{"ev":"Terminated","value":null}"#);
     }
 
     #[test]
+    fn block_profile_sorts_hot_blocks() {
+        let mut p = BlockProfile::new(4);
+        p.record(1, 100);
+        p.record(3, 900);
+        p.record(3, 100);
+        p.record(0, 50);
+        assert_eq!(p.hot(), vec![(3, 2, 1000), (1, 1, 100), (0, 1, 50)]);
+        let json = p.to_json();
+        assert!(json.starts_with(r#"{"blocks":[{"block":3,"count":2,"wall_ns":1000}"#), "{json}");
+    }
+
+    #[test]
     fn span_collector_builds_spans() {
         let mut c = SpanCollector::new();
-        c.on_event(&TraceEvent::ReactionStart { cause: Cause::Boot, now_us: 0, wall_ns: 100 });
+        c.on_event(&TraceEvent::ReactionStart {
+            id: ReactionId::new(0, 1),
+            cause: Cause::Boot,
+            now_us: 0,
+            wall_ns: 100,
+        });
         c.on_event(&TraceEvent::TrackRun { block: 0, rank: 0 });
         c.on_event(&TraceEvent::GateArmed { gate: 2 });
         c.on_event(&TraceEvent::ReactionEnd {
@@ -815,6 +948,7 @@ mod tests {
         let buf: Vec<u8> = Vec::new();
         let mut sink = ChromeTraceSink::new(buf);
         sink.on_event(&TraceEvent::ReactionStart {
+            id: ReactionId::new(0, 1),
             cause: Cause::Timer(500),
             now_us: 500,
             wall_ns: 2000,

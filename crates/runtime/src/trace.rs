@@ -14,13 +14,36 @@
 use ceu_ast::EventId;
 use ceu_codegen::{AsyncId, BlockId, GateId};
 
+/// Globally unique identity of one reaction chain: which machine ran it
+/// (`mote`, a world-assigned id — 0 for standalone machines) and its
+/// per-machine sequence number (1-based; 0 never names a reaction).
+/// This is the Dapper-style causal id that radio packets carry across
+/// motes so the receive-side [`Cause`] can name its parent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReactionId {
+    pub mote: u32,
+    pub seq: u64,
+}
+
+impl ReactionId {
+    pub fn new(mote: u32, seq: u64) -> Self {
+        ReactionId { mote, seq }
+    }
+
+    /// Compact stable label, e.g. `m2.17`.
+    pub fn label(&self) -> String {
+        format!("m{}.{}", self.mote, self.seq)
+    }
+}
+
 /// What started a reaction chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Cause {
     /// The boot reaction.
     Boot,
-    /// An external input event.
-    Event(EventId),
+    /// An external input event; `parent` is the reaction (possibly on
+    /// another mote) whose emission caused it, when known.
+    Event { event: EventId, parent: Option<ReactionId> },
     /// A wall-clock deadline (absolute µs).
     Timer(u64),
     /// Completion of an async block.
@@ -28,21 +51,38 @@ pub enum Cause {
 }
 
 impl Cause {
+    /// An externally-caused event with no known causal parent.
+    pub fn event(event: EventId) -> Cause {
+        Cause::Event { event, parent: None }
+    }
+
+    /// The causal parent reaction, when recorded.
+    pub fn parent(&self) -> Option<ReactionId> {
+        match self {
+            Cause::Event { parent, .. } => *parent,
+            _ => None,
+        }
+    }
+
     /// Stable small index (per-cause metric arrays).
     pub fn index(&self) -> usize {
         match self {
             Cause::Boot => 0,
-            Cause::Event(_) => 1,
+            Cause::Event { .. } => 1,
             Cause::Timer(_) => 2,
             Cause::AsyncDone(_) => 3,
         }
     }
 
-    /// Short human label, e.g. `event:3` or `timer@1500`.
+    /// Short human label, e.g. `event:3` (or `event:3<m0.5` with a causal
+    /// parent) or `timer@1500`.
     pub fn label(&self) -> String {
         match self {
             Cause::Boot => "boot".into(),
-            Cause::Event(e) => format!("event:{}", e.0),
+            Cause::Event { event, parent: None } => format!("event:{}", event.0),
+            Cause::Event { event, parent: Some(p) } => {
+                format!("event:{}<{}", event.0, p.label())
+            }
             Cause::Timer(d) => format!("timer@{d}"),
             Cause::AsyncDone(a) => format!("async:{a}"),
         }
@@ -53,8 +93,10 @@ impl Cause {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A reaction chain begins. `now_us` is the virtual clock, `wall_ns`
-    /// the host clock relative to machine creation.
+    /// the host clock relative to machine creation. `id` is the causal
+    /// identity of this reaction (see [`ReactionId`]).
     ReactionStart {
+        id: ReactionId,
         cause: Cause,
         now_us: u64,
         wall_ns: u64,
@@ -129,19 +171,62 @@ impl TraceEvent {
             TraceEvent::Terminated { .. } => "Terminated",
         }
     }
+
+    /// The same event with its host-clock (`wall_ns`) fields zeroed — the
+    /// only nondeterministic fields in a trace. Deterministic comparison
+    /// paths (world traces, differential tests, `ceu-trace diff`) compare
+    /// normalised events.
+    pub fn normalized(&self) -> TraceEvent {
+        let mut e = *self;
+        match &mut e {
+            TraceEvent::ReactionStart { wall_ns, .. }
+            | TraceEvent::ReactionEnd { wall_ns, .. }
+            | TraceEvent::BudgetExceeded { wall_ns, .. } => *wall_ns = 0,
+            _ => {}
+        }
+        e
+    }
 }
 
 /// Trace sink. `Send` so a traced machine can move across threads.
 pub type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
 
-/// A tracer that collects everything into a vector (test helper).
-#[derive(Default)]
-pub struct Collector;
+/// A buffering trace collector: owns a shared buffer and hands out
+/// tracers that append to it. Clone-cheap (the buffer is shared), so a
+/// test can keep the collector and give the machine the tracer.
+#[derive(Clone, Default)]
+pub struct Collector {
+    buf: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>,
+}
 
 impl Collector {
-    /// Builds a tracer pushing into the given shared buffer.
-    pub fn into_buffer(buf: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>) -> Tracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tracer that appends every event to this collector's buffer.
+    pub fn tracer(&self) -> Tracer {
+        let buf = std::sync::Arc::clone(&self.buf);
         Box::new(move |e| buf.lock().unwrap().push(*e))
+    }
+
+    /// Snapshot of everything collected so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().clone()
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the buffer, returning everything collected so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.buf.lock().unwrap())
     }
 }
 

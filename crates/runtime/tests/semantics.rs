@@ -187,17 +187,16 @@ fn equal_deadlines_share_one_reaction() {
             b = 1;
         end
     "#;
-    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let col = Collector::new();
     let mut m = machine(src);
-    m.set_tracer(Collector::into_buffer(buf.clone()));
+    m.set_tracer(col.tracer());
     let mut h = NullHost;
     m.go_init(&mut h).unwrap();
     m.go_time(10_000, &mut h).unwrap();
     assert_eq!(m.read_var("a#0"), Some(&Value::Int(1)));
     assert_eq!(m.read_var("b#1"), Some(&Value::Int(1)));
-    let reactions = buf
-        .lock()
-        .unwrap()
+    let reactions = col
+        .events()
         .iter()
         .filter(|e| matches!(e, TraceEvent::ReactionStart { cause: Cause::Timer(_), .. }))
         .count();
@@ -356,15 +355,15 @@ fn discarded_events_do_not_buffer() {
         await A;
         v = 1;
     "#;
-    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let col = Collector::new();
     let mut m = machine(src);
-    m.set_tracer(Collector::into_buffer(buf.clone()));
+    m.set_tracer(col.tracer());
     let mut h = NullHost;
     m.go_init(&mut h).unwrap();
     let a = m.event_id("A").unwrap();
     let b = m.event_id("B").unwrap();
     m.go_event(a, None, &mut h).unwrap(); // nobody awaits A yet
-    assert!(buf.lock().unwrap().iter().any(|e| matches!(e, TraceEvent::Discarded { .. })));
+    assert!(col.events().iter().any(|e| matches!(e, TraceEvent::Discarded { .. })));
     m.go_event(b, None, &mut h).unwrap();
     assert_eq!(m.read_var("v#0"), Some(&Value::Int(0)), "A was not buffered");
     m.go_event(a, None, &mut h).unwrap();
@@ -705,9 +704,9 @@ fn figure1_reaction_chains() {
            end
         end
     "#;
-    let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let col = Collector::new();
     let mut m = machine(src);
-    m.set_tracer(Collector::into_buffer(buf.clone()));
+    m.set_tracer(col.tracer());
     let mut h = NullHost;
     m.go_init(&mut h).unwrap();
     let a = m.event_id("A").unwrap();
@@ -715,7 +714,7 @@ fn figure1_reaction_chains() {
     assert_eq!(m.go_event(a, None, &mut h).unwrap(), Status::Running);
     assert_eq!(m.go_event(a, None, &mut h).unwrap(), Status::Running); // discarded
     assert_eq!(m.go_event(b, None, &mut h).unwrap(), Status::Terminated(None));
-    let events = buf.lock().unwrap();
+    let events = col.events();
     let discards = events.iter().filter(|e| matches!(e, TraceEvent::Discarded { .. })).count();
     assert_eq!(discards, 1);
 }

@@ -51,9 +51,9 @@ fn fig1_reaction_chains_through_the_span_api() {
     let a = Machine::new(compile_source(FIG1).unwrap()).event_id("A").unwrap();
     let b = Machine::new(compile_source(FIG1).unwrap()).event_id("B").unwrap();
     assert_eq!(spans[0].cause, Cause::Boot);
-    assert_eq!(spans[1].cause, Cause::Event(a));
-    assert_eq!(spans[2].cause, Cause::Event(a));
-    assert_eq!(spans[3].cause, Cause::Event(b));
+    assert_eq!(spans[1].cause, Cause::event(a));
+    assert_eq!(spans[2].cause, Cause::event(a));
+    assert_eq!(spans[3].cause, Cause::event(b));
 
     // boot: the par arms one gate per awaiting trail, nothing fires yet
     assert!(spans[0].tracks >= 1);

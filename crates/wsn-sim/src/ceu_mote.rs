@@ -13,7 +13,7 @@
 use crate::radio::Packet;
 use crate::world::{Backend, MoteCtx};
 use ceu::ast::EventId;
-use ceu::runtime::{Host, HostResult, Machine, Ptr, Value};
+use ceu::runtime::{Collector, Host, HostResult, Machine, Ptr, Value};
 use ceu::CompiledProgram;
 use std::collections::HashMap;
 
@@ -167,11 +167,16 @@ pub struct CeuMote {
     /// the moment a callback arrived (how stale the mote's view of time
     /// was, before the pre-reaction `go_time` resync).
     max_clock_lag_us: u64,
+    /// Buffers the machine's trace between callbacks; drained into
+    /// [`MoteCtx::vm_events`] so the world can merge a unified trace.
+    trace: Option<Collector>,
 }
 
 impl CeuMote {
     pub fn new(program: CompiledProgram, node_id: i64) -> Self {
-        let machine = Machine::new(program);
+        let mut machine = Machine::new(program);
+        // reaction ids carry the mote, so cross-mote causal links resolve
+        machine.set_trace_mote(node_id as u32);
         let radio_evt = machine.event_id("Radio_receive");
         CeuMote {
             machine,
@@ -179,6 +184,18 @@ impl CeuMote {
             radio_evt,
             async_per_slice: 8,
             max_clock_lag_us: 0,
+            trace: None,
+        }
+    }
+
+    /// Switches on machine-level tracing, buffered per callback and
+    /// surfaced to the world's unified trace (enable the world side with
+    /// `World::enable_trace`).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            let col = Collector::new();
+            self.machine.set_tracer(col.tracer());
+            self.trace = Some(col);
         }
     }
 
@@ -222,13 +239,19 @@ impl CeuMote {
                 LedOp::Toggle(led) => ctx.leds.toggle(ctx.now, led),
             }
         }
+        // packets leave stamped with the reaction that emitted them — the
+        // receive side records it as the causal parent
+        let origin = self.machine.last_reaction_id();
         for (dst, pkt) in self.host.outbox.drain(..) {
-            ctx.send(dst, pkt);
+            ctx.send(dst, pkt.with_origin(origin));
         }
         if let Some(d) = self.machine.next_deadline() {
             ctx.set_timer_at(d);
         }
         ctx.wants_cpu = self.machine.has_runnable_async();
+        if let Some(col) = &self.trace {
+            ctx.vm_events.extend(col.drain());
+        }
     }
 }
 
@@ -246,7 +269,12 @@ impl Backend for CeuMote {
         self.machine.go_time(ctx.now, &mut self.host).unwrap_or_else(|e| panic!("ceu time: {e}"));
         let h = self.host.alloc_msg_from(packet.payload.clone(), packet.src as i64);
         self.machine
-            .go_event(evt, Some(Value::Ptr(Ptr::Host(h as u64))), &mut self.host)
+            .go_event_from(
+                evt,
+                Some(Value::Ptr(Ptr::Host(h as u64))),
+                packet.origin,
+                &mut self.host,
+            )
             .unwrap_or_else(|e| panic!("ceu receive: {e}"));
         self.sync_world(ctx);
     }
@@ -326,6 +354,50 @@ mod tests {
         let in_flight = w.mote_stats(0).sent - w.mote_stats(1).received;
         assert!(in_flight <= 1, "at most one packet in flight, got {in_flight}");
         assert!(w.mote_stats(0).received >= 5);
+    }
+
+    #[test]
+    fn cross_mote_causality_links_send_to_receive() {
+        use ceu::runtime::{Cause, TraceEvent};
+
+        let trace_world = || {
+            let prog = ceu::Compiler::new().compile(ECHO).unwrap();
+            let kick = ceu::Compiler::new().compile(KICK).unwrap();
+            let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 1));
+            for (p, id) in [(kick, 0), (prog, 1)] {
+                let mut mote = CeuMote::new(p, id);
+                mote.enable_trace();
+                w.add_mote(Box::new(mote));
+            }
+            w.enable_trace();
+            w.boot();
+            w
+        };
+
+        let mut seq = trace_world();
+        seq.run_until(10_500);
+        let trace = seq.take_trace();
+
+        // every radio-caused reaction names a parent on the *other* mote
+        let mut cross_links = 0;
+        for e in &trace {
+            if let TraceEvent::ReactionStart {
+                id,
+                cause: Cause::Event { parent: Some(p), .. },
+                ..
+            } = e.event
+            {
+                assert_ne!(p.mote, id.mote, "radio parents are cross-mote here");
+                assert_eq!(e.mote as u32, id.mote, "reaction ids carry the mote");
+                cross_links += 1;
+            }
+        }
+        assert!(cross_links >= 5, "the counter bounces: got {cross_links} causal links");
+
+        // the unified stream is identical under the parallel stepper
+        let mut par = trace_world();
+        par.run_until_parallel(10_500, 4);
+        assert_eq!(trace, par.take_trace(), "sequential vs 4-thread world trace");
     }
 
     #[test]

@@ -22,4 +22,6 @@ pub use mantis::{
 };
 pub use nesc::NescApp;
 pub use radio::{Packet, Radio, RadioStats, Topology};
-pub use world::{Backend, Leds, MoteCtx, MoteId, MoteStats, World};
+pub use world::{
+    write_trace_jsonl, Backend, Leds, MoteCtx, MoteId, MoteStats, World, WorldTraceEvent,
+};

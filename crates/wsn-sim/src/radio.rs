@@ -1,5 +1,6 @@
 //! The radio medium: topology, latency, and loss.
 
+use ceu::runtime::ReactionId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,16 +12,27 @@ pub struct Packet {
     pub src: usize,
     pub dst: usize,
     pub payload: Vec<i64>,
+    /// Causal parent: the reaction (on the sending mote) whose `_Radio_send`
+    /// produced this packet. Carried across the medium so the receive-side
+    /// reaction can record its cross-mote cause (Dapper-style flow ids in
+    /// the Perfetto export). `None` for packets injected by test harnesses.
+    pub origin: Option<ReactionId>,
 }
 
 impl Packet {
     pub fn new(src: usize, dst: usize, payload: Vec<i64>) -> Self {
-        Packet { src, dst, payload }
+        Packet { src, dst, payload, origin: None }
     }
 
     /// Single-word payload (the ring demo's counter).
     pub fn with_value(src: usize, dst: usize, value: i64) -> Self {
         Packet::new(src, dst, vec![value])
+    }
+
+    /// Stamps the causal origin (builder-style, used by the Céu binding).
+    pub fn with_origin(mut self, origin: Option<ReactionId>) -> Self {
+        self.origin = origin;
+        self
     }
 
     pub fn value(&self) -> i64 {

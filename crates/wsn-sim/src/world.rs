@@ -7,11 +7,59 @@
 //! depends only on the order of its input events.
 
 use crate::radio::{Packet, Radio};
+use ceu::runtime::TraceEvent;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Node id within a network.
 pub type MoteId = usize;
+
+/// One VM trace event situated in the world: which mote emitted it, at
+/// what virtual time, and where it falls in that mote's own event order.
+///
+/// The unified world trace is the observability spine of the simulator:
+/// every mote's machine-level trace (reactions, tracks, gates, emits) is
+/// merged into a single stream whose order is **deterministic** — sorted
+/// by `(world_time_us, mote, seq)`, where `seq` is the per-mote emission
+/// index. Because each mote sees the identical callback sequence under
+/// [`World::run_until`] and [`World::run_until_parallel`] (any thread
+/// count), the merged stream is bit-identical across all of them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldTraceEvent {
+    /// Virtual time (µs) of the callback that produced the event.
+    pub world_time_us: u64,
+    pub mote: MoteId,
+    /// Per-mote emission index (1-based, monotone for each mote).
+    pub seq: u64,
+    /// The machine-level event, wall-clock fields normalised to zero so
+    /// the stream is reproducible run-to-run.
+    pub event: TraceEvent,
+}
+
+impl WorldTraceEvent {
+    /// One JSONL line of the stable wire format read by `ceu-trace`:
+    /// `{"t_us":N,"mote":M,"seq":S,"ev":{…event_to_json…}}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_us\":{},\"mote\":{},\"seq\":{},\"ev\":{}}}",
+            self.world_time_us,
+            self.mote,
+            self.seq,
+            ceu::runtime::telemetry::event_to_json(&self.event)
+        )
+    }
+}
+
+/// Writes a merged world trace as JSONL (one event per line).
+pub fn write_trace_jsonl<W: std::io::Write>(
+    events: &[WorldTraceEvent],
+    mut w: W,
+) -> std::io::Result<()> {
+    for e in events {
+        writeln!(w, "{}", e.to_json())?;
+    }
+    Ok(())
+}
 
 /// What a scheduled simulation event does when it fires.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +84,10 @@ pub struct MoteCtx<'w> {
     pub timer_request: Option<u64>,
     /// Whether this mote wants CPU slices (long computations pending).
     pub wants_cpu: bool,
+    /// Machine-level trace events produced during this callback; drained
+    /// into the unified world trace (see [`WorldTraceEvent`]) after the
+    /// callback returns. Backends that don't trace leave it empty.
+    pub vm_events: Vec<TraceEvent>,
 }
 
 impl MoteCtx<'_> {
@@ -108,6 +160,8 @@ struct MoteSlot {
     timer_at: Option<u64>,
     cpu_scheduled: bool,
     stats: MoteStats,
+    /// Per-mote world-trace emission counter (see [`WorldTraceEvent::seq`]).
+    trace_seq: u64,
 }
 
 /// Simulation statistics.
@@ -145,6 +199,9 @@ pub struct World {
     /// Virtual CPU cost of one granted slice (µs).
     pub cpu_slice_us: u64,
     pub stats: Stats,
+    /// Unified world trace (when enabled): events from every mote,
+    /// collected as callbacks run and canonically ordered on read.
+    trace: Option<Vec<WorldTraceEvent>>,
 }
 
 impl World {
@@ -158,11 +215,40 @@ impl World {
             radio,
             cpu_slice_us: 100,
             stats: Stats::default(),
+            trace: None,
         }
     }
 
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Switches on the unified world trace. Backends must also surface
+    /// their machine traces through [`MoteCtx::vm_events`] (for Céu motes,
+    /// `CeuMote::enable_trace`).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes the merged world trace collected so far, in the canonical
+    /// deterministic order `(world_time_us, mote, seq)`. Tracing stays
+    /// enabled; subsequent events start a fresh buffer.
+    pub fn take_trace(&mut self) -> Vec<WorldTraceEvent> {
+        let mut events = match self.trace.take() {
+            Some(t) => {
+                self.trace = Some(Vec::new());
+                t
+            }
+            None => Vec::new(),
+        };
+        events.sort_by_key(|e| (e.world_time_us, e.mote, e.seq));
+        events
     }
 
     pub fn add_mote(&mut self, backend: Box<dyn Backend>) -> MoteId {
@@ -173,6 +259,7 @@ impl World {
             timer_at: None,
             cpu_scheduled: false,
             stats: MoteStats::default(),
+            trace_seq: 0,
         });
         id
     }
@@ -301,6 +388,7 @@ impl World {
                         timer_at: None,
                         cpu_scheduled: false,
                         stats: MoteStats::default(),
+                        trace_seq: 0,
                     },
                 );
                 work.push((id, slot, batch));
@@ -311,7 +399,11 @@ impl World {
             for (i, item) in work.into_iter().enumerate() {
                 chunks[i / chunk_size].push(item);
             }
-            let outs: Vec<WindowOut> = std::thread::scope(|s| {
+            // Workers catch per-mote panics so a crash inside a window is
+            // attributable: the panic resurfaces on the simulation thread
+            // with the mote id and the window bounds, instead of an opaque
+            // worker-join failure.
+            let results: Vec<Result<WindowOut, (MoteId, String)>> = std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
@@ -319,21 +411,35 @@ impl World {
                             chunk
                                 .into_iter()
                                 .map(|(id, slot, batch)| {
-                                    run_mote_window(
-                                        id,
-                                        slot,
-                                        batch,
-                                        run_end,
-                                        seq_base,
-                                        cpu_slice_us,
-                                    )
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        run_mote_window(
+                                            id,
+                                            slot,
+                                            batch,
+                                            run_end,
+                                            seq_base,
+                                            cpu_slice_us,
+                                        )
+                                    }))
+                                    .map_err(|payload| (id, panic_message(payload)))
                                 })
                                 .collect::<Vec<_>>()
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("mote worker")).collect()
+                handles.into_iter().flat_map(|h| h.join().expect("mote worker thread")).collect()
             });
+            let outs: Vec<WindowOut> = results
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|(id, msg)| {
+                        panic!(
+                            "mote {id} panicked in parallel window \
+                             [{window_start}, {run_end}): {msg}"
+                        )
+                    })
+                })
+                .collect();
 
             // Deterministic merge: check motes back in, then apply every
             // cross-window effect in (time, mote, emission) order.
@@ -342,6 +448,9 @@ impl World {
             for out in outs {
                 self.stats.delivered += out.delivered;
                 self.stats.cpu_slices += out.cpu_slices;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.extend(out.trace);
+                }
                 for (i, (at, to, packet)) in out.sends.into_iter().enumerate() {
                     sends.push((at, out.id, i, to, packet));
                 }
@@ -378,12 +487,34 @@ impl World {
             outbox: Vec::new(),
             timer_request: None,
             wants_cpu: false,
+            vm_events: Vec::new(),
         };
         f(backend.as_mut(), &mut ctx);
         let outbox = std::mem::take(&mut ctx.outbox);
         let timer_request = ctx.timer_request;
         let wants_cpu = ctx.wants_cpu;
+        let vm_events = std::mem::take(&mut ctx.vm_events);
         self.motes[id].backend = backend;
+        {
+            let now = self.now;
+            let trace = self.trace.as_mut();
+            let slot = &mut self.motes[id];
+            if let Some(trace) = trace {
+                for event in vm_events {
+                    slot.trace_seq += 1;
+                    trace.push(WorldTraceEvent {
+                        world_time_us: now,
+                        mote: id,
+                        seq: slot.trace_seq,
+                        event: event.normalized(),
+                    });
+                }
+            } else {
+                // keep the per-mote counter in step with the parallel
+                // path, which stamps events before the merge decides
+                slot.trace_seq += vm_events.len() as u64;
+            }
+        }
         for (to, packet) in outbox {
             self.motes[id].stats.sent += 1;
             if let Some(arrival) = self.radio.transmit(self.now, id, to, &packet) {
@@ -425,6 +556,20 @@ struct WindowOut {
     cpus_after: Vec<u64>,
     delivered: u64,
     cpu_slices: u64,
+    /// World-trace events produced inside the window, already stamped
+    /// with `(world_time_us, mote, seq)`.
+    trace: Vec<WorldTraceEvent>,
+}
+
+/// Renders a caught panic payload for re-raising with mote context.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One window's firings for a single mote: `(at, seq, fire)` triples.
@@ -465,12 +610,14 @@ fn run_mote_window(
             timer_at: None,
             cpu_scheduled: false,
             stats: MoteStats::default(),
+            trace_seq: 0,
         },
         sends: Vec::new(),
         timers_after: Vec::new(),
         cpus_after: Vec::new(),
         delivered: 0,
         cpu_slices: 0,
+        trace: Vec::new(),
     };
     while let Some(Reverse((at, _, idx))) = queue.pop() {
         debug_assert!(at < run_end);
@@ -510,11 +657,22 @@ fn run_mote_window(
             outbox: Vec::new(),
             timer_request: None,
             wants_cpu: false,
+            vm_events: Vec::new(),
         };
         run(slot.backend.as_mut(), &mut ctx, packet);
         let outbox = std::mem::take(&mut ctx.outbox);
         let timer_request = ctx.timer_request;
         let wants_cpu = ctx.wants_cpu;
+        let vm_events = std::mem::take(&mut ctx.vm_events);
+        for event in vm_events {
+            slot.trace_seq += 1;
+            out.trace.push(WorldTraceEvent {
+                world_time_us: now,
+                mote: id,
+                seq: slot.trace_seq,
+                event: event.normalized(),
+            });
+        }
         for (to, packet) in outbox {
             slot.stats.sent += 1;
             out.sends.push((now, to, packet));
@@ -695,6 +853,108 @@ mod tests {
             w.run_until_parallel(40_000, threads);
             assert_eq!(observe(&base), observe(&w), "threads={threads}");
         }
+    }
+
+    /// A pinger that also records a synthetic VM event per callback, so
+    /// the unified world trace can be checked without a full Céu machine.
+    struct TracingPinger {
+        peer: MoteId,
+    }
+
+    impl Backend for TracingPinger {
+        fn boot(&mut self, ctx: &mut MoteCtx) {
+            ctx.vm_events.push(TraceEvent::Terminated { value: Some(-1) });
+            ctx.set_timer_at(1_000);
+        }
+        fn deliver(&mut self, ctx: &mut MoteCtx, p: Packet) {
+            ctx.vm_events.push(TraceEvent::Terminated { value: Some(p.value()) });
+        }
+        fn timer(&mut self, ctx: &mut MoteCtx) {
+            ctx.vm_events.push(TraceEvent::Terminated { value: Some(ctx.now as i64) });
+            ctx.send(self.peer, Packet::with_value(ctx.id, self.peer, ctx.now as i64));
+            ctx.set_timer_at(ctx.now + 1_000);
+        }
+        fn cpu(&mut self, _: &mut MoteCtx) {}
+    }
+
+    fn tracing_world(radio: Radio) -> World {
+        let mut w = World::new(radio);
+        w.enable_trace();
+        for peer in [1, 2, 3, 0] {
+            w.add_mote(Box::new(TracingPinger { peer }));
+        }
+        w.boot();
+        w
+    }
+
+    #[test]
+    fn world_trace_is_identical_across_thread_counts() {
+        // a lossy medium exercises the window merge; the merged stream
+        // must be byte-identical for 1 (sequential fallback), 2 and 4
+        // worker threads
+        let radio = || Radio::new(crate::radio::Topology::Full, 700, 0.25, 9);
+        let mut base = tracing_world(radio());
+        base.run_until_parallel(40_000, 1);
+        let reference = base.take_trace();
+        assert!(!reference.is_empty(), "the pingers must actually trace");
+        let jsonl_ref: Vec<String> = reference.iter().map(|e| e.to_json()).collect();
+        for threads in [2, 4] {
+            let mut w = tracing_world(radio());
+            w.run_until_parallel(40_000, threads);
+            let trace = w.take_trace();
+            assert_eq!(reference, trace, "threads={threads}");
+            let jsonl: Vec<String> = trace.iter().map(|e| e.to_json()).collect();
+            assert_eq!(jsonl_ref, jsonl, "wire format, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn world_trace_orders_by_time_mote_seq() {
+        let mut w = tracing_world(Radio::ideal(1_000));
+        w.run_until(5_500);
+        let trace = w.take_trace();
+        let keys: Vec<_> = trace.iter().map(|e| (e.world_time_us, e.mote, e.seq)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // per-mote seq is monotone from 1 with no gaps
+        for mote in 0..w.mote_count() {
+            let seqs: Vec<u64> = trace.iter().filter(|e| e.mote == mote).map(|e| e.seq).collect();
+            assert_eq!(seqs, (1..=seqs.len() as u64).collect::<Vec<_>>(), "mote {mote}");
+        }
+        // taking the trace re-arms collection
+        assert!(w.trace_enabled());
+        w.run_until(6_500);
+        assert!(!w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn parallel_mote_panics_carry_mote_and_window() {
+        struct Bomb;
+        impl Backend for Bomb {
+            fn boot(&mut self, ctx: &mut MoteCtx) {
+                ctx.set_timer_at(1_000);
+            }
+            fn deliver(&mut self, _: &mut MoteCtx, _: Packet) {}
+            fn timer(&mut self, _: &mut MoteCtx) {
+                panic!("the backend blew up");
+            }
+            fn cpu(&mut self, _: &mut MoteCtx) {}
+        }
+        let mut w = World::new(Radio::ideal(500));
+        w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        w.add_mote(Box::new(Bomb));
+        w.boot();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the test log quiet
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.run_until_parallel(5_000, 2);
+        }))
+        .expect_err("the mote panic must resurface");
+        std::panic::set_hook(prev);
+        let msg = err.downcast_ref::<String>().cloned().expect("panic message is a string");
+        assert!(msg.contains("mote 1 panicked in parallel window ["), "{msg}");
+        assert!(msg.contains("the backend blew up"), "{msg}");
     }
 
     #[test]
