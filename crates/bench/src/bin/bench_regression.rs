@@ -1,0 +1,308 @@
+//! **Benchmark-regression harness** — the PR-gating perf rows.
+//!
+//! Emits a schema-stable `BENCH_PR4.json` (`ceu-bench-regression/v1`)
+//! with three row families:
+//!
+//! * `reaction_latency` — median-of-N ns/event for the steady-state
+//!   reaction loop, optimized vs `--no-opt` flat code, on an
+//!   expression-heavy workload (where the optimizer has material to
+//!   fold) and on the §2.2 dataflow chain (emit-chain dispatch cost);
+//! * `alloc_per_event` — allocations per reaction measured by a counting
+//!   global allocator, asserted **zero** after warmup (the hot-path
+//!   invariant this PR establishes; see docs/PERFORMANCE.md);
+//! * `par_scaling` — shared-artifact throughput on 1..=T threads.
+//!
+//! ```sh
+//! cargo run --release -p ceu-bench --bin bench_regression -- \
+//!     [--trials N] [--events K] [--out PATH] [--quick]
+//! ```
+//!
+//! The JSON lands in `target/experiments/BENCH_PR4.json` unless `--out`
+//! says otherwise. CI's `bench-smoke` job runs `--quick` and fails on any
+//! steady-state allocation.
+
+use ceu::runtime::{Machine, NullHost};
+use ceu::Compiler;
+use ceu_bench::DATAFLOW_CHAIN;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts every heap operation that obtains memory. Deallocation is left
+/// uncounted: the invariant under test is "the reaction loop does not
+/// *acquire* memory", and frees would double-count realloc churn.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Relaxed)
+}
+
+/// Expression-heavy workload: every reaction runs arithmetic with enough
+/// constant structure for the optimizer to fold (`2*3`, `*1`, `+0`, …),
+/// so the opt-vs-no-opt latency gap is measurable. The running checksum
+/// keeps the whole chain live.
+const EXPR_HEAVY: &str = r#"
+    input int E;
+    int v, acc;
+    loop do
+       v = await E;
+       v = (v + (2 * 3)) * 1 + 0;
+       v = v + (10 - 2 - 3) * (1 + 1);
+       v = (v * 1 + 0) + (4 / 2) + (7 % 4);
+       v = v + (1 * (2 + 2) - 0) + (v * 0);
+       acc = acc + v;
+    end
+"#;
+
+#[derive(serde::Serialize)]
+struct LatencyRow {
+    workload: &'static str,
+    opt: bool,
+    trials: usize,
+    events_per_trial: u64,
+    median_ns_per_event: f64,
+}
+
+#[derive(serde::Serialize)]
+struct AllocRow {
+    workload: &'static str,
+    opt: bool,
+    warmup_events: u64,
+    measured_events: u64,
+    allocs: u64,
+    allocs_per_event: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ParRow {
+    workload: &'static str,
+    machines: usize,
+    reactions: u64,
+    threads: usize,
+    throughput_rps: f64,
+    speedup: f64,
+}
+
+/// The wire format of `BENCH_PR4.json`. Field names and nesting are the
+/// schema — downstream diffing relies on them staying put.
+#[derive(serde::Serialize)]
+struct Report {
+    schema: &'static str,
+    reaction_latency: Vec<LatencyRow>,
+    alloc_per_event: Vec<AllocRow>,
+    par_scaling: Vec<ParRow>,
+}
+
+/// Boots a machine over the shared artifact and returns it with the
+/// driving event resolved.
+fn boot(prog: &Arc<ceu::CompiledProgram>, event: &str) -> (Machine, ceu::ast::EventId) {
+    let mut m = Machine::from_arc(Arc::clone(prog));
+    let ev = m.event_id(event).expect("workload declares its driving event");
+    m.go_init(&mut NullHost).expect("boot");
+    (m, ev)
+}
+
+/// Median-of-N ns/event over fresh machines (one per trial).
+fn median_latency(
+    prog: &Arc<ceu::CompiledProgram>,
+    event: &str,
+    trials: usize,
+    events: u64,
+) -> f64 {
+    let mut per_event: Vec<f64> = (0..trials)
+        .map(|_| {
+            let (mut m, ev) = boot(prog, event);
+            // warm caches, grow every machine buffer to steady state
+            for _ in 0..events.min(200) {
+                m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
+            }
+            let start = Instant::now();
+            for _ in 0..events {
+                m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
+            }
+            start.elapsed().as_nanos() as f64 / events as f64
+        })
+        .collect();
+    per_event.sort_by(|a, b| a.total_cmp(b));
+    per_event[per_event.len() / 2]
+}
+
+/// Counts allocations across `events` steady-state reactions (after a
+/// warmup long enough to grow every reusable buffer).
+fn alloc_count(prog: &Arc<ceu::CompiledProgram>, event: &str, warmup: u64, events: u64) -> u64 {
+    let (mut m, ev) = boot(prog, event);
+    for _ in 0..warmup {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
+    }
+    let before = allocs();
+    for _ in 0..events {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
+    }
+    allocs() - before
+}
+
+/// One `par_throughput`-style configuration (shared artifact, N machines
+/// split over T threads); returns reactions/second.
+fn par_run(
+    prog: &Arc<ceu::CompiledProgram>,
+    machines: usize,
+    reactions: u64,
+    threads: usize,
+) -> f64 {
+    let start = Instant::now();
+    let per = |prog: Arc<ceu::CompiledProgram>, n: usize| {
+        for _ in 0..n {
+            let (mut m, ev) = boot(&prog, "Go");
+            for _ in 0..reactions {
+                m.go_event(ev, None, &mut NullHost).expect("react");
+            }
+        }
+    };
+    if threads <= 1 {
+        per(Arc::clone(prog), machines);
+    } else {
+        let base = machines / threads;
+        let extra = machines % threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let n = base + usize::from(t < extra);
+                if n > 0 {
+                    let prog = Arc::clone(prog);
+                    s.spawn(move || per(prog, n));
+                }
+            }
+        });
+    }
+    (machines as f64 * reactions as f64) / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut trials = 5usize;
+    let mut events = 50_000u64;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trials" => trials = args.next().and_then(|v| v.parse().ok()).expect("--trials N"),
+            "--events" => events = args.next().and_then(|v| v.parse().ok()).expect("--events K"),
+            "--out" => out = Some(args.next().expect("--out PATH").into()),
+            "--quick" => {
+                trials = 3;
+                events = 5_000;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+    }
+    let out = out.unwrap_or_else(|| ceu_bench::out_dir().join("BENCH_PR4.json"));
+
+    let workloads: Vec<(&'static str, &str, &str)> =
+        vec![("expr_heavy", EXPR_HEAVY, "E"), ("dataflow_chain", DATAFLOW_CHAIN, "Go")];
+    let mut latency_rows = Vec::new();
+    let mut alloc_rows = Vec::new();
+    let mut par_rows = Vec::new();
+
+    println!("benchmark-regression harness — {trials} trials × {events} events\n");
+    for (name, src, event) in &workloads {
+        let optimized = Arc::new(Compiler::new().compile(src).expect("workload compiles"));
+        let baseline = Arc::new(Compiler::unoptimized().compile(src).expect("workload compiles"));
+        for (opt, prog) in [(true, &optimized), (false, &baseline)] {
+            let median = median_latency(prog, event, trials, events);
+            println!(
+                "reaction_latency  {name:<16} {}  {median:8.1} ns/event",
+                if opt { "opt   " } else { "no-opt" }
+            );
+            latency_rows.push(LatencyRow {
+                workload: name,
+                opt,
+                trials,
+                events_per_trial: events,
+                median_ns_per_event: median,
+            });
+        }
+
+        // the zero-alloc invariant holds with and without the optimizer
+        for (opt, prog) in [(true, &optimized), (false, &baseline)] {
+            let warmup = 200;
+            let n = alloc_count(prog, event, warmup, events);
+            println!(
+                "alloc_per_event   {name:<16} {}  {n} allocs / {events} events",
+                if opt { "opt   " } else { "no-opt" }
+            );
+            alloc_rows.push(AllocRow {
+                workload: name,
+                opt,
+                warmup_events: warmup,
+                measured_events: events,
+                allocs: n,
+                allocs_per_event: n as f64 / events as f64,
+            });
+            assert_eq!(
+                n,
+                0,
+                "{name} ({}): the steady-state reaction path must not allocate",
+                if opt { "opt" } else { "no-opt" }
+            );
+        }
+    }
+
+    // shared-artifact scaling (kept small: this is a smoke row, the full
+    // sweep lives in par_throughput)
+    let prog = Arc::new(Compiler::new().compile(DATAFLOW_CHAIN).expect("dataflow compiles"));
+    let machines = 8;
+    let reactions = events.min(2_000);
+    par_run(&prog, 2, reactions.min(500), 1); // warm-up
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut base_rps = 0.0;
+    for threads in [1, cores.max(2)] {
+        let rps = par_run(&prog, machines, reactions, threads);
+        if threads == 1 {
+            base_rps = rps;
+        }
+        let speedup = rps / base_rps;
+        println!("par_scaling       dataflow_chain   t={threads}  {rps:12.0} rps  {speedup:.2}x");
+        par_rows.push(ParRow {
+            workload: "dataflow_chain",
+            machines,
+            reactions,
+            threads,
+            throughput_rps: rps,
+            speedup,
+        });
+    }
+
+    let report = Report {
+        schema: "ceu-bench-regression/v1",
+        reaction_latency: latency_rows,
+        alloc_per_event: alloc_rows,
+        par_scaling: par_rows,
+    };
+    let json = serde_json::to_string(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!("\nreport -> {}", out.display());
+    println!("zero-allocation steady state verified ✓");
+}

@@ -1,17 +1,24 @@
-//! Differential test: the flat postfix evaluator is observationally
-//! identical to the tree-walking evaluator it replaced.
+//! Three-way differential test: tree evaluation vs flat postfix code vs
+//! flat code after the optimizer pass, across the full corpus.
 //!
-//! Every corpus program is compiled **once** and instanced twice over the
-//! same `Arc<CompiledProgram>` — one machine on the flat hot path, one on
-//! the `use_tree_eval` ablation. Both are driven through an identical
-//! scripted schedule (boot, every declared input event with values, timer
-//! advances past every corpus period, async slices), and must agree on:
+//! Each corpus program is compiled twice — `Compiler::unoptimized()` and
+//! `Compiler::new()` (which runs `ceu_codegen::optimize`) — and each
+//! artifact is instanced over its `Arc<CompiledProgram>` on both the flat
+//! hot path and the `use_tree_eval` ablation. All machines are driven
+//! through an identical scripted schedule (boot, every declared input
+//! event with values, timer advances past every corpus period, async
+//! slices). The assertions, per program:
 //!
-//! - the full trace stream (wall-clock timestamps normalised to zero),
-//!   which pins reaction boundaries, track order, gate arming/firing,
-//!   emit depths, and reaction counts;
-//! - every host interaction (calls with argument values, outputs);
-//! - the final data slots and termination status.
+//! - **tree vs flat, same artifact** (both raw and optimized): the full
+//!   trace stream (wall-clock timestamps normalised to zero), every host
+//!   interaction, the final data slots, and termination status agree.
+//!   On the optimized artifact this differentially validates every
+//!   `opt::simplify` rewrite — the tree side evaluates the *original*
+//!   expressions (`prog.exprs` is left source-faithful), the flat side
+//!   the simplified postfix code.
+//! - **raw vs optimized**: the host-observable surface (status, reaction
+//!   count, final data, calls, outputs) is identical. Traces are not
+//!   compared across artifacts — dead-block elimination renumbers blocks.
 
 use ceu::runtime::{Machine, RecordingHost, TraceEvent, Value};
 use ceu_bench::{
@@ -123,9 +130,8 @@ fn drive(prog: Arc<ceu::CompiledProgram>, tree_eval: bool) -> Observed {
     }
 }
 
-#[test]
-fn flat_and_tree_evaluators_are_observationally_identical() {
-    let corpus: Vec<(&str, String)> = vec![
+fn corpus() -> Vec<(&'static str, String)> {
+    vec![
         ("blink", BLINK_CEU.into()),
         ("sense", SENSE_CEU.into()),
         ("client", CLIENT_CEU.into()),
@@ -136,18 +142,42 @@ fn flat_and_tree_evaluators_are_observationally_identical() {
         ("blink_sync", BLINK_SYNC_CEU.into()),
         ("receiver0", receiver_ceu(0)),
         ("receiver5", receiver_ceu(5)),
-    ];
-    for (name, src) in corpus {
-        let prog =
+    ]
+}
+
+/// Tree vs flat over one shared artifact: everything observable agrees,
+/// including the trace stream.
+fn assert_tree_flat_identical(name: &str, what: &str, prog: Arc<ceu::CompiledProgram>) -> Observed {
+    let flat = drive(Arc::clone(&prog), false);
+    let tree = drive(prog, true);
+    assert_eq!(flat.status, tree.status, "{name} ({what}): status");
+    assert_eq!(flat.reactions, tree.reactions, "{name} ({what}): reaction count");
+    assert_eq!(flat.data, tree.data, "{name} ({what}): final data slots");
+    assert_eq!(flat.calls, tree.calls, "{name} ({what}): host calls");
+    assert_eq!(flat.outputs, tree.outputs, "{name} ({what}): host outputs");
+    assert_eq!(flat.trace, tree.trace, "{name} ({what}): trace stream");
+    assert!(flat.reactions > 0, "{name} ({what}): schedule must actually drive reactions");
+    flat
+}
+
+#[test]
+fn tree_flat_and_optimized_flat_are_observationally_identical() {
+    for (name, src) in corpus() {
+        let raw = Arc::new(
+            ceu::Compiler::unoptimized().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")),
+        );
+        let opt =
             Arc::new(ceu::Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
-        let flat = drive(Arc::clone(&prog), false);
-        let tree = drive(prog, true);
-        assert_eq!(flat.status, tree.status, "{name}: status");
-        assert_eq!(flat.reactions, tree.reactions, "{name}: reaction count");
-        assert_eq!(flat.data, tree.data, "{name}: final data slots");
-        assert_eq!(flat.calls, tree.calls, "{name}: host calls");
-        assert_eq!(flat.outputs, tree.outputs, "{name}: host outputs");
-        assert_eq!(flat.trace, tree.trace, "{name}: trace stream");
-        assert!(flat.reactions > 0, "{name}: schedule must actually drive reactions");
+
+        let raw_obs = assert_tree_flat_identical(name, "raw", raw);
+        let opt_obs = assert_tree_flat_identical(name, "optimized", opt);
+
+        // across artifacts the host-observable surface is the contract;
+        // block ids in traces legitimately shift under dead-block elim
+        assert_eq!(raw_obs.status, opt_obs.status, "{name}: raw vs opt status");
+        assert_eq!(raw_obs.reactions, opt_obs.reactions, "{name}: raw vs opt reaction count");
+        assert_eq!(raw_obs.data, opt_obs.data, "{name}: raw vs opt final data slots");
+        assert_eq!(raw_obs.calls, opt_obs.calls, "{name}: raw vs opt host calls");
+        assert_eq!(raw_obs.outputs, opt_obs.outputs, "{name}: raw vs opt host outputs");
     }
 }

@@ -75,6 +75,12 @@ pub struct FlatPool {
     pub code: Vec<FlatOp>,
     /// Per-[`ExprId`] `[start, end)` ranges into `code`.
     pub ranges: Vec<(u32, u32)>,
+    /// Per-[`ExprId`] maximum operand-stack depth, precomputed at intern
+    /// time so the runtime can size its eval stack without ever probing.
+    pub depths: Vec<u32>,
+    /// Maximum of `depths`: the operand-stack reserve that makes every
+    /// expression in the program evaluable without reallocation.
+    pub max_stack: u32,
 }
 
 impl FlatPool {
@@ -86,6 +92,9 @@ impl FlatPool {
         flatten(rv, &mut self.code);
         let id = self.ranges.len() as ExprId;
         self.ranges.push((start, self.code.len() as u32));
+        let depth = stack_depth(&self.code[start as usize..]);
+        self.depths.push(depth);
+        self.max_stack = self.max_stack.max(depth);
         id
     }
 
@@ -104,6 +113,32 @@ impl FlatPool {
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
     }
+}
+
+/// Maximum operand-stack depth reached while evaluating `code`.
+///
+/// A linear walk is exact: the only jumps are `ShortAnd`/`ShortOr` skips,
+/// and the skipped (decided) path ends at the same depth as the
+/// fall-through path while never exceeding it.
+fn stack_depth(code: &[FlatOp]) -> u32 {
+    let mut depth: i64 = 0;
+    let mut max: i64 = 0;
+    for op in code {
+        depth += match op {
+            FlatOp::Const(_)
+            | FlatOp::Str(_)
+            | FlatOp::Null
+            | FlatOp::Slot(_)
+            | FlatOp::AddrOf(_)
+            | FlatOp::EventVal(_)
+            | FlatOp::CGlobal(_) => 1,
+            FlatOp::Un(_) | FlatOp::Truthy | FlatOp::Deref | FlatOp::Field { .. } => 0,
+            FlatOp::Bin(_) | FlatOp::Index | FlatOp::ShortAnd(_) | FlatOp::ShortOr(_) => -1,
+            FlatOp::CCall { argc, .. } => 1 - *argc as i64,
+        };
+        max = max.max(depth);
+    }
+    max as u32
 }
 
 /// Appends the postfix form of `rv` to `code`.
@@ -207,6 +242,37 @@ mod tests {
     fn sizeof_and_cast_resolve_at_flatten_time() {
         let rv = Rv::Cast(Box::new(Rv::SizeOf(2)));
         assert_eq!(pool_of(&rv), vec![FlatOp::Const(2)]);
+    }
+
+    #[test]
+    fn stack_depths_are_precomputed_per_expression() {
+        let mut p = FlatPool::default();
+        // a + b*c: operands stack up to 3 deep before the Mul pops
+        let deep = Rv::Bin(
+            BinOp::Add,
+            Box::new(Rv::Slot(0)),
+            Box::new(Rv::Bin(BinOp::Mul, Box::new(Rv::Slot(1)), Box::new(Rv::Slot(2)))),
+        );
+        let a = p.intern(&Rv::Const(7));
+        let b = p.intern(&deep);
+        assert_eq!(p.depths[a as usize], 1);
+        assert_eq!(p.depths[b as usize], 3);
+        assert_eq!(p.max_stack, 3);
+    }
+
+    #[test]
+    fn short_circuit_depth_counts_the_fallthrough_path() {
+        // a && b: ShortAnd pops the lhs, so the rhs peaks at depth 1 again
+        let mut p = FlatPool::default();
+        let id = p.intern(&Rv::Bin(BinOp::And, Box::new(Rv::Slot(0)), Box::new(Rv::Slot(1))));
+        assert_eq!(p.depths[id as usize], 1);
+    }
+
+    #[test]
+    fn ccall_depth_accounts_for_arguments() {
+        let mut p = FlatPool::default();
+        let id = p.intern(&Rv::CCall("f".into(), vec![Rv::Const(1), Rv::Const(2), Rv::Const(3)]));
+        assert_eq!(p.depths[id as usize], 3);
     }
 
     #[test]

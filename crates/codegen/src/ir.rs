@@ -225,8 +225,9 @@ pub struct SuspendInfo {
     pub region: RegionId,
 }
 
-/// One compiled `async` body.
-#[derive(Clone, Debug)]
+/// One compiled `async` body. `Copy`, so the runtime's completion path
+/// reads it without touching the heap.
+#[derive(Clone, Copy, Debug)]
 pub struct AsyncBlock {
     pub entry: BlockId,
     /// Slot receiving the `return` value, for value-position asyncs.

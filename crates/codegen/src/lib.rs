@@ -10,12 +10,14 @@ pub mod flat;
 pub mod ir;
 pub mod layout;
 pub mod lower;
+pub mod opt;
 pub mod report;
 
 pub use flat::{FlatOp, FlatPool};
 pub use ir::*;
 pub use layout::{layout, Layout};
 pub use lower::{compile, CompileError};
+pub use opt::{optimize, OptStats};
 pub use report::{memory_report, MemoryReport};
 
 /// Convenience used by tests and benches: parse → desugar → resolve →

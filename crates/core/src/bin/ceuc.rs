@@ -10,6 +10,10 @@
 //! ceuc run     <file.ceu> [script]    # execute with a scripted input sequence
 //! ```
 //!
+//! All subcommands that compile accept `-O` (optimize; the default) and
+//! `--no-opt` (skip the flat-code optimizer pass — the ablation baseline
+//! the benchmark harness measures against).
+//!
 //! `run` accepts observability flags (anywhere after the subcommand):
 //!
 //! ```text
@@ -65,6 +69,9 @@ struct RunOpts {
     /// Evaluate expressions by walking the IR trees instead of the flat
     /// postfix code (ablation / differential debugging).
     tree_eval: bool,
+    /// Skip the flat-code optimizer pass (`--no-opt`; `-O` restores the
+    /// default). Ablation baseline for the benchmark harness.
+    no_opt: bool,
 }
 
 /// Splits `--flag`-style options out of argv (valid anywhere), leaving
@@ -79,6 +86,8 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
             "--metrics" => opts.metrics = true,
             "--profile" => opts.profile = true,
             "--tree-eval" => opts.tree_eval = true,
+            "-O" => opts.no_opt = false,
+            "--no-opt" => opts.no_opt = true,
             "--metrics-out" => {
                 let path = it.next().ok_or("--metrics-out needs a path")?;
                 opts.metrics_out = Some(path.clone());
@@ -115,11 +124,11 @@ fn run(args: &[String]) -> Result<(), String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let compiler = Compiler::new();
+    let compiler = if opts.no_opt { ceu::Compiler::unoptimized() } else { Compiler::new() };
     match cmd {
         "check" => {
             compiler.compile(&src).map_err(|e| e.to_string())?;

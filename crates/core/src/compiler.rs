@@ -54,13 +54,22 @@ pub struct CompileOptions {
     /// Run the DFA temporal analysis and refuse nondeterministic programs
     /// (on by default; §2.6).
     pub check_determinism: bool,
+    /// Run the flat-code optimizer pass (on by default; `ceuc --no-opt`
+    /// disables it for ablation benchmarks). Applied after the analyses,
+    /// which want the unoptimized shape.
+    pub optimize: bool,
     /// Temporal-analysis limits.
     pub dfa: DfaOptions,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { check_bounded: true, check_determinism: true, dfa: DfaOptions::default() }
+        CompileOptions {
+            check_bounded: true,
+            check_determinism: true,
+            optimize: true,
+            dfa: DfaOptions::default(),
+        }
     }
 }
 
@@ -86,8 +95,14 @@ impl Compiler {
         Compiler::with_options(CompileOptions {
             check_bounded: false,
             check_determinism: false,
-            dfa: DfaOptions::default(),
+            ..CompileOptions::default()
         })
+    }
+
+    /// Full pipeline minus the optimizer pass — the `--no-opt` ablation
+    /// (benchmark baselines, differential tests against the opt output).
+    pub fn unoptimized() -> Self {
+        Compiler::with_options(CompileOptions { optimize: false, ..CompileOptions::default() })
     }
 
     /// Runs the full pipeline.
@@ -102,12 +117,15 @@ impl Compiler {
             }
         }
         let resolved = ceu_ast::resolve::resolve(ast).map_err(Error::Resolve)?;
-        let prog = ceu_codegen::compile(&resolved).map_err(Error::Lower)?;
+        let mut prog = ceu_codegen::compile(&resolved).map_err(Error::Lower)?;
         if self.options.check_determinism {
             let dfa = ceu_analysis::analyze(&prog, &self.options.dfa);
             if !dfa.conflicts.is_empty() {
                 return Err(Error::Nondeterministic(dfa.conflicts));
             }
+        }
+        if self.options.optimize {
+            ceu_codegen::optimize(&mut prog);
         }
         Ok(prog)
     }
@@ -164,6 +182,16 @@ mod tests {
             .compile("int v;\npar/and do\n v = 1;\nwith\n v = 2;\nend\nreturn v;")
             .unwrap();
         assert!(p.data_len >= 1);
+    }
+
+    #[test]
+    fn optimizer_runs_by_default_and_can_be_disabled() {
+        let src = "input int E;\nint v;\nloop do\n v = await E;\n v = v + (2 * 3);\nend";
+        let opt = Compiler::new().compile(src).unwrap();
+        let raw = Compiler::unoptimized().compile(src).unwrap();
+        assert!(opt.flat.code.len() < raw.flat.code.len());
+        // the tree side stays source-faithful in both
+        assert_eq!(opt.exprs, raw.exprs);
     }
 
     #[test]

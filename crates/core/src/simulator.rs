@@ -64,6 +64,14 @@ impl<H: Host> Simulator<H> {
         self.machine.set_reaction_limits(max_reaction_us, max_tracks);
     }
 
+    /// Drains the machine's output-event buffer (emission order) through
+    /// `f` without allocating — see [`Machine::drain_outputs`]. Drivers
+    /// composing programs (GALS) call this after each step instead of
+    /// [`Machine::take_outputs`], which gives up the buffer.
+    pub fn drain_outputs(&mut self, f: impl FnMut(ceu_ast::EventId, Option<Value>)) {
+        self.machine.drain_outputs(f);
+    }
+
     pub fn status(&self) -> Status {
         self.machine.status()
     }

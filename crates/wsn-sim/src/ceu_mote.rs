@@ -248,6 +248,9 @@ impl CeuMote {
         if let Some(d) = self.machine.next_deadline() {
             ctx.set_timer_at(d);
         }
+        // output events already reached the host through `Host::output`;
+        // drain the machine-side buffer so it never grows across a run
+        self.machine.drain_outputs(|_, _| {});
         ctx.wants_cpu = self.machine.has_runnable_async();
         if let Some(col) = &self.trace {
             ctx.vm_events.extend(col.drain());

@@ -14,6 +14,7 @@ pub mod ceu_mote;
 pub mod mantis;
 pub mod nesc;
 pub mod radio;
+pub mod sched;
 pub mod world;
 
 pub use ceu_mote::{CeuMote, TosHost};
@@ -22,6 +23,7 @@ pub use mantis::{
 };
 pub use nesc::NescApp;
 pub use radio::{Packet, Radio, RadioStats, Topology};
+pub use sched::EventHeap;
 pub use world::{
     write_trace_jsonl, Backend, Leds, MoteCtx, MoteId, MoteStats, World, WorldTraceEvent,
 };

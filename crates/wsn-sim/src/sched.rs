@@ -1,0 +1,186 @@
+//! The simulator's event scheduler: a keyed 4-ary min-heap.
+//!
+//! [`World`](crate::world::World) used to pair a
+//! `BinaryHeap<Reverse<(u64, u64, usize)>>` with a side `Vec` of payloads
+//! that was never truncated — every scheduled event leaked its `Fire`
+//! (packets included) for the lifetime of the world, and each push paid
+//! for the `Reverse` indirection. [`EventHeap`] stores the payload inline
+//! with its `(at, seq)` key, pops by move (no payload clone), and keeps
+//! its buffer so a steady-state simulation stops allocating once the heap
+//! has grown to the world's natural event population.
+//!
+//! A 4-ary layout halves the tree depth of a binary heap: sift-down
+//! compares up to four children per level but touches half as many cache
+//! lines, which wins for the small keys + payload nodes scheduled here.
+
+/// A min-heap of `(at, seq, payload)` ordered by the `(at, seq)` key.
+///
+/// `seq` is the scheduler's monotone tie-breaker, so the order popped is
+/// exactly the deterministic `(time, insertion order)` the conservative
+/// PDES merge relies on. Equal keys cannot occur (seq is unique).
+#[derive(Clone, Debug)]
+pub struct EventHeap<T> {
+    nodes: Vec<Node<T>>,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Node<T> {
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<T> Default for EventHeap<T> {
+    fn default() -> Self {
+        EventHeap::new()
+    }
+}
+
+impl<T> EventHeap<T> {
+    pub fn new() -> Self {
+        EventHeap { nodes: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventHeap { nodes: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Removes every event but keeps the buffer.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// The key of the next event to fire, without removing it.
+    pub fn peek_key(&self) -> Option<(u64, u64)> {
+        self.nodes.first().map(Node::key)
+    }
+
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        self.nodes.push(Node { at, seq, item });
+        self.sift_up(self.nodes.len() - 1);
+    }
+
+    /// Removes and returns the earliest event as `(at, seq, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        let last = self.nodes.len().checked_sub(1)?;
+        self.nodes.swap(0, last);
+        let node = self.nodes.pop().expect("non-empty");
+        if !self.nodes.is_empty() {
+            self.sift_down(0);
+        }
+        Some((node.at, node.seq, node.item))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.nodes[i].key() >= self.nodes[parent].key() {
+                break;
+            }
+            self.nodes.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.nodes.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= n {
+                break;
+            }
+            let mut best = first_child;
+            let end = (first_child + 4).min(n);
+            for c in first_child + 1..end {
+                if self.nodes[c].key() < self.nodes[best].key() {
+                    best = c;
+                }
+            }
+            if self.nodes[best].key() >= self.nodes[i].key() {
+                break;
+            }
+            self.nodes.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut h = EventHeap::new();
+        h.push(30, 1, "c");
+        h.push(10, 2, "a");
+        h.push(20, 3, "b");
+        h.push(10, 4, "a2");
+        assert_eq!(h.peek_key(), Some((10, 2)));
+        assert_eq!(h.pop(), Some((10, 2, "a")));
+        assert_eq!(h.pop(), Some((10, 4, "a2")));
+        assert_eq!(h.pop(), Some((20, 3, "b")));
+        assert_eq!(h.pop(), Some((30, 1, "c")));
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn matches_a_reference_sort_on_a_large_mixed_workload() {
+        // deterministic pseudo-random interleaving of pushes and pops
+        let mut h = EventHeap::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for seq in 0..10_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let at = state >> 40; // small-ish times, plenty of collisions
+            h.push(at, seq, at ^ seq);
+            reference.push((at, seq));
+            if state & 3 == 0 {
+                let (at, seq, item) = h.pop().unwrap();
+                assert_eq!(item, at ^ seq);
+                popped.push((at, seq));
+            }
+        }
+        while let Some((at, seq, _)) = h.pop() {
+            popped.push((at, seq));
+        }
+        // every event came out exactly once...
+        let mut seen = popped.clone();
+        seen.sort_unstable();
+        reference.sort_unstable();
+        assert_eq!(seen, reference);
+        // ...and within any uninterrupted drain the order is sorted; the
+        // full final drain covers the interesting case
+        let tail = &popped[popped.len() - 5_000..];
+        assert!(tail.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut h = EventHeap::with_capacity(64);
+        for i in 0..50 {
+            h.push(i, i, i);
+        }
+        let cap = h.nodes.capacity();
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.nodes.capacity(), cap);
+    }
+}

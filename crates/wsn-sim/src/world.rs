@@ -7,9 +7,8 @@
 //! depends only on the order of its input events.
 
 use crate::radio::{Packet, Radio};
+use crate::sched::EventHeap;
 use ceu::runtime::TraceEvent;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Node id within a network.
 pub type MoteId = usize;
@@ -192,8 +191,10 @@ pub struct MoteStats {
 pub struct World {
     now: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    fires: Vec<Fire>,
+    /// Pending firings keyed by `(at, seq)`; payloads live inline in the
+    /// heap nodes (see [`EventHeap`]), so popping moves them out instead
+    /// of cloning from a side table.
+    queue: EventHeap<Fire>,
     motes: Vec<MoteSlot>,
     pub radio: Radio,
     /// Virtual CPU cost of one granted slice (µs).
@@ -202,6 +203,11 @@ pub struct World {
     /// Unified world trace (when enabled): events from every mote,
     /// collected as callbacks run and canonically ordered on read.
     trace: Option<Vec<WorldTraceEvent>>,
+    /// Per-mote batch buffers reused across parallel windows (the inner
+    /// `Vec`s move to the workers; the outer one persists).
+    window_batches: Vec<WindowBatch>,
+    /// Cross-window send merge buffer, reused across parallel windows.
+    merge_sends: Vec<(u64, MoteId, usize, MoteId, Packet)>,
 }
 
 impl World {
@@ -209,13 +215,14 @@ impl World {
         World {
             now: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
-            fires: Vec::new(),
+            queue: EventHeap::new(),
             motes: Vec::new(),
             radio,
             cpu_slice_us: 100,
             stats: Stats::default(),
             trace: None,
+            window_batches: Vec::new(),
+            merge_sends: Vec::new(),
         }
     }
 
@@ -280,9 +287,7 @@ impl World {
     fn schedule(&mut self, at: u64, fire: Fire) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         self.seq += 1;
-        let idx = self.fires.len();
-        self.fires.push(fire);
-        self.queue.push(Reverse((at, self.seq, idx)));
+        self.queue.push(at, self.seq, fire);
     }
 
     /// Boots every mote (virtual time 0).
@@ -294,13 +299,12 @@ impl World {
 
     /// Runs until the given virtual time (µs), or until nothing is left.
     pub fn run_until(&mut self, deadline: u64) {
-        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+        while let Some((at, _)) = self.queue.peek_key() {
             if at > deadline {
                 break;
             }
-            let Reverse((at, _, idx)) = self.queue.pop().unwrap();
+            let (at, _, fire) = self.queue.pop().unwrap();
             self.now = at;
-            let fire = self.fires[idx].clone();
             match fire {
                 Fire::Deliver { to, packet } => {
                     self.stats.delivered += 1;
@@ -351,32 +355,36 @@ impl World {
             // window = [first pending event, first event + lookahead),
             // clipped to the deadline (run_until's contract: nothing
             // after `deadline` fires).
-            let window_start = match self.queue.peek() {
-                Some(&Reverse((at, _, _))) if at <= deadline => at,
+            let window_start = match self.queue.peek_key() {
+                Some((at, _)) if at <= deadline => at,
                 _ => break,
             };
             let run_end = (window_start + lookahead).min(deadline.saturating_add(1));
 
-            // Drain this window's events into per-mote batches.
-            let mut batches: Vec<WindowBatch> = vec![Vec::new(); self.motes.len()];
-            while let Some(&Reverse((at, _, _))) = self.queue.peek() {
+            // Drain this window's events into per-mote batches. The outer
+            // buffer persists across windows; the inner `Vec`s are taken
+            // below and move to the workers.
+            if self.window_batches.len() < self.motes.len() {
+                self.window_batches.resize_with(self.motes.len(), Vec::new);
+            }
+            while let Some((at, _)) = self.queue.peek_key() {
                 if at >= run_end {
                     break;
                 }
-                let Reverse((at, seq, idx)) = self.queue.pop().unwrap();
-                let fire = self.fires[idx].clone();
+                let (at, seq, fire) = self.queue.pop().unwrap();
                 let mote = match &fire {
                     Fire::Deliver { to, .. } => *to,
                     Fire::Timer { mote } | Fire::Cpu { mote } => *mote,
                 };
-                batches[mote].push((at, seq, fire));
+                self.window_batches[mote].push((at, seq, fire));
             }
 
             // Check the motes out of the world and step them in parallel.
             let seq_base = self.seq;
             let cpu_slice_us = self.cpu_slice_us;
             let mut work: Vec<WindowWork> = Vec::new();
-            for (id, batch) in batches.into_iter().enumerate() {
+            for id in 0..self.motes.len() {
+                let batch = std::mem::take(&mut self.window_batches[id]);
                 if batch.is_empty() {
                     continue;
                 }
@@ -442,9 +450,10 @@ impl World {
                 .collect();
 
             // Deterministic merge: check motes back in, then apply every
-            // cross-window effect in (time, mote, emission) order.
+            // cross-window effect in (time, mote, emission) order. The
+            // merge buffer is reused window-to-window (drained, not moved).
             self.now = run_end.saturating_sub(1).max(self.now);
-            let mut sends: Vec<(u64, MoteId, usize, MoteId, Packet)> = Vec::new();
+            let mut sends = std::mem::take(&mut self.merge_sends);
             for out in outs {
                 self.stats.delivered += out.delivered;
                 self.stats.cpu_slices += out.cpu_slices;
@@ -462,8 +471,8 @@ impl World {
                 }
                 self.motes[out.id] = out.slot;
             }
-            sends.sort_by_key(|a| (a.0, a.1, a.2));
-            for (at, from, _, to, packet) in sends {
+            sends.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+            for (at, from, _, to, packet) in sends.drain(..) {
                 if let Some(arrival) = self.radio.transmit(at, from, to, &packet) {
                     self.schedule(arrival, Fire::Deliver { to, packet });
                 } else {
@@ -471,6 +480,7 @@ impl World {
                     self.motes[from].stats.lost += 1;
                 }
             }
+            self.merge_sends = sends;
         }
         self.now = self.now.max(deadline);
     }
@@ -592,12 +602,9 @@ fn run_mote_window(
     seq_base: u64,
     cpu_slice_us: u64,
 ) -> WindowOut {
-    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
-    let mut fires: Vec<Fire> = Vec::with_capacity(batch.len());
+    let mut queue: EventHeap<Fire> = EventHeap::with_capacity(batch.len());
     for (at, seq, fire) in batch {
-        let idx = fires.len();
-        fires.push(fire);
-        queue.push(Reverse((at, seq, idx)));
+        queue.push(at, seq, fire);
     }
     // local events order after the already-queued globals at equal times,
     // exactly as World::schedule's monotone `seq` would have placed them
@@ -619,37 +626,42 @@ fn run_mote_window(
         cpu_slices: 0,
         trace: Vec::new(),
     };
-    while let Some(Reverse((at, _, idx))) = queue.pop() {
+    while let Some((at, _, fire)) = queue.pop() {
         debug_assert!(at < run_end);
         let now = at;
-        let fire = fires[idx].clone();
-        let run: Option<FireFn> = match fire {
-            Fire::Deliver { .. } => {
+        let (run, packet): (Option<FireFn>, Option<Packet>) = match fire {
+            Fire::Deliver { packet, .. } => {
                 out.delivered += 1;
                 slot.stats.received += 1;
-                Some(|b, ctx, p| b.deliver(ctx, p.unwrap()))
+                (
+                    Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, p: Option<Packet>| {
+                        b.deliver(ctx, p.unwrap())
+                    }),
+                    Some(packet),
+                )
             }
             Fire::Timer { .. } => {
                 if slot.timer_at == Some(at) {
                     slot.timer_at = None;
                     slot.stats.timer_firings += 1;
-                    Some(|b, ctx, _| b.timer(ctx))
+                    (
+                        Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, _: Option<Packet>| {
+                            b.timer(ctx)
+                        }),
+                        None,
+                    )
                 } else {
-                    None // stale
+                    (None, None) // stale
                 }
             }
             Fire::Cpu { .. } => {
                 out.cpu_slices += 1;
                 slot.stats.cpu_slices += 1;
                 slot.cpu_scheduled = false;
-                Some(|b, ctx, _| b.cpu(ctx))
+                (Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, _: Option<Packet>| b.cpu(ctx)), None)
             }
         };
         let Some(run) = run else { continue };
-        let packet = match fires[idx].clone() {
-            Fire::Deliver { packet, .. } => Some(packet),
-            _ => None,
-        };
         let mut ctx = MoteCtx {
             id,
             now,
@@ -687,9 +699,7 @@ fn run_mote_window(
                 slot.timer_at = Some(req);
                 if req < run_end {
                     seq += 1;
-                    let idx = fires.len();
-                    fires.push(Fire::Timer { mote: id });
-                    queue.push(Reverse((req, seq, idx)));
+                    queue.push(req, seq, Fire::Timer { mote: id });
                 } else {
                     out.timers_after.push(req);
                 }
@@ -700,9 +710,7 @@ fn run_mote_window(
             let cat = now + cpu_slice_us;
             if cat < run_end {
                 seq += 1;
-                let idx = fires.len();
-                fires.push(Fire::Cpu { mote: id });
-                queue.push(Reverse((cat, seq, idx)));
+                queue.push(cat, seq, Fire::Cpu { mote: id });
             } else {
                 out.cpus_after.push(cat);
             }
