@@ -1,0 +1,95 @@
+//! **Chaos harness** — runs the six-mote Céu scenario under seeded
+//! fault plans (crash+reboot, partition+heal, loss-burst+clock-skew,
+//! plus randomized plans) and checks, for every plan, that the
+//! sequential and conservative-parallel steppers produce bit-identical
+//! world traces and counters at 1, 2 and 4 threads — while motes crash,
+//! reboot and re-converge without ever taking the process down.
+//!
+//! ```sh
+//! cargo run --release -p ceu-bench --bin chaos             # full sweep
+//! cargo run --release -p ceu-bench --bin chaos -- --quick  # CI smoke
+//! ```
+//!
+//! Results land as `ceu-chaos/v1` JSONL rows in
+//! `target/experiments/chaos.jsonl`, one row per scenario.
+
+use ceu_bench::chaos::{named_plans, run_chaos_scenario, CHAOS_HORIZON_US, CHAOS_MOTES};
+use ceu_bench::out_dir;
+use std::io::Write;
+use wsn_sim::FaultPlan;
+
+/// One `ceu-chaos/v1` JSONL row. Field names are the schema — keep them
+/// stable.
+#[derive(serde::Serialize)]
+struct ChaosRow {
+    schema: &'static str,
+    scenario: String,
+    seed: Option<u64>,
+    motes: usize,
+    horizon_us: u64,
+    threads_checked: Vec<usize>,
+    identical: bool,
+    trace_events: usize,
+    crashes: usize,
+    reboots: usize,
+    delivered: u64,
+    lost: u64,
+    dropped_in_flight: u64,
+    led_last_activity_us: Vec<u64>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let horizon = if quick { 25_000 } else { CHAOS_HORIZON_US };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202, 303, 404] };
+
+    let mut scenarios =
+        named_plans().into_iter().map(|(n, p)| (n.to_string(), p)).collect::<Vec<_>>();
+    for &seed in seeds {
+        scenarios
+            .push((format!("random-{seed}"), FaultPlan::randomized(seed, CHAOS_MOTES, horizon)));
+    }
+
+    let path = out_dir().join("chaos.jsonl");
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create(&path).expect("create chaos.jsonl"));
+    let mut total_crashes = 0usize;
+    let mut total_reboots = 0usize;
+    for (name, plan) in &scenarios {
+        let o = run_chaos_scenario(name, plan, horizon, &[1, 2, 4]);
+        total_crashes += o.crashes;
+        total_reboots += o.reboots;
+        println!(
+            "{:<16} {:>6} trace events, {} crashes, {} reboots, {} delivered, {} in-flight drops — seq == par(1/2/4) ✓",
+            o.scenario, o.trace_events, o.crashes, o.reboots, o.stats.delivered, o.stats.dropped_in_flight
+        );
+        let row = ChaosRow {
+            schema: "ceu-chaos/v1",
+            scenario: o.scenario,
+            seed: o.seed,
+            motes: CHAOS_MOTES,
+            horizon_us: o.horizon_us,
+            threads_checked: o.threads_checked,
+            identical: true,
+            trace_events: o.trace_events,
+            crashes: o.crashes,
+            reboots: o.reboots,
+            delivered: o.stats.delivered,
+            lost: o.stats.lost,
+            dropped_in_flight: o.stats.dropped_in_flight,
+            led_last_activity_us: o.led_last_activity,
+        };
+        writeln!(file, "{}", serde_json::to_string(&row).expect("serialize chaos row"))
+            .expect("write chaos row");
+    }
+    file.flush().expect("flush chaos.jsonl");
+
+    // the harness is pointless if nothing ever dies or comes back
+    assert!(total_crashes >= 1, "no scenario crashed a mote");
+    assert!(total_reboots >= 1, "no scenario rebooted a mote");
+    println!(
+        "{} scenarios, {total_crashes} crashes, {total_reboots} reboots -> {}",
+        scenarios.len(),
+        path.display()
+    );
+}

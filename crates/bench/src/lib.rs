@@ -2,6 +2,7 @@
 //! table/figure of the paper — see DESIGN.md's experiment index, and
 //! EXPERIMENTS.md for paper-vs-measured numbers).
 
+pub mod chaos;
 pub mod corpus;
 pub mod table;
 

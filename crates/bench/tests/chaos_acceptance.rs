@@ -1,0 +1,40 @@
+//! Tier-1 acceptance for the chaos harness (ISSUE 5): the six-mote Céu
+//! scenario under the three named fault plans must be bit-identical
+//! across thread counts, and at least one mote must demonstrably crash,
+//! reboot, and re-converge — all without the process aborting.
+
+use ceu_bench::chaos::{crash_reboot_plan, named_plans, run_chaos_scenario, CHAOS_HORIZON_US};
+
+#[test]
+fn named_plans_are_thread_count_invariant() {
+    for (name, plan) in named_plans() {
+        // run_chaos_scenario panics internally on any seq-vs-par divergence
+        let o = run_chaos_scenario(name, &plan, CHAOS_HORIZON_US, &[1, 2, 4]);
+        assert!(o.trace_events > 0, "{name}: the world trace must not be empty");
+        assert!(o.stats.delivered > 0, "{name}: traffic must flow");
+    }
+}
+
+#[test]
+fn motes_crash_reboot_and_reconverge() {
+    let o = run_chaos_scenario("crash-reboot", &crash_reboot_plan(), CHAOS_HORIZON_US, &[2]);
+    // the plan downs motes 2 and 4 and revives both
+    assert!(o.crashes >= 2, "expected both injected crashes, saw {}", o.crashes);
+    assert!(o.reboots >= 2, "expected both revivals, saw {}", o.reboots);
+    // re-convergence: both crashed motes blink again after their revival
+    // times (mote 2 back at 8 ms, mote 4 back at 17.5 ms)
+    assert!(
+        o.led_last_activity[2] > 8_000 + 5_000,
+        "mote 2 went quiet after its reboot (last LED change {})",
+        o.led_last_activity[2]
+    );
+    assert!(
+        o.led_last_activity[4] > 17_500 + 5_000,
+        "mote 4 went quiet after its reboot (last LED change {})",
+        o.led_last_activity[4]
+    );
+    // the crash caught live traffic: something was dropped in flight or
+    // at the link while the motes were down
+    let downtime_drops = o.stats.dropped_in_flight + o.stats.lost;
+    assert!(downtime_drops > 0, "crashes should have cost some packets");
+}

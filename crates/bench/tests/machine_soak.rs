@@ -1,0 +1,182 @@
+//! Randomized event-sequence soak (ISSUE 5, robustness): every corpus
+//! program is driven through thousands of seeded-random steps — junk
+//! event values, wild time jumps, async slices — against a host that
+//! fails calls mid-reaction with seeded probability. The contract under
+//! test is graceful degradation at the machine layer:
+//!
+//! * nothing ever panics (the test completing is the proof);
+//! * every failure surfaces as a `RuntimeError` with a message (and,
+//!   for host-call failures inside program code, a source span);
+//! * after an error the machine can be re-minted from the shared
+//!   artifact and driven on — the reboot path the WSN world relies on.
+
+use ceu::runtime::{Host, HostResult, Machine, RuntimeError, Value};
+use ceu_bench::{
+    receiver_ceu, BLINK_CEU, BLINK_SYNC_CEU, CLIENT_CEU, DATAFLOW_CHAIN, FIG1_PROGRAM,
+    GUIDING_EXAMPLE, SENSE_CEU, SERVER_CEU,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A host whose calls randomly fail (seeded): the error path every
+/// `_f(...)` site in the corpus must survive. Successful calls return
+/// plausible values so programs also make progress.
+struct FlakyHost {
+    rng: StdRng,
+    fail_rate: f64,
+    calls: u64,
+    failures: u64,
+}
+
+impl FlakyHost {
+    fn new(seed: u64, fail_rate: f64) -> Self {
+        FlakyHost { rng: StdRng::seed_from_u64(seed), fail_rate, calls: 0, failures: 0 }
+    }
+}
+
+impl Host for FlakyHost {
+    fn call(&mut self, name: &str, _args: &[Value]) -> HostResult<Value> {
+        self.calls += 1;
+        if self.rng.gen::<f64>() < self.fail_rate {
+            self.failures += 1;
+            return Err(format!("flaky host dropped `_{name}`"));
+        }
+        Ok(match name {
+            "Radio_getPayload" => Value::Ptr(ceu::runtime::Ptr::Host(1)),
+            _ => Value::Int(self.rng.gen_range(-3i64..100)),
+        })
+    }
+
+    fn global(&mut self, _name: &str) -> HostResult<Value> {
+        Ok(Value::Int(0))
+    }
+
+    fn deref(&mut self, _handle: u64) -> HostResult<Value> {
+        Ok(Value::Int(self.rng.gen_range(-2i64..50)))
+    }
+
+    fn store(&mut self, _handle: u64, _v: Value) -> HostResult<()> {
+        Ok(())
+    }
+
+    fn output(&mut self, _name: &str, _v: Option<&Value>) -> HostResult<()> {
+        Ok(())
+    }
+}
+
+fn corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("blink", BLINK_CEU.into()),
+        ("sense", SENSE_CEU.into()),
+        ("client", CLIENT_CEU.into()),
+        ("server", SERVER_CEU.into()),
+        ("guiding", GUIDING_EXAMPLE.into()),
+        ("fig1", FIG1_PROGRAM.into()),
+        ("dataflow", DATAFLOW_CHAIN.into()),
+        ("blink_sync", BLINK_SYNC_CEU.into()),
+        ("receiver0", receiver_ceu(0)),
+        ("receiver5", receiver_ceu(5)),
+    ]
+}
+
+/// One soak run: `steps` random actions against one program. Returns
+/// the errors observed plus the number of host calls reached; panics
+/// only if the machine layer itself does.
+fn soak(
+    name: &str,
+    prog: &Arc<ceu::CompiledProgram>,
+    seed: u64,
+    steps: u32,
+) -> (Vec<RuntimeError>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut host = FlakyHost::new(seed ^ 0x5eed, 0.08);
+    let mut errors = Vec::new();
+    let mut m = Machine::from_arc(Arc::clone(prog));
+
+    let external: Vec<_> = (0..prog.events.len())
+        .filter_map(|i| {
+            let id = ceu_ast::EventId(i as u16);
+            prog.events.get(id).external().then_some(id)
+        })
+        .collect();
+
+    let note =
+        |r: Result<ceu::Status, RuntimeError>, m: &mut Machine, errors: &mut Vec<RuntimeError>| {
+            if let Err(e) = r {
+                assert!(!e.message.is_empty(), "{name}/{seed}: error without a message");
+                errors.push(e);
+                // graceful-degradation reboot: fresh machine, same artifact
+                *m = Machine::from_arc(Arc::clone(prog));
+            }
+        };
+
+    note(m.go_init(&mut host), &mut m, &mut errors);
+    for _ in 0..steps {
+        if m.status().is_terminated() {
+            m = Machine::from_arc(Arc::clone(prog));
+            note(m.go_init(&mut host), &mut m, &mut errors);
+        }
+        match rng.gen_range(0u32..10) {
+            // junk-valued external events (most common action)
+            0..=4 => {
+                if let Some(&ev) = external.get(rng.gen_range(0usize..external.len().max(1))) {
+                    let v = match rng.gen_range(0u32..5) {
+                        0 => None,
+                        1 => Some(Value::Int(0)),
+                        2 => Some(Value::Int(i64::MAX)),
+                        3 => Some(Value::Int(rng.gen_range(-1_000_000i64..1_000_000))),
+                        _ => Some(Value::Ptr(ceu::runtime::Ptr::Host(rng.gen_range(0u64..4)))),
+                    };
+                    note(m.go_event(ev, v, &mut host), &mut m, &mut errors);
+                }
+            }
+            // time jumps: tiny, past every corpus period, or huge
+            5..=7 => {
+                let dt = match rng.gen_range(0u32..3) {
+                    0 => rng.gen_range(0u64..1_000),
+                    1 => rng.gen_range(1_000u64..2_000_000),
+                    _ => rng.gen_range(0u64..60_000_000),
+                };
+                note(m.go_time(m.now() + dt, &mut host), &mut m, &mut errors);
+            }
+            // bounded async slices
+            _ => {
+                for _ in 0..rng.gen_range(1u32..50) {
+                    match m.go_async(&mut host) {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(e) => {
+                            note(Err(e), &mut m, &mut errors);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (errors, host.calls)
+}
+
+#[test]
+fn random_soak_never_panics_and_errors_are_spanned() {
+    let mut total_errors = 0usize;
+    let mut spanned_errors = 0usize;
+    let mut host_calls = 0u64;
+    for (name, src) in corpus() {
+        let prog =
+            Arc::new(ceu::Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+        for seed in [1u64, 7, 42, 1234] {
+            let (errors, calls) = soak(name, &prog, seed, 400);
+            total_errors += errors.len();
+            spanned_errors += errors.iter().filter(|e| e.span != ceu_ast::Span::default()).count();
+            host_calls += calls;
+        }
+    }
+    // the flaky host guarantees mid-reaction failures somewhere in the
+    // sweep, and host-call failures inside program code carry the span
+    // of the failing call site
+    assert!(host_calls > 0, "the soak never reached the host");
+    assert!(total_errors > 0, "the flaky host never tripped a single error");
+    assert!(spanned_errors > 0, "no error carried a source span");
+}

@@ -27,6 +27,7 @@
 //!                      statements against the original source
 //! --max-reaction-us N  watchdog: abort reactions over N µs wall time
 //! --max-tracks N       watchdog: abort reactions over N tracks
+//! --faults PLAN        inject faults from a plan file (see below)
 //! ```
 //!
 //! Run scripts are plain text, one directive per line:
@@ -37,6 +38,26 @@
 //! async 1000            # run up to N async slices
 //! print v               # print a variable (by source name)
 //! ```
+//!
+//! Fault plans use the wsn-sim grammar restricted to the single machine
+//! (mote 0):
+//!
+//! ```text
+//! at 5ms   crash 0                 # power off, stay off
+//! at 20ms  reboot 0 after 10ms     # power off, revive from fresh state
+//! ```
+//!
+//! Multi-mote actions (`partition`, `heal`, `loss`, `skew`,
+//! `drop-in-flight`) are noted and ignored — they need the WSN
+//! simulator. Faults degrade gracefully rather than abort: a crashed
+//! machine drops subsequent script directives until a scheduled reboot
+//! revives it (trace/metrics/profile then reflect the newest boot; the
+//! tracer stays attached to the first).  Machine-level runtime errors
+//! (including watchdog trips) follow the same path: the machine powers
+//! off instead of the process exiting.
+//!
+//! Exit codes: `0` ok, `1` usage/compile/script error, `2` the program
+//! ended powered off (crashed and never rebooted).
 
 use ceu::runtime::telemetry::TraceFormat;
 use ceu::runtime::{NullHost, Value};
@@ -46,7 +67,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("ceuc: {msg}");
             ExitCode::FAILURE
@@ -72,6 +93,9 @@ struct RunOpts {
     /// Skip the flat-code optimizer pass (`--no-opt`; `-O` restores the
     /// default). Ablation baseline for the benchmark harness.
     no_opt: bool,
+    /// Path to a fault plan (`--faults`); single-machine subset of the
+    /// wsn-sim grammar (crash / reboot of mote 0).
+    faults: Option<String>,
 }
 
 /// Splits `--flag`-style options out of argv (valid anywhere), leaving
@@ -106,6 +130,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
                 let n = it.next().ok_or("--max-tracks needs a number")?;
                 opts.max_tracks = Some(n.parse().map_err(|_| "--max-tracks: bad number")?);
             }
+            "--faults" => {
+                let path = it.next().ok_or("--faults needs a path")?;
+                opts.faults = Some(path.clone());
+            }
             other if other.starts_with("--trace=") => {
                 let fmt = &other["--trace=".len()..];
                 opts.trace = Some(fmt.parse()?);
@@ -119,12 +147,12 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
     Ok((pos, opts))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let (pos, opts) = parse_flags(args)?;
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -133,17 +161,17 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => {
             compiler.compile(&src).map_err(|e| e.to_string())?;
             println!("{file}: ok (bounded, deterministic)");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "fmt" => {
             let ast = ceu::parser::parse(&src).map_err(|e| e.to_string())?;
             print!("{}", ceu::ast::pretty(&ast));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "emit-c" => {
             let p = compiler.compile(&src).map_err(|e| e.to_string())?;
             println!("{}", ceu::codegen::cbackend::emit_c(&p));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "dfa" => {
             let (p, dfa) = compiler.analyze(&src).map_err(|e| e.to_string())?;
@@ -151,12 +179,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 eprintln!("{c}");
             }
             println!("{}", ceu::analysis::dfa::to_dot(&dfa, &p));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "flow" => {
             let p = Compiler::unchecked().compile(&src).map_err(|e| e.to_string())?;
             println!("{}", ceu::analysis::flowgraph::to_dot(&p));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "report" => {
             let p = compiler.compile(&src).map_err(|e| e.to_string())?;
@@ -167,7 +195,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "tracks: {}  gates: {}  data slots: {}  instructions: {}",
                 r.tracks, r.gates, r.data_slots, r.instrs
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "run" => {
             let p = compiler.compile(&src).map_err(|e| e.to_string())?;
@@ -183,19 +211,114 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// One entry of a single-machine fault plan (`--faults`): the subset of
+/// the wsn-sim fault grammar that is meaningful with one mote.
+enum FaultCmd {
+    /// Power the machine off; it stays off unless a later `reboot` entry
+    /// revives it.
+    Crash,
+    /// Power the machine off now, revive it from fresh state after
+    /// `delay_us`.
+    Reboot { delay_us: u64 },
+}
+
+struct FaultAt {
+    at_us: u64,
+    cmd: FaultCmd,
+}
+
+fn parse_time(tok: &str) -> Option<u64> {
+    ceu::ast::TimeSpec::parse(tok).map(|t| t.us).or_else(|| tok.parse::<u64>().ok())
+}
+
+/// Parses the single-machine subset of the fault-plan grammar. Actions
+/// that need the multi-mote simulator (and crash/reboot of motes other
+/// than 0) are noted on stderr and skipped, not rejected, so one plan
+/// file can serve both `ceuc run` and the WSN harness.
+fn parse_fault_plan(text: &str) -> Result<Vec<FaultAt>, String> {
+    let mut plan = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let note = |msg: String| eprintln!("ceuc: fault plan line {}: {msg}", lineno + 1);
+        let fail = |msg: &str| format!("fault plan line {}: {msg}", lineno + 1);
+        let mut it = line.split_whitespace();
+        let head = it.next().unwrap();
+        if head == "seed" {
+            continue; // randomness only matters in the multi-mote simulator
+        }
+        if head != "at" {
+            return Err(fail("expected `at <time> <action>`"));
+        }
+        let at_us = it.next().and_then(parse_time).ok_or_else(|| fail("bad time"))?;
+        match it.next().ok_or_else(|| fail("missing action"))? {
+            verb @ ("crash" | "reboot") => {
+                let mote = it.next().ok_or_else(|| fail("missing mote id"))?;
+                if mote != "0" {
+                    note(format!("mote {mote} does not exist in a single-machine run; ignored"));
+                    continue;
+                }
+                let cmd = match verb {
+                    "crash" => FaultCmd::Crash,
+                    _ => match (it.next(), it.next().and_then(parse_time)) {
+                        (Some("after"), Some(delay_us)) => FaultCmd::Reboot { delay_us },
+                        _ => return Err(fail("expected `reboot 0 after <delay>`")),
+                    },
+                };
+                plan.push(FaultAt { at_us, cmd });
+            }
+            verb @ ("partition" | "heal" | "loss" | "skew" | "drop-in-flight") => {
+                note(format!("`{verb}` needs the multi-mote simulator; ignored"));
+            }
+            other => return Err(fail(&format!("unknown action `{other}`"))),
+        }
+    }
+    plan.sort_by_key(|f| f.at_us);
+    Ok(plan)
+}
+
+/// Records a crash without aborting the run: graceful degradation means
+/// the machine powers off and the script keeps going (directives to a
+/// downed machine are dropped with a note).
+fn note_crash(crashed: &mut Option<(u64, String)>, at: u64, cause: String) {
+    eprintln!("ceuc: machine crashed at {at}us: {cause} (continuing powered off)");
+    *crashed = Some((at, cause));
+}
+
 fn exec_script(
     p: ceu::CompiledProgram,
     src: &str,
     script: &str,
     opts: &RunOpts,
-) -> Result<(), String> {
+) -> Result<ExitCode, String> {
+    let faults = match &opts.faults {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_fault_plan(&text)?
+        }
+        None => Vec::new(),
+    };
     // map original names to unique slots for `print`
     let names: Vec<String> = p.slots.iter().map(|s| s.name.clone()).collect();
-    let mut sim = Simulator::new(p, NullHost);
-    sim.machine_mut().use_tree_eval = opts.tree_eval;
-    if opts.profile {
-        sim.machine_mut().enable_profiling();
-    }
+    // shared artifact so a reboot can remint a fresh machine cheaply
+    let arc = std::sync::Arc::new(p);
+    let configure = |sim: &mut Simulator<NullHost>| {
+        sim.machine_mut().use_tree_eval = opts.tree_eval;
+        if opts.profile {
+            sim.machine_mut().enable_profiling();
+        }
+        if opts.metrics || opts.metrics_out.is_some() {
+            sim.enable_metrics();
+        }
+        if opts.max_reaction_us.is_some() || opts.max_tracks.is_some() {
+            sim.set_reaction_limits(opts.max_reaction_us, opts.max_tracks);
+        }
+    };
+    let mut sim = Simulator::from_arc(arc.clone(), NullHost);
+    configure(&mut sim);
 
     let sink = match opts.trace {
         Some(fmt) => {
@@ -212,22 +335,30 @@ fn exec_script(
         }
         None => None,
     };
-    if opts.metrics || opts.metrics_out.is_some() {
-        sim.enable_metrics();
-    }
-    if opts.max_reaction_us.is_some() || opts.max_tracks.is_some() {
-        sim.set_reaction_limits(opts.max_reaction_us, opts.max_tracks);
-    }
 
-    sim.start().map_err(|e| e.to_string())?;
+    // Degradation state. `clock` is the script's virtual time — it keeps
+    // advancing while the machine is down so a scheduled reboot lands at
+    // the right moment.
+    let mut clock = 0u64;
+    let mut crashed: Option<(u64, String)> = None;
+    let mut revive_at: Option<u64> = None;
+    let mut boots = 1u32;
+    let mut fault_idx = 0usize;
+
+    if let Err(e) = sim.start() {
+        note_crash(&mut crashed, sim.machine().now(), e.to_string());
+    }
     for (lineno, line) in script.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
+        let down_note = |what: &str| {
+            eprintln!("ceuc: script line {}: machine is down; {what} dropped", lineno + 1);
+        };
         let mut it = line.split_whitespace();
         let word = it.next().unwrap();
-        let res = match word {
+        match word {
             "event" => {
                 let name = it.next().ok_or_else(|| err(lineno, "event needs a name"))?;
                 let value = it
@@ -235,15 +366,76 @@ fn exec_script(
                     .map(|v| v.parse::<i64>().map(Value::Int))
                     .transpose()
                     .map_err(|_| err(lineno, "event value must be an integer"))?;
-                sim.event(name, value).map(|_| ()).map_err(|e| e.to_string())
+                if crashed.is_some() {
+                    down_note(&format!("`event {name}`"));
+                } else if let Err(e) = sim.event(name, value) {
+                    note_crash(&mut crashed, sim.machine().now(), e.to_string());
+                }
             }
             "time" => {
                 let t = it.next().ok_or_else(|| err(lineno, "time needs a duration"))?;
-                let us = ceu::ast::TimeSpec::parse(t)
-                    .map(|t| t.us)
-                    .or_else(|| t.parse::<u64>().ok())
-                    .ok_or_else(|| err(lineno, "bad duration"))?;
-                sim.advance_by(us).map(|_| ()).map_err(|e| e.to_string())
+                let us = parse_time(t).ok_or_else(|| err(lineno, "bad duration"))?;
+                let target = clock + us;
+                // apply scheduled faults and reboots at their exact times
+                // on the way to `target`
+                loop {
+                    let fault_at = faults.get(fault_idx).map(|f| f.at_us.max(clock));
+                    let pick_revive = match (revive_at, fault_at) {
+                        (Some(r), Some(f)) => r <= f,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    let at = match if pick_revive { revive_at } else { fault_at } {
+                        Some(at) if at <= target => at,
+                        _ => break,
+                    };
+                    if crashed.is_none() {
+                        if let Err(e) = sim.advance_to(at) {
+                            note_crash(&mut crashed, sim.machine().now(), e.to_string());
+                        }
+                    }
+                    clock = at;
+                    if pick_revive {
+                        revive_at = None;
+                        if crashed.is_some() {
+                            let mut fresh = Simulator::from_arc(arc.clone(), NullHost);
+                            configure(&mut fresh);
+                            // carry the clock forward before boot so the
+                            // previous life's timers do not replay
+                            if let Err(e) = fresh.machine_mut().go_time(at, &mut NullHost) {
+                                return Err(e.to_string());
+                            }
+                            sim = fresh;
+                            crashed = None;
+                            boots += 1;
+                            eprintln!("ceuc: machine rebooted at {at}us (boot #{boots})");
+                            if let Err(e) = sim.start() {
+                                note_crash(&mut crashed, at, e.to_string());
+                            }
+                        }
+                    } else {
+                        match faults[fault_idx].cmd {
+                            FaultCmd::Crash => {
+                                if crashed.is_none() {
+                                    note_crash(&mut crashed, at, "fault-injected crash".into());
+                                }
+                            }
+                            FaultCmd::Reboot { delay_us } => {
+                                if crashed.is_none() {
+                                    note_crash(&mut crashed, at, "fault-injected reboot".into());
+                                }
+                                revive_at = Some(at + delay_us.max(1));
+                            }
+                        }
+                        fault_idx += 1;
+                    }
+                }
+                if crashed.is_none() {
+                    if let Err(e) = sim.advance_to(target) {
+                        note_crash(&mut crashed, sim.machine().now(), e.to_string());
+                    }
+                }
+                clock = target;
             }
             "async" => {
                 let n: usize = it
@@ -251,26 +443,30 @@ fn exec_script(
                     .unwrap_or("1000")
                     .parse()
                     .map_err(|_| err(lineno, "bad slice count"))?;
-                sim.run_asyncs(n).map(|_| ()).map_err(|e| e.to_string())
+                if crashed.is_some() {
+                    down_note("`async`");
+                } else if let Err(e) = sim.run_asyncs(n) {
+                    note_crash(&mut crashed, sim.machine().now(), e.to_string());
+                }
             }
             "print" => {
                 let name = it.next().ok_or_else(|| err(lineno, "print needs a variable"))?;
+                if crashed.is_some() {
+                    down_note(&format!("`print {name}`"));
+                    continue;
+                }
                 let unique = names
                     .iter()
                     .find(|n| n.split('#').next() == Some(name))
                     .ok_or_else(|| err(lineno, &format!("no variable `{name}`")))?;
                 match sim.read_var(unique) {
-                    Some(v) => {
-                        println!("{name} = {v}");
-                        Ok(())
-                    }
-                    None => Err(err(lineno, "variable not readable")),
+                    Some(v) => println!("{name} = {v}"),
+                    None => return Err(err(lineno, "variable not readable")),
                 }
             }
-            other => Err(err(lineno, &format!("unknown directive `{other}`"))),
-        };
-        res?;
-        if sim.status().is_terminated() {
+            other => return Err(err(lineno, &format!("unknown directive `{other}`"))),
+        }
+        if crashed.is_none() && sim.status().is_terminated() {
             break;
         }
     }
@@ -278,30 +474,44 @@ fn exec_script(
         sink.lock().unwrap().finish();
     }
     if opts.metrics {
-        let m = sim.metrics().expect("metrics enabled").clone();
-        println!("--- metrics ---");
-        print!("{}", m.summary());
+        match sim.metrics() {
+            Some(m) => {
+                println!("--- metrics ---");
+                print!("{}", m.summary());
+            }
+            None => eprintln!("ceuc: metrics unavailable (machine never booted cleanly)"),
+        }
     }
     if let Some(path) = &opts.metrics_out {
-        let m = sim.metrics().expect("metrics enabled");
-        std::fs::write(path, m.to_json() + "\n")
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        match sim.metrics() {
+            Some(m) => std::fs::write(path, m.to_json() + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?,
+            None => eprintln!("ceuc: metrics unavailable; {path} not written"),
+        }
     }
     if opts.profile {
         let machine = sim.machine();
-        let profile = machine.profile().expect("profiling enabled");
-        println!("--- profile (hot statements) ---");
-        print!(
-            "{}",
-            ceu::runtime::render_hot_statements(src, &machine.program().debug, profile, 10)
-        );
+        match machine.profile() {
+            Some(profile) => {
+                println!("--- profile (hot statements) ---");
+                print!(
+                    "{}",
+                    ceu::runtime::render_hot_statements(src, &machine.program().debug, profile, 10)
+                );
+            }
+            None => eprintln!("ceuc: profile unavailable (machine never booted cleanly)"),
+        }
+    }
+    if let Some((at, cause)) = &crashed {
+        println!("crashed at {at}us: {cause}");
+        return Ok(ExitCode::from(2));
     }
     match sim.status() {
         ceu::Status::Terminated(Some(v)) => println!("terminated: {v}"),
         ceu::Status::Terminated(None) => println!("terminated"),
         ceu::Status::Running => println!("still reactive"),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn err(lineno: usize, msg: &str) -> String {

@@ -9,11 +9,21 @@ use std::fmt;
 pub struct RuntimeError {
     pub span: Span,
     pub message: String,
+    /// `true` when the error came from the reaction watchdog
+    /// ([`Machine::set_reaction_limits`](crate::Machine::set_reaction_limits))
+    /// rather than the program itself — fault-handling layers (the WSN
+    /// world's crash states) classify the two differently.
+    pub watchdog: bool,
 }
 
 impl RuntimeError {
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        RuntimeError { span, message: message.into() }
+        RuntimeError { span, message: message.into(), watchdog: false }
+    }
+
+    /// A watchdog trip (wall-clock or track budget exceeded).
+    pub fn watchdog_trip(span: Span, message: impl Into<String>) -> Self {
+        RuntimeError { span, message: message.into(), watchdog: true }
     }
 }
 

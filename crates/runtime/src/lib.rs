@@ -19,5 +19,5 @@ pub use telemetry::{
     render_hot_statements, BlockProfile, ChromeTraceSink, Histogram, JsonLinesSink, Metrics,
     ReactionSpan, SpanCollector, TextSink, TraceFormat, TraceSink,
 };
-pub use trace::{Cause, Collector, ReactionId, TraceEvent, Tracer};
+pub use trace::{Cause, Collector, CrashKind, ReactionId, TraceEvent, Tracer};
 pub use value::{Ptr, Value};

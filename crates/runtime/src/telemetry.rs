@@ -473,6 +473,12 @@ pub fn event_to_json(e: &TraceEvent) -> String {
             Some(v) => o.raw("value", &v.to_string()),
             None => o.raw("value", "null"),
         },
+        TraceEvent::MoteCrashed { kind, line, col } => {
+            o.str("kind", kind.label());
+            o.num("line", *line as u64);
+            o.num("col", *col as u64);
+        }
+        TraceEvent::MoteRebooted { boots } => o.num("boots", *boots as u64),
     }
     o.finish()
 }
@@ -645,6 +651,12 @@ impl<W: Write> TraceSink for TextSink<W> {
                 Some(v) => format!("             * terminated({v})"),
                 None => "             * terminated".to_string(),
             },
+            TraceEvent::MoteCrashed { kind, line, col } => {
+                format!("             ! mote crashed ({kind}) at {line}:{col}")
+            }
+            TraceEvent::MoteRebooted { boots } => {
+                format!("             * mote rebooted (boot {boots})")
+            }
         };
         let _ = writeln!(self.out, "{line}");
     }
@@ -785,6 +797,20 @@ impl<W: Write> TraceSink for ChromeTraceSink<W> {
                 }
                 let ts = self.last_wall_ns;
                 self.entry("terminated", 'i', ts, Some(args.finish()));
+            }
+            TraceEvent::MoteCrashed { kind, line, col } => {
+                let mut args = JsonObj::new();
+                args.str("kind", kind.label());
+                args.num("line", *line as u64);
+                args.num("col", *col as u64);
+                let ts = self.last_wall_ns;
+                self.entry("mote-crash", 'i', ts, Some(args.finish()));
+            }
+            TraceEvent::MoteRebooted { boots } => {
+                let mut args = JsonObj::new();
+                args.num("boots", *boots as u64);
+                let ts = self.last_wall_ns;
+                self.entry("mote-reboot", 'i', ts, Some(args.finish()));
             }
             // per-track/gate detail is too fine for the timeline view
             _ => {}

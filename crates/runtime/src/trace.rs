@@ -89,6 +89,37 @@ impl Cause {
     }
 }
 
+/// Why a mote's machine crashed. Recorded by the world-level fault
+/// handling (`wsn-sim`) in [`TraceEvent::MoteCrashed`] events and crash
+/// states; `Copy` so trace records stay `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashKind {
+    /// The machine surfaced an `Err(RuntimeError)` from a reaction.
+    RuntimeError,
+    /// The reaction watchdog
+    /// ([`set_reaction_limits`](crate::Machine::set_reaction_limits)) tripped.
+    Watchdog,
+    /// A fault plan took the mote down deliberately.
+    FaultInjected,
+}
+
+impl CrashKind {
+    /// Stable lowercase label (JSON wire format, text sinks).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashKind::RuntimeError => "runtime-error",
+            CrashKind::Watchdog => "watchdog",
+            CrashKind::FaultInjected => "fault-injected",
+        }
+    }
+}
+
+impl std::fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One trace record. Subscribed via [`Machine::set_tracer`](crate::Machine::set_tracer).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -153,6 +184,20 @@ pub enum TraceEvent {
     Terminated {
         value: Option<i64>,
     },
+    /// World-level: the mote hosting this machine crashed and degraded
+    /// gracefully (no process abort). `line`/`col` locate the failing
+    /// source statement for machine errors (`0:0` when unknown, e.g. a
+    /// fault-injected crash). Emitted by the simulator, not the machine.
+    MoteCrashed {
+        kind: CrashKind,
+        line: u32,
+        col: u32,
+    },
+    /// World-level: the mote restarted from a fresh machine with full
+    /// state loss. `boots` counts completed reboots (1 = first reboot).
+    MoteRebooted {
+        boots: u32,
+    },
 }
 
 impl TraceEvent {
@@ -169,6 +214,8 @@ impl TraceEvent {
             TraceEvent::BudgetExceeded { .. } => "BudgetExceeded",
             TraceEvent::ReactionEnd { .. } => "ReactionEnd",
             TraceEvent::Terminated { .. } => "Terminated",
+            TraceEvent::MoteCrashed { .. } => "MoteCrashed",
+            TraceEvent::MoteRebooted { .. } => "MoteRebooted",
         }
     }
 

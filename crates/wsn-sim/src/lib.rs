@@ -11,6 +11,7 @@
 //! * an **occam-analog** message-passing layer over the same scheduler.
 
 pub mod ceu_mote;
+pub mod faults;
 pub mod mantis;
 pub mod nesc;
 pub mod radio;
@@ -18,6 +19,7 @@ pub mod sched;
 pub mod world;
 
 pub use ceu_mote::{CeuMote, TosHost};
+pub use faults::{FaultAction, FaultEntry, FaultPlan, RebootPolicy};
 pub use mantis::{
     BlinkThread, MantisMote, OccamLedProc, OccamTimerProc, Step, ThreadBody, ThreadCtx,
 };
@@ -25,5 +27,6 @@ pub use nesc::NescApp;
 pub use radio::{Packet, Radio, RadioStats, Topology};
 pub use sched::EventHeap;
 pub use world::{
-    write_trace_jsonl, Backend, Leds, MoteCtx, MoteId, MoteStats, World, WorldTraceEvent,
+    write_trace_jsonl, Backend, CrashCause, Leds, MoteCtx, MoteId, MoteStats, MoteStatus, World,
+    WorldTraceEvent,
 };

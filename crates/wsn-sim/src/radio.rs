@@ -67,12 +67,38 @@ impl Topology {
 pub struct RadioStats {
     /// Transmissions offered to the medium.
     pub attempts: u64,
-    /// Transmissions that will arrive.
+    /// Transmissions that will arrive (barring an in-flight drop).
     pub delivered: u64,
     /// Dropped because no link exists or an endpoint is down.
     pub dropped_link: u64,
     /// Dropped by the probabilistic loss model.
     pub dropped_loss: u64,
+    /// Dropped because the endpoints were on opposite sides of an active
+    /// partition (fault injection).
+    pub dropped_partition: u64,
+    /// Dropped by a per-link loss burst (fault injection).
+    pub dropped_burst: u64,
+    /// Counted `delivered` at transmit time, but the destination went
+    /// down before arrival so the packet was discarded in flight.
+    pub dropped_in_flight: u64,
+}
+
+/// A temporary network split: no traffic crosses between group `a` and
+/// group `b` until virtual time `until_us` (exclusive).
+#[derive(Clone, Debug)]
+struct PartitionSpec {
+    a: Vec<bool>,
+    b: Vec<bool>,
+    until_us: u64,
+}
+
+/// A temporary elevated-loss window on one directed link.
+#[derive(Clone, Debug)]
+struct BurstSpec {
+    from: usize,
+    to: usize,
+    rate: f64,
+    until_us: u64,
 }
 
 /// The medium: decides whether and when a transmission arrives.
@@ -86,6 +112,11 @@ pub struct Radio {
     pub down: Vec<bool>,
     pub stats: RadioStats,
     rng: StdRng,
+    /// Active partitions (fault injection); expired entries are ignored
+    /// and pruned lazily.
+    partitions: Vec<PartitionSpec>,
+    /// Active per-link loss bursts (fault injection).
+    bursts: Vec<BurstSpec>,
 }
 
 impl Radio {
@@ -102,6 +133,8 @@ impl Radio {
             down: Vec::new(),
             stats: RadioStats::default(),
             rng: StdRng::seed_from_u64(seed),
+            partitions: Vec::new(),
+            bursts: Vec::new(),
         }
     }
 
@@ -117,6 +150,10 @@ impl Radio {
     }
 
     /// Marks a mote as failed (drops everything to/from it).
+    ///
+    /// The medium itself accepts any id (it has no mote roster); use
+    /// [`World::set_mote_down`](crate::world::World::set_mote_down) for a
+    /// validated, roster-aware version.
     pub fn set_down(&mut self, mote: usize, down: bool) {
         if self.down.len() <= mote {
             self.down.resize(mote + 1, false);
@@ -124,19 +161,77 @@ impl Radio {
         self.down[mote] = down;
     }
 
-    fn is_down(&self, mote: usize) -> bool {
+    /// Whether a mote is currently powered off.
+    pub fn is_down(&self, mote: usize) -> bool {
         self.down.get(mote).copied().unwrap_or(false)
     }
 
+    /// Splits the network: until `until_us`, nothing crosses between the
+    /// motes of `a` and the motes of `b` (both directions). Several
+    /// partitions may be active at once; [`heal`](Self::heal) clears all.
+    pub fn set_partition(&mut self, a: &[usize], b: &[usize], until_us: u64) {
+        let mask = |ids: &[usize]| {
+            let mut m = vec![false; ids.iter().max().map_or(0, |&x| x + 1)];
+            for &i in ids {
+                m[i] = true;
+            }
+            m
+        };
+        self.partitions.push(PartitionSpec { a: mask(a), b: mask(b), until_us });
+    }
+
+    /// Imposes an extra loss probability on one directed link until
+    /// `until_us` (a burst of interference on that hop).
+    pub fn set_link_loss(&mut self, from: usize, to: usize, rate: f64, until_us: u64) {
+        self.bursts.push(BurstSpec { from, to, rate, until_us });
+    }
+
+    /// Clears every active partition and loss burst (the network heals).
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+        self.bursts.clear();
+    }
+
+    /// Whether an active partition separates `from` and `to` at `now`.
+    fn partitioned(&self, now: u64, from: usize, to: usize) -> bool {
+        let side = |m: &[bool], i: usize| m.get(i).copied().unwrap_or(false);
+        self.partitions.iter().any(|p| {
+            now < p.until_us
+                && ((side(&p.a, from) && side(&p.b, to)) || (side(&p.b, from) && side(&p.a, to)))
+        })
+    }
+
     /// Returns the arrival time of the packet, or `None` if it is lost.
+    ///
+    /// Deterministic given the call order: the RNG is drawn only for the
+    /// probabilistic checks (base loss, then each active matching burst),
+    /// never for packets already dropped by a structural check, so the
+    /// sequential and parallel steppers consume the identical stream.
     pub fn transmit(&mut self, now: u64, from: usize, to: usize, _p: &Packet) -> Option<u64> {
         self.stats.attempts += 1;
         if self.is_down(from) || self.is_down(to) || !self.topology.connected(from, to) {
             self.stats.dropped_link += 1;
             return None;
         }
+        if self.partitioned(now, from, to) {
+            self.stats.dropped_partition += 1;
+            return None;
+        }
         if self.loss > 0.0 && self.rng.gen::<f64>() < self.loss {
             self.stats.dropped_loss += 1;
+            return None;
+        }
+        let mut burst_hit = false;
+        for i in 0..self.bursts.len() {
+            let b = &self.bursts[i];
+            if now < b.until_us && b.from == from && b.to == to {
+                // draw even after a hit: the stream must not depend on
+                // earlier bursts' outcomes
+                burst_hit |= self.rng.gen::<f64>() < self.bursts[i].rate;
+            }
+        }
+        if burst_hit {
+            self.stats.dropped_burst += 1;
             return None;
         }
         self.stats.delivered += 1;
@@ -168,6 +263,37 @@ mod tests {
         assert!(r.transmit(0, 0, 1, &p).is_none());
         r.set_down(1, false);
         assert!(r.transmit(0, 0, 1, &p).is_some());
+    }
+
+    #[test]
+    fn partitions_expire_and_heal() {
+        let mut r = Radio::ideal(10);
+        let p = Packet::with_value(0, 3, 1);
+        r.set_partition(&[0, 1], &[2, 3], 500);
+        assert_eq!(r.transmit(0, 0, 3, &p), None, "a→b blocked");
+        assert_eq!(r.transmit(0, 3, 1, &p), None, "b→a blocked");
+        assert!(r.transmit(0, 0, 1, &p).is_some(), "same side flows");
+        assert!(r.transmit(500, 0, 3, &p).is_some(), "expired at until");
+        r.set_partition(&[0], &[3], 1_000);
+        assert_eq!(r.transmit(600, 0, 3, &p), None);
+        r.heal();
+        assert!(r.transmit(600, 0, 3, &p).is_some(), "heal clears partitions");
+        assert_eq!(r.stats.dropped_partition, 3);
+    }
+
+    #[test]
+    fn link_loss_bursts_are_seeded_and_bounded() {
+        let p = Packet::with_value(0, 1, 1);
+        let run = || {
+            let mut r = Radio::new(Topology::Full, 10, 0.0, 11);
+            r.set_link_loss(0, 1, 0.5, 1_000);
+            (0..200u64).map(|t| r.transmit(t * 10, 0, 1, &p).is_some()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same burst losses");
+        let (in_burst, after): (Vec<_>, Vec<_>) = a.iter().enumerate().partition(|(i, _)| *i < 100);
+        assert!(in_burst.iter().any(|(_, ok)| !**ok), "the burst drops packets");
+        assert!(after.iter().all(|(_, ok)| **ok), "expired burst drops nothing");
     }
 
     #[test]

@@ -70,6 +70,30 @@ impl<T> EventHeap<T> {
         self.nodes.first().map(Node::key)
     }
 
+    /// The next event to fire — key and a borrow of its payload — without
+    /// removing it. Lets the world decide whether the head needs special
+    /// handling (fault barriers) before committing to a pop.
+    pub fn peek(&self) -> Option<(u64, u64, &T)> {
+        self.nodes.first().map(|n| (n.at, n.seq, &n.item))
+    }
+
+    /// Keeps only the events for which `keep` returns `true`, restoring
+    /// the heap invariant afterwards (O(n) heapify). Returns how many
+    /// events were removed. Used by fault injection to drop in-flight
+    /// deliveries deterministically.
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, u64, &T) -> bool) -> usize {
+        let before = self.nodes.len();
+        self.nodes.retain(|n| keep(n.at, n.seq, &n.item));
+        let n = self.nodes.len();
+        if n > 1 {
+            // heapify from the last parent down (4-ary: parent of i is (i-1)/4)
+            for i in (0..=(n - 2) / 4).rev() {
+                self.sift_down(i);
+            }
+        }
+        before - n
+    }
+
     pub fn push(&mut self, at: u64, seq: u64, item: T) {
         self.nodes.push(Node { at, seq, item });
         self.sift_up(self.nodes.len() - 1);
@@ -170,6 +194,26 @@ mod tests {
         // full final drain covers the interesting case
         let tail = &popped[popped.len() - 5_000..];
         assert!(tail.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn retain_filters_and_restores_heap_order() {
+        let mut h = EventHeap::new();
+        let mut state = 0xdeadbeefcafef00du64;
+        for seq in 0..1_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.push(state >> 48, seq, seq);
+        }
+        assert_eq!(h.peek().map(|(at, seq, _)| (at, seq)), h.peek_key());
+        let removed = h.retain(|_, _, item| item % 3 != 0);
+        assert_eq!(removed, 334, "seqs 0,3,…,999");
+        let mut drained = Vec::new();
+        while let Some((at, seq, item)) = h.pop() {
+            assert_ne!(item % 3, 0);
+            drained.push((at, seq));
+        }
+        assert_eq!(drained.len(), 666);
+        assert!(drained.windows(2).all(|w| w[0] < w[1]), "still pops in key order");
     }
 
     #[test]

@@ -6,12 +6,66 @@
 //! (§2.8) justifies the substitution — a reactive program's behaviour
 //! depends only on the order of its input events.
 
+use crate::faults::{FaultAction, FaultEntry, FaultPlan, RebootPolicy};
 use crate::radio::{Packet, Radio};
 use crate::sched::EventHeap;
-use ceu::runtime::TraceEvent;
+use ceu::ast::Span;
+use ceu::runtime::{CrashKind, RuntimeError, TraceEvent};
 
 /// Node id within a network.
 pub type MoteId = usize;
+
+/// Why a mote crashed: classification, human-readable message, and the
+/// source position of the failing statement (when the machine knows it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashCause {
+    pub kind: CrashKind,
+    pub message: String,
+    pub span: Span,
+}
+
+impl CrashCause {
+    /// Classifies a machine error (watchdog trips vs program errors).
+    pub fn from_error(e: &RuntimeError) -> Self {
+        CrashCause {
+            kind: if e.watchdog { CrashKind::Watchdog } else { CrashKind::RuntimeError },
+            message: e.message.clone(),
+            span: e.span,
+        }
+    }
+
+    /// A deliberate fault-plan crash.
+    pub fn injected() -> Self {
+        CrashCause {
+            kind: CrashKind::FaultInjected,
+            message: "fault plan took the mote down".into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for CrashCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.span, self.message)
+    }
+}
+
+/// Whether a mote is running or crashed (graceful degradation: a failing
+/// machine takes its mote down, never the process).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum MoteStatus {
+    #[default]
+    Up,
+    /// The mote went down at virtual time `at` for `cause`. It drops all
+    /// traffic, timers and CPU slices until a reboot (if any) revives it.
+    Crashed { at: u64, cause: CrashCause },
+}
+
+impl MoteStatus {
+    pub fn is_up(&self) -> bool {
+        matches!(self, MoteStatus::Up)
+    }
+}
 
 /// One VM trace event situated in the world: which mote emitted it, at
 /// what virtual time, and where it falls in that mote's own event order.
@@ -69,6 +123,71 @@ pub enum Fire {
     Timer { mote: MoteId },
     /// Grant a CPU slice to a mote (long computations / threads).
     Cpu { mote: MoteId },
+    /// Apply the fault-plan entry at this index. A *world event*: it
+    /// mutates shared state (radio, mote status), so the parallel stepper
+    /// treats it as a barrier between windows — which is exactly what
+    /// makes fault timing identical at any thread count.
+    Fault { index: usize },
+    /// Restart a crashed mote (world event / barrier, like `Fault`).
+    Reboot { mote: MoteId },
+}
+
+/// World events mutate shared state and therefore never run inside a
+/// parallel worker window.
+fn is_world_fire(f: &Fire) -> bool {
+    matches!(f, Fire::Fault { .. } | Fire::Reboot { .. })
+}
+
+/// Events at equal virtual times fire in *lane* order: world events
+/// (faults, reboots) first, then motes by id. This is the same canonical
+/// `(time, mote, emission)` order the parallel merge applies, which is
+/// what makes [`World::run_until`] and [`World::run_until_parallel`]
+/// bit-identical even when same-instant events land on different motes
+/// (equal-time, same-lane events keep their scheduling order).
+fn lane_of(f: &Fire) -> u64 {
+    match f {
+        Fire::Fault { .. } | Fire::Reboot { .. } => 0,
+        Fire::Deliver { to, .. } => *to as u64 + 1,
+        Fire::Timer { mote } | Fire::Cpu { mote } => *mote as u64 + 1,
+    }
+}
+
+/// Packs `(lane, seq)` into the event heap's one-word tie-breaker: lane
+/// in the high bits, the monotone scheduling counter in the low 40 (room
+/// for ~10¹² events and ~10⁷ motes — far beyond any simulated world).
+fn order_key(lane: u64, seq: u64) -> u64 {
+    debug_assert!(lane < 1 << 24 && seq < 1 << 40);
+    (lane << 40) | seq
+}
+
+/// The mote-local (drifted) view of world time `t` under `ppm` skew.
+fn skewed(t: u64, ppm: i64) -> u64 {
+    if ppm == 0 {
+        return t;
+    }
+    let adj = (t as i128 * ppm as i128) / 1_000_000;
+    (t as i128 + adj).max(0) as u64
+}
+
+/// Inverse of [`skewed`]: the earliest world time at which the mote's
+/// local clock has reached `local`. The floor estimate is corrected
+/// upward until `skewed(w) >= local` — if the returned time fell short
+/// (integer rounding), the timer gate would not fire and the mote would
+/// re-arm the identical request at the same instant forever.
+fn unskew(local: u64, ppm: i64) -> u64 {
+    if ppm == 0 {
+        return local;
+    }
+    let denom = 1_000_000i128 + ppm as i128;
+    if denom <= 0 {
+        return local; // a -1e6 ppm clock never advances; don't divide by ≤0
+    }
+    let mut w = ((local as i128 * 1_000_000) / denom).max(0) as u64;
+    while skewed(w, ppm) < local {
+        let deficit = (local - skewed(w, ppm)) as i128;
+        w += ((deficit * 1_000_000) / denom).max(1) as u64;
+    }
+    w
 }
 
 /// The environment handle passed to application backends.
@@ -87,6 +206,9 @@ pub struct MoteCtx<'w> {
     /// into the unified world trace (see [`WorldTraceEvent`]) after the
     /// callback returns. Backends that don't trace leave it empty.
     pub vm_events: Vec<TraceEvent>,
+    /// Set via [`MoteCtx::fail`]: the backend's machine failed and the
+    /// mote should crash instead of aborting the process.
+    failure: Option<CrashCause>,
 }
 
 impl MoteCtx<'_> {
@@ -99,6 +221,23 @@ impl MoteCtx<'_> {
             Some(t) => t.min(at),
             None => at,
         });
+    }
+
+    /// Reports that the backend failed mid-callback (a machine
+    /// `RuntimeError`, a watchdog trip). The world transitions the mote
+    /// to [`MoteStatus::Crashed`] after the callback returns — graceful
+    /// degradation instead of a panic. The failing callback's pending
+    /// effects (sends, timer/CPU requests) are discarded; trace events
+    /// produced before the failure are kept. The first failure wins.
+    pub fn fail(&mut self, cause: CrashCause) {
+        if self.failure.is_none() {
+            self.failure = Some(cause);
+        }
+    }
+
+    /// Whether [`fail`](Self::fail) was called during this callback.
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
     }
 }
 
@@ -150,6 +289,13 @@ pub trait Backend: Send {
     fn timer(&mut self, ctx: &mut MoteCtx);
     /// One CPU slice was granted; runs a bounded amount of computation.
     fn cpu(&mut self, ctx: &mut MoteCtx);
+    /// Restart after a crash: come back as a freshly-booted instance with
+    /// full state loss. The default boots again without resetting state;
+    /// stateful backends override it (see `CeuMote`, which rebuilds its
+    /// machine from the shared program artifact).
+    fn reboot(&mut self, ctx: &mut MoteCtx) {
+        self.boot(ctx)
+    }
 }
 
 struct MoteSlot {
@@ -161,6 +307,27 @@ struct MoteSlot {
     stats: MoteStats,
     /// Per-mote world-trace emission counter (see [`WorldTraceEvent::seq`]).
     trace_seq: u64,
+    status: MoteStatus,
+    /// Clock skew (ppm) applied to this mote's view of time.
+    skew_ppm: i64,
+    /// Lifetime crash count (drives the reboot policy's backoff).
+    crashes: u32,
+}
+
+impl MoteSlot {
+    fn empty() -> Self {
+        MoteSlot {
+            backend: Box::new(Inert),
+            leds: Leds::default(),
+            timer_at: None,
+            cpu_scheduled: false,
+            stats: MoteStats::default(),
+            trace_seq: 0,
+            status: MoteStatus::Up,
+            skew_ppm: 0,
+            crashes: 0,
+        }
+    }
 }
 
 /// Simulation statistics.
@@ -169,6 +336,10 @@ pub struct Stats {
     pub delivered: u64,
     pub lost: u64,
     pub cpu_slices: u64,
+    /// Packets the medium had accepted that were discarded at arrival
+    /// time because the destination had crashed or powered off while the
+    /// packet was in flight.
+    pub dropped_in_flight: u64,
 }
 
 /// Per-mote statistics (the network-wide aggregates live in [`Stats`]).
@@ -181,10 +352,17 @@ pub struct MoteStats {
     /// Packets this mote sent that the medium dropped (loss, partition,
     /// or a downed endpoint).
     pub lost: u64,
+    /// Packets addressed to this mote that were discarded at arrival
+    /// because it was down when they landed (in-flight drops).
+    pub dropped_in_flight: u64,
     /// Timer callbacks delivered.
     pub timer_firings: u64,
     /// CPU slices granted.
     pub cpu_slices: u64,
+    /// Times this mote crashed (runtime error, watchdog, or fault plan).
+    pub crashes: u64,
+    /// Times this mote rebooted after a crash.
+    pub reboots: u64,
 }
 
 /// The network simulator.
@@ -208,6 +386,16 @@ pub struct World {
     window_batches: Vec<WindowBatch>,
     /// Cross-window send merge buffer, reused across parallel windows.
     merge_sends: Vec<(u64, MoteId, usize, MoteId, Packet)>,
+    /// Fault-plan entries, indexed by [`Fire::Fault`]. Append-only so the
+    /// indices stay stable across multiple [`World::set_fault_plan`] calls.
+    fault_entries: Vec<FaultEntry>,
+    /// What happens after a crash (applies to machine crashes; plan-driven
+    /// `Reboot` actions carry their own delay).
+    reboot_policy: RebootPolicy,
+    /// Sorted multiset of pending *world event* times (faults, reboots).
+    /// The parallel stepper clips every window at the earliest of these so
+    /// shared-state mutations happen between windows, at exact times.
+    world_times: Vec<u64>,
 }
 
 impl World {
@@ -223,6 +411,9 @@ impl World {
             trace: None,
             window_batches: Vec::new(),
             merge_sends: Vec::new(),
+            fault_entries: Vec::new(),
+            reboot_policy: RebootPolicy::default(),
+            world_times: Vec::new(),
         }
     }
 
@@ -260,14 +451,9 @@ impl World {
 
     pub fn add_mote(&mut self, backend: Box<dyn Backend>) -> MoteId {
         let id = self.motes.len();
-        self.motes.push(MoteSlot {
-            backend,
-            leds: Leds::default(),
-            timer_at: None,
-            cpu_scheduled: false,
-            stats: MoteStats::default(),
-            trace_seq: 0,
-        });
+        let mut slot = MoteSlot::empty();
+        slot.backend = backend;
+        self.motes.push(slot);
         id
     }
 
@@ -287,7 +473,207 @@ impl World {
     fn schedule(&mut self, at: u64, fire: Fire) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         self.seq += 1;
-        self.queue.push(at, self.seq, fire);
+        let key = order_key(lane_of(&fire), self.seq);
+        self.queue.push(at, key, fire);
+    }
+
+    /// Schedules a *world event* (fault / reboot): also records its time
+    /// so the parallel stepper can clip windows at it.
+    fn schedule_world(&mut self, at: u64, fire: Fire) {
+        debug_assert!(is_world_fire(&fire));
+        let pos = self.world_times.partition_point(|&t| t <= at);
+        self.world_times.insert(pos, at);
+        self.schedule(at, fire);
+    }
+
+    /// The time of the earliest pending world event, if any.
+    fn next_world_at(&self) -> Option<u64> {
+        self.world_times.first().copied()
+    }
+
+    /// Removes one occurrence of `at` from the pending world-event times
+    /// (called when the corresponding firing pops).
+    fn consume_world_time(&mut self, at: u64) {
+        if let Some(pos) = self.world_times.iter().position(|&t| t == at) {
+            self.world_times.remove(pos);
+        }
+    }
+
+    /// Installs a fault plan: each entry is applied at exactly its
+    /// scheduled virtual time, in both the sequential and the parallel
+    /// stepper (where it acts as a window barrier, so fault timing is
+    /// identical at any thread count). Entries whose time has already
+    /// passed apply at the current time. Several plans may be installed;
+    /// their entries interleave by time.
+    ///
+    /// Fails if the plan names a mote the world doesn't have.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        if let Some(max) = plan.max_mote() {
+            if max >= self.motes.len() {
+                return Err(format!(
+                    "fault plan names mote {max}, but the world has only {} motes",
+                    self.motes.len()
+                ));
+            }
+        }
+        for entry in plan.entries() {
+            let index = self.fault_entries.len();
+            self.fault_entries.push(entry.clone());
+            let at = entry.at_us.max(self.now);
+            self.schedule_world(at, Fire::Fault { index });
+        }
+        Ok(())
+    }
+
+    /// What happens after a machine crash (runtime error / watchdog).
+    /// Plan-driven `Reboot` actions carry their own delay and ignore this.
+    pub fn set_reboot_policy(&mut self, policy: RebootPolicy) {
+        self.reboot_policy = policy;
+    }
+
+    /// Whether a mote is up or crashed (and why).
+    pub fn mote_status(&self, mote: MoteId) -> &MoteStatus {
+        &self.motes[mote].status
+    }
+
+    /// Powers a mote's radio off/on, validating the id against the mote
+    /// roster (unlike [`Radio::set_down`], which silently grows its `down`
+    /// vector for any index).
+    pub fn set_mote_down(&mut self, mote: MoteId, down: bool) -> Result<(), String> {
+        if mote >= self.motes.len() {
+            return Err(format!(
+                "mote {mote} does not exist (the world has {} motes)",
+                self.motes.len()
+            ));
+        }
+        self.radio.set_down(mote, down);
+        Ok(())
+    }
+
+    /// A reboot may never land inside the discovery window of the crash:
+    /// clamping the delay to at least the radio lookahead (and ≥ 1 µs)
+    /// keeps reboot timing a clean window barrier, identical in the
+    /// sequential and parallel steppers.
+    fn effective_reboot_delay(&self, delay: u64) -> u64 {
+        delay.max(1).max(self.radio.min_latency())
+    }
+
+    /// Stamps one world-originated trace event (crash / reboot) for a
+    /// mote. Bumps the per-mote `seq` even when tracing is off, keeping
+    /// the counter in step with the parallel path.
+    fn emit_world_event(&mut self, mote: MoteId, event: TraceEvent) {
+        let now = self.now;
+        let slot = &mut self.motes[mote];
+        slot.trace_seq += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(WorldTraceEvent {
+                world_time_us: now,
+                mote,
+                seq: slot.trace_seq,
+                event: event.normalized(),
+            });
+        }
+    }
+
+    /// Transitions a mote to `Crashed` at the current time: drops its
+    /// pending timer/CPU bookkeeping, powers its radio off, emits a
+    /// `MoteCrashed` trace event, and (per the reboot policy, or
+    /// `reboot_override` for plan-driven crashes) schedules the reboot.
+    fn crash_mote(&mut self, mote: MoteId, cause: CrashCause, reboot_override: Option<u64>) {
+        if !self.motes[mote].status.is_up() {
+            return;
+        }
+        let event = TraceEvent::MoteCrashed {
+            kind: cause.kind,
+            line: cause.span.line,
+            col: cause.span.col,
+        };
+        let slot = &mut self.motes[mote];
+        slot.status = MoteStatus::Crashed { at: self.now, cause };
+        slot.crashes += 1;
+        slot.stats.crashes += 1;
+        slot.timer_at = None;
+        slot.cpu_scheduled = false;
+        let nth = slot.crashes;
+        self.emit_world_event(mote, event);
+        self.radio.set_down(mote, true);
+        let delay = reboot_override.or_else(|| self.reboot_policy.delay_for(nth));
+        if let Some(d) = delay {
+            let at = self.now + self.effective_reboot_delay(d);
+            self.schedule_world(at, Fire::Reboot { mote });
+        }
+    }
+
+    /// The world-side effects of a crash discovered during a parallel
+    /// window merge: the slot itself was already mutated by the worker,
+    /// so only the shared state (radio, reboot schedule) remains.
+    fn apply_crash_world_effects(&mut self, mote: MoteId, crash_at: u64) {
+        self.radio.set_down(mote, true);
+        let nth = self.motes[mote].crashes;
+        if let Some(d) = self.reboot_policy.delay_for(nth) {
+            let at = crash_at + self.effective_reboot_delay(d);
+            self.schedule_world(at.max(self.now), Fire::Reboot { mote });
+        }
+    }
+
+    /// Counts packets that the medium had accepted but that landed on a
+    /// downed mote (dropped in flight).
+    fn note_in_flight_drops(&mut self, mote: MoteId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.dropped_in_flight += n;
+        self.motes[mote].stats.dropped_in_flight += n;
+        self.radio.stats.dropped_in_flight += n;
+    }
+
+    /// Applies one fault-plan entry at its scheduled time.
+    fn apply_fault(&mut self, index: usize) {
+        let entry = self.fault_entries[index].clone();
+        match entry.action {
+            FaultAction::Crash { mote } => {
+                self.crash_mote(mote, CrashCause::injected(), None);
+            }
+            FaultAction::Reboot { mote, delay_us } => {
+                if self.motes[mote].status.is_up() {
+                    // crash-then-reboot in one action
+                    self.crash_mote(mote, CrashCause::injected(), Some(delay_us));
+                } else {
+                    let at = self.now + self.effective_reboot_delay(delay_us);
+                    self.schedule_world(at, Fire::Reboot { mote });
+                }
+            }
+            FaultAction::Partition { ref group_a, ref group_b, until_us } => {
+                self.radio.set_partition(group_a, group_b, until_us);
+            }
+            FaultAction::Heal => self.radio.heal(),
+            FaultAction::LossBurst { from, to, rate, until_us } => {
+                self.radio.set_link_loss(from, to, rate, until_us);
+            }
+            FaultAction::ClockSkew { mote, ppm } => {
+                self.motes[mote].skew_ppm = ppm;
+            }
+            FaultAction::DropInFlight { mote } => {
+                let dropped = self
+                    .queue
+                    .retain(|_, _, f| !matches!(f, Fire::Deliver { to, .. } if *to == mote));
+                self.note_in_flight_drops(mote, dropped as u64);
+            }
+        }
+    }
+
+    /// Revives a crashed mote: radio back up, `MoteRebooted` trace event,
+    /// then the backend's `reboot` callback (fresh boot with state loss).
+    fn apply_reboot(&mut self, mote: MoteId) {
+        if self.motes[mote].status.is_up() {
+            return; // a stale reboot (mote was already revived)
+        }
+        self.motes[mote].status = MoteStatus::Up;
+        self.motes[mote].stats.reboots += 1;
+        self.radio.set_down(mote, false);
+        let boots = self.motes[mote].crashes + 1;
+        self.emit_world_event(mote, TraceEvent::MoteRebooted { boots });
+        self.with_ctx(mote, |backend, ctx| backend.reboot(ctx));
     }
 
     /// Boots every mote (virtual time 0).
@@ -307,23 +693,41 @@ impl World {
             self.now = at;
             match fire {
                 Fire::Deliver { to, packet } => {
+                    // the destination may have gone down while the packet
+                    // was in flight: discard at arrival, don't wake it
+                    if !self.motes[to].status.is_up() || self.radio.is_down(to) {
+                        self.note_in_flight_drops(to, 1);
+                        continue;
+                    }
                     self.stats.delivered += 1;
                     self.motes[to].stats.received += 1;
                     self.with_ctx(to, |backend, ctx| backend.deliver(ctx, packet));
                 }
                 Fire::Timer { mote } => {
-                    // stale timer? (the mote re-requested a different time)
-                    if self.motes[mote].timer_at == Some(at) {
+                    // stale timer? (the mote re-requested a different time,
+                    // or crashed — a crash clears `timer_at`)
+                    if self.motes[mote].timer_at == Some(at) && self.motes[mote].status.is_up() {
                         self.motes[mote].timer_at = None;
                         self.motes[mote].stats.timer_firings += 1;
                         self.with_ctx(mote, |backend, ctx| backend.timer(ctx));
                     }
                 }
                 Fire::Cpu { mote } => {
+                    if !self.motes[mote].status.is_up() {
+                        continue; // crash cleared `cpu_scheduled` already
+                    }
                     self.stats.cpu_slices += 1;
                     self.motes[mote].stats.cpu_slices += 1;
                     self.motes[mote].cpu_scheduled = false;
                     self.with_ctx(mote, |backend, ctx| backend.cpu(ctx));
+                }
+                Fire::Fault { index } => {
+                    self.consume_world_time(at);
+                    self.apply_fault(index);
+                }
+                Fire::Reboot { mote } => {
+                    self.consume_world_time(at);
+                    self.apply_reboot(mote);
                 }
             }
         }
@@ -359,7 +763,29 @@ impl World {
                 Some((at, _)) if at <= deadline => at,
                 _ => break,
             };
-            let run_end = (window_start + lookahead).min(deadline.saturating_add(1));
+            // World events (faults, reboots) mutate shared state, so they
+            // run as *barriers* between windows, on the simulation thread,
+            // at their exact virtual time — the same instant the
+            // sequential stepper applies them.
+            if let Some((at, _, fire)) = self.queue.peek() {
+                if at == window_start && is_world_fire(fire) {
+                    let (at, _, fire) = self.queue.pop().unwrap();
+                    self.now = at;
+                    self.consume_world_time(at);
+                    match fire {
+                        Fire::Fault { index } => self.apply_fault(index),
+                        Fire::Reboot { mote } => self.apply_reboot(mote),
+                        _ => unreachable!("is_world_fire"),
+                    }
+                    continue;
+                }
+            }
+            // Clip the window at the next world event so no worker steps
+            // past a pending fault/reboot.
+            let mut run_end = (window_start + lookahead).min(deadline.saturating_add(1));
+            if let Some(world_at) = self.next_world_at() {
+                run_end = run_end.min(world_at.max(window_start + 1));
+            }
 
             // Drain this window's events into per-mote batches. The outer
             // buffer persists across windows; the inner `Vec`s are taken
@@ -367,15 +793,26 @@ impl World {
             if self.window_batches.len() < self.motes.len() {
                 self.window_batches.resize_with(self.motes.len(), Vec::new);
             }
-            while let Some((at, _)) = self.queue.peek_key() {
-                if at >= run_end {
+            while let Some((at, _, fire)) = self.queue.peek() {
+                if at >= run_end || is_world_fire(fire) {
                     break;
                 }
                 let (at, seq, fire) = self.queue.pop().unwrap();
                 let mote = match &fire {
                     Fire::Deliver { to, .. } => *to,
                     Fire::Timer { mote } | Fire::Cpu { mote } => *mote,
+                    Fire::Fault { .. } | Fire::Reboot { .. } => unreachable!("world fire"),
                 };
+                // Mirror of the sequential arrival check: a delivery to a
+                // mote that is down *now* (world state is constant between
+                // barriers) drops here; in-window crashes are handled by
+                // the worker's own status check.
+                if matches!(&fire, Fire::Deliver { .. })
+                    && (!self.motes[mote].status.is_up() || self.radio.is_down(mote))
+                {
+                    self.note_in_flight_drops(mote, 1);
+                    continue;
+                }
                 self.window_batches[mote].push((at, seq, fire));
             }
 
@@ -388,17 +825,7 @@ impl World {
                 if batch.is_empty() {
                     continue;
                 }
-                let slot = std::mem::replace(
-                    &mut self.motes[id],
-                    MoteSlot {
-                        backend: Box::new(Inert),
-                        leds: Leds::default(),
-                        timer_at: None,
-                        cpu_scheduled: false,
-                        stats: MoteStats::default(),
-                        trace_seq: 0,
-                    },
-                );
+                let slot = std::mem::replace(&mut self.motes[id], MoteSlot::empty());
                 work.push((id, slot, batch));
             }
             let workers = threads.min(work.len()).max(1);
@@ -454,11 +881,22 @@ impl World {
             // merge buffer is reused window-to-window (drained, not moved).
             self.now = run_end.saturating_sub(1).max(self.now);
             let mut sends = std::mem::take(&mut self.merge_sends);
+            // In-window crashes, keyed like sends: `(crash time, mote,
+            // emission index at crash)`. Their world-side effects (radio
+            // down, reboot schedule) interleave with the send sweep below
+            // so the radio sees the identical state sequence — and draws
+            // the identical RNG stream — as the sequential stepper.
+            let mut crashes: Vec<(u64, MoteId, usize)> = Vec::new();
             for out in outs {
                 self.stats.delivered += out.delivered;
                 self.stats.cpu_slices += out.cpu_slices;
+                self.stats.dropped_in_flight += out.dropped_in_flight;
+                self.radio.stats.dropped_in_flight += out.dropped_in_flight;
                 if let Some(trace) = self.trace.as_mut() {
                     trace.extend(out.trace);
+                }
+                if let Some((crash_at, sends_before)) = out.crashed {
+                    crashes.push((crash_at, out.id, sends_before));
                 }
                 for (i, (at, to, packet)) in out.sends.into_iter().enumerate() {
                     sends.push((at, out.id, i, to, packet));
@@ -471,14 +909,27 @@ impl World {
                 }
                 self.motes[out.id] = out.slot;
             }
+            crashes.sort_unstable();
+            let mut crashes = crashes.into_iter().peekable();
             sends.sort_unstable_by_key(|a| (a.0, a.1, a.2));
-            for (at, from, _, to, packet) in sends.drain(..) {
+            for (at, from, i, to, packet) in sends.drain(..) {
+                while let Some(&(c_at, c_mote, c_i)) = crashes.peek() {
+                    if (c_at, c_mote, c_i) <= (at, from, i) {
+                        self.apply_crash_world_effects(c_mote, c_at);
+                        crashes.next();
+                    } else {
+                        break;
+                    }
+                }
                 if let Some(arrival) = self.radio.transmit(at, from, to, &packet) {
                     self.schedule(arrival, Fire::Deliver { to, packet });
                 } else {
                     self.stats.lost += 1;
                     self.motes[from].stats.lost += 1;
                 }
+            }
+            for (c_at, c_mote, _) in crashes {
+                self.apply_crash_world_effects(c_mote, c_at);
             }
             self.merge_sends = sends;
         }
@@ -489,21 +940,24 @@ impl World {
     /// requests, CPU requests).
     fn with_ctx(&mut self, id: MoteId, f: impl FnOnce(&mut dyn Backend, &mut MoteCtx)) {
         let slot = &mut self.motes[id];
+        let skew = slot.skew_ppm;
         let mut backend = std::mem::replace(&mut slot.backend, Box::new(Inert));
         let mut ctx = MoteCtx {
             id,
-            now: self.now,
+            now: skewed(self.now, skew),
             leds: &mut slot.leds,
             outbox: Vec::new(),
             timer_request: None,
             wants_cpu: false,
             vm_events: Vec::new(),
+            failure: None,
         };
         f(backend.as_mut(), &mut ctx);
         let outbox = std::mem::take(&mut ctx.outbox);
         let timer_request = ctx.timer_request;
         let wants_cpu = ctx.wants_cpu;
         let vm_events = std::mem::take(&mut ctx.vm_events);
+        let failure = ctx.failure.take();
         self.motes[id].backend = backend;
         {
             let now = self.now;
@@ -525,6 +979,12 @@ impl World {
                 slot.trace_seq += vm_events.len() as u64;
             }
         }
+        if let Some(cause) = failure {
+            // graceful degradation: the failing callback's pending effects
+            // (sends, timer/CPU requests) die with the mote
+            self.crash_mote(id, cause, None);
+            return;
+        }
         for (to, packet) in outbox {
             self.motes[id].stats.sent += 1;
             if let Some(arrival) = self.radio.transmit(self.now, id, to, &packet) {
@@ -535,7 +995,8 @@ impl World {
             }
         }
         if let Some(at) = timer_request {
-            let at = at.max(self.now);
+            // the backend asked in its own (skewed) clock; convert back
+            let at = unskew(at, skew).max(self.now);
             let better = match self.motes[id].timer_at {
                 Some(t) => at < t,
                 None => true,
@@ -569,6 +1030,14 @@ struct WindowOut {
     /// World-trace events produced inside the window, already stamped
     /// with `(world_time_us, mote, seq)`.
     trace: Vec<WorldTraceEvent>,
+    /// The mote crashed inside the window: `(crash time, how many sends
+    /// it had emitted first)`. The merge applies the shared-state effects
+    /// (radio down, reboot schedule) at exactly that point of the
+    /// deterministic `(time, mote, emission)` sweep.
+    crashed: Option<(u64, usize)>,
+    /// Deliveries discarded inside the window because the mote had
+    /// crashed earlier in the same window.
+    dropped_in_flight: u64,
 }
 
 /// Renders a caught panic payload for re-raising with mote context.
@@ -611,24 +1080,28 @@ fn run_mote_window(
     let mut seq = seq_base;
     let mut out = WindowOut {
         id,
-        slot: MoteSlot {
-            backend: Box::new(Inert),
-            leds: Leds::default(),
-            timer_at: None,
-            cpu_scheduled: false,
-            stats: MoteStats::default(),
-            trace_seq: 0,
-        },
+        slot: MoteSlot::empty(),
         sends: Vec::new(),
         timers_after: Vec::new(),
         cpus_after: Vec::new(),
         delivered: 0,
         cpu_slices: 0,
         trace: Vec::new(),
+        crashed: None,
+        dropped_in_flight: 0,
     };
     while let Some((at, _, fire)) = queue.pop() {
         debug_assert!(at < run_end);
         let now = at;
+        if !slot.status.is_up() {
+            // crashed earlier in this window: deliveries drop in flight,
+            // timers/CPU slices vanish (mirrors the sequential stepper)
+            if matches!(fire, Fire::Deliver { .. }) {
+                out.dropped_in_flight += 1;
+                slot.stats.dropped_in_flight += 1;
+            }
+            continue;
+        }
         let (run, packet): (Option<FireFn>, Option<Packet>) = match fire {
             Fire::Deliver { packet, .. } => {
                 out.delivered += 1;
@@ -660,22 +1133,27 @@ fn run_mote_window(
                 slot.cpu_scheduled = false;
                 (Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, _: Option<Packet>| b.cpu(ctx)), None)
             }
+            Fire::Fault { .. } | Fire::Reboot { .. } => {
+                unreachable!("world fires never enter a window batch")
+            }
         };
         let Some(run) = run else { continue };
         let mut ctx = MoteCtx {
             id,
-            now,
+            now: skewed(now, slot.skew_ppm),
             leds: &mut slot.leds,
             outbox: Vec::new(),
             timer_request: None,
             wants_cpu: false,
             vm_events: Vec::new(),
+            failure: None,
         };
         run(slot.backend.as_mut(), &mut ctx, packet);
         let outbox = std::mem::take(&mut ctx.outbox);
         let timer_request = ctx.timer_request;
         let wants_cpu = ctx.wants_cpu;
         let vm_events = std::mem::take(&mut ctx.vm_events);
+        let failure = ctx.failure.take();
         for event in vm_events {
             slot.trace_seq += 1;
             out.trace.push(WorldTraceEvent {
@@ -685,12 +1163,36 @@ fn run_mote_window(
                 event: event.normalized(),
             });
         }
+        if let Some(cause) = failure {
+            // mirror of World::crash_mote, minus the shared state (radio
+            // down + reboot scheduling), which the merge applies at this
+            // exact point of the (time, mote, emission) sweep
+            slot.trace_seq += 1;
+            out.trace.push(WorldTraceEvent {
+                world_time_us: now,
+                mote: id,
+                seq: slot.trace_seq,
+                event: TraceEvent::MoteCrashed {
+                    kind: cause.kind,
+                    line: cause.span.line,
+                    col: cause.span.col,
+                }
+                .normalized(),
+            });
+            slot.status = MoteStatus::Crashed { at: now, cause };
+            slot.crashes += 1;
+            slot.stats.crashes += 1;
+            slot.timer_at = None;
+            slot.cpu_scheduled = false;
+            out.crashed = Some((now, out.sends.len()));
+            continue; // discard this callback's sends / timer / CPU asks
+        }
         for (to, packet) in outbox {
             slot.stats.sent += 1;
             out.sends.push((now, to, packet));
         }
         if let Some(req) = timer_request {
-            let req = req.max(now);
+            let req = unskew(req, slot.skew_ppm).max(now);
             let better = match slot.timer_at {
                 Some(t) => req < t,
                 None => true,
@@ -699,7 +1201,7 @@ fn run_mote_window(
                 slot.timer_at = Some(req);
                 if req < run_end {
                     seq += 1;
-                    queue.push(req, seq, Fire::Timer { mote: id });
+                    queue.push(req, order_key(id as u64 + 1, seq), Fire::Timer { mote: id });
                 } else {
                     out.timers_after.push(req);
                 }
@@ -710,7 +1212,7 @@ fn run_mote_window(
             let cat = now + cpu_slice_us;
             if cat < run_end {
                 seq += 1;
-                queue.push(cat, seq, Fire::Cpu { mote: id });
+                queue.push(cat, order_key(id as u64 + 1, seq), Fire::Cpu { mote: id });
             } else {
                 out.cpus_after.push(cat);
             }
@@ -981,6 +1483,234 @@ mod tests {
         leds.toggle(10, 1);
         leds.toggle(15, 1);
         assert_eq!(leds.on_times(1), vec![5, 15]);
+    }
+
+    /// Pings like `Pinger` but deliberately fails its "machine" during
+    /// the first timer callback at/after `fail_at` (one-shot: a reboot
+    /// more than 1 ms later does not re-trigger it).
+    struct FlakyPinger {
+        peer: MoteId,
+        fail_at: u64,
+    }
+
+    impl Backend for FlakyPinger {
+        fn boot(&mut self, ctx: &mut MoteCtx) {
+            ctx.set_timer_at(ctx.now + 1_000);
+        }
+        fn deliver(&mut self, ctx: &mut MoteCtx, _p: Packet) {
+            ctx.leds.toggle(ctx.now, 0);
+        }
+        fn timer(&mut self, ctx: &mut MoteCtx) {
+            if ctx.now >= self.fail_at && ctx.now < self.fail_at + 1_000 {
+                let e = RuntimeError::new(Span::default(), "sensor read of nothing");
+                ctx.fail(CrashCause::from_error(&e));
+                return;
+            }
+            ctx.send(self.peer, Packet::with_value(ctx.id, self.peer, 1));
+            ctx.set_timer_at(ctx.now + 1_000);
+        }
+        fn cpu(&mut self, _: &mut MoteCtx) {}
+    }
+
+    #[test]
+    fn set_mote_down_validates_ids() {
+        let mut w = World::new(Radio::ideal(10));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        assert!(w.set_mote_down(0, true).is_ok());
+        assert!(w.radio.is_down(0));
+        let err = w.set_mote_down(5, true).unwrap_err();
+        assert!(err.contains("mote 5"), "{err}");
+        assert!(!w.radio.is_down(5), "rejected ids must not grow the down set");
+    }
+
+    #[test]
+    fn fault_plans_reject_unknown_motes() {
+        let mut w = World::new(Radio::ideal(10));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        let plan = FaultPlan::new().at(5, FaultAction::Crash { mote: 3 });
+        assert!(w.set_fault_plan(&plan).unwrap_err().contains("mote 3"));
+    }
+
+    #[test]
+    fn in_flight_packets_drop_when_the_destination_crashes() {
+        // pings every ms with 1 ms latency; crashing mote 1 at 1.5 ms
+        // catches exactly one packet (sent at 1 ms, due at 2 ms) mid-air
+        let mut w = World::new(Radio::ideal(1_000));
+        w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.set_fault_plan(&FaultPlan::new().at(1_500, FaultAction::Crash { mote: 1 })).unwrap();
+        w.boot();
+        w.run_until(10_000);
+        assert_eq!(w.stats.dropped_in_flight, 1);
+        assert_eq!(w.mote_stats(1).dropped_in_flight, 1);
+        assert_eq!(w.radio.stats.dropped_in_flight, 1);
+        assert!(!w.mote_status(1).is_up());
+        assert_eq!(w.mote_stats(1).crashes, 1);
+        // later pings toward the downed mote die at the radio instead
+        assert!(w.radio.stats.dropped_link > 0);
+    }
+
+    #[test]
+    fn crashed_motes_reboot_and_reconverge() {
+        let mut w = World::new(Radio::ideal(1_000));
+        w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.set_fault_plan(
+            &FaultPlan::new().at(5_500, FaultAction::Reboot { mote: 1, delay_us: 3_000 }),
+        )
+        .unwrap();
+        w.boot();
+        w.run_until(30_000);
+        assert!(w.mote_status(1).is_up(), "rebooted");
+        assert_eq!(w.mote_stats(1).crashes, 1);
+        assert_eq!(w.mote_stats(1).reboots, 1);
+        // traffic resumed after the reboot: mote 0 kept receiving pings
+        // well past the outage window
+        let received_after = w.leds(0).history.iter().filter(|(t, _, _)| *t > 12_000).count();
+        assert!(received_after > 0, "mote 1's pings resumed after its reboot");
+    }
+
+    #[test]
+    fn machine_failures_crash_the_mote_not_the_process() {
+        let mut w = World::new(Radio::ideal(1_000));
+        w.add_mote(Box::new(FlakyPinger { peer: 1, fail_at: 4_000 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.enable_trace();
+        w.boot();
+        w.run_until(10_000);
+        match w.mote_status(0) {
+            MoteStatus::Crashed { at, cause } => {
+                assert_eq!(*at, 4_000);
+                assert_eq!(cause.kind, CrashKind::RuntimeError);
+                assert!(cause.message.contains("sensor read of nothing"));
+            }
+            MoteStatus::Up => panic!("mote 0 should have crashed"),
+        }
+        // the crash is visible in the world trace
+        let trace = w.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.mote == 0 && matches!(e.event, TraceEvent::MoteCrashed { .. })));
+        // RebootPolicy::Never: it stays down
+        assert_eq!(w.mote_stats(0).reboots, 0);
+    }
+
+    #[test]
+    fn reboot_policy_revives_machine_crashes() {
+        let mut w = World::new(Radio::ideal(1_000));
+        w.set_reboot_policy(RebootPolicy::After(2_000));
+        w.add_mote(Box::new(FlakyPinger { peer: 1, fail_at: 4_000 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.boot();
+        w.run_until(20_000);
+        assert!(w.mote_status(0).is_up());
+        assert_eq!(w.mote_stats(0).crashes, 1);
+        assert_eq!(w.mote_stats(0).reboots, 1);
+    }
+
+    fn chaotic_world(radio: Radio) -> World {
+        let mut w = World::new(radio);
+        w.enable_trace();
+        w.set_reboot_policy(RebootPolicy::After(2_500));
+        w.add_mote(Box::new(FlakyPinger { peer: 1, fail_at: 7_300 }));
+        for peer in [2, 3, 0] {
+            w.add_mote(Box::new(TracingPinger { peer }));
+        }
+        let plan = FaultPlan::new()
+            .at(3_200, FaultAction::ClockSkew { mote: 2, ppm: 300 })
+            .at(
+                5_100,
+                FaultAction::Partition {
+                    group_a: vec![0, 1],
+                    group_b: vec![2, 3],
+                    until_us: 9_000,
+                },
+            )
+            .at(10_400, FaultAction::Reboot { mote: 3, delay_us: 2_000 })
+            .at(12_000, FaultAction::LossBurst { from: 1, to: 2, rate: 0.6, until_us: 20_000 })
+            .at(15_000, FaultAction::DropInFlight { mote: 2 })
+            .at(21_000, FaultAction::Heal);
+        w.set_fault_plan(&plan).unwrap();
+        w.boot();
+        w
+    }
+
+    #[test]
+    fn fault_injection_is_thread_count_invariant() {
+        // the acceptance property: under a plan mixing crashes, reboots,
+        // partitions, skew, bursts and in-flight drops — on a lossy
+        // medium, with a machine crash mid-run — the world trace and all
+        // counters are bit-identical at any thread count
+        let radio = || Radio::new(crate::radio::Topology::Full, 700, 0.2, 13);
+        let mut seq = chaotic_world(radio());
+        seq.run_until(40_000);
+        let seq_obs = observe(&seq);
+        let seq_trace = seq.take_trace();
+        assert!(
+            seq_trace.iter().any(|e| matches!(e.event, TraceEvent::MoteCrashed { .. })),
+            "somebody must crash for this test to bite"
+        );
+        assert!(
+            seq_trace.iter().any(|e| matches!(e.event, TraceEvent::MoteRebooted { .. })),
+            "somebody must reboot for this test to bite"
+        );
+        for threads in [2, 4] {
+            let mut par = chaotic_world(radio());
+            par.run_until_parallel(40_000, threads);
+            assert_eq!(seq_obs, observe(&par), "threads={threads}");
+            assert_eq!(seq_trace, par.take_trace(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn clock_skew_stretches_timers_deterministically() {
+        // +100000 ppm (10% fast): the mote's local 1 ms period spans only
+        // ~0.91 ms of world time, so it fires more timers over the run
+        let run = |ppm: i64| {
+            let mut w = World::new(Radio::ideal(1_000));
+            w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+            w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+            if ppm != 0 {
+                w.set_fault_plan(&FaultPlan::new().at(0, FaultAction::ClockSkew { mote: 0, ppm }))
+                    .unwrap();
+            }
+            w.boot();
+            w.run_until(50_000);
+            w.mote_stats(0).timer_firings
+        };
+        let straight = run(0);
+        let fast = run(100_000);
+        assert!(fast > straight, "skewed {fast} vs straight {straight}");
+        assert_eq!(fast, run(100_000), "and it is reproducible");
+    }
+
+    #[test]
+    fn unskew_always_reaches_the_local_deadline() {
+        // regression: the plain floor inverse could return a world time
+        // whose local view was still short of the deadline (+500 ppm,
+        // local 3000 → world 2998, skewed back to only 2999), so the
+        // timer gate never fired and the mote re-armed the identical
+        // request at the same instant forever
+        for &ppm in &[500i64, -400, 300, 777, -777, 100_000, -100_000, 999_999, -999_999] {
+            for local in (0..5_000u64).chain([123_456, 10_000_000]) {
+                let w = unskew(local, ppm);
+                assert!(skewed(w, ppm) >= local, "ppm={ppm} local={local} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_skew_cannot_livelock_timers() {
+        // end-to-end form of the regression above: +500 ppm used to spin
+        // at a fixed virtual time instead of reaching the deadline
+        let mut w = World::new(Radio::ideal(1_000));
+        w.add_mote(Box::new(Pinger { peer: 1, received: 0 }));
+        w.add_mote(Box::new(Pinger { peer: 0, received: 0 }));
+        w.set_fault_plan(&FaultPlan::new().at(0, FaultAction::ClockSkew { mote: 0, ppm: 500 }))
+            .unwrap();
+        w.boot();
+        w.run_until(50_000);
+        assert!(w.mote_stats(0).timer_firings > 40, "the skewed mote must keep ticking");
     }
 
     #[test]
