@@ -1,7 +1,7 @@
 //! **Benchmark-regression harness** — the PR-gating perf rows.
 //!
-//! Emits a schema-stable `BENCH_PR4.json` (`ceu-bench-regression/v1`)
-//! with three row families:
+//! Emits a schema-stable report (`ceu-bench-regression/v1`) with five
+//! row families:
 //!
 //! * `reaction_latency` — median-of-N ns/event for the steady-state
 //!   reaction loop, optimized vs `--no-opt` flat code, on an
@@ -9,17 +9,26 @@
 //!   fold) and on the §2.2 dataflow chain (emit-chain dispatch cost);
 //! * `alloc_per_event` — allocations per reaction measured by a counting
 //!   global allocator, asserted **zero** after warmup (the hot-path
-//!   invariant this PR establishes; see docs/PERFORMANCE.md);
-//! * `par_scaling` — shared-artifact throughput on 1..=T threads.
+//!   invariant; see docs/PERFORMANCE.md). Scheduler stats are *off*
+//!   here, which is exactly the guarantee: introspection disabled must
+//!   leave the hot path untouched;
+//! * `par_scaling` — shared-artifact throughput on 1..=T threads;
+//! * `world_par` — PDES scheduler over the chaos network at 1/2/4
+//!   threads with `ceu-par-stats/v1` on: wall, speedup, utilization and
+//!   the dominant stall category per thread count;
+//! * `stats_overhead` — the same 2-thread world run with stats off vs
+//!   on, reported as an overhead percentage (the tracked cost of
+//!   enabling introspection).
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin bench_regression -- \
-//!     [--trials N] [--events K] [--out PATH] [--quick]
+//!     [--trials N] [--events K] [--out PATH] [--snapshot PATH] [--quick]
 //! ```
 //!
 //! The JSON lands in `target/experiments/BENCH_PR4.json` unless `--out`
-//! says otherwise. CI's `bench-smoke` job runs `--quick` and fails on any
-//! steady-state allocation.
+//! says otherwise; `--snapshot PATH` writes a second copy (CI commits it
+//! as `BENCH_PR6.json` at the repo root). CI's `bench-smoke` job runs
+//! `--quick` and fails on any steady-state allocation.
 
 use ceu::runtime::{Machine, NullHost};
 use ceu::Compiler;
@@ -107,14 +116,40 @@ struct ParRow {
     speedup: f64,
 }
 
-/// The wire format of `BENCH_PR4.json`. Field names and nesting are the
-/// schema — downstream diffing relies on them staying put.
+#[derive(serde::Serialize)]
+struct WorldParRow {
+    workload: &'static str,
+    horizon_us: u64,
+    threads: usize,
+    wall_ns: u64,
+    speedup: f64,
+    utilization: f64,
+    dominant_stall: &'static str,
+    windows: u64,
+    achievable_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct StatsOverheadRow {
+    workload: &'static str,
+    horizon_us: u64,
+    threads: usize,
+    wall_off_ns: u64,
+    wall_on_ns: u64,
+    overhead_pct: f64,
+}
+
+/// The wire format of the regression report. Field names and nesting are
+/// the schema — downstream diffing relies on them staying put; new row
+/// families are only ever appended.
 #[derive(serde::Serialize)]
 struct Report {
     schema: &'static str,
     reaction_latency: Vec<LatencyRow>,
     alloc_per_event: Vec<AllocRow>,
     par_scaling: Vec<ParRow>,
+    world_par: Vec<WorldParRow>,
+    stats_overhead: Vec<StatsOverheadRow>,
 }
 
 /// Boots a machine over the shared artifact and returns it with the
@@ -200,19 +235,36 @@ fn par_run(
     (machines as f64 * reactions as f64) / start.elapsed().as_secs_f64()
 }
 
+/// Steps the six-mote chaos network (no faults, no traces) on `threads`
+/// workers; returns the measured wall and, when `stats` is on, the
+/// `ceu-par-stats/v1` record.
+fn world_wall(horizon_us: u64, threads: usize, stats: bool) -> (u64, Option<wsn_sim::ParStats>) {
+    let mut w = ceu_bench::chaos::build_chaos_world_opts(&wsn_sim::FaultPlan::new(), false);
+    if stats {
+        w.enable_par_stats();
+    }
+    let t0 = Instant::now();
+    w.run_until_parallel(horizon_us, threads);
+    (t0.elapsed().as_nanos() as u64, w.take_par_stats())
+}
+
 fn main() {
     let mut trials = 5usize;
     let mut events = 50_000u64;
+    let mut horizon_us = 120_000u64;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut snapshot: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trials" => trials = args.next().and_then(|v| v.parse().ok()).expect("--trials N"),
             "--events" => events = args.next().and_then(|v| v.parse().ok()).expect("--events K"),
             "--out" => out = Some(args.next().expect("--out PATH").into()),
+            "--snapshot" => snapshot = Some(args.next().expect("--snapshot PATH").into()),
             "--quick" => {
                 trials = 3;
                 events = 5_000;
+                horizon_us = 30_000;
             }
             other => panic!("unknown flag `{other}`"),
         }
@@ -294,15 +346,78 @@ fn main() {
         });
     }
 
+    // PDES scheduler scaling over the chaos network, stats on — the
+    // world-level counterpart of par_scaling, with stall attribution
+    let mut world_rows = Vec::new();
+    world_wall(horizon_us.min(10_000), 2, true); // warm-up
+    let mut base_wall = 0u64;
+    for threads in [1usize, 2, 4] {
+        let (wall, stats) = world_wall(horizon_us, threads, true);
+        let stats = stats.expect("par stats enabled");
+        if threads == 1 {
+            base_wall = wall.max(1);
+        }
+        let speedup = base_wall as f64 / wall.max(1) as f64;
+        let dominant = stats.totals.attribution.dominant_stall().0;
+        println!(
+            "world_par         chaos_ring       t={threads}  {:9.2} ms  {speedup:.2}x  util {:5.1}%  {dominant}",
+            wall as f64 / 1e6,
+            stats.utilization() * 100.0
+        );
+        world_rows.push(WorldParRow {
+            workload: "chaos_ring",
+            horizon_us,
+            threads,
+            wall_ns: wall,
+            speedup,
+            utilization: stats.utilization(),
+            dominant_stall: dominant,
+            windows: stats.totals.windows,
+            achievable_speedup: stats.achievable_speedup(),
+        });
+    }
+
+    // the tracked cost of turning introspection on (same run, stats off
+    // vs on; medians over a few trials to tame scheduler noise)
+    let overhead_trials = trials.max(3);
+    let median = |mut v: Vec<u64>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let wall_off =
+        median((0..overhead_trials).map(|_| world_wall(horizon_us, 2, false).0).collect());
+    let wall_on = median((0..overhead_trials).map(|_| world_wall(horizon_us, 2, true).0).collect());
+    let overhead_pct = (wall_on as f64 / wall_off.max(1) as f64 - 1.0) * 100.0;
+    println!(
+        "stats_overhead    chaos_ring       t=2  off {:.2} ms  on {:.2} ms  {overhead_pct:+.1}%",
+        wall_off as f64 / 1e6,
+        wall_on as f64 / 1e6
+    );
+    let overhead_rows = vec![StatsOverheadRow {
+        workload: "chaos_ring",
+        horizon_us,
+        threads: 2,
+        wall_off_ns: wall_off,
+        wall_on_ns: wall_on,
+        overhead_pct,
+    }];
+
     let report = Report {
         schema: "ceu-bench-regression/v1",
         reaction_latency: latency_rows,
         alloc_per_event: alloc_rows,
         par_scaling: par_rows,
+        world_par: world_rows,
+        stats_overhead: overhead_rows,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
-    std::fs::write(&out, json + "\n")
+    std::fs::write(&out, json.clone() + "\n")
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
     println!("\nreport -> {}", out.display());
-    println!("zero-allocation steady state verified ✓");
+    if let Some(snap) = snapshot {
+        std::fs::write(&snap, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", snap.display()));
+        println!("snapshot -> {}", snap.display());
+    }
+    println!("zero-allocation steady state verified ✓ (scheduler stats disabled on the hot path)");
 }

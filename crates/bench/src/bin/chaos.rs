@@ -36,6 +36,11 @@ struct ChaosRow {
     lost: u64,
     dropped_in_flight: u64,
     led_last_activity_us: Vec<u64>,
+    /// Scheduler utilization from the widest parallel check (stats were
+    /// on during the bit-identity asserts); `None` if every check fell
+    /// back to sequential.
+    par_utilization: Option<f64>,
+    par_dominant_stall: Option<String>,
 }
 
 fn main() {
@@ -78,6 +83,11 @@ fn main() {
             lost: o.stats.lost,
             dropped_in_flight: o.stats.dropped_in_flight,
             led_last_activity_us: o.led_last_activity,
+            par_utilization: o.par_stats.as_ref().map(|s| s.utilization()),
+            par_dominant_stall: o
+                .par_stats
+                .as_ref()
+                .map(|s| s.totals.attribution.dominant_stall().0.to_string()),
         };
         writeln!(file, "{}", serde_json::to_string(&row).expect("serialize chaos row"))
             .expect("write chaos row");
@@ -92,4 +102,17 @@ fn main() {
         scenarios.len(),
         path.display()
     );
+
+    // --metrics-out: one combined machine + world + scheduler snapshot
+    // from an instrumented crash-reboot run
+    if ceu_bench::metrics_out_path().is_some() {
+        let (mut w, handle) = ceu_bench::chaos::build_chaos_world_instrumented(
+            &ceu_bench::chaos::crash_reboot_plan(),
+        );
+        w.enable_par_stats();
+        w.run_until_parallel(horizon, 2);
+        let stats = w.take_par_stats();
+        let mote = handle.lock().expect("mote handle");
+        ceu_bench::write_combined_metrics_out(mote.metrics(), Some(&w), stats.as_ref());
+    }
 }

@@ -7,21 +7,30 @@
 //! zero locks; scaling is bounded only by cores.
 //!
 //! Also reports the same workload under the `use_tree_eval` ablation so
-//! the flat-vs-tree evaluator speedup is measured in the same run.
+//! the flat-vs-tree evaluator speedup is measured in the same run, and —
+//! since the machine-level sweep shares an immutable artifact and says
+//! nothing about the PDES scheduler — a **world-level** sweep that drives
+//! `World::run_until_parallel` over the six-mote chaos network with
+//! `ceu-par-stats/v1` introspection on, writing the per-window stall
+//! stats to `target/experiments/par_stats.jsonl` for `ceu-trace
+//! par-report`.
 //!
 //! Rows land in `target/experiments/par_throughput.jsonl`:
 //! `{workload, machines, reactions, threads, tree_eval, wall_ns, throughput_rps, speedup}`.
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin par_throughput -- \
-//!     [--machines N] [--reactions M] [--threads 1,2,4]
+//!     [--machines N] [--reactions M] [--threads 1,2,4] \
+//!     [--horizon-us T] [--snapshot PATH] [--metrics-out PATH]
 //! ```
 
 use ceu::runtime::{Machine, NullHost};
 use ceu::Compiler;
+use ceu_bench::chaos::build_chaos_world_instrumented;
 use ceu_bench::{table, DATAFLOW_CHAIN};
 use std::sync::Arc;
 use std::time::Instant;
+use wsn_sim::{FaultPlan, ParStats};
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -33,6 +42,48 @@ struct Row {
     wall_ns: u64,
     throughput_rps: f64,
     speedup: f64,
+}
+
+/// One world-level `run_until_parallel` configuration, with the headline
+/// numbers from its `ceu-par-stats/v1` record.
+#[derive(serde::Serialize)]
+struct WorldRow {
+    workload: &'static str,
+    motes: u32,
+    horizon_us: u64,
+    threads: usize,
+    wall_ns: u64,
+    speedup: f64,
+    utilization: f64,
+    dominant_stall: &'static str,
+    windows: u64,
+    events: u64,
+    cross_sends: u64,
+    achievable_speedup: f64,
+}
+
+/// The `--snapshot PATH` wire format (`ceu-par-throughput/v1`): the
+/// machine-level rows plus the world-level scheduler rows in one
+/// schema-stable document.
+#[derive(serde::Serialize)]
+struct Snapshot {
+    schema: &'static str,
+    machine_rows: Vec<Row>,
+    world_rows: Vec<WorldRow>,
+}
+
+/// Steps the six-mote chaos network (no faults) on `threads` workers
+/// with scheduler stats on; returns the world (for the world-metrics
+/// section), its stats, and the handle to the metrics-enabled mote 0.
+fn world_run(
+    horizon_us: u64,
+    threads: usize,
+) -> (wsn_sim::World, ParStats, ceu_bench::chaos::MoteHandle) {
+    let (mut w, handle) = build_chaos_world_instrumented(&FaultPlan::new());
+    w.enable_par_stats();
+    w.run_until_parallel(horizon_us, threads);
+    let stats = w.take_par_stats().expect("par stats enabled");
+    (w, stats, handle)
 }
 
 /// Drives `per_worker` machines, M reaction chains each, on one thread.
@@ -86,7 +137,9 @@ fn run(
 fn main() {
     let mut machines = 32usize;
     let mut reactions = 5_000u64;
+    let mut horizon_us = 200_000u64;
     let mut threads: Vec<usize> = vec![];
+    let mut snapshot: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -96,11 +149,15 @@ fn main() {
             "--reactions" => {
                 reactions = args.next().and_then(|v| v.parse().ok()).expect("--reactions M")
             }
+            "--horizon-us" => {
+                horizon_us = args.next().and_then(|v| v.parse().ok()).expect("--horizon-us T")
+            }
             "--threads" => {
                 let list = args.next().expect("--threads 1,2,4");
                 threads = list.split(',').map(|t| t.parse().expect("thread count")).collect();
             }
-            // shared plumbing (ceu_bench::write_metrics_out reads argv)
+            "--snapshot" => snapshot = Some(args.next().expect("--snapshot PATH").into()),
+            // shared plumbing (ceu_bench::write_*metrics_out reads argv)
             "--metrics-out" => {
                 args.next().expect("--metrics-out PATH");
             }
@@ -125,6 +182,7 @@ fn main() {
 
     let total = machines as f64 * reactions as f64;
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut machine_rows: Vec<Row> = Vec::new();
     let mut base_rps = 0.0;
     for &t in &threads {
         for tree_eval in [false, true] {
@@ -141,33 +199,99 @@ fn main() {
                 format!("{:.0}", rps),
                 format!("{speedup:.2}x"),
             ]);
-            table::record(
-                "par_throughput",
-                &Row {
-                    workload: "dataflow_chain",
-                    machines,
-                    reactions,
-                    threads: t,
-                    tree_eval,
-                    wall_ns: wall.as_nanos() as u64,
-                    throughput_rps: rps,
-                    speedup,
-                },
-            );
+            let row = Row {
+                workload: "dataflow_chain",
+                machines,
+                reactions,
+                threads: t,
+                tree_eval,
+                wall_ns: wall.as_nanos() as u64,
+                throughput_rps: rps,
+                speedup,
+            };
+            table::record("par_throughput", &row);
+            machine_rows.push(row);
         }
     }
     println!("{}", table::render(&["threads", "eval", "wall ms", "reactions/s", "speedup"], &rows));
     println!("rows -> {}", ceu_bench::out_dir().join("par_throughput.jsonl").display());
 
-    // --metrics-out: snapshot one representative machine of the workload
-    if ceu_bench::metrics_out_path().is_some() {
-        let mut m = Machine::from_arc(Arc::clone(&prog));
-        m.enable_metrics();
-        let go = m.event_id("Go").expect("dataflow chain declares Go");
-        m.go_init(&mut NullHost).expect("boot");
-        for _ in 0..reactions {
-            m.go_event(go, None, &mut NullHost).expect("react");
+    // World-level sweep: the PDES scheduler over the chaos network, with
+    // per-window stall stats on. All runs land in one par_stats.jsonl
+    // (one `kind:"run"` header per thread count) for `ceu-trace par-report`.
+    println!(
+        "\nworld-level PDES sweep — {} motes, {} µs horizon, stats on",
+        ceu_bench::chaos::CHAOS_MOTES,
+        horizon_us
+    );
+    let stats_path = ceu_bench::out_dir().join("par_stats.jsonl");
+    let mut stats_file = std::io::BufWriter::new(
+        std::fs::File::create(&stats_path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", stats_path.display())),
+    );
+    let mut world_rows: Vec<WorldRow> = Vec::new();
+    let mut world_table: Vec<Vec<String>> = Vec::new();
+    let mut base_wall = 0u64;
+    let mut last_run: Option<(wsn_sim::World, ParStats, ceu_bench::chaos::MoteHandle)> = None;
+    for &t in &threads {
+        let (w, stats, handle) = world_run(horizon_us, t);
+        if t == threads[0] {
+            base_wall = stats.wall_ns.max(1);
         }
-        ceu_bench::write_metrics_out(m.metrics().expect("metrics enabled"));
+        let speedup = base_wall as f64 / stats.wall_ns.max(1) as f64;
+        let dominant = stats.totals.attribution.dominant_stall().0;
+        wsn_sim::write_par_stats_jsonl(&stats, &mut stats_file)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", stats_path.display()));
+        world_table.push(vec![
+            t.to_string(),
+            format!("{:.2}", stats.wall_ns as f64 / 1e6),
+            format!("{speedup:.2}x"),
+            format!("{:.1}%", stats.utilization() * 100.0),
+            dominant.to_string(),
+            stats.totals.windows.to_string(),
+        ]);
+        let row = WorldRow {
+            workload: "chaos_ring",
+            motes: stats.motes,
+            horizon_us,
+            threads: t,
+            wall_ns: stats.wall_ns,
+            speedup,
+            utilization: stats.utilization(),
+            dominant_stall: dominant,
+            windows: stats.totals.windows,
+            events: stats.totals.events,
+            cross_sends: stats.totals.cross_sends,
+            achievable_speedup: stats.achievable_speedup(),
+        };
+        table::record("par_throughput_world", &row);
+        world_rows.push(row);
+        last_run = Some((w, stats, handle));
+    }
+    drop(stats_file);
+    println!(
+        "{}",
+        table::render(
+            &["threads", "wall ms", "speedup", "utilization", "dominant stall", "windows"],
+            &world_table
+        )
+    );
+    println!("par stats -> {}", stats_path.display());
+
+    if let Some(path) = snapshot {
+        let snap = Snapshot { schema: "ceu-par-throughput/v1", machine_rows, world_rows };
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("snapshot -> {}", path.display());
+    }
+
+    // --metrics-out: one combined file — mote 0's machine counters, the
+    // world's network/fault counters and the scheduler record, all from
+    // the last sweep run
+    if ceu_bench::metrics_out_path().is_some() {
+        let (world, stats, handle) = last_run.as_ref().expect("world sweep ran");
+        let mote = handle.lock().expect("mote handle");
+        ceu_bench::write_combined_metrics_out(mote.metrics(), Some(world), Some(stats));
     }
 }

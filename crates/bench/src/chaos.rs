@@ -15,8 +15,16 @@
 //! plans only.
 
 use ceu::runtime::TraceEvent;
+use std::sync::{Arc, Mutex};
 use wsn_sim::world::Stats;
-use wsn_sim::{CeuMote, FaultAction, FaultPlan, MoteStats, Radio, RebootPolicy, Topology, World};
+use wsn_sim::{
+    CeuMote, FaultAction, FaultPlan, MoteStats, ParStats, Radio, RebootPolicy, Topology, World,
+};
+
+/// Shared handle to a chaos mote, readable after the run (the
+/// `Arc<Mutex<B>>` backend impl keeps the world free to step it on
+/// worker threads).
+pub type MoteHandle = Arc<Mutex<CeuMote>>;
 
 /// Roster size: big enough that partitions split live traffic and the
 /// parallel stepper actually fans out.
@@ -100,18 +108,48 @@ pub fn named_plans() -> Vec<(&'static str, FaultPlan)> {
 /// A fresh chaos world: lossy full-mesh radio, reboot policy armed, the
 /// fault plan scheduled, traces on everywhere.
 pub fn build_chaos_world(plan: &FaultPlan) -> World {
+    build_chaos_world_opts(plan, true)
+}
+
+/// [`build_chaos_world`] with tracing optional — the throughput/overhead
+/// benchmarks step the same network without the trace-buffer cost.
+pub fn build_chaos_world_opts(plan: &FaultPlan, trace: bool) -> World {
     let mut w = World::new(Radio::new(Topology::Full, 700, 0.15, 23));
-    w.enable_trace();
+    if trace {
+        w.enable_trace();
+    }
     w.set_reboot_policy(RebootPolicy::After(2_500));
     let prog = ceu::Compiler::new().compile(CHAOS_MOTE_CEU).expect("chaos program compiles");
     for id in 0..CHAOS_MOTES as i64 {
         let mut mote = CeuMote::new(prog.clone(), id);
-        mote.enable_trace();
+        if trace {
+            mote.enable_trace();
+        }
         w.add_mote(Box::new(mote));
     }
     w.set_fault_plan(plan).expect("plan fits the roster");
     w.boot();
     w
+}
+
+/// A chaos world whose mote 0 is held through a shared handle with
+/// machine metrics on — the source of the "machine" section of the
+/// combined `--metrics-out` snapshot (machine + world + scheduler in one
+/// file).
+pub fn build_chaos_world_instrumented(plan: &FaultPlan) -> (World, MoteHandle) {
+    let mut w = World::new(Radio::new(Topology::Full, 700, 0.15, 23));
+    w.set_reboot_policy(RebootPolicy::After(2_500));
+    let prog = ceu::Compiler::new().compile(CHAOS_MOTE_CEU).expect("chaos program compiles");
+    let mut first = CeuMote::new(prog.clone(), 0);
+    first.enable_metrics();
+    let handle = Arc::new(Mutex::new(first));
+    w.add_mote(Box::new(Arc::clone(&handle)));
+    for id in 1..CHAOS_MOTES as i64 {
+        w.add_mote(Box::new(CeuMote::new(prog.clone(), id)));
+    }
+    w.set_fault_plan(plan).expect("plan fits the roster");
+    w.boot();
+    (w, handle)
 }
 
 /// What one scenario produced, after the cross-thread checks passed.
@@ -127,6 +165,10 @@ pub struct ChaosOutcome {
     pub mote_stats: Vec<MoteStats>,
     /// Last LED-change time per mote (the re-convergence witness).
     pub led_last_activity: Vec<u64>,
+    /// Scheduler introspection from the widest parallel check
+    /// (`ceu-par-stats/v1`, collected with the bit-identity asserts on —
+    /// proof that stats collection does not perturb the run).
+    pub par_stats: Option<ParStats>,
 }
 
 type Snapshot = (Stats, Vec<MoteStats>, Vec<Vec<(u64, u8, bool)>>);
@@ -152,11 +194,19 @@ pub fn run_chaos_scenario(
     seq.run_until(horizon_us);
     let obs = snapshot(&seq);
     let trace = seq.take_trace();
+    let mut par_stats: Option<ParStats> = None;
     for &t in threads {
+        // stats stay ON during the bit-identity asserts: collection must
+        // never perturb the simulation
         let mut par = build_chaos_world(plan);
+        par.enable_par_stats();
         par.run_until_parallel(horizon_us, t);
         assert_eq!(obs, snapshot(&par), "{name}: observables diverge at threads={t}");
         assert_eq!(trace, par.take_trace(), "{name}: world trace diverges at threads={t}");
+        let stats = par.take_par_stats().expect("par stats enabled");
+        if !stats.fallback {
+            par_stats = Some(stats);
+        }
     }
     let crashes =
         trace.iter().filter(|e| matches!(e.event, TraceEvent::MoteCrashed { .. })).count();
@@ -174,5 +224,6 @@ pub fn run_chaos_scenario(
         stats,
         mote_stats,
         led_last_activity: leds.iter().map(|h| h.last().map(|&(t, _, _)| t).unwrap_or(0)).collect(),
+        par_stats,
     }
 }

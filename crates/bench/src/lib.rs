@@ -45,6 +45,40 @@ pub fn write_metrics_out(metrics: &ceu::runtime::Metrics) {
     }
 }
 
+/// Renders the unified `--metrics-out` snapshot: one JSON object carrying
+/// the machine-level runtime counters, the world-level network/fault
+/// counters ([`wsn_sim::world::World::metrics_json`]) and the
+/// parallel-scheduler run record (`ceu-par-stats/v1`). Absent sections
+/// are `null`, so consumers can probe with one shape.
+pub fn combined_metrics_json(
+    machine: Option<&ceu::runtime::Metrics>,
+    world: Option<&wsn_sim::World>,
+    sched: Option<&wsn_sim::ParStats>,
+) -> String {
+    let section = |s: Option<String>| s.unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"machine\":{},\"world\":{},\"sched\":{}}}",
+        section(machine.map(|m| m.to_json())),
+        section(world.map(|w| w.metrics_json())),
+        section(sched.map(wsn_sim::run_to_json)),
+    )
+}
+
+/// Honours `--metrics-out PATH` with the combined machine + world +
+/// scheduler snapshot (see [`combined_metrics_json`]).
+pub fn write_combined_metrics_out(
+    machine: Option<&ceu::runtime::Metrics>,
+    world: Option<&wsn_sim::World>,
+    sched: Option<&wsn_sim::ParStats>,
+) {
+    if let Some(path) = metrics_out_path() {
+        let json = combined_metrics_json(machine, world, sched);
+        std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("metrics (machine+world+sched) -> {}", path.display());
+    }
+}
+
 #[cfg(test)]
 mod lib_tests {
     #[test]

@@ -20,6 +20,12 @@ use serde_json::Value;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+pub mod parstats;
+
+pub use parstats::{
+    par_report, par_stats_perfetto_events, parse_par_stats, render_par_run, ParRun, ParWindow,
+};
+
 /// One parsed trace line, normalised to the world-trace shape.
 #[derive(Clone, Debug)]
 pub struct Record {
@@ -214,6 +220,14 @@ pub fn hot(records: &[Record], src: &str, top: usize) -> Result<String, String> 
 /// reaction to the reaction it triggered (cross-mote arrows are the
 /// radio packets).
 pub fn to_perfetto(records: &[Record]) -> String {
+    to_perfetto_merged(records, &[])
+}
+
+/// [`to_perfetto`] plus extra pre-rendered Chrome-trace events appended to
+/// the same array — how `to-perfetto --par-stats` folds the scheduler's
+/// wall-clock worker tracks ([`par_stats_perfetto_events`]) into the
+/// virtual-time mote view.
+pub fn to_perfetto_merged(records: &[Record], extra: &[String]) -> String {
     // index reaction starts so flows can anchor on the parent slice
     let mut starts: HashMap<(u64, u64), u64> = HashMap::new();
     let mut motes: Vec<usize> = Vec::new();
@@ -291,6 +305,7 @@ pub fn to_perfetto(records: &[Record]) -> String {
             }
         }
     }
+    out.extend(extra.iter().cloned());
     format!("[\n{}\n]\n", out.join(",\n"))
 }
 

@@ -4,8 +4,10 @@
 //! ceu-trace summary       <trace.jsonl>             trace shape & causal links
 //! ceu-trace hot           <trace.jsonl> --src F     hot statements vs. source
 //! ceu-trace to-perfetto   <trace.jsonl> [-o OUT]    Chrome trace w/ flow arrows
+//!                         [--par-stats S.jsonl]     + scheduler worker tracks
 //! ceu-trace critical-path <trace.jsonl>             longest causal chain
 //! ceu-trace diff          <a.jsonl> <b.jsonl>       first divergence (exit 1)
+//! ceu-trace par-report    <par-stats.jsonl>         stall attribution & speedup
 //! ```
 //!
 //! Inputs are the stable JSONL formats written by `ceuc run
@@ -27,8 +29,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ceu-trace <summary|hot|to-perfetto|critical-path|diff> <trace.jsonl> \
-                     [<b.jsonl>] [--src FILE.ceu] [--top N] [-o OUT]";
+const USAGE: &str = "usage: ceu-trace <summary|hot|to-perfetto|critical-path|diff|par-report> \
+                     <trace.jsonl> [<b.jsonl>] [--src FILE.ceu] [--top N] [-o OUT] \
+                     [--par-stats STATS.jsonl]";
 
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -44,12 +47,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut pos: Vec<String> = Vec::new();
     let mut src: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut par_stats: Option<String> = None;
     let mut top = 10usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--src" => src = Some(it.next().ok_or("--src needs a path")?.clone()),
             "-o" | "--out" => out = Some(it.next().ok_or("-o needs a path")?.clone()),
+            "--par-stats" => {
+                par_stats = Some(it.next().ok_or("--par-stats needs a path")?.clone());
+            }
             "--top" => {
                 top = it
                     .next()
@@ -82,7 +89,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "to-perfetto" => {
             let records = ceu_trace::parse_jsonl(&read_input(trace_path)?)?;
-            let json = ceu_trace::to_perfetto(&records);
+            let extra = match par_stats {
+                Some(path) => ceu_trace::par_stats_perfetto_events(&read_input(&path)?)?,
+                None => Vec::new(),
+            };
+            let json = ceu_trace::to_perfetto_merged(&records, &extra);
             match out {
                 Some(path) => {
                     std::fs::write(&path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -103,6 +114,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let (text, same) = ceu_trace::render_diff(&result);
             print!("{text}");
             Ok(if same { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "par-report" => {
+            let report = ceu_trace::par_report(&read_input(trace_path)?)?;
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &report)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("par report -> {path}");
+                }
+                None => print!("{report}"),
+            }
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}` — {USAGE}")),
     }

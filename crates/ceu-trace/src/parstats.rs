@@ -1,0 +1,495 @@
+//! `ceu-par-stats/v1` analysis: the reader side of the parallel-scheduler
+//! introspection emitted by `wsn_sim::write_par_stats_jsonl`.
+//!
+//! The input is one `kind:"run"` header line plus one `kind:"window"`
+//! line per recorded window. [`par_report`] turns that into the terminal
+//! instrument panel (utilization, exact stall attribution, per-worker
+//! load histogram, achievable-speedup bound) and
+//! [`par_stats_perfetto_events`] turns it into Chrome-trace events — a
+//! `scheduler` process with one track per worker thread plus the
+//! simulation thread's drain/merge track, with flow arrows for the
+//! cross-window sends — that `to-perfetto --par-stats` merges alongside
+//! the virtual-time mote tracks.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// The parsed `kind:"run"` header of a `ceu-par-stats/v1` stream.
+#[derive(Clone, Debug, Default)]
+pub struct ParRun {
+    pub threads: u64,
+    pub lookahead_us: u64,
+    pub motes: u64,
+    pub fallback: bool,
+    pub wall_ns: u64,
+    pub window_wall_ns: u64,
+    pub windows: u64,
+    pub dropped_windows: u64,
+    pub events: u64,
+    pub cross_sends: u64,
+    pub heap_pushes: u64,
+    pub heap_pops: u64,
+    pub busy_ns: u64,
+    pub imbalance_ns: u64,
+    pub lookahead_ns: u64,
+    pub barrier_ns: u64,
+    pub merge_ns: u64,
+    pub critical_busy_ns: u64,
+    pub drain_wall_ns: u64,
+    pub par_wall_ns: u64,
+    pub merge_wall_ns: u64,
+}
+
+/// One parsed `kind:"window"` line.
+#[derive(Clone, Debug, Default)]
+pub struct ParWindow {
+    pub index: u64,
+    pub t_wall_ns: u64,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub clipped: bool,
+    pub workers: u64,
+    pub motes: u64,
+    pub events: u64,
+    pub busy_ns: Vec<u64>,
+    pub events_per_worker: Vec<u64>,
+    pub drain_ns: u64,
+    pub par_ns: u64,
+    pub merge_ns: u64,
+    pub cross_sends: u64,
+    /// `(emit_us, from, to)` sample for flow arrows.
+    pub sends: Vec<(u64, u64, u64)>,
+}
+
+fn u64_of(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(|x| x.as_u64()).unwrap_or(0)
+}
+
+fn u64_vec(v: &Value, key: &str) -> Vec<u64> {
+    v.get(key)
+        .and_then(|x| x.as_array())
+        .map(|a| a.iter().filter_map(|x| x.as_u64()).collect())
+        .unwrap_or_default()
+}
+
+/// Parses a `ceu-par-stats/v1` JSONL stream. The stream may carry several
+/// runs (e.g. one per thread count); each run's windows follow its header.
+pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, String> {
+    let mut runs: Vec<(ParRun, Vec<ParWindow>)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let schema = v.get("schema").and_then(|s| s.as_str());
+        if schema != Some("ceu-par-stats/v1") {
+            return Err(format!(
+                "line {line_no}: not a ceu-par-stats/v1 record (schema={schema:?})"
+            ));
+        }
+        match v.get("kind").and_then(|k| k.as_str()) {
+            Some("run") => {
+                runs.push((
+                    ParRun {
+                        threads: u64_of(&v, "threads"),
+                        lookahead_us: u64_of(&v, "lookahead_us"),
+                        motes: u64_of(&v, "motes"),
+                        fallback: v.get("fallback").and_then(|f| f.as_bool()).unwrap_or(false),
+                        wall_ns: u64_of(&v, "wall_ns"),
+                        window_wall_ns: u64_of(&v, "window_wall_ns"),
+                        windows: u64_of(&v, "windows"),
+                        dropped_windows: u64_of(&v, "dropped_windows"),
+                        events: u64_of(&v, "events"),
+                        cross_sends: u64_of(&v, "cross_sends"),
+                        heap_pushes: u64_of(&v, "heap_pushes"),
+                        heap_pops: u64_of(&v, "heap_pops"),
+                        busy_ns: u64_of(&v, "busy_ns"),
+                        imbalance_ns: u64_of(&v, "imbalance_ns"),
+                        lookahead_ns: u64_of(&v, "lookahead_ns"),
+                        barrier_ns: u64_of(&v, "barrier_ns"),
+                        merge_ns: u64_of(&v, "merge_ns"),
+                        critical_busy_ns: u64_of(&v, "critical_busy_ns"),
+                        drain_wall_ns: u64_of(&v, "drain_wall_ns"),
+                        par_wall_ns: u64_of(&v, "par_wall_ns"),
+                        merge_wall_ns: u64_of(&v, "merge_wall_ns"),
+                    },
+                    Vec::new(),
+                ));
+            }
+            Some("window") => {
+                let sends = v
+                    .get("sends")
+                    .and_then(|s| s.as_array())
+                    .map(|a| {
+                        a.iter()
+                            .map(|s| (u64_of(s, "at_us"), u64_of(s, "from"), u64_of(s, "to")))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let w = ParWindow {
+                    index: u64_of(&v, "i"),
+                    t_wall_ns: u64_of(&v, "t_wall_ns"),
+                    start_us: u64_of(&v, "start_us"),
+                    end_us: u64_of(&v, "end_us"),
+                    clipped: v.get("clipped").and_then(|c| c.as_bool()).unwrap_or(false),
+                    workers: u64_of(&v, "workers"),
+                    motes: u64_of(&v, "motes"),
+                    events: u64_of(&v, "events"),
+                    busy_ns: u64_vec(&v, "busy_ns"),
+                    events_per_worker: u64_vec(&v, "events_per_worker"),
+                    drain_ns: u64_of(&v, "drain_ns"),
+                    par_ns: u64_of(&v, "par_ns"),
+                    merge_ns: u64_of(&v, "merge_ns"),
+                    cross_sends: u64_of(&v, "cross_sends"),
+                    sends,
+                };
+                match runs.last_mut() {
+                    Some((_, windows)) => windows.push(w),
+                    None => return Err(format!("line {line_no}: window before any run header")),
+                }
+            }
+            other => return Err(format!("line {line_no}: unknown kind {other:?}")),
+        }
+    }
+    if runs.is_empty() {
+        return Err("no ceu-par-stats/v1 run records in input".into());
+    }
+    Ok(runs)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = "#".repeat(n);
+    s.push_str(&" ".repeat(width - n.min(width)));
+    s
+}
+
+/// `par-report` — renders one run's instrument panel. The stall table is
+/// in *thread-time*: capacity = `threads × wall_ns`, and the five
+/// categories (busy + four stall causes) partition the windowed part of
+/// it exactly; `coverage` says how much of the measured wall-clock the
+/// windows account for (the rest is inter-window bookkeeping such as
+/// fault barriers).
+pub fn render_par_run(run: &ParRun, windows: &[ParWindow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ceu-par-stats/v1: {} motes, {} threads, lookahead {}µs{}",
+        run.motes,
+        run.threads,
+        run.lookahead_us,
+        if run.fallback { " (sequential fallback)" } else { "" },
+    );
+    let _ = writeln!(
+        out,
+        "run wall-clock {}; {} windows ({} dropped past cap), {} events, \
+         {} cross-window sends, heap {}push/{}pop",
+        fmt_ns(run.wall_ns),
+        run.windows,
+        run.dropped_windows,
+        run.events,
+        run.cross_sends,
+        run.heap_pushes,
+        run.heap_pops,
+    );
+
+    let capacity = run.threads * run.wall_ns;
+    let attributed =
+        run.busy_ns + run.imbalance_ns + run.lookahead_ns + run.barrier_ns + run.merge_ns;
+    let coverage = if capacity == 0 { 0.0 } else { 100.0 * attributed as f64 / capacity as f64 };
+    let pct = |ns: u64| if capacity == 0 { 0.0 } else { 100.0 * ns as f64 / capacity as f64 };
+
+    let _ = writeln!(
+        out,
+        "\nstall attribution (thread-time capacity {} = {} threads x {}):",
+        fmt_ns(capacity),
+        run.threads,
+        fmt_ns(run.wall_ns)
+    );
+    let rows = [
+        ("busy (stepping motes)", run.busy_ns),
+        ("imbalance-bound", run.imbalance_ns),
+        ("lookahead-bound", run.lookahead_ns),
+        ("barrier-bound", run.barrier_ns),
+        ("merge-bound", run.merge_ns),
+    ];
+    for (label, ns) in rows {
+        let p = pct(ns);
+        let _ =
+            writeln!(out, "  {label:<22} {:>10}  {p:>5.1}%  |{}|", fmt_ns(ns), bar(p / 100.0, 20));
+    }
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>10}  {:>5.1}%  (inter-window bookkeeping)",
+        "uncovered",
+        fmt_ns(capacity.saturating_sub(attributed)),
+        100.0 - coverage,
+    );
+    let _ = writeln!(out, "coverage: {coverage:.1}% of measured wall-clock attributed");
+
+    let stalls = [
+        ("imbalance-bound", run.imbalance_ns),
+        ("lookahead-bound", run.lookahead_ns),
+        ("barrier-bound", run.barrier_ns),
+        ("merge-bound", run.merge_ns),
+    ];
+    let dominant = stalls.iter().max_by_key(|(_, ns)| *ns).copied().unwrap_or(("none", 0));
+    if run.fallback || dominant.1 == 0 {
+        let _ = writeln!(out, "dominant stall: none (no parallel windows recorded)");
+    } else {
+        let _ =
+            writeln!(out, "dominant stall: {} ({:.1}% of capacity)", dominant.0, pct(dominant.1));
+    }
+
+    // per-worker load histogram, aggregated over the detailed windows
+    let max_workers = windows.iter().map(|w| w.busy_ns.len()).max().unwrap_or(0);
+    if max_workers > 0 {
+        let mut busy = vec![0u64; max_workers];
+        let mut events = vec![0u64; max_workers];
+        for w in windows {
+            for (i, b) in w.busy_ns.iter().enumerate() {
+                busy[i] += b;
+            }
+            for (i, e) in w.events_per_worker.iter().enumerate() {
+                events[i] += e;
+            }
+        }
+        let total_busy: u64 = busy.iter().sum();
+        let _ = writeln!(out, "\nper-worker load ({} detailed windows):", windows.len());
+        for (i, (b, e)) in busy.iter().zip(&events).enumerate() {
+            let share = if total_busy == 0 { 0.0 } else { *b as f64 / total_busy as f64 };
+            let _ = writeln!(
+                out,
+                "  w{i}  |{}| {:>10} busy ({:.1}%), {e} events",
+                bar(share, 20),
+                fmt_ns(*b),
+                100.0 * share,
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\nutilization: {:.1}%", pct(run.busy_ns));
+    // work / critical-path bound, with the serial drain+merge in both terms
+    let serial = run.drain_wall_ns + run.merge_wall_ns;
+    let work = run.busy_ns + serial;
+    let critical = run.critical_busy_ns + serial;
+    let speedup = if critical == 0 { 1.0 } else { work as f64 / critical as f64 };
+    let _ = writeln!(
+        out,
+        "achievable speedup (work/critical-path, this window structure): {speedup:.2}x",
+    );
+    out
+}
+
+/// `par-report` over a whole `ceu-par-stats/v1` stream (every run).
+pub fn par_report(text: &str) -> Result<String, String> {
+    let runs = parse_par_stats(text)?;
+    let mut out = String::new();
+    for (i, (run, windows)) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_par_run(run, windows));
+    }
+    Ok(out)
+}
+
+/// Synthetic pid for the scheduler process in the merged Perfetto view
+/// (mote pids are small integers; this stays clear of them).
+const SCHED_PID: u64 = 9_000;
+
+/// Chrome-trace events for the scheduler timeline: tid 0 is the
+/// simulation thread (drain + merge slices per window), tids 1..=N are
+/// the worker threads (busy + stall slices per window), and `s`/`f` flow
+/// arrows connect a window's merge to the later window where its sampled
+/// cross-window sends land. Timestamps are host wall-clock µs since the
+/// run started (the mote tracks are virtual-time — Perfetto shows both;
+/// the scheduler process is the wall-clock view).
+pub fn par_stats_perfetto_events(text: &str) -> Result<Vec<String>, String> {
+    let runs = parse_par_stats(text)?;
+    let mut out: Vec<String> = Vec::new();
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":{SCHED_PID},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"parallel scheduler\"}}}}"
+    ));
+    out.push(format!(
+        "{{\"ph\":\"M\",\"pid\":{SCHED_PID},\"tid\":0,\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"sim thread (drain+merge)\"}}}}"
+    ));
+    let ts = |ns: u64| format!("{:.3}", ns as f64 / 1_000.0);
+    let mut named_workers = 0usize;
+    let mut flow_id = 500_000u64; // clear of the reaction-flow ids
+    for (run, windows) in &runs {
+        for w in windows {
+            for tid in named_workers..w.busy_ns.len() {
+                out.push(format!(
+                    "{{\"ph\":\"M\",\"pid\":{SCHED_PID},\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"worker {tid}\"}}}}",
+                    tid + 1,
+                ));
+            }
+            named_workers = named_workers.max(w.busy_ns.len());
+            let drain_end = w.t_wall_ns + w.drain_ns;
+            let par_end = drain_end + w.par_ns;
+            out.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{SCHED_PID},\"tid\":0,\"ts\":{},\"dur\":{},\
+                 \"name\":\"drain w{}\",\"cat\":\"sched\",\
+                 \"args\":{{\"events\":{},\"span_us\":\"{}..{}\"}}}}",
+                ts(w.t_wall_ns),
+                ts(w.drain_ns),
+                w.index,
+                w.events,
+                w.start_us,
+                w.end_us,
+            ));
+            out.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{SCHED_PID},\"tid\":0,\"ts\":{},\"dur\":{},\
+                 \"name\":\"merge w{}\",\"cat\":\"sched\",\
+                 \"args\":{{\"cross_sends\":{}}}}}",
+                ts(par_end),
+                ts(w.merge_ns),
+                w.index,
+                w.cross_sends,
+            ));
+            for (i, busy) in w.busy_ns.iter().enumerate() {
+                let tid = i + 1;
+                let events = w.events_per_worker.get(i).copied().unwrap_or(0);
+                out.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":{SCHED_PID},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                     \"name\":\"window w{} [{}..{})µs\",\"cat\":\"sched\",\
+                     \"args\":{{\"events\":{events}}}}}",
+                    ts(drain_end),
+                    ts(*busy),
+                    w.index,
+                    w.start_us,
+                    w.end_us,
+                ));
+                let stall = w.par_ns.saturating_sub(*busy);
+                if stall > 0 {
+                    out.push(format!(
+                        "{{\"ph\":\"X\",\"pid\":{SCHED_PID},\"tid\":{tid},\"ts\":{},\
+                         \"dur\":{},\"name\":\"stall\",\"cat\":\"sched-stall\"}}",
+                        ts(drain_end + busy),
+                        ts(stall),
+                    ));
+                }
+            }
+            // flow arrows: this window's merge routes each sampled send;
+            // it lands in the first later window whose virtual span can
+            // contain the arrival (emit + lookahead at the earliest)
+            for &(at_us, from, to) in &w.sends {
+                let arrival_floor = at_us + run.lookahead_us;
+                let Some(target) =
+                    windows.iter().find(|t| t.t_wall_ns > w.t_wall_ns && t.end_us > arrival_floor)
+                else {
+                    continue;
+                };
+                flow_id += 1;
+                out.push(format!(
+                    "{{\"ph\":\"s\",\"pid\":{SCHED_PID},\"tid\":0,\"ts\":{},\"id\":{flow_id},\
+                     \"name\":\"send m{from}->m{to}\",\"cat\":\"sched-flow\"}}",
+                    ts(par_end),
+                ));
+                out.push(format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{SCHED_PID},\"tid\":0,\"ts\":{},\
+                     \"id\":{flow_id},\"name\":\"send m{from}->m{to}\",\"cat\":\"sched-flow\"}}",
+                    ts(target.t_wall_ns),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS: &str = r#"
+{"schema":"ceu-par-stats/v1","kind":"run","threads":2,"lookahead_us":700,"motes":4,"fallback":false,"wall_ns":10000,"window_wall_ns":9000,"windows":2,"dropped_windows":0,"events":30,"motes_stepped":8,"cross_sends":6,"heap_pushes":40,"heap_pops":38,"busy_ns":6000,"imbalance_ns":1000,"lookahead_ns":2000,"barrier_ns":4000,"merge_ns":5000,"critical_busy_ns":4000,"drain_wall_ns":1000,"par_wall_ns":6500,"merge_wall_ns":1500}
+{"schema":"ceu-par-stats/v1","kind":"window","i":0,"t_wall_ns":0,"start_us":1000,"end_us":1700,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":16,"busy_ns":[2000,1500],"events_per_worker":[9,7],"motes_per_worker":[2,2],"drain_ns":500,"par_ns":3000,"merge_ns":800,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[{"at_us":1200,"from":0,"to":1}]}
+{"schema":"ceu-par-stats/v1","kind":"window","i":1,"t_wall_ns":4500,"start_us":1700,"end_us":2400,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":14,"busy_ns":[1400,1100],"events_per_worker":[8,6],"motes_per_worker":[2,2],"drain_ns":400,"par_ns":3200,"merge_ns":700,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[]}
+"#;
+
+    #[test]
+    fn parses_runs_and_windows() {
+        let runs = parse_par_stats(STATS).unwrap();
+        assert_eq!(runs.len(), 1);
+        let (run, windows) = &runs[0];
+        assert_eq!(run.threads, 2);
+        assert!(!run.fallback);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].busy_ns, vec![2000, 1500]);
+        assert_eq!(windows[0].sends, vec![(1200, 0, 1)]);
+    }
+
+    #[test]
+    fn report_names_the_dominant_stall_and_coverage() {
+        let report = par_report(STATS).unwrap();
+        assert!(report.contains("utilization: 30.0%"), "{report}");
+        assert!(report.contains("dominant stall: merge-bound"), "{report}");
+        // attributed 18000 of 20000 capacity
+        assert!(report.contains("coverage: 90.0%"), "{report}");
+        assert!(report.contains("per-worker load"), "{report}");
+        assert!(report.contains("w0"), "{report}");
+        assert!(report.contains("achievable speedup"), "{report}");
+    }
+
+    #[test]
+    fn fallback_run_still_reports_utilization_fields() {
+        let text = r#"{"schema":"ceu-par-stats/v1","kind":"run","threads":1,"lookahead_us":0,"motes":1,"fallback":true,"wall_ns":5000,"window_wall_ns":0,"windows":0,"dropped_windows":0,"events":0,"motes_stepped":0,"cross_sends":0,"heap_pushes":0,"heap_pops":0,"busy_ns":0,"imbalance_ns":0,"lookahead_ns":0,"barrier_ns":0,"merge_ns":0,"critical_busy_ns":0,"drain_wall_ns":0,"par_wall_ns":0,"merge_wall_ns":0}"#;
+        let report = par_report(text).unwrap();
+        assert!(report.contains("sequential fallback"), "{report}");
+        assert!(report.contains("utilization:"), "{report}");
+        assert!(report.contains("dominant stall: none"), "{report}");
+    }
+
+    #[test]
+    fn perfetto_events_have_worker_tracks_and_flows() {
+        let events = par_stats_perfetto_events(STATS).unwrap();
+        let all = format!("[{}]", events.join(","));
+        let doc: Value = serde_json::from_str(&all).expect("valid JSON");
+        let arr = doc.as_array().unwrap();
+        let names: Vec<&str> =
+            arr.iter().filter_map(|e| e.get("name").and_then(|n| n.as_str())).collect();
+        assert!(names.contains(&"drain w0"), "{names:?}");
+        assert!(names.contains(&"merge w1"), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("window w0")), "{names:?}");
+        assert!(names.contains(&"stall"), "{names:?}");
+        let thread_names: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(thread_names.contains(&"worker 1"), "{thread_names:?}");
+        assert!(thread_names.contains(&"sim thread (drain+merge)"), "{thread_names:?}");
+        // the sampled send becomes an s/f flow pair landing on window 1
+        let s = arr.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s")).count();
+        let f = arr.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f")).count();
+        assert_eq!(s, 1);
+        assert_eq!(f, 1);
+    }
+
+    #[test]
+    fn rejects_foreign_schemas() {
+        assert!(parse_par_stats(r#"{"schema":"ceu-world/v1"}"#).is_err());
+        assert!(parse_par_stats("").is_err());
+        // a window with no preceding run header is malformed
+        let orphan = r#"{"schema":"ceu-par-stats/v1","kind":"window","i":0}"#;
+        assert!(parse_par_stats(orphan).is_err());
+    }
+}

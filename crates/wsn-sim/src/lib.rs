@@ -14,6 +14,7 @@ pub mod ceu_mote;
 pub mod faults;
 pub mod mantis;
 pub mod nesc;
+pub mod parstats;
 pub mod radio;
 pub mod sched;
 pub mod world;
@@ -24,6 +25,10 @@ pub use mantis::{
     BlinkThread, MantisMote, OccamLedProc, OccamTimerProc, Step, ThreadBody, ThreadCtx,
 };
 pub use nesc::NescApp;
+pub use parstats::{
+    run_to_json, window_to_json, write_par_stats_jsonl, Attribution, ParStats, ParTotals,
+    ParWindowStats,
+};
 pub use radio::{Packet, Radio, RadioStats, Topology};
 pub use sched::EventHeap;
 pub use world::{

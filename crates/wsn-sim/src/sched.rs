@@ -21,6 +21,11 @@
 #[derive(Clone, Debug)]
 pub struct EventHeap<T> {
     nodes: Vec<Node<T>>,
+    /// Lifetime push/pop counters (two `u64` increments per op — cheap
+    /// enough to stay always-on). The parallel-scheduler introspection
+    /// layer reads deltas of these per window (`ceu-par-stats/v1`).
+    pushes: u64,
+    pops: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -45,11 +50,17 @@ impl<T> Default for EventHeap<T> {
 
 impl<T> EventHeap<T> {
     pub fn new() -> Self {
-        EventHeap { nodes: Vec::new() }
+        EventHeap { nodes: Vec::new(), pushes: 0, pops: 0 }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        EventHeap { nodes: Vec::with_capacity(cap) }
+        EventHeap { nodes: Vec::with_capacity(cap), pushes: 0, pops: 0 }
+    }
+
+    /// Lifetime `(pushes, pops)` counters. Monotone; read deltas around a
+    /// region to attribute scheduler traffic to it.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.pushes, self.pops)
     }
 
     pub fn len(&self) -> usize {
@@ -95,6 +106,7 @@ impl<T> EventHeap<T> {
     }
 
     pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        self.pushes += 1;
         self.nodes.push(Node { at, seq, item });
         self.sift_up(self.nodes.len() - 1);
     }
@@ -102,6 +114,7 @@ impl<T> EventHeap<T> {
     /// Removes and returns the earliest event as `(at, seq, payload)`.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         let last = self.nodes.len().checked_sub(1)?;
+        self.pops += 1;
         self.nodes.swap(0, last);
         let node = self.nodes.pop().expect("non-empty");
         if !self.nodes.is_empty() {
@@ -214,6 +227,24 @@ mod tests {
         }
         assert_eq!(drained.len(), 666);
         assert!(drained.windows(2).all(|w| w[0] < w[1]), "still pops in key order");
+    }
+
+    #[test]
+    fn op_counts_track_pushes_and_pops() {
+        let mut h = EventHeap::new();
+        assert_eq!(h.op_counts(), (0, 0));
+        for i in 0..5 {
+            h.push(i, i, i);
+        }
+        assert_eq!(h.op_counts(), (5, 0));
+        h.pop();
+        h.pop();
+        assert_eq!(h.op_counts(), (5, 2));
+        h.pop();
+        h.pop();
+        h.pop();
+        assert_eq!(h.pop(), None, "empty pops do not count");
+        assert_eq!(h.op_counts(), (5, 5));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! depends only on the order of its input events.
 
 use crate::faults::{FaultAction, FaultEntry, FaultPlan, RebootPolicy};
+use crate::parstats::{ParStats, ParWindowStats, DEFAULT_WINDOW_CAP, SEND_SAMPLE_CAP};
 use crate::radio::{Packet, Radio};
 use crate::sched::EventHeap;
 use ceu::ast::Span;
@@ -396,6 +397,11 @@ pub struct World {
     /// The parallel stepper clips every window at the earliest of these so
     /// shared-state mutations happen between windows, at exact times.
     world_times: Vec<u64>,
+    /// Parallel-scheduler introspection (`ceu-par-stats/v1`): per-window
+    /// stall attribution collected by [`World::run_until_parallel`] when
+    /// enabled via [`World::enable_par_stats`]. `None` costs nothing on
+    /// the stepping paths.
+    par_stats: Option<ParStats>,
 }
 
 impl World {
@@ -414,6 +420,7 @@ impl World {
             fault_entries: Vec::new(),
             reboot_policy: RebootPolicy::default(),
             world_times: Vec::new(),
+            par_stats: None,
         }
     }
 
@@ -447,6 +454,99 @@ impl World {
         };
         events.sort_by_key(|e| (e.world_time_us, e.mote, e.seq));
         events
+    }
+
+    /// Switches on parallel-scheduler introspection: subsequent
+    /// [`run_until_parallel`](World::run_until_parallel) calls record one
+    /// [`ParWindowStats`] per window (stall attribution, per-worker load,
+    /// heap traffic) into a bounded collector. Collection never alters
+    /// scheduling decisions, so the simulation — and its world trace —
+    /// stays bit-identical with stats on or off, at any thread count.
+    pub fn enable_par_stats(&mut self) {
+        if self.par_stats.is_none() {
+            self.par_stats = Some(ParStats::new(DEFAULT_WINDOW_CAP));
+        }
+    }
+
+    pub fn par_stats_enabled(&self) -> bool {
+        self.par_stats.is_some()
+    }
+
+    /// The stats collected so far (None until [`World::enable_par_stats`]).
+    pub fn par_stats(&self) -> Option<&ParStats> {
+        self.par_stats.as_ref()
+    }
+
+    /// Takes the collected parallel-scheduler stats; collection stays
+    /// enabled and restarts fresh.
+    pub fn take_par_stats(&mut self) -> Option<ParStats> {
+        let taken = self.par_stats.take();
+        if taken.is_some() {
+            self.par_stats = Some(ParStats::new(DEFAULT_WINDOW_CAP));
+        }
+        taken
+    }
+
+    /// The world-level counters as one JSON object (dependency-free,
+    /// stable key order): network aggregates, radio-medium drop reasons,
+    /// crash/reboot totals, and the per-mote packet/timer/fault stats.
+    /// Drivers merge this with the machine metrics and scheduler stats
+    /// into one `--metrics-out` file.
+    pub fn metrics_json(&self) -> String {
+        let r = &self.radio.stats;
+        let mut crashes = 0u64;
+        let mut reboots = 0u64;
+        let mut motes = String::from("[");
+        for (i, slot) in self.motes.iter().enumerate() {
+            let m = &slot.stats;
+            crashes += m.crashes;
+            reboots += m.reboots;
+            if i > 0 {
+                motes.push(',');
+            }
+            motes.push_str(&format!(
+                concat!(
+                    "{{\"mote\":{},\"up\":{},\"sent\":{},\"received\":{},\"lost\":{},",
+                    "\"dropped_in_flight\":{},\"timer_firings\":{},\"cpu_slices\":{},",
+                    "\"crashes\":{},\"reboots\":{}}}"
+                ),
+                i,
+                slot.status.is_up(),
+                m.sent,
+                m.received,
+                m.lost,
+                m.dropped_in_flight,
+                m.timer_firings,
+                m.cpu_slices,
+                m.crashes,
+                m.reboots,
+            ));
+        }
+        motes.push(']');
+        format!(
+            concat!(
+                "{{\"now_us\":{},\"delivered\":{},\"lost\":{},\"cpu_slices\":{},",
+                "\"dropped_in_flight\":{},\"crashes\":{},\"reboots\":{},",
+                "\"radio\":{{\"attempts\":{},\"delivered\":{},\"dropped_link\":{},",
+                "\"dropped_loss\":{},\"dropped_partition\":{},\"dropped_burst\":{},",
+                "\"dropped_in_flight\":{}}},\"motes\":{}}}"
+            ),
+            self.now,
+            self.stats.delivered,
+            self.stats.lost,
+            self.stats.cpu_slices,
+            self.stats.dropped_in_flight,
+            crashes,
+            reboots,
+            r.attempts,
+            r.delivered,
+            r.dropped_link,
+            r.dropped_loss,
+            r.dropped_partition,
+            r.dropped_burst,
+            r.dropped_in_flight,
+            motes,
+        )
     }
 
     pub fn add_mote(&mut self, backend: Box<dyn Backend>) -> MoteId {
@@ -752,8 +852,26 @@ impl World {
     /// `threads <= 1`) fall back to the sequential stepper.
     pub fn run_until_parallel(&mut self, deadline: u64, threads: usize) {
         let lookahead = self.radio.min_latency();
-        if threads <= 1 || lookahead == 0 || self.motes.len() <= 1 {
-            return self.run_until(deadline);
+        let n_motes = self.motes.len();
+        // Introspection (`ceu-par-stats/v1`): when enabled, each window
+        // below records its stall attribution. Everything stats-related
+        // is behind `stats_on`, so the disabled path costs one branch per
+        // window and allocates nothing.
+        let stats_on = self.par_stats.is_some();
+        let run_t0 = stats_on.then(std::time::Instant::now);
+        let wall_base = self.par_stats.as_ref().map_or(0, |ps| ps.wall_ns);
+        if let Some(ps) = self.par_stats.as_mut() {
+            ps.threads = threads.max(1) as u32;
+            ps.lookahead_us = lookahead;
+            ps.motes = n_motes as u32;
+        }
+        if threads <= 1 || lookahead == 0 || n_motes <= 1 {
+            self.run_until(deadline);
+            if let (Some(t0), Some(ps)) = (run_t0, self.par_stats.as_mut()) {
+                ps.fallback = true;
+                ps.wall_ns += t0.elapsed().as_nanos() as u64;
+            }
+            return;
         }
         loop {
             // window = [first pending event, first event + lookahead),
@@ -786,6 +904,9 @@ impl World {
             if let Some(world_at) = self.next_world_at() {
                 run_end = run_end.min(world_at.max(window_start + 1));
             }
+            let clipped = run_end < window_start.saturating_add(lookahead);
+            let win_t0 = stats_on.then(std::time::Instant::now);
+            let heap_ops_0 = if stats_on { self.queue.op_counts() } else { (0, 0) };
 
             // Drain this window's events into per-mote batches. The outer
             // buffer persists across windows; the inner `Vec`s are taken
@@ -834,16 +955,20 @@ impl World {
             for (i, item) in work.into_iter().enumerate() {
                 chunks[i / chunk_size].push(item);
             }
+            let drain_done = stats_on.then(std::time::Instant::now);
             // Workers catch per-mote panics so a crash inside a window is
             // attributable: the panic resurfaces on the simulation thread
             // with the mote id and the window bounds, instead of an opaque
-            // worker-join failure.
-            let results: Vec<Result<WindowOut, (MoteId, String)>> = std::thread::scope(|s| {
+            // worker-join failure. Each worker also reports its busy time
+            // (start-to-finish over its chunk) when stats are on.
+            type WorkerOut = (Vec<Result<WindowOut, (MoteId, String)>>, u64);
+            let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
                         s.spawn(move || {
-                            chunk
+                            let t0 = stats_on.then(std::time::Instant::now);
+                            let outs = chunk
                                 .into_iter()
                                 .map(|(id, slot, batch)| {
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -858,23 +983,35 @@ impl World {
                                     }))
                                     .map_err(|payload| (id, panic_message(payload)))
                                 })
-                                .collect::<Vec<_>>()
+                                .collect::<Vec<_>>();
+                            let busy = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                            (outs, busy)
                         })
                     })
                     .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("mote worker thread")).collect()
+                handles.into_iter().map(|h| h.join().expect("mote worker thread")).collect()
             });
-            let outs: Vec<WindowOut> = results
-                .into_iter()
-                .map(|r| {
-                    r.unwrap_or_else(|(id, msg)| {
+            let par_done = stats_on.then(std::time::Instant::now);
+            let mut busy_ns: Vec<u64> = Vec::new();
+            let mut events_per_worker: Vec<u64> = Vec::new();
+            let mut motes_per_worker: Vec<u32> = Vec::new();
+            let mut outs: Vec<WindowOut> = Vec::new();
+            for (worker_outs, busy) in worker_results {
+                if stats_on {
+                    busy_ns.push(busy);
+                    motes_per_worker.push(worker_outs.len() as u32);
+                    events_per_worker
+                        .push(worker_outs.iter().map(|r| r.as_ref().map_or(0, |o| o.events)).sum());
+                }
+                for r in worker_outs {
+                    outs.push(r.unwrap_or_else(|(id, msg)| {
                         panic!(
                             "mote {id} panicked in parallel window \
                              [{window_start}, {run_end}): {msg}"
                         )
-                    })
-                })
-                .collect();
+                    }));
+                }
+            }
 
             // Deterministic merge: check motes back in, then apply every
             // cross-window effect in (time, mote, emission) order. The
@@ -912,6 +1049,13 @@ impl World {
             crashes.sort_unstable();
             let mut crashes = crashes.into_iter().peekable();
             sends.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+            let cross_sends = sends.len() as u64;
+            let mut send_sample: Vec<(u64, u32, u32)> = Vec::new();
+            if stats_on {
+                send_sample.extend(
+                    sends.iter().take(SEND_SAMPLE_CAP).map(|s| (s.0, s.1 as u32, s.3 as u32)),
+                );
+            }
             for (at, from, i, to, packet) in sends.drain(..) {
                 while let Some(&(c_at, c_mote, c_i)) = crashes.peek() {
                     if (c_at, c_mote, c_i) <= (at, from, i) {
@@ -932,6 +1076,41 @@ impl World {
                 self.apply_crash_world_effects(c_mote, c_at);
             }
             self.merge_sends = sends;
+            if let (Some(run_t0), Some(win_t0), Some(drain_done), Some(par_done)) =
+                (run_t0, win_t0, drain_done, par_done)
+            {
+                let merge_done = std::time::Instant::now();
+                let (pushes_1, pops_1) = self.queue.op_counts();
+                let events = events_per_worker.iter().sum();
+                let motes = motes_per_worker.iter().sum();
+                let ps = self.par_stats.as_mut().expect("stats_on");
+                ps.record_window(ParWindowStats {
+                    index: ps.totals.windows,
+                    t_wall_ns: wall_base + win_t0.duration_since(run_t0).as_nanos() as u64,
+                    start_us: window_start,
+                    end_us: run_end,
+                    lookahead_us: lookahead,
+                    clipped,
+                    threads: threads as u32,
+                    workers: busy_ns.len() as u32,
+                    motes,
+                    events,
+                    busy_ns,
+                    events_per_worker,
+                    motes_per_worker,
+                    drain_ns: drain_done.duration_since(win_t0).as_nanos() as u64,
+                    par_ns: par_done.duration_since(drain_done).as_nanos() as u64,
+                    merge_ns: merge_done.duration_since(par_done).as_nanos() as u64,
+                    heap_pushes: pushes_1 - heap_ops_0.0,
+                    heap_pops: pops_1 - heap_ops_0.1,
+                    cross_sends,
+                    send_sample,
+                });
+            }
+        }
+        if let (Some(t0), Some(ps)) = (run_t0, self.par_stats.as_mut()) {
+            ps.fallback = false;
+            ps.wall_ns += t0.elapsed().as_nanos() as u64;
         }
         self.now = self.now.max(deadline);
     }
@@ -1027,6 +1206,9 @@ struct WindowOut {
     cpus_after: Vec<u64>,
     delivered: u64,
     cpu_slices: u64,
+    /// Firings popped inside the window, including locally rescheduled
+    /// timers/CPU slices (feeds `ceu-par-stats/v1` per-worker loads).
+    events: u64,
     /// World-trace events produced inside the window, already stamped
     /// with `(world_time_us, mote, seq)`.
     trace: Vec<WorldTraceEvent>,
@@ -1086,12 +1268,14 @@ fn run_mote_window(
         cpus_after: Vec::new(),
         delivered: 0,
         cpu_slices: 0,
+        events: 0,
         trace: Vec::new(),
         crashed: None,
         dropped_in_flight: 0,
     };
     while let Some((at, _, fire)) = queue.pop() {
         debug_assert!(at < run_end);
+        out.events += 1;
         let now = at;
         if !slot.status.is_up() {
             // crashed earlier in this window: deliveries drop in flight,
