@@ -18,7 +18,13 @@
 //!   the dominant stall category per thread count;
 //! * `stats_overhead` — the same 2-thread world run with stats off vs
 //!   on, reported as an overhead percentage (the tracked cost of
-//!   enabling introspection).
+//!   enabling introspection);
+//! * `world_shard` — the sharded engine on the workload it is shaped
+//!   for: the 48-mote clustered mesh (`ceu_bench::shard_mesh`) at 1/2/4
+//!   threads with per-shard stats on. Where `world_par`'s chaos ring is
+//!   deliberately barrier-hostile (one global lookahead), these rows
+//!   track the topology-aligned case — cluster-aligned shards, per-shard
+//!   lookahead — whose 2-thread speedup CI gates on.
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin bench_regression -- \
@@ -27,7 +33,7 @@
 //!
 //! The JSON lands in `target/experiments/BENCH_PR4.json` unless `--out`
 //! says otherwise; `--snapshot PATH` writes a second copy (CI commits it
-//! as `BENCH_PR6.json` at the repo root). CI's `bench-smoke` job runs
+//! as `BENCH_PR7.json` at the repo root). CI's `bench-smoke` job runs
 //! `--quick` and fails on any steady-state allocation.
 
 use ceu::runtime::{Machine, NullHost};
@@ -130,6 +136,20 @@ struct WorldParRow {
 }
 
 #[derive(serde::Serialize)]
+struct WorldShardRow {
+    workload: &'static str,
+    horizon_us: u64,
+    threads: usize,
+    shards: u64,
+    wall_ns: u64,
+    speedup: f64,
+    utilization: f64,
+    dominant_stall: &'static str,
+    windows: u64,
+    achievable_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
 struct StatsOverheadRow {
     workload: &'static str,
     horizon_us: u64,
@@ -150,6 +170,7 @@ struct Report {
     par_scaling: Vec<ParRow>,
     world_par: Vec<WorldParRow>,
     stats_overhead: Vec<StatsOverheadRow>,
+    world_shard: Vec<WorldShardRow>,
 }
 
 /// Boots a machine over the shared artifact and returns it with the
@@ -246,6 +267,16 @@ fn world_wall(horizon_us: u64, threads: usize, stats: bool) -> (u64, Option<wsn_
     let t0 = Instant::now();
     w.run_until_parallel(horizon_us, threads);
     (t0.elapsed().as_nanos() as u64, w.take_par_stats())
+}
+
+/// Steps the clustered shard-mesh (cluster-aligned shards, per-shard
+/// lookahead) on `threads` workers with per-shard stats on.
+fn shard_world_wall(horizon_us: u64, threads: usize) -> (u64, wsn_sim::ParStats) {
+    let mut w = ceu_bench::shard_mesh::build_shard_mesh_world(false);
+    w.enable_par_stats();
+    let t0 = Instant::now();
+    w.run_until_parallel(horizon_us, threads);
+    (t0.elapsed().as_nanos() as u64, w.take_par_stats().expect("par stats enabled"))
 }
 
 fn main() {
@@ -402,6 +433,37 @@ fn main() {
         overhead_pct,
     }];
 
+    // the topology-aligned counterpart of world_par: cluster-aligned
+    // shards over the 48-mote mesh, the configuration CI gates on
+    let mut shard_rows = Vec::new();
+    shard_world_wall(horizon_us.min(10_000), 2); // warm-up
+    let mut shard_base_wall = 0u64;
+    for threads in [1usize, 2, 4] {
+        let (wall, stats) = shard_world_wall(horizon_us, threads);
+        if threads == 1 {
+            shard_base_wall = wall.max(1);
+        }
+        let speedup = shard_base_wall as f64 / wall.max(1) as f64;
+        let dominant = stats.totals.attribution.dominant_stall().0;
+        println!(
+            "world_shard       shard_mesh       t={threads}  {:9.2} ms  {speedup:.2}x  util {:5.1}%  {dominant}",
+            wall as f64 / 1e6,
+            stats.utilization() * 100.0
+        );
+        shard_rows.push(WorldShardRow {
+            workload: "shard_mesh",
+            horizon_us,
+            threads,
+            shards: stats.shards as u64,
+            wall_ns: wall,
+            speedup,
+            utilization: stats.utilization(),
+            dominant_stall: dominant,
+            windows: stats.totals.windows,
+            achievable_speedup: stats.achievable_speedup(),
+        });
+    }
+
     let report = Report {
         schema: "ceu-bench-regression/v1",
         reaction_latency: latency_rows,
@@ -409,6 +471,7 @@ fn main() {
         par_scaling: par_rows,
         world_par: world_rows,
         stats_overhead: overhead_rows,
+        world_shard: shard_rows,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out, json.clone() + "\n")

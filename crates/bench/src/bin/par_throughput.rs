@@ -10,10 +10,12 @@
 //! the flat-vs-tree evaluator speedup is measured in the same run, and —
 //! since the machine-level sweep shares an immutable artifact and says
 //! nothing about the PDES scheduler — a **world-level** sweep that drives
-//! `World::run_until_parallel` over the six-mote chaos network with
-//! `ceu-par-stats/v1` introspection on, writing the per-window stall
-//! stats to `target/experiments/par_stats.jsonl` for `ceu-trace
-//! par-report`.
+//! `World::run_until_parallel` over the clustered shard-mesh network
+//! (`ceu_bench::shard_mesh`: 24 Céu motes, 4 clusters, per-cluster
+//! lookahead) with `ceu-par-stats/v2` introspection on, writing the
+//! per-window stall stats to `target/experiments/par_stats.jsonl` for
+//! `ceu-trace par-report`. CI's bench-smoke job gates on this sweep
+//! reaching >=1.3x speedup at 2 threads.
 //!
 //! Rows land in `target/experiments/par_throughput.jsonl`:
 //! `{workload, machines, reactions, threads, tree_eval, wall_ns, throughput_rps, speedup}`.
@@ -26,11 +28,11 @@
 
 use ceu::runtime::{Machine, NullHost};
 use ceu::Compiler;
-use ceu_bench::chaos::build_chaos_world_instrumented;
+use ceu_bench::shard_mesh::build_shard_mesh_world_instrumented;
 use ceu_bench::{table, DATAFLOW_CHAIN};
 use std::sync::Arc;
 use std::time::Instant;
-use wsn_sim::{FaultPlan, ParStats};
+use wsn_sim::ParStats;
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -45,11 +47,12 @@ struct Row {
 }
 
 /// One world-level `run_until_parallel` configuration, with the headline
-/// numbers from its `ceu-par-stats/v1` record.
+/// numbers from its `ceu-par-stats/v2` record.
 #[derive(serde::Serialize)]
 struct WorldRow {
     workload: &'static str,
     motes: u32,
+    shards: u32,
     horizon_us: u64,
     threads: usize,
     wall_ns: u64,
@@ -72,14 +75,15 @@ struct Snapshot {
     world_rows: Vec<WorldRow>,
 }
 
-/// Steps the six-mote chaos network (no faults) on `threads` workers
-/// with scheduler stats on; returns the world (for the world-metrics
-/// section), its stats, and the handle to the metrics-enabled mote 0.
+/// Steps the clustered shard-mesh network (no faults) on `threads`
+/// workers with scheduler stats on; returns the world (for the
+/// world-metrics section), its stats, and the handle to the
+/// metrics-enabled mote 0.
 fn world_run(
     horizon_us: u64,
     threads: usize,
 ) -> (wsn_sim::World, ParStats, ceu_bench::chaos::MoteHandle) {
-    let (mut w, handle) = build_chaos_world_instrumented(&FaultPlan::new());
+    let (mut w, handle) = build_shard_mesh_world_instrumented();
     w.enable_par_stats();
     w.run_until_parallel(horizon_us, threads);
     let stats = w.take_par_stats().expect("par stats enabled");
@@ -220,8 +224,9 @@ fn main() {
     // per-window stall stats on. All runs land in one par_stats.jsonl
     // (one `kind:"run"` header per thread count) for `ceu-trace par-report`.
     println!(
-        "\nworld-level PDES sweep — {} motes, {} µs horizon, stats on",
-        ceu_bench::chaos::CHAOS_MOTES,
+        "\nworld-level PDES sweep — shard mesh, {} motes / {} clusters, {} µs horizon, stats on",
+        ceu_bench::shard_mesh::MESH_MOTES,
+        ceu_bench::shard_mesh::MESH_CLUSTERS,
         horizon_us
     );
     let stats_path = ceu_bench::out_dir().join("par_stats.jsonl");
@@ -244,6 +249,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", stats_path.display()));
         world_table.push(vec![
             t.to_string(),
+            stats.shards.to_string(),
             format!("{:.2}", stats.wall_ns as f64 / 1e6),
             format!("{speedup:.2}x"),
             format!("{:.1}%", stats.utilization() * 100.0),
@@ -251,8 +257,9 @@ fn main() {
             stats.totals.windows.to_string(),
         ]);
         let row = WorldRow {
-            workload: "chaos_ring",
+            workload: "shard_mesh",
             motes: stats.motes,
+            shards: stats.shards,
             horizon_us,
             threads: t,
             wall_ns: stats.wall_ns,
@@ -272,7 +279,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["threads", "wall ms", "speedup", "utilization", "dominant stall", "windows"],
+            &[
+                "threads",
+                "shards",
+                "wall ms",
+                "speedup",
+                "utilization",
+                "dominant stall",
+                "windows"
+            ],
             &world_table
         )
     );

@@ -4,6 +4,7 @@
 
 pub mod chaos;
 pub mod corpus;
+pub mod shard_mesh;
 pub mod table;
 
 pub use corpus::*;

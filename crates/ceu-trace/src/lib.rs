@@ -23,7 +23,8 @@ use std::fmt::Write as _;
 pub mod parstats;
 
 pub use parstats::{
-    par_report, par_stats_perfetto_events, parse_par_stats, render_par_run, ParRun, ParWindow,
+    par_report, par_stats_perfetto_events, parse_par_stats, render_par_run, ParRun, ParShard,
+    ParWindow,
 };
 
 /// One parsed trace line, normalised to the world-trace shape.

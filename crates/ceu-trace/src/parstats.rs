@@ -1,25 +1,31 @@
-//! `ceu-par-stats/v1` analysis: the reader side of the parallel-scheduler
+//! `ceu-par-stats/v1|v2` analysis: the reader side of the parallel-scheduler
 //! introspection emitted by `wsn_sim::write_par_stats_jsonl`.
 //!
-//! The input is one `kind:"run"` header line plus one `kind:"window"`
-//! line per recorded window. [`par_report`] turns that into the terminal
-//! instrument panel (utilization, exact stall attribution, per-worker
-//! load histogram, achievable-speedup bound) and
+//! The input is one `kind:"run"` header line, (v2) one `kind:"shard"`
+//! summary line per shard, plus one `kind:"window"` line per recorded
+//! window. [`par_report`] turns that into the terminal instrument panel
+//! (utilization, exact stall attribution, per-worker and per-shard load
+//! tables, shard-imbalance call-out, achievable-speedup bound) and
 //! [`par_stats_perfetto_events`] turns it into Chrome-trace events — a
-//! `scheduler` process with one track per worker thread plus the
-//! simulation thread's drain/merge track, with flow arrows for the
-//! cross-window sends — that `to-perfetto --par-stats` merges alongside
-//! the virtual-time mote tracks.
+//! `scheduler` process with one track per worker thread, one track per
+//! shard (v2), and the simulation thread's drain/merge track, with flow
+//! arrows for the cross-window sends — that `to-perfetto --par-stats`
+//! merges alongside the virtual-time mote tracks.
+//!
+//! v1 streams (no shard records, no `shard_busy`) parse unchanged; the
+//! shard table and shard tracks simply stay empty.
 
 use serde_json::Value;
 use std::fmt::Write as _;
 
-/// The parsed `kind:"run"` header of a `ceu-par-stats/v1` stream.
+/// The parsed `kind:"run"` header of a `ceu-par-stats/v1|v2` stream.
 #[derive(Clone, Debug, Default)]
 pub struct ParRun {
     pub threads: u64,
     pub lookahead_us: u64,
     pub motes: u64,
+    /// Shard count (v2; 0 for v1 streams).
+    pub shards: u64,
     pub fallback: bool,
     pub wall_ns: u64,
     pub window_wall_ns: u64,
@@ -38,6 +44,18 @@ pub struct ParRun {
     pub drain_wall_ns: u64,
     pub par_wall_ns: u64,
     pub merge_wall_ns: u64,
+}
+
+/// One parsed `kind:"shard"` summary line (v2).
+#[derive(Clone, Debug, Default)]
+pub struct ParShard {
+    pub shard: u64,
+    pub motes: u64,
+    pub windows: u64,
+    pub events: u64,
+    pub busy_ns: u64,
+    pub cross_sends: u64,
+    pub channel_wait_ns: u64,
 }
 
 /// One parsed `kind:"window"` line.
@@ -59,6 +77,8 @@ pub struct ParWindow {
     pub cross_sends: u64,
     /// `(emit_us, from, to)` sample for flow arrows.
     pub sends: Vec<(u64, u64, u64)>,
+    /// `(shard, worker, busy_ns, events)` per shard stepped this window (v2).
+    pub shard_busy: Vec<(u64, u64, u64, u64)>,
 }
 
 fn u64_of(v: &Value, key: &str) -> u64 {
@@ -72,10 +92,14 @@ fn u64_vec(v: &Value, key: &str) -> Vec<u64> {
         .unwrap_or_default()
 }
 
-/// Parses a `ceu-par-stats/v1` JSONL stream. The stream may carry several
-/// runs (e.g. one per thread count); each run's windows follow its header.
-pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, String> {
-    let mut runs: Vec<(ParRun, Vec<ParWindow>)> = Vec::new();
+/// One parsed run: its header, shard summaries and detailed windows.
+pub type ParsedRun = (ParRun, Vec<ParShard>, Vec<ParWindow>);
+
+/// Parses a `ceu-par-stats/v1` or `/v2` JSONL stream. The stream may carry
+/// several runs (e.g. one per thread count); each run's shard summaries and
+/// windows follow its header.
+pub fn parse_par_stats(text: &str) -> Result<Vec<ParsedRun>, String> {
+    let mut runs: Vec<ParsedRun> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = line.trim();
@@ -84,9 +108,9 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
         }
         let v: Value = serde_json::from_str(line).map_err(|e| format!("line {line_no}: {e}"))?;
         let schema = v.get("schema").and_then(|s| s.as_str());
-        if schema != Some("ceu-par-stats/v1") {
+        if !matches!(schema, Some("ceu-par-stats/v1") | Some("ceu-par-stats/v2")) {
             return Err(format!(
-                "line {line_no}: not a ceu-par-stats/v1 record (schema={schema:?})"
+                "line {line_no}: not a ceu-par-stats/v1|v2 record (schema={schema:?})"
             ));
         }
         match v.get("kind").and_then(|k| k.as_str()) {
@@ -96,6 +120,7 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
                         threads: u64_of(&v, "threads"),
                         lookahead_us: u64_of(&v, "lookahead_us"),
                         motes: u64_of(&v, "motes"),
+                        shards: u64_of(&v, "shards"),
                         fallback: v.get("fallback").and_then(|f| f.as_bool()).unwrap_or(false),
                         wall_ns: u64_of(&v, "wall_ns"),
                         window_wall_ns: u64_of(&v, "window_wall_ns"),
@@ -116,7 +141,23 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
                         merge_wall_ns: u64_of(&v, "merge_wall_ns"),
                     },
                     Vec::new(),
+                    Vec::new(),
                 ));
+            }
+            Some("shard") => {
+                let s = ParShard {
+                    shard: u64_of(&v, "shard"),
+                    motes: u64_of(&v, "motes"),
+                    windows: u64_of(&v, "windows"),
+                    events: u64_of(&v, "events"),
+                    busy_ns: u64_of(&v, "busy_ns"),
+                    cross_sends: u64_of(&v, "cross_sends"),
+                    channel_wait_ns: u64_of(&v, "channel_wait_ns"),
+                };
+                match runs.last_mut() {
+                    Some((_, shards, _)) => shards.push(s),
+                    None => return Err(format!("line {line_no}: shard before any run header")),
+                }
             }
             Some("window") => {
                 let sends = v
@@ -125,6 +166,22 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
                     .map(|a| {
                         a.iter()
                             .map(|s| (u64_of(s, "at_us"), u64_of(s, "from"), u64_of(s, "to")))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let shard_busy = v
+                    .get("shard_busy")
+                    .and_then(|s| s.as_array())
+                    .map(|a| {
+                        a.iter()
+                            .map(|s| {
+                                (
+                                    u64_of(s, "shard"),
+                                    u64_of(s, "worker"),
+                                    u64_of(s, "busy_ns"),
+                                    u64_of(s, "events"),
+                                )
+                            })
                             .collect()
                     })
                     .unwrap_or_default();
@@ -144,9 +201,10 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
                     merge_ns: u64_of(&v, "merge_ns"),
                     cross_sends: u64_of(&v, "cross_sends"),
                     sends,
+                    shard_busy,
                 };
                 match runs.last_mut() {
-                    Some((_, windows)) => windows.push(w),
+                    Some((_, _, windows)) => windows.push(w),
                     None => return Err(format!("line {line_no}: window before any run header")),
                 }
             }
@@ -154,7 +212,7 @@ pub fn parse_par_stats(text: &str) -> Result<Vec<(ParRun, Vec<ParWindow>)>, Stri
         }
     }
     if runs.is_empty() {
-        return Err("no ceu-par-stats/v1 run records in input".into());
+        return Err("no ceu-par-stats run records in input".into());
     }
     Ok(runs)
 }
@@ -183,14 +241,17 @@ fn bar(frac: f64, width: usize) -> String {
 /// categories (busy + four stall causes) partition the windowed part of
 /// it exactly; `coverage` says how much of the measured wall-clock the
 /// windows account for (the rest is inter-window bookkeeping such as
-/// fault barriers).
-pub fn render_par_run(run: &ParRun, windows: &[ParWindow]) -> String {
+/// fault barriers). When the detailed-window cap truncated collection,
+/// the coverage line says so explicitly — run totals stay exact either
+/// way, but the per-worker histogram only spans the retained windows.
+pub fn render_par_run(run: &ParRun, shards: &[ParShard], windows: &[ParWindow]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "ceu-par-stats/v1: {} motes, {} threads, lookahead {}µs{}",
+        "ceu-par-stats: {} motes, {} threads, {} shards, lookahead {}µs{}",
         run.motes,
         run.threads,
+        run.shards,
         run.lookahead_us,
         if run.fallback { " (sequential fallback)" } else { "" },
     );
@@ -239,7 +300,20 @@ pub fn render_par_run(run: &ParRun, windows: &[ParWindow]) -> String {
         fmt_ns(capacity.saturating_sub(attributed)),
         100.0 - coverage,
     );
-    let _ = writeln!(out, "coverage: {coverage:.1}% of measured wall-clock attributed");
+    let _ = write!(out, "coverage: {coverage:.1}% of measured wall-clock attributed");
+    if run.dropped_windows > 0 {
+        let _ = writeln!(
+            out,
+            " — detailed-window cap hit: {} of {} windows kept no per-window \
+             detail (run totals stay exact; the tables below span only the {} \
+             retained windows)",
+            run.dropped_windows,
+            run.windows,
+            run.windows.saturating_sub(run.dropped_windows),
+        );
+    } else {
+        out.push('\n');
+    }
 
     let stalls = [
         ("imbalance-bound", run.imbalance_ns),
@@ -253,6 +327,42 @@ pub fn render_par_run(run: &ParRun, windows: &[ParWindow]) -> String {
     } else {
         let _ =
             writeln!(out, "dominant stall: {} ({:.1}% of capacity)", dominant.0, pct(dominant.1));
+    }
+
+    // per-shard load table + imbalance call-out (v2 streams)
+    if !shards.is_empty() {
+        let total_busy: u64 = shards.iter().map(|s| s.busy_ns).sum();
+        let _ = writeln!(out, "\nper-shard load ({} shards):", shards.len());
+        for s in shards {
+            let share = if total_busy == 0 { 0.0 } else { s.busy_ns as f64 / total_busy as f64 };
+            let _ = writeln!(
+                out,
+                "  s{:<3} |{}| {:>10} busy ({:>4.1}%), {} motes, {} windows, \
+                 {} events, {} cross-sends, ch-wait {}",
+                s.shard,
+                bar(share, 20),
+                fmt_ns(s.busy_ns),
+                100.0 * share,
+                s.motes,
+                s.windows,
+                s.events,
+                s.cross_sends,
+                fmt_ns(s.channel_wait_ns),
+            );
+        }
+        let heaviest = shards.iter().max_by_key(|s| s.busy_ns).expect("non-empty");
+        let mean = total_busy as f64 / shards.len() as f64;
+        let ratio = if mean == 0.0 { 1.0 } else { heaviest.busy_ns as f64 / mean };
+        let _ = writeln!(
+            out,
+            "shard imbalance: max/mean busy {ratio:.2}x (shard {} heaviest){}",
+            heaviest.shard,
+            if ratio > 1.5 {
+                " — skewed partition; consider more target shards or a different topology split"
+            } else {
+                ""
+            },
+        );
     }
 
     // per-worker load histogram, aggregated over the detailed windows
@@ -295,15 +405,15 @@ pub fn render_par_run(run: &ParRun, windows: &[ParWindow]) -> String {
     out
 }
 
-/// `par-report` over a whole `ceu-par-stats/v1` stream (every run).
+/// `par-report` over a whole `ceu-par-stats/v1|v2` stream (every run).
 pub fn par_report(text: &str) -> Result<String, String> {
     let runs = parse_par_stats(text)?;
     let mut out = String::new();
-    for (i, (run, windows)) in runs.iter().enumerate() {
+    for (i, (run, shards, windows)) in runs.iter().enumerate() {
         if i > 0 {
             out.push('\n');
         }
-        out.push_str(&render_par_run(run, windows));
+        out.push_str(&render_par_run(run, shards, windows));
     }
     Ok(out)
 }
@@ -312,13 +422,19 @@ pub fn par_report(text: &str) -> Result<String, String> {
 /// (mote pids are small integers; this stays clear of them).
 const SCHED_PID: u64 = 9_000;
 
+/// Worker tracks are tids `1..=N`; shard tracks start here (a shard's tid
+/// is `SHARD_TID_BASE + shard`), well clear of any plausible worker count.
+const SHARD_TID_BASE: u64 = 100;
+
 /// Chrome-trace events for the scheduler timeline: tid 0 is the
 /// simulation thread (drain + merge slices per window), tids 1..=N are
-/// the worker threads (busy + stall slices per window), and `s`/`f` flow
-/// arrows connect a window's merge to the later window where its sampled
-/// cross-window sends land. Timestamps are host wall-clock µs since the
-/// run started (the mote tracks are virtual-time — Perfetto shows both;
-/// the scheduler process is the wall-clock view).
+/// the worker threads (busy + stall slices per window), tids 100+ are one
+/// track per shard (v2 streams — each slice is that shard's busy span in
+/// a window, serialized after any shard the same worker stepped first),
+/// and `s`/`f` flow arrows connect a window's merge to the later window
+/// where its sampled cross-window sends land. Timestamps are host
+/// wall-clock µs since the run started (the mote tracks are virtual-time
+/// — Perfetto shows both; the scheduler process is the wall-clock view).
 pub fn par_stats_perfetto_events(text: &str) -> Result<Vec<String>, String> {
     let runs = parse_par_stats(text)?;
     let mut out: Vec<String> = Vec::new();
@@ -332,8 +448,9 @@ pub fn par_stats_perfetto_events(text: &str) -> Result<Vec<String>, String> {
     ));
     let ts = |ns: u64| format!("{:.3}", ns as f64 / 1_000.0);
     let mut named_workers = 0usize;
+    let mut named_shards: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut flow_id = 500_000u64; // clear of the reaction-flow ids
-    for (run, windows) in &runs {
+    for (run, _, windows) in &runs {
         for w in windows {
             for tid in named_workers..w.busy_ns.len() {
                 out.push(format!(
@@ -343,6 +460,15 @@ pub fn par_stats_perfetto_events(text: &str) -> Result<Vec<String>, String> {
                 ));
             }
             named_workers = named_workers.max(w.busy_ns.len());
+            for &(shard, ..) in &w.shard_busy {
+                if named_shards.insert(shard) {
+                    out.push(format!(
+                        "{{\"ph\":\"M\",\"pid\":{SCHED_PID},\"tid\":{},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"shard {shard}\"}}}}",
+                        SHARD_TID_BASE + shard,
+                    ));
+                }
+            }
             let drain_end = w.t_wall_ns + w.drain_ns;
             let par_end = drain_end + w.par_ns;
             out.push(format!(
@@ -388,6 +514,23 @@ pub fn par_stats_perfetto_events(text: &str) -> Result<Vec<String>, String> {
                     ));
                 }
             }
+            // shard tracks: a worker steps its shards back-to-back, so
+            // offset each shard slice by what the same worker ran first
+            let mut worker_off: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for &(shard, worker, busy, events) in &w.shard_busy {
+                let off = worker_off.entry(worker).or_insert(0);
+                out.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":{SCHED_PID},\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":\"shard {shard} w{}\",\"cat\":\"sched-shard\",\
+                     \"args\":{{\"events\":{events},\"worker\":{worker}}}}}",
+                    SHARD_TID_BASE + shard,
+                    ts(drain_end + *off),
+                    ts(busy),
+                    w.index,
+                ));
+                *off += busy;
+            }
             // flow arrows: this window's merge routes each sampled send;
             // it lands in the first later window whose virtual span can
             // contain the arrival (emit + lookahead at the earliest)
@@ -420,21 +563,48 @@ mod tests {
     use super::*;
 
     const STATS: &str = r#"
+{"schema":"ceu-par-stats/v2","kind":"run","threads":2,"lookahead_us":700,"motes":4,"shards":2,"fallback":false,"wall_ns":10000,"window_wall_ns":9000,"windows":2,"dropped_windows":0,"events":30,"motes_stepped":8,"cross_sends":6,"heap_pushes":40,"heap_pops":38,"busy_ns":6000,"imbalance_ns":1000,"lookahead_ns":2000,"barrier_ns":4000,"merge_ns":5000,"critical_busy_ns":4000,"drain_wall_ns":1000,"par_wall_ns":6500,"merge_wall_ns":1500}
+{"schema":"ceu-par-stats/v2","kind":"shard","shard":0,"motes":2,"windows":2,"events":20,"busy_ns":4000,"cross_sends":4,"channel_wait_ns":300}
+{"schema":"ceu-par-stats/v2","kind":"shard","shard":1,"motes":2,"windows":2,"events":10,"busy_ns":2000,"cross_sends":2,"channel_wait_ns":100}
+{"schema":"ceu-par-stats/v2","kind":"window","i":0,"t_wall_ns":0,"start_us":1000,"end_us":1700,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":16,"busy_ns":[2000,1500],"events_per_worker":[9,7],"motes_per_worker":[2,2],"drain_ns":500,"par_ns":3000,"merge_ns":800,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[{"at_us":1200,"from":0,"to":1}],"shard_busy":[{"shard":0,"worker":0,"busy_ns":2000,"events":9},{"shard":1,"worker":1,"busy_ns":1500,"events":7}]}
+{"schema":"ceu-par-stats/v2","kind":"window","i":1,"t_wall_ns":4500,"start_us":1700,"end_us":2400,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":14,"busy_ns":[1400,1100],"events_per_worker":[8,6],"motes_per_worker":[2,2],"drain_ns":400,"par_ns":3200,"merge_ns":700,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[],"shard_busy":[{"shard":0,"worker":0,"busy_ns":1400,"events":8},{"shard":1,"worker":1,"busy_ns":1100,"events":6}]}
+"#;
+
+    const STATS_V1: &str = r#"
 {"schema":"ceu-par-stats/v1","kind":"run","threads":2,"lookahead_us":700,"motes":4,"fallback":false,"wall_ns":10000,"window_wall_ns":9000,"windows":2,"dropped_windows":0,"events":30,"motes_stepped":8,"cross_sends":6,"heap_pushes":40,"heap_pops":38,"busy_ns":6000,"imbalance_ns":1000,"lookahead_ns":2000,"barrier_ns":4000,"merge_ns":5000,"critical_busy_ns":4000,"drain_wall_ns":1000,"par_wall_ns":6500,"merge_wall_ns":1500}
 {"schema":"ceu-par-stats/v1","kind":"window","i":0,"t_wall_ns":0,"start_us":1000,"end_us":1700,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":16,"busy_ns":[2000,1500],"events_per_worker":[9,7],"motes_per_worker":[2,2],"drain_ns":500,"par_ns":3000,"merge_ns":800,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[{"at_us":1200,"from":0,"to":1}]}
-{"schema":"ceu-par-stats/v1","kind":"window","i":1,"t_wall_ns":4500,"start_us":1700,"end_us":2400,"lookahead_us":700,"clipped":false,"threads":2,"workers":2,"motes":4,"events":14,"busy_ns":[1400,1100],"events_per_worker":[8,6],"motes_per_worker":[2,2],"drain_ns":400,"par_ns":3200,"merge_ns":700,"wall_ns":4300,"heap_pushes":20,"heap_pops":19,"cross_sends":3,"sends":[]}
 "#;
 
     #[test]
-    fn parses_runs_and_windows() {
+    fn parses_runs_shards_and_windows() {
         let runs = parse_par_stats(STATS).unwrap();
         assert_eq!(runs.len(), 1);
-        let (run, windows) = &runs[0];
+        let (run, shards, windows) = &runs[0];
         assert_eq!(run.threads, 2);
+        assert_eq!(run.shards, 2);
         assert!(!run.fallback);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].busy_ns, 4000);
+        assert_eq!(shards[1].channel_wait_ns, 100);
         assert_eq!(windows.len(), 2);
         assert_eq!(windows[0].busy_ns, vec![2000, 1500]);
         assert_eq!(windows[0].sends, vec![(1200, 0, 1)]);
+        assert_eq!(windows[0].shard_busy, vec![(0, 0, 2000, 9), (1, 1, 1500, 7)]);
+    }
+
+    #[test]
+    fn v1_streams_still_parse_without_shard_records() {
+        let runs = parse_par_stats(STATS_V1).unwrap();
+        let (run, shards, windows) = &runs[0];
+        assert_eq!(run.threads, 2);
+        assert_eq!(run.shards, 0);
+        assert!(shards.is_empty());
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].shard_busy.is_empty());
+        // and the report renders without a shard table
+        let report = par_report(STATS_V1).unwrap();
+        assert!(!report.contains("per-shard load"), "{report}");
+        assert!(report.contains("dominant stall:"), "{report}");
     }
 
     #[test]
@@ -450,8 +620,50 @@ mod tests {
     }
 
     #[test]
+    fn report_renders_the_shard_table_and_imbalance() {
+        let report = par_report(STATS).unwrap();
+        assert!(report.contains("per-shard load (2 shards):"), "{report}");
+        assert!(report.contains("s0"), "{report}");
+        assert!(report.contains("s1"), "{report}");
+        // shard 0 busy 4000 of mean 3000 => 1.33x, under the call-out bar
+        assert!(
+            report.contains("shard imbalance: max/mean busy 1.33x (shard 0 heaviest)"),
+            "{report}"
+        );
+        assert!(!report.contains("skewed partition"), "{report}");
+    }
+
+    #[test]
+    fn skewed_shards_get_the_imbalance_call_out() {
+        let skewed = STATS.replace(
+            r#""shard":0,"motes":2,"windows":2,"events":20,"busy_ns":4000"#,
+            r#""shard":0,"motes":2,"windows":2,"events":20,"busy_ns":40000"#,
+        );
+        let report = par_report(&skewed).unwrap();
+        assert!(report.contains("skewed partition"), "{report}");
+    }
+
+    #[test]
+    fn truncated_collection_is_called_out_on_the_coverage_line() {
+        let truncated = STATS
+            .replace(r#""dropped_windows":0"#, r#""dropped_windows":7"#)
+            .replace(r#""windows":2,"#, r#""windows":9,"#);
+        let report = par_report(&truncated).unwrap();
+        assert!(
+            report.contains(
+                "coverage: 90.0% of measured wall-clock attributed — detailed-window \
+                 cap hit: 7 of 9 windows kept no per-window detail"
+            ),
+            "{report}"
+        );
+        // the untruncated report must NOT carry the notice
+        let clean = par_report(STATS).unwrap();
+        assert!(!clean.contains("detailed-window cap hit"), "{clean}");
+    }
+
+    #[test]
     fn fallback_run_still_reports_utilization_fields() {
-        let text = r#"{"schema":"ceu-par-stats/v1","kind":"run","threads":1,"lookahead_us":0,"motes":1,"fallback":true,"wall_ns":5000,"window_wall_ns":0,"windows":0,"dropped_windows":0,"events":0,"motes_stepped":0,"cross_sends":0,"heap_pushes":0,"heap_pops":0,"busy_ns":0,"imbalance_ns":0,"lookahead_ns":0,"barrier_ns":0,"merge_ns":0,"critical_busy_ns":0,"drain_wall_ns":0,"par_wall_ns":0,"merge_wall_ns":0}"#;
+        let text = r#"{"schema":"ceu-par-stats/v2","kind":"run","threads":1,"lookahead_us":0,"motes":1,"shards":1,"fallback":true,"wall_ns":5000,"window_wall_ns":0,"windows":0,"dropped_windows":0,"events":0,"motes_stepped":0,"cross_sends":0,"heap_pushes":0,"heap_pops":0,"busy_ns":0,"imbalance_ns":0,"lookahead_ns":0,"barrier_ns":0,"merge_ns":0,"critical_busy_ns":0,"drain_wall_ns":0,"par_wall_ns":0,"merge_wall_ns":0}"#;
         let report = par_report(text).unwrap();
         assert!(report.contains("sequential fallback"), "{report}");
         assert!(report.contains("utilization:"), "{report}");
@@ -459,7 +671,7 @@ mod tests {
     }
 
     #[test]
-    fn perfetto_events_have_worker_tracks_and_flows() {
+    fn perfetto_events_have_worker_shard_tracks_and_flows() {
         let events = par_stats_perfetto_events(STATS).unwrap();
         let all = format!("[{}]", events.join(","));
         let doc: Value = serde_json::from_str(&all).expect("valid JSON");
@@ -470,13 +682,24 @@ mod tests {
         assert!(names.contains(&"merge w1"), "{names:?}");
         assert!(names.iter().any(|n| n.starts_with("window w0")), "{names:?}");
         assert!(names.contains(&"stall"), "{names:?}");
+        assert!(names.contains(&"shard 0 w0"), "{names:?}");
+        assert!(names.contains(&"shard 1 w1"), "{names:?}");
         let thread_names: Vec<&str> = arr
             .iter()
             .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
             .filter_map(|e| e.get("args")?.get("name")?.as_str())
             .collect();
         assert!(thread_names.contains(&"worker 1"), "{thread_names:?}");
+        assert!(thread_names.contains(&"shard 0"), "{thread_names:?}");
+        assert!(thread_names.contains(&"shard 1"), "{thread_names:?}");
         assert!(thread_names.contains(&"sim thread (drain+merge)"), "{thread_names:?}");
+        // shard tracks sit clear of worker tids
+        let shard_tids: Vec<u64> = arr
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("sched-shard"))
+            .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+            .collect();
+        assert!(shard_tids.iter().all(|&t| t >= SHARD_TID_BASE), "{shard_tids:?}");
         // the sampled send becomes an s/f flow pair landing on window 1
         let s = arr.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s")).count();
         let f = arr.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f")).count();
@@ -487,9 +710,13 @@ mod tests {
     #[test]
     fn rejects_foreign_schemas() {
         assert!(parse_par_stats(r#"{"schema":"ceu-world/v1"}"#).is_err());
+        assert!(parse_par_stats(r#"{"schema":"ceu-par-stats/v3"}"#).is_err());
         assert!(parse_par_stats("").is_err());
         // a window with no preceding run header is malformed
-        let orphan = r#"{"schema":"ceu-par-stats/v1","kind":"window","i":0}"#;
+        let orphan = r#"{"schema":"ceu-par-stats/v2","kind":"window","i":0}"#;
         assert!(parse_par_stats(orphan).is_err());
+        // so is an orphan shard summary
+        let orphan_shard = r#"{"schema":"ceu-par-stats/v2","kind":"shard","shard":0}"#;
+        assert!(parse_par_stats(orphan_shard).is_err());
     }
 }

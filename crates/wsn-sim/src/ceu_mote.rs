@@ -177,7 +177,15 @@ pub struct CeuMote {
 
 impl CeuMote {
     pub fn new(program: CompiledProgram, node_id: i64) -> Self {
-        let mut machine = Machine::new(program);
+        Self::from_shared(std::sync::Arc::new(program), node_id)
+    }
+
+    /// Builds a mote over a *shared* compiled artifact: one
+    /// `Arc<CompiledProgram>` can back an entire network (a million motes
+    /// hold a million machine states but one program), which is what the
+    /// soak bench leans on. Behaviourally identical to [`CeuMote::new`].
+    pub fn from_shared(program: std::sync::Arc<CompiledProgram>, node_id: i64) -> Self {
+        let mut machine = Machine::from_arc(program);
         // reaction ids carry the mote, so cross-mote causal links resolve
         machine.set_trace_mote(node_id as u32);
         let radio_evt = machine.event_id("Radio_receive");

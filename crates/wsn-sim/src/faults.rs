@@ -7,6 +7,13 @@
 //! identical fault timing at any thread count (the chaos harness in
 //! `crates/bench` pins this bit-for-bit on the merged world trace).
 //!
+//! In the sharded engine, fault and reboot events live on the world queue
+//! (lane 0), not on any shard heap: each one is a **global barrier**. No
+//! shard window is allowed to span a pending world event, so a fault's
+//! topology/loss/skew side effects are visible to every shard from the
+//! exact virtual instant it fires, regardless of shard count or thread
+//! count.
+//!
 //! Plans can be built in code ([`FaultPlan::at`]), parsed from the text
 //! format below ([`FaultPlan::parse`]), or generated from a seed
 //! ([`FaultPlan::randomized`] — same seed, same plan, on any host).

@@ -15,8 +15,10 @@ pub mod faults;
 pub mod mantis;
 pub mod nesc;
 pub mod parstats;
+mod pool;
 pub mod radio;
 pub mod sched;
+pub mod shard;
 pub mod world;
 
 pub use ceu_mote::{CeuMote, TosHost};
@@ -26,11 +28,12 @@ pub use mantis::{
 };
 pub use nesc::NescApp;
 pub use parstats::{
-    run_to_json, window_to_json, write_par_stats_jsonl, Attribution, ParStats, ParTotals,
-    ParWindowStats,
+    run_to_json, shard_to_json, window_to_json, write_par_stats_jsonl, Attribution, ParShardStats,
+    ParStats, ParTotals, ParWindowStats,
 };
-pub use radio::{Packet, Radio, RadioStats, Topology};
+pub use radio::{LinkLatency, Packet, Radio, RadioStats, Topology};
 pub use sched::EventHeap;
+pub use shard::{ShardPlan, DEFAULT_TARGET_SHARDS};
 pub use world::{
     write_trace_jsonl, Backend, CrashCause, Leds, MoteCtx, MoteId, MoteStats, MoteStatus, World,
     WorldTraceEvent,

@@ -11,8 +11,15 @@
 //! lookahead, per-worker busy time, merge/drain durations, heap traffic
 //! and cross-window send volume into a preallocated collector (zero cost
 //! when disabled, bounded memory when enabled), and the whole run can be
-//! emitted as the stable JSONL schema **`ceu-par-stats/v1`** for
+//! emitted as the stable JSONL schema **`ceu-par-stats/v2`** for
 //! `ceu-trace par-report` and the Perfetto worker-track export.
+//!
+//! v2 extends v1 **additively** for the sharded scheduler: the run line
+//! gains `shards`, per-shard aggregate lines (`kind:"shard"`: mote count,
+//! events, busy time, cross-shard sends, channel-wait) follow the run
+//! line, and each window line carries its `(shard, worker, busy, events)`
+//! placement. Every v1 field keeps its name and meaning; `ceu-trace`
+//! reads both versions.
 //!
 //! ## Stall attribution
 //!
@@ -91,6 +98,11 @@ pub struct ParWindowStats {
     /// Bounded sample of those sends as `(emit_us, from, to)` — the
     /// Perfetto exporter draws flow arrows from these.
     pub send_sample: Vec<(u64, u32, u32)>,
+    /// Where each shard ran this window: `(shard, worker, busy_ns,
+    /// events)`, one entry per shard that had work. The Perfetto exporter
+    /// turns these into per-shard tracks; `par-report` reads imbalance
+    /// from them.
+    pub shard_busy: Vec<(u32, u32, u64, u64)>,
 }
 
 /// The exact thread-time split of one window (see the module docs).
@@ -184,6 +196,26 @@ pub struct ParTotals {
     pub attribution: Attribution,
 }
 
+/// Lifetime aggregates for one shard across every recorded window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParShardStats {
+    pub shard: u32,
+    /// Motes the shard held (last observed — resharding may change it).
+    pub motes: u32,
+    /// Windows in which this shard had work.
+    pub windows: u64,
+    /// Events the shard fired across those windows.
+    pub events: u64,
+    /// Wall time workers spent stepping this shard (ns).
+    pub busy_ns: u64,
+    /// Packets the shard emitted for the merge barrier to route (every
+    /// send is merge-routed, local destinations included).
+    pub cross_sends: u64,
+    /// This shard's share of job-channel wait (its batch's send-to-pickup
+    /// latency divided evenly over the batch's shards; ns).
+    pub channel_wait_ns: u64,
+}
+
 /// A whole `run_until_parallel` call (or several — the collector keeps
 /// accumulating until [`World::take_par_stats`](crate::world::World::take_par_stats)).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -194,6 +226,8 @@ pub struct ParStats {
     pub lookahead_us: u64,
     /// Mote roster size.
     pub motes: u32,
+    /// Shard count of the (last) run's plan.
+    pub shards: u32,
     /// The run fell back to the sequential stepper (threads ≤ 1, zero
     /// lookahead, or a ≤1-mote world) — no windows were recorded.
     pub fallback: bool,
@@ -205,6 +239,9 @@ pub struct ParStats {
     /// Windows past the cap: counted in `totals`, details discarded.
     pub dropped_windows: u64,
     pub totals: ParTotals,
+    /// Per-shard lifetime aggregates, indexed by shard id (never capped:
+    /// one small row per shard, not per window).
+    pub per_shard: Vec<ParShardStats>,
     pub(crate) cap: usize,
 }
 
@@ -232,6 +269,30 @@ impl ParStats {
         } else {
             self.dropped_windows += 1;
         }
+    }
+
+    /// Folds one shard's slice of one window into its lifetime row.
+    pub(crate) fn record_shard(
+        &mut self,
+        shard: u32,
+        motes: u32,
+        events: u64,
+        busy_ns: u64,
+        cross_sends: u64,
+        channel_wait_ns: u64,
+    ) {
+        let idx = shard as usize;
+        if self.per_shard.len() <= idx {
+            self.per_shard.resize_with(idx + 1, ParShardStats::default);
+        }
+        let row = &mut self.per_shard[idx];
+        row.shard = shard;
+        row.motes = motes;
+        row.windows += 1;
+        row.events += events;
+        row.busy_ns += busy_ns;
+        row.cross_sends += cross_sends;
+        row.channel_wait_ns += channel_wait_ns;
     }
 
     /// Host wall-clock attributed to windows (ns). The remainder of
@@ -266,7 +327,7 @@ impl ParStats {
     }
 }
 
-// ---- ceu-par-stats/v1 JSONL -------------------------------------------------
+// ---- ceu-par-stats/v2 JSONL -------------------------------------------------
 
 fn u64_list(vals: impl Iterator<Item = u64>) -> String {
     let mut s = String::from("[");
@@ -285,8 +346,8 @@ pub fn run_to_json(s: &ParStats) -> String {
     let a = &s.totals.attribution;
     format!(
         concat!(
-            "{{\"schema\":\"ceu-par-stats/v1\",\"kind\":\"run\",",
-            "\"threads\":{},\"lookahead_us\":{},\"motes\":{},\"fallback\":{},",
+            "{{\"schema\":\"ceu-par-stats/v2\",\"kind\":\"run\",",
+            "\"threads\":{},\"lookahead_us\":{},\"motes\":{},\"shards\":{},\"fallback\":{},",
             "\"wall_ns\":{},\"window_wall_ns\":{},\"windows\":{},\"dropped_windows\":{},",
             "\"events\":{},\"motes_stepped\":{},\"cross_sends\":{},",
             "\"heap_pushes\":{},\"heap_pops\":{},",
@@ -297,6 +358,7 @@ pub fn run_to_json(s: &ParStats) -> String {
         s.threads,
         s.lookahead_us,
         s.motes,
+        s.shards,
         s.fallback,
         s.wall_ns,
         s.window_wall_ns(),
@@ -319,6 +381,18 @@ pub fn run_to_json(s: &ParStats) -> String {
     )
 }
 
+/// One `kind:"shard"` JSONL line: a shard's lifetime aggregates.
+pub fn shard_to_json(s: &ParShardStats) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"ceu-par-stats/v2\",\"kind\":\"shard\",\"shard\":{},",
+            "\"motes\":{},\"windows\":{},\"events\":{},\"busy_ns\":{},",
+            "\"cross_sends\":{},\"channel_wait_ns\":{}}}"
+        ),
+        s.shard, s.motes, s.windows, s.events, s.busy_ns, s.cross_sends, s.channel_wait_ns,
+    )
+}
+
 /// One `kind:"window"` JSONL line.
 pub fn window_to_json(w: &ParWindowStats) -> String {
     let sends = {
@@ -332,14 +406,28 @@ pub fn window_to_json(w: &ParWindowStats) -> String {
         s.push(']');
         s
     };
+    let shard_busy = {
+        let mut s = String::from("[");
+        for (i, (shard, worker, busy, events)) in w.shard_busy.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"shard\":{shard},\"worker\":{worker},\"busy_ns\":{busy},\"events\":{events}}}"
+            ));
+        }
+        s.push(']');
+        s
+    };
     format!(
         concat!(
-            "{{\"schema\":\"ceu-par-stats/v1\",\"kind\":\"window\",\"i\":{},",
+            "{{\"schema\":\"ceu-par-stats/v2\",\"kind\":\"window\",\"i\":{},",
             "\"t_wall_ns\":{},\"start_us\":{},\"end_us\":{},\"lookahead_us\":{},",
             "\"clipped\":{},\"threads\":{},\"workers\":{},\"motes\":{},\"events\":{},",
             "\"busy_ns\":{},\"events_per_worker\":{},\"motes_per_worker\":{},",
             "\"drain_ns\":{},\"par_ns\":{},\"merge_ns\":{},\"wall_ns\":{},",
-            "\"heap_pushes\":{},\"heap_pops\":{},\"cross_sends\":{},\"sends\":{}}}"
+            "\"heap_pushes\":{},\"heap_pops\":{},\"cross_sends\":{},\"sends\":{},",
+            "\"shard_busy\":{}}}"
         ),
         w.index,
         w.t_wall_ns,
@@ -362,13 +450,18 @@ pub fn window_to_json(w: &ParWindowStats) -> String {
         w.heap_pops,
         w.cross_sends,
         sends,
+        shard_busy,
     )
 }
 
-/// Writes a whole run as `ceu-par-stats/v1` JSONL: the `run` line first,
-/// then one `window` line per detailed window.
+/// Writes a whole run as `ceu-par-stats/v2` JSONL: the `run` line first,
+/// then one `shard` line per shard, then one `window` line per detailed
+/// window.
 pub fn write_par_stats_jsonl<W: Write>(stats: &ParStats, mut out: W) -> std::io::Result<()> {
     writeln!(out, "{}", run_to_json(stats))?;
+    for s in &stats.per_shard {
+        writeln!(out, "{}", shard_to_json(s))?;
+    }
     for w in &stats.windows {
         writeln!(out, "{}", window_to_json(w))?;
     }
@@ -401,6 +494,7 @@ mod tests {
             heap_pops: 9,
             cross_sends: 3,
             send_sample: vec![(2_100, 0, 1)],
+            shard_busy: vec![(0, 0, 900, 6), (2, 1, 400, 3)],
         }
     }
 
@@ -442,22 +536,26 @@ mod tests {
         s.threads = 4;
         s.lookahead_us = 700;
         s.motes = 3;
+        s.shards = 2;
         s.wall_ns = 5_000;
+        s.record_shard(0, 2, 6, 900, 2, 50);
+        s.record_shard(2, 1, 3, 400, 1, 50);
         s.record_window(sample_window());
         let mut buf = Vec::new();
         write_par_stats_jsonl(&s, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 5, "run + 3 shard rows (ids 0..=2) + window");
         for line in &lines {
             let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
-            assert_eq!(v["schema"].as_str(), Some("ceu-par-stats/v1"));
+            assert_eq!(v["schema"].as_str(), Some("ceu-par-stats/v2"));
         }
         let run: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
         for key in [
             "kind",
             "threads",
             "lookahead_us",
+            "shards",
             "fallback",
             "wall_ns",
             "windows",
@@ -470,13 +568,42 @@ mod tests {
         ] {
             assert!(run.get(key).is_some(), "run record lost key {key}");
         }
-        let win: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        let shard: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(shard["kind"].as_str(), Some("shard"));
+        for key in
+            ["shard", "motes", "windows", "events", "busy_ns", "cross_sends", "channel_wait_ns"]
+        {
+            assert!(shard.get(key).is_some(), "shard record lost key {key}");
+        }
+        let win: serde_json::Value = serde_json::from_str(lines[4]).unwrap();
         for key in
             ["start_us", "end_us", "busy_ns", "drain_ns", "par_ns", "merge_ns", "sends", "workers"]
         {
             assert!(win.get(key).is_some(), "window record lost key {key}");
         }
         assert_eq!(win["busy_ns"].as_array().unwrap().len(), 2);
+        let sb = win["shard_busy"].as_array().unwrap();
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb[1]["shard"].as_u64(), Some(2));
+        assert_eq!(sb[1]["worker"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn shard_rows_accumulate_across_windows() {
+        let mut s = ParStats::new(4);
+        s.record_shard(1, 3, 10, 500, 4, 20);
+        s.record_shard(1, 3, 8, 300, 2, 30);
+        assert_eq!(s.per_shard.len(), 2);
+        let row = s.per_shard[1];
+        assert_eq!(row.shard, 1);
+        assert_eq!(row.motes, 3);
+        assert_eq!(row.windows, 2);
+        assert_eq!(row.events, 18);
+        assert_eq!(row.busy_ns, 800);
+        assert_eq!(row.cross_sends, 6);
+        assert_eq!(row.channel_wait_ns, 50);
+        // the gap row (shard 0) stays zeroed and harmless
+        assert_eq!(s.per_shard[0].windows, 0);
     }
 
     #[test]

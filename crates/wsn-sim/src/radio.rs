@@ -49,16 +49,49 @@ pub enum Topology {
     Ring { n: usize },
     /// Explicit adjacency.
     Links(Vec<(usize, usize)>),
+    /// `clusters` groups of `size` motes each (mote `m` belongs to
+    /// cluster `m / size`): a full mesh inside each cluster, plus one
+    /// directed bridge from the last mote of each cluster to the first
+    /// mote of the next (wrapping). Connectivity checks are O(1), so the
+    /// variant scales to soak-sized fleets, and the cluster structure is
+    /// what the PDES sharder partitions along (see `wsn_sim::shard`).
+    Clusters { clusters: usize, size: usize },
 }
 
 impl Topology {
-    fn connected(&self, from: usize, to: usize) -> bool {
+    pub fn connected(&self, from: usize, to: usize) -> bool {
         match self {
             Topology::Full => true,
             Topology::Ring { n } => (from + 1) % n == to,
             Topology::Links(ls) => ls.iter().any(|&(a, b)| a == from && b == to),
+            Topology::Clusters { clusters, size } => {
+                let (cf, ct) = (from / size, to / size);
+                if cf >= *clusters || ct >= *clusters {
+                    return false;
+                }
+                (cf == ct && from != to)
+                    || (from == cf * size + (size - 1)
+                        && ct == (cf + 1) % clusters
+                        && to.is_multiple_of(*size))
+            }
         }
     }
+}
+
+/// Per-link latency model. `Uniform` is the historical behaviour (every
+/// hop costs the medium's base `latency_us`); `Clustered` gives each
+/// cluster its own intra-mesh latency and a (typically slower) bridge
+/// latency between clusters — which is exactly what makes *per-shard*
+/// lookahead worth computing: a shard covering a fast cluster may step
+/// further per window than the global minimum would allow.
+#[derive(Clone, Debug)]
+pub enum LinkLatency {
+    /// Every link costs the base `latency_us`.
+    Uniform,
+    /// Motes `m` with equal `m / size` share a cluster: intra-cluster
+    /// links cost `intra_us[cluster % intra_us.len()]`, links between
+    /// clusters cost `bridge_us`.
+    Clustered { size: usize, intra_us: Vec<u64>, bridge_us: u64 },
 }
 
 /// Counters kept by the medium itself, one step below the per-mote view:
@@ -111,6 +144,9 @@ pub struct Radio {
     /// Motes currently powered off (failure injection).
     pub down: Vec<bool>,
     pub stats: RadioStats,
+    /// Per-link latency model (see [`LinkLatency`]); `latency_us` is the
+    /// base cost under `Uniform` and the minimum under `Clustered`.
+    pub link_latency: LinkLatency,
     rng: StdRng,
     /// Active partitions (fault injection); expired entries are ignored
     /// and pruned lazily.
@@ -132,9 +168,45 @@ impl Radio {
             loss,
             down: Vec::new(),
             stats: RadioStats::default(),
+            link_latency: LinkLatency::Uniform,
             rng: StdRng::seed_from_u64(seed),
             partitions: Vec::new(),
             bursts: Vec::new(),
+        }
+    }
+
+    /// A clustered medium: `clusters` full meshes of `size` motes each
+    /// with per-cluster intra latencies, chained by slower bridges. The
+    /// natural substrate for the sharded PDES stepper — each cluster's
+    /// lookahead is its own intra latency, not the global minimum.
+    pub fn clustered(
+        clusters: usize,
+        size: usize,
+        intra_us: Vec<u64>,
+        bridge_us: u64,
+        loss: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!intra_us.is_empty(), "need at least one intra-cluster latency");
+        let base = intra_us.iter().copied().min().unwrap().min(bridge_us);
+        let mut r = Radio::new(Topology::Clusters { clusters, size }, base, loss, seed);
+        r.link_latency = LinkLatency::Clustered { size, intra_us, bridge_us };
+        r
+    }
+
+    /// The latency a packet on the directed link `from → to` would pay.
+    /// Defined for every pair (whether or not the link exists in the
+    /// topology); the sharder only consults it for existing links.
+    pub fn latency_of(&self, from: usize, to: usize) -> u64 {
+        match &self.link_latency {
+            LinkLatency::Uniform => self.latency_us,
+            LinkLatency::Clustered { size, intra_us, bridge_us } => {
+                if from / size == to / size {
+                    intra_us[(from / size) % intra_us.len()]
+                } else {
+                    *bridge_us
+                }
+            }
         }
     }
 
@@ -142,11 +214,18 @@ impl Radio {
     /// the *lookahead* of conservative parallel simulation: a packet
     /// emitted at `t` cannot affect any other mote before
     /// `t + min_latency()`, so motes may be stepped independently in
-    /// windows of this width (see [`World::run_until_parallel`]).
+    /// windows of this width (see [`World::run_until_parallel`]). The
+    /// sharded stepper refines this per shard from the actual incoming
+    /// link latencies (see `wsn_sim::shard::ShardPlan`).
     ///
     /// [`World::run_until_parallel`]: crate::world::World::run_until_parallel
     pub fn min_latency(&self) -> u64 {
-        self.latency_us
+        match &self.link_latency {
+            LinkLatency::Uniform => self.latency_us,
+            LinkLatency::Clustered { intra_us, bridge_us, .. } => {
+                intra_us.iter().copied().min().unwrap_or(*bridge_us).min(*bridge_us)
+            }
+        }
     }
 
     /// Marks a mote as failed (drops everything to/from it).
@@ -235,7 +314,7 @@ impl Radio {
             return None;
         }
         self.stats.delivered += 1;
-        Some(now + self.latency_us)
+        Some(now + self.latency_of(from, to))
     }
 }
 
@@ -294,6 +373,31 @@ mod tests {
         let (in_burst, after): (Vec<_>, Vec<_>) = a.iter().enumerate().partition(|(i, _)| *i < 100);
         assert!(in_burst.iter().any(|(_, ok)| !**ok), "the burst drops packets");
         assert!(after.iter().all(|(_, ok)| **ok), "expired burst drops nothing");
+    }
+
+    #[test]
+    fn clustered_topology_connects_meshes_and_bridges() {
+        // 3 clusters × 4 motes: 0..4 | 4..8 | 8..12
+        let mut r = Radio::clustered(3, 4, vec![500, 900, 700], 5_000, 0.0, 1);
+        let p = Packet::with_value(0, 1, 1);
+        // intra-cluster full mesh, per-cluster latency
+        assert_eq!(r.transmit(0, 0, 3, &p), Some(500));
+        assert_eq!(r.transmit(0, 5, 6, &p), Some(900));
+        assert_eq!(r.transmit(0, 11, 8, &p), Some(700));
+        // no self-links
+        assert_eq!(r.transmit(0, 2, 2, &p), None);
+        // bridges: last-of-cluster → first-of-next, wrapping, slow
+        assert_eq!(r.transmit(0, 3, 4, &p), Some(5_000));
+        assert_eq!(r.transmit(0, 7, 8, &p), Some(5_000));
+        assert_eq!(r.transmit(0, 11, 0, &p), Some(5_000));
+        // nothing else crosses clusters
+        assert_eq!(r.transmit(0, 2, 4, &p), None);
+        assert_eq!(r.transmit(0, 3, 5, &p), None);
+        assert_eq!(r.transmit(0, 0, 8, &p), None);
+        // the global lookahead is the fastest link anywhere
+        assert_eq!(r.min_latency(), 500);
+        assert_eq!(r.latency_of(4, 7), 900);
+        assert_eq!(r.latency_of(3, 4), 5_000);
     }
 
     #[test]

@@ -105,6 +105,15 @@ impl<T> EventHeap<T> {
         before - n
     }
 
+    /// Empties the heap in arbitrary order, yielding the raw
+    /// `(at, seq, payload)` triples. O(n) — no sift costs — for migrating
+    /// events between heaps when the world is re-sharded; the destination
+    /// heap re-establishes order as the triples are pushed back. Not a
+    /// scheduling operation: the `op_counts` pop counter is unaffected.
+    pub fn drain_unordered(&mut self) -> impl Iterator<Item = (u64, u64, T)> + '_ {
+        self.nodes.drain(..).map(|n| (n.at, n.seq, n.item))
+    }
+
     pub fn push(&mut self, at: u64, seq: u64, item: T) {
         self.pushes += 1;
         self.nodes.push(Node { at, seq, item });
@@ -245,6 +254,23 @@ mod tests {
         h.pop();
         assert_eq!(h.pop(), None, "empty pops do not count");
         assert_eq!(h.op_counts(), (5, 5));
+    }
+
+    #[test]
+    fn drain_unordered_moves_every_event_once() {
+        let mut h = EventHeap::new();
+        for i in 0..100u64 {
+            h.push(1_000 - i, i, i * 2);
+        }
+        let (pushes, pops) = h.op_counts();
+        let mut drained: Vec<_> = h.drain_unordered().collect();
+        assert!(h.is_empty());
+        assert_eq!(h.op_counts(), (pushes, pops), "migration is not a scheduling op");
+        drained.sort_unstable();
+        let expect: Vec<_> = (0..100u64).map(|i| (1_000 - i, i, i * 2)).collect();
+        let mut expect = expect;
+        expect.sort_unstable();
+        assert_eq!(drained, expect);
     }
 
     #[test]

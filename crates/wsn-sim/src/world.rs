@@ -5,11 +5,21 @@
 //! radio medium with per-link latency and loss. The paper's own argument
 //! (§2.8) justifies the substitution — a reactive program's behaviour
 //! depends only on the order of its input events.
+//!
+//! The event core is **sharded** (see [`crate::shard`]): motes are
+//! partitioned along the radio topology into shards, each owning its own
+//! [`EventHeap`] and its motes' hot state as struct-of-arrays. The
+//! sequential stepper min-scans the shard heads; the parallel stepper
+//! checks whole shards out to a persistent worker pool
+//! ([`crate::pool`]), each running to its own per-shard lookahead bound,
+//! and merges results deterministically at the window barrier.
 
 use crate::faults::{FaultAction, FaultEntry, FaultPlan, RebootPolicy};
 use crate::parstats::{ParStats, ParWindowStats, DEFAULT_WINDOW_CAP, SEND_SAMPLE_CAP};
+use crate::pool::{JobOut, ShardJob, WorkerPool};
 use crate::radio::{Packet, Radio};
 use crate::sched::EventHeap;
+use crate::shard::{Shard, ShardPlan, DEFAULT_TARGET_SHARDS};
 use ceu::ast::Span;
 use ceu::runtime::{CrashKind, RuntimeError, TraceEvent};
 
@@ -134,17 +144,29 @@ pub enum Fire {
 }
 
 /// World events mutate shared state and therefore never run inside a
-/// parallel worker window.
-fn is_world_fire(f: &Fire) -> bool {
+/// parallel worker window; they live in the world's own queue, not in any
+/// shard heap.
+pub(crate) fn is_world_fire(f: &Fire) -> bool {
     matches!(f, Fire::Fault { .. } | Fire::Reboot { .. })
+}
+
+/// The mote a firing is addressed to — `None` for world events.
+fn dest_mote(f: &Fire) -> Option<MoteId> {
+    match f {
+        Fire::Deliver { to, .. } => Some(*to),
+        Fire::Timer { mote } | Fire::Cpu { mote } => Some(*mote),
+        Fire::Fault { .. } | Fire::Reboot { .. } => None,
+    }
 }
 
 /// Events at equal virtual times fire in *lane* order: world events
 /// (faults, reboots) first, then motes by id. This is the same canonical
 /// `(time, mote, emission)` order the parallel merge applies, which is
 /// what makes [`World::run_until`] and [`World::run_until_parallel`]
-/// bit-identical even when same-instant events land on different motes
-/// (equal-time, same-lane events keep their scheduling order).
+/// bit-identical even when same-instant events land on different motes.
+/// Because lane 0 produces the smallest keys at any time, a min-scan over
+/// the world queue and the shard heaps reproduces the exact single-heap
+/// order.
 fn lane_of(f: &Fire) -> u64 {
     match f {
         Fire::Fault { .. } | Fire::Reboot { .. } => 0,
@@ -153,16 +175,31 @@ fn lane_of(f: &Fire) -> u64 {
     }
 }
 
-/// Packs `(lane, seq)` into the event heap's one-word tie-breaker: lane
-/// in the high bits, the monotone scheduling counter in the low 40 (room
-/// for ~10¹² events and ~10⁷ motes — far beyond any simulated world).
-fn order_key(lane: u64, seq: u64) -> u64 {
-    debug_assert!(lane < 1 << 24 && seq < 1 << 40);
-    (lane << 40) | seq
+/// The intra-lane class: packet deliveries land *before* timer/CPU
+/// callbacks at the same instant for the same mote. Without this bit the
+/// tie would fall to the scheduling counter — which the sequential
+/// stepper assigns at transmit time but the parallel merge can only
+/// assign after the window's workers have consumed theirs, so the two
+/// paths could order a same-instant Timer/Deliver collision differently.
+/// A fixed semantic rule costs one key bit and removes the dependence.
+fn kind_of(f: &Fire) -> u64 {
+    match f {
+        Fire::Deliver { .. } | Fire::Fault { .. } | Fire::Reboot { .. } => 0,
+        Fire::Timer { .. } | Fire::Cpu { .. } => 1,
+    }
+}
+
+/// Packs `(lane, kind, seq)` into the event heap's one-word tie-breaker:
+/// lane in the high bits, the delivery-before-timer class bit next, the
+/// monotone scheduling counter in the low 40 (room for ~10¹² events and
+/// ~8M motes — far beyond any simulated world).
+pub(crate) fn order_key(lane: u64, kind: u64, seq: u64) -> u64 {
+    debug_assert!(lane < 1 << 23 && kind < 2 && seq < 1 << 40);
+    (lane << 41) | (kind << 40) | seq
 }
 
 /// The mote-local (drifted) view of world time `t` under `ppm` skew.
-fn skewed(t: u64, ppm: i64) -> u64 {
+pub(crate) fn skewed(t: u64, ppm: i64) -> u64 {
     if ppm == 0 {
         return t;
     }
@@ -175,7 +212,7 @@ fn skewed(t: u64, ppm: i64) -> u64 {
 /// upward until `skewed(w) >= local` — if the returned time fell short
 /// (integer rounding), the timer gate would not fire and the mote would
 /// re-arm the identical request at the same instant forever.
-fn unskew(local: u64, ppm: i64) -> u64 {
+pub(crate) fn unskew(local: u64, ppm: i64) -> u64 {
     if ppm == 0 {
         return local;
     }
@@ -212,7 +249,22 @@ pub struct MoteCtx<'w> {
     failure: Option<CrashCause>,
 }
 
-impl MoteCtx<'_> {
+impl<'w> MoteCtx<'w> {
+    /// A fresh context for one callback (shared by the sequential stepper
+    /// and the shard workers, so effect handling stays identical).
+    pub(crate) fn new(id: MoteId, now: u64, leds: &'w mut Leds) -> MoteCtx<'w> {
+        MoteCtx {
+            id,
+            now,
+            leds,
+            outbox: Vec::new(),
+            timer_request: None,
+            wants_cpu: false,
+            vm_events: Vec::new(),
+            failure: None,
+        }
+    }
+
     pub fn send(&mut self, to: MoteId, packet: Packet) {
         self.outbox.push((to, packet));
     }
@@ -239,6 +291,11 @@ impl MoteCtx<'_> {
     /// Whether [`fail`](Self::fail) was called during this callback.
     pub fn failed(&self) -> bool {
         self.failure.is_some()
+    }
+
+    /// Takes the recorded failure (world/shard effect application).
+    pub(crate) fn take_failure(&mut self) -> Option<CrashCause> {
+        self.failure.take()
     }
 }
 
@@ -278,7 +335,7 @@ impl Leds {
 /// An application running on a mote. Backends: Céu machines, event-driven
 /// (nesC-analog) handlers, preemptive-thread (MantisOS-analog) schedulers.
 ///
-/// `Send` so the world can step disjoint motes on worker threads
+/// `Send` so the world can step disjoint shards on worker threads
 /// ([`World::run_until_parallel`]); every backend is still only ever
 /// called from one thread at a time.
 pub trait Backend: Send {
@@ -296,38 +353,6 @@ pub trait Backend: Send {
     /// machine from the shared program artifact).
     fn reboot(&mut self, ctx: &mut MoteCtx) {
         self.boot(ctx)
-    }
-}
-
-struct MoteSlot {
-    backend: Box<dyn Backend>,
-    leds: Leds,
-    /// Absolute time of the pending Timer event (dedup guard).
-    timer_at: Option<u64>,
-    cpu_scheduled: bool,
-    stats: MoteStats,
-    /// Per-mote world-trace emission counter (see [`WorldTraceEvent::seq`]).
-    trace_seq: u64,
-    status: MoteStatus,
-    /// Clock skew (ppm) applied to this mote's view of time.
-    skew_ppm: i64,
-    /// Lifetime crash count (drives the reboot policy's backoff).
-    crashes: u32,
-}
-
-impl MoteSlot {
-    fn empty() -> Self {
-        MoteSlot {
-            backend: Box::new(Inert),
-            leds: Leds::default(),
-            timer_at: None,
-            cpu_scheduled: false,
-            stats: MoteStats::default(),
-            trace_seq: 0,
-            status: MoteStatus::Up,
-            skew_ppm: 0,
-            crashes: 0,
-        }
     }
 }
 
@@ -366,15 +391,47 @@ pub struct MoteStats {
     pub reboots: u64,
 }
 
+// Fallbacks for accessors on motes that are staged but not yet sharded
+// (`static`, not `const`-behind-a-reference: `Leds` holds a `Vec`, which
+// a promoted `&CONST` would reject).
+static EMPTY_LEDS: Leds = Leds { state: 0, history: Vec::new() };
+static ZERO_STATS: MoteStats = MoteStats {
+    sent: 0,
+    received: 0,
+    lost: 0,
+    dropped_in_flight: 0,
+    timer_firings: 0,
+    cpu_slices: 0,
+    crashes: 0,
+    reboots: 0,
+};
+static STATUS_UP: MoteStatus = MoteStatus::Up;
+
 /// The network simulator.
 pub struct World {
     now: u64,
     seq: u64,
-    /// Pending firings keyed by `(at, seq)`; payloads live inline in the
-    /// heap nodes (see [`EventHeap`]), so popping moves them out instead
-    /// of cloning from a side table.
-    queue: EventHeap<Fire>,
-    motes: Vec<MoteSlot>,
+    /// Pending *world events* only (faults, reboots) — lane 0, so its
+    /// keys sort before any mote event at the same time. Mote-addressed
+    /// firings live in their shard's heap.
+    world_queue: EventHeap<Fire>,
+    /// The sharded event core: every built mote's state and pending
+    /// events live in exactly one shard (see [`crate::shard`]).
+    shards: Vec<Shard>,
+    /// Mote id → owning shard, for the built roster.
+    mote_shard: Vec<u32>,
+    /// Motes added since the last (re)shard; folded in by `ensure_shards`.
+    staged: Vec<Box<dyn Backend>>,
+    /// Set by [`World::set_target_shards`]: rebuild the plan next run.
+    plan_stale: bool,
+    /// How many shards to aim for when partitioning.
+    target_shards: usize,
+    /// Largest per-shard lookahead — the reboot-delay clamp (see
+    /// [`World::effective_reboot_delay`]).
+    max_lookahead_us: u64,
+    /// Persistent shard workers, created lazily by the first parallel run
+    /// and kept parked between windows (and between runs).
+    pool: Option<WorkerPool>,
     pub radio: Radio,
     /// Virtual CPU cost of one granted slice (µs).
     pub cpu_slice_us: u64,
@@ -382,9 +439,6 @@ pub struct World {
     /// Unified world trace (when enabled): events from every mote,
     /// collected as callbacks run and canonically ordered on read.
     trace: Option<Vec<WorldTraceEvent>>,
-    /// Per-mote batch buffers reused across parallel windows (the inner
-    /// `Vec`s move to the workers; the outer one persists).
-    window_batches: Vec<WindowBatch>,
     /// Cross-window send merge buffer, reused across parallel windows.
     merge_sends: Vec<(u64, MoteId, usize, MoteId, Packet)>,
     /// Fault-plan entries, indexed by [`Fire::Fault`]. Append-only so the
@@ -393,14 +447,11 @@ pub struct World {
     /// What happens after a crash (applies to machine crashes; plan-driven
     /// `Reboot` actions carry their own delay).
     reboot_policy: RebootPolicy,
-    /// Sorted multiset of pending *world event* times (faults, reboots).
-    /// The parallel stepper clips every window at the earliest of these so
-    /// shared-state mutations happen between windows, at exact times.
-    world_times: Vec<u64>,
-    /// Parallel-scheduler introspection (`ceu-par-stats/v1`): per-window
-    /// stall attribution collected by [`World::run_until_parallel`] when
-    /// enabled via [`World::enable_par_stats`]. `None` costs nothing on
-    /// the stepping paths.
+    /// Parallel-scheduler introspection (`ceu-par-stats/v2`): per-window
+    /// stall attribution and per-shard aggregates collected by
+    /// [`World::run_until_parallel`] when enabled via
+    /// [`World::enable_par_stats`]. `None` costs nothing on the stepping
+    /// paths.
     par_stats: Option<ParStats>,
 }
 
@@ -409,17 +460,21 @@ impl World {
         World {
             now: 0,
             seq: 0,
-            queue: EventHeap::new(),
-            motes: Vec::new(),
+            world_queue: EventHeap::new(),
+            shards: Vec::new(),
+            mote_shard: Vec::new(),
+            staged: Vec::new(),
+            plan_stale: false,
+            target_shards: DEFAULT_TARGET_SHARDS,
+            max_lookahead_us: 0,
+            pool: None,
             radio,
             cpu_slice_us: 100,
             stats: Stats::default(),
             trace: None,
-            window_batches: Vec::new(),
             merge_sends: Vec::new(),
             fault_entries: Vec::new(),
             reboot_policy: RebootPolicy::default(),
-            world_times: Vec::new(),
             par_stats: None,
         }
     }
@@ -459,9 +514,10 @@ impl World {
     /// Switches on parallel-scheduler introspection: subsequent
     /// [`run_until_parallel`](World::run_until_parallel) calls record one
     /// [`ParWindowStats`] per window (stall attribution, per-worker load,
-    /// heap traffic) into a bounded collector. Collection never alters
-    /// scheduling decisions, so the simulation — and its world trace —
-    /// stays bit-identical with stats on or off, at any thread count.
+    /// heap traffic, per-shard aggregates) into a bounded collector.
+    /// Collection never alters scheduling decisions, so the simulation —
+    /// and its world trace — stays bit-identical with stats on or off, at
+    /// any thread count.
     pub fn enable_par_stats(&mut self) {
         if self.par_stats.is_none() {
             self.par_stats = Some(ParStats::new(DEFAULT_WINDOW_CAP));
@@ -497,8 +553,11 @@ impl World {
         let mut crashes = 0u64;
         let mut reboots = 0u64;
         let mut motes = String::from("[");
-        for (i, slot) in self.motes.iter().enumerate() {
-            let m = &slot.stats;
+        for i in 0..self.mote_count() {
+            let (up, m) = match self.mote_loc(i) {
+                Some((s, l)) => (self.shards[s].status[l].is_up(), self.shards[s].stats[l]),
+                None => (true, MoteStats::default()),
+            };
             crashes += m.crashes;
             reboots += m.reboots;
             if i > 0 {
@@ -511,7 +570,7 @@ impl World {
                     "\"crashes\":{},\"reboots\":{}}}"
                 ),
                 i,
-                slot.status.is_up(),
+                up,
                 m.sent,
                 m.received,
                 m.lost,
@@ -550,52 +609,175 @@ impl World {
     }
 
     pub fn add_mote(&mut self, backend: Box<dyn Backend>) -> MoteId {
-        let id = self.motes.len();
-        let mut slot = MoteSlot::empty();
-        slot.backend = backend;
-        self.motes.push(slot);
+        let id = self.mote_shard.len() + self.staged.len();
+        self.staged.push(backend);
         id
     }
 
+    /// Built + staged motes.
+    pub fn mote_count(&self) -> usize {
+        self.mote_shard.len() + self.staged.len()
+    }
+
+    /// How many shards the current plan holds (0 before the first run).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sets the shard-count target; the roster is re-partitioned at the
+    /// next `boot`/`run_until*` call. Resharding migrates every pending
+    /// event with its original scheduling key, so the simulated behaviour
+    /// is unchanged — only the parallel work units move.
+    pub fn set_target_shards(&mut self, target: usize) {
+        self.target_shards = target.max(1);
+        self.plan_stale = true;
+    }
+
+    /// `(shard, local index)` for a built mote.
+    #[inline]
+    fn loc(&self, mote: MoteId) -> (usize, usize) {
+        let s = self.mote_shard[mote] as usize;
+        (s, mote - self.shards[s].base)
+    }
+
+    /// `(shard, local index)` for a built mote; `None` while it is still
+    /// staged. Panics for ids the world has never seen.
+    fn mote_loc(&self, mote: MoteId) -> Option<(usize, usize)> {
+        if mote < self.mote_shard.len() {
+            Some(self.loc(mote))
+        } else {
+            assert!(
+                mote < self.mote_count(),
+                "mote {mote} does not exist (the world has {} motes)",
+                self.mote_count()
+            );
+            None
+        }
+    }
+
     pub fn leds(&self, mote: MoteId) -> &Leds {
-        &self.motes[mote].leds
+        match self.mote_loc(mote) {
+            Some((s, l)) => &self.shards[s].leds[l],
+            None => &EMPTY_LEDS,
+        }
     }
 
     /// Per-mote counters (sends, receives, losses, timers, CPU slices).
     pub fn mote_stats(&self, mote: MoteId) -> &MoteStats {
-        &self.motes[mote].stats
+        match self.mote_loc(mote) {
+            Some((s, l)) => &self.shards[s].stats[l],
+            None => &ZERO_STATS,
+        }
     }
 
-    pub fn mote_count(&self) -> usize {
-        self.motes.len()
+    /// Whether a mote is up or crashed (and why).
+    pub fn mote_status(&self, mote: MoteId) -> &MoteStatus {
+        match self.mote_loc(mote) {
+            Some((s, l)) => &self.shards[s].status[l],
+            None => &STATUS_UP,
+        }
     }
 
+    /// Folds staged motes in and (re)builds the shard plan when needed.
+    /// Pending events migrate between heaps carrying their original
+    /// `(at, key)` — the global firing order is invariant under any cut.
+    fn ensure_shards(&mut self) {
+        if self.staged.is_empty() && !self.plan_stale {
+            return;
+        }
+        self.plan_stale = false;
+        let mut backends: Vec<Box<dyn Backend>> = Vec::new();
+        let mut status: Vec<MoteStatus> = Vec::new();
+        let mut timer_at: Vec<Option<u64>> = Vec::new();
+        let mut cpu_scheduled: Vec<bool> = Vec::new();
+        let mut skew_ppm: Vec<i64> = Vec::new();
+        let mut trace_seq: Vec<u64> = Vec::new();
+        let mut crashes: Vec<u32> = Vec::new();
+        let mut stats: Vec<MoteStats> = Vec::new();
+        let mut leds: Vec<Leds> = Vec::new();
+        let mut events: Vec<(u64, u64, Fire)> = Vec::new();
+        for mut shard in std::mem::take(&mut self.shards) {
+            events.extend(shard.heap.drain_unordered());
+            backends.extend(shard.backends);
+            status.extend(shard.status);
+            timer_at.extend(shard.timer_at);
+            cpu_scheduled.extend(shard.cpu_scheduled);
+            skew_ppm.extend(shard.skew_ppm);
+            trace_seq.extend(shard.trace_seq);
+            crashes.extend(shard.crashes);
+            stats.extend(shard.stats);
+            leds.extend(shard.leds);
+        }
+        for backend in self.staged.drain(..) {
+            backends.push(backend);
+            status.push(MoteStatus::Up);
+            timer_at.push(None);
+            cpu_scheduled.push(false);
+            skew_ppm.push(0);
+            trace_seq.push(0);
+            crashes.push(0);
+            stats.push(MoteStats::default());
+            leds.push(Leds::default());
+        }
+        let n = backends.len();
+        let plan = ShardPlan::from_radio(&self.radio, n, self.target_shards);
+        let mut backends = backends.into_iter();
+        let mut status = status.into_iter();
+        let mut timer_at = timer_at.into_iter();
+        let mut cpu_scheduled = cpu_scheduled.into_iter();
+        let mut skew_ppm = skew_ppm.into_iter();
+        let mut trace_seq = trace_seq.into_iter();
+        let mut crashes = crashes.into_iter();
+        let mut stats = stats.into_iter();
+        let mut leds = leds.into_iter();
+        self.shards = plan
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                let mut sh = Shard::new(i as u32, a, b, plan.lookahead_us[i]);
+                for _ in a..b {
+                    sh.push_mote(
+                        backends.next().expect("column covers the roster"),
+                        status.next().expect("column covers the roster"),
+                        timer_at.next().expect("column covers the roster"),
+                        cpu_scheduled.next().expect("column covers the roster"),
+                        skew_ppm.next().expect("column covers the roster"),
+                        trace_seq.next().expect("column covers the roster"),
+                        crashes.next().expect("column covers the roster"),
+                        stats.next().expect("column covers the roster"),
+                        leds.next().expect("column covers the roster"),
+                    );
+                }
+                sh
+            })
+            .collect();
+        self.mote_shard = plan.mote_shard;
+        self.max_lookahead_us = self
+            .shards
+            .iter()
+            .map(|s| s.lookahead_us)
+            .max()
+            .unwrap_or(0)
+            .max(self.radio.min_latency());
+        for (at, key, fire) in events {
+            debug_assert!(!is_world_fire(&fire), "world fires never enter a shard heap");
+            let m = dest_mote(&fire).expect("mote fire");
+            self.shards[self.mote_shard[m] as usize].heap.push(at, key, fire);
+        }
+    }
+
+    /// Schedules a firing: world events into the world queue, everything
+    /// else into the destination mote's shard heap — all under one global
+    /// monotone `seq`, so the `(at, lane, seq)` order is exactly the
+    /// single-heap order of the unsharded scheduler.
     fn schedule(&mut self, at: u64, fire: Fire) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
         self.seq += 1;
-        let key = order_key(lane_of(&fire), self.seq);
-        self.queue.push(at, key, fire);
-    }
-
-    /// Schedules a *world event* (fault / reboot): also records its time
-    /// so the parallel stepper can clip windows at it.
-    fn schedule_world(&mut self, at: u64, fire: Fire) {
-        debug_assert!(is_world_fire(&fire));
-        let pos = self.world_times.partition_point(|&t| t <= at);
-        self.world_times.insert(pos, at);
-        self.schedule(at, fire);
-    }
-
-    /// The time of the earliest pending world event, if any.
-    fn next_world_at(&self) -> Option<u64> {
-        self.world_times.first().copied()
-    }
-
-    /// Removes one occurrence of `at` from the pending world-event times
-    /// (called when the corresponding firing pops).
-    fn consume_world_time(&mut self, at: u64) {
-        if let Some(pos) = self.world_times.iter().position(|&t| t == at) {
-            self.world_times.remove(pos);
+        let key = order_key(lane_of(&fire), kind_of(&fire), self.seq);
+        match dest_mote(&fire) {
+            None => self.world_queue.push(at, key, fire),
+            Some(m) => self.shards[self.mote_shard[m] as usize].heap.push(at, key, fire),
         }
     }
 
@@ -609,10 +791,10 @@ impl World {
     /// Fails if the plan names a mote the world doesn't have.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
         if let Some(max) = plan.max_mote() {
-            if max >= self.motes.len() {
+            if max >= self.mote_count() {
                 return Err(format!(
                     "fault plan names mote {max}, but the world has only {} motes",
-                    self.motes.len()
+                    self.mote_count()
                 ));
             }
         }
@@ -620,7 +802,7 @@ impl World {
             let index = self.fault_entries.len();
             self.fault_entries.push(entry.clone());
             let at = entry.at_us.max(self.now);
-            self.schedule_world(at, Fire::Fault { index });
+            self.schedule(at, Fire::Fault { index });
         }
         Ok(())
     }
@@ -631,31 +813,30 @@ impl World {
         self.reboot_policy = policy;
     }
 
-    /// Whether a mote is up or crashed (and why).
-    pub fn mote_status(&self, mote: MoteId) -> &MoteStatus {
-        &self.motes[mote].status
-    }
-
     /// Powers a mote's radio off/on, validating the id against the mote
     /// roster (unlike [`Radio::set_down`], which silently grows its `down`
     /// vector for any index).
     pub fn set_mote_down(&mut self, mote: MoteId, down: bool) -> Result<(), String> {
-        if mote >= self.motes.len() {
+        if mote >= self.mote_count() {
             return Err(format!(
                 "mote {mote} does not exist (the world has {} motes)",
-                self.motes.len()
+                self.mote_count()
             ));
         }
         self.radio.set_down(mote, down);
         Ok(())
     }
 
-    /// A reboot may never land inside the discovery window of the crash:
-    /// clamping the delay to at least the radio lookahead (and ≥ 1 µs)
-    /// keeps reboot timing a clean window barrier, identical in the
-    /// sequential and parallel steppers.
+    /// A reboot may never land inside a window some shard has already
+    /// stepped through: clamping the delay to at least the **largest**
+    /// per-shard lookahead (and the radio minimum, and ≥ 1 µs) keeps every
+    /// reboot a clean window barrier — even one discovered at a merge,
+    /// whose crash time lies at the start of a window that a slower shard
+    /// ran `max_lookahead` past. The same clamp applies in the sequential
+    /// stepper, so both paths stay bit-identical; on uniform-latency media
+    /// it degenerates to the old global-lookahead clamp.
     fn effective_reboot_delay(&self, delay: u64) -> u64 {
-        delay.max(1).max(self.radio.min_latency())
+        delay.max(1).max(self.radio.min_latency()).max(self.max_lookahead_us)
     }
 
     /// Stamps one world-originated trace event (crash / reboot) for a
@@ -663,13 +844,14 @@ impl World {
     /// the counter in step with the parallel path.
     fn emit_world_event(&mut self, mote: MoteId, event: TraceEvent) {
         let now = self.now;
-        let slot = &mut self.motes[mote];
-        slot.trace_seq += 1;
+        let (s, l) = self.loc(mote);
+        self.shards[s].trace_seq[l] += 1;
+        let seq = self.shards[s].trace_seq[l];
         if let Some(trace) = self.trace.as_mut() {
             trace.push(WorldTraceEvent {
                 world_time_us: now,
                 mote,
-                seq: slot.trace_seq,
+                seq,
                 event: event.normalized(),
             });
         }
@@ -680,7 +862,8 @@ impl World {
     /// `MoteCrashed` trace event, and (per the reboot policy, or
     /// `reboot_override` for plan-driven crashes) schedules the reboot.
     fn crash_mote(&mut self, mote: MoteId, cause: CrashCause, reboot_override: Option<u64>) {
-        if !self.motes[mote].status.is_up() {
+        let (s, l) = self.loc(mote);
+        if !self.shards[s].status[l].is_up() {
             return;
         }
         let event = TraceEvent::MoteCrashed {
@@ -688,31 +871,32 @@ impl World {
             line: cause.span.line,
             col: cause.span.col,
         };
-        let slot = &mut self.motes[mote];
-        slot.status = MoteStatus::Crashed { at: self.now, cause };
-        slot.crashes += 1;
-        slot.stats.crashes += 1;
-        slot.timer_at = None;
-        slot.cpu_scheduled = false;
-        let nth = slot.crashes;
+        let shard = &mut self.shards[s];
+        shard.status[l] = MoteStatus::Crashed { at: self.now, cause };
+        shard.crashes[l] += 1;
+        shard.stats[l].crashes += 1;
+        shard.timer_at[l] = None;
+        shard.cpu_scheduled[l] = false;
+        let nth = shard.crashes[l];
         self.emit_world_event(mote, event);
         self.radio.set_down(mote, true);
         let delay = reboot_override.or_else(|| self.reboot_policy.delay_for(nth));
         if let Some(d) = delay {
             let at = self.now + self.effective_reboot_delay(d);
-            self.schedule_world(at, Fire::Reboot { mote });
+            self.schedule(at, Fire::Reboot { mote });
         }
     }
 
     /// The world-side effects of a crash discovered during a parallel
-    /// window merge: the slot itself was already mutated by the worker,
-    /// so only the shared state (radio, reboot schedule) remains.
+    /// window merge: the shard's columns were already mutated by the
+    /// worker, so only the shared state (radio, reboot schedule) remains.
     fn apply_crash_world_effects(&mut self, mote: MoteId, crash_at: u64) {
         self.radio.set_down(mote, true);
-        let nth = self.motes[mote].crashes;
+        let (s, l) = self.loc(mote);
+        let nth = self.shards[s].crashes[l];
         if let Some(d) = self.reboot_policy.delay_for(nth) {
             let at = crash_at + self.effective_reboot_delay(d);
-            self.schedule_world(at.max(self.now), Fire::Reboot { mote });
+            self.schedule(at.max(self.now), Fire::Reboot { mote });
         }
     }
 
@@ -723,7 +907,8 @@ impl World {
             return;
         }
         self.stats.dropped_in_flight += n;
-        self.motes[mote].stats.dropped_in_flight += n;
+        let (s, l) = self.loc(mote);
+        self.shards[s].stats[l].dropped_in_flight += n;
         self.radio.stats.dropped_in_flight += n;
     }
 
@@ -735,12 +920,13 @@ impl World {
                 self.crash_mote(mote, CrashCause::injected(), None);
             }
             FaultAction::Reboot { mote, delay_us } => {
-                if self.motes[mote].status.is_up() {
+                let (s, l) = self.loc(mote);
+                if self.shards[s].status[l].is_up() {
                     // crash-then-reboot in one action
                     self.crash_mote(mote, CrashCause::injected(), Some(delay_us));
                 } else {
                     let at = self.now + self.effective_reboot_delay(delay_us);
-                    self.schedule_world(at, Fire::Reboot { mote });
+                    self.schedule(at, Fire::Reboot { mote });
                 }
             }
             FaultAction::Partition { ref group_a, ref group_b, until_us } => {
@@ -751,11 +937,15 @@ impl World {
                 self.radio.set_link_loss(from, to, rate, until_us);
             }
             FaultAction::ClockSkew { mote, ppm } => {
-                self.motes[mote].skew_ppm = ppm;
+                let (s, l) = self.loc(mote);
+                self.shards[s].skew_ppm[l] = ppm;
             }
             FaultAction::DropInFlight { mote } => {
-                let dropped = self
-                    .queue
+                // in-flight deliveries to one mote live in exactly one
+                // heap: its own shard's
+                let (s, _) = self.loc(mote);
+                let dropped = self.shards[s]
+                    .heap
                     .retain(|_, _, f| !matches!(f, Fire::Deliver { to, .. } if *to == mote));
                 self.note_in_flight_drops(mote, dropped as u64);
             }
@@ -765,397 +955,149 @@ impl World {
     /// Revives a crashed mote: radio back up, `MoteRebooted` trace event,
     /// then the backend's `reboot` callback (fresh boot with state loss).
     fn apply_reboot(&mut self, mote: MoteId) {
-        if self.motes[mote].status.is_up() {
+        let (s, l) = self.loc(mote);
+        if self.shards[s].status[l].is_up() {
             return; // a stale reboot (mote was already revived)
         }
-        self.motes[mote].status = MoteStatus::Up;
-        self.motes[mote].stats.reboots += 1;
+        self.shards[s].status[l] = MoteStatus::Up;
+        self.shards[s].stats[l].reboots += 1;
         self.radio.set_down(mote, false);
-        let boots = self.motes[mote].crashes + 1;
+        let boots = self.shards[s].crashes[l] + 1;
         self.emit_world_event(mote, TraceEvent::MoteRebooted { boots });
         self.with_ctx(mote, |backend, ctx| backend.reboot(ctx));
     }
 
     /// Boots every mote (virtual time 0).
     pub fn boot(&mut self) {
-        for id in 0..self.motes.len() {
+        self.ensure_shards();
+        for id in 0..self.mote_count() {
             self.with_ctx(id, |backend, ctx| backend.boot(ctx));
         }
     }
 
+    /// Total `(pushes, pops)` across the world queue and every shard heap.
+    /// The counters travel with checked-out shards, so window deltas
+    /// include the workers' own scheduling traffic.
+    fn heap_op_totals(&self) -> (u64, u64) {
+        let (mut pushes, mut pops) = self.world_queue.op_counts();
+        for shard in &self.shards {
+            let (p, q) = shard.heap.op_counts();
+            pushes += p;
+            pops += q;
+        }
+        (pushes, pops)
+    }
+
     /// Runs until the given virtual time (µs), or until nothing is left.
+    ///
+    /// Sequentially min-scans the world queue and the shard heads; because
+    /// every key packs `(lane, seq)` under one global counter, the scan
+    /// pops the exact order a single merged heap would.
     pub fn run_until(&mut self, deadline: u64) {
-        while let Some((at, _)) = self.queue.peek_key() {
+        self.ensure_shards();
+        loop {
+            let mut best = self.world_queue.peek_key();
+            let mut src = usize::MAX;
+            for (i, shard) in self.shards.iter().enumerate() {
+                if let Some(k) = shard.heap.peek_key() {
+                    let better = match best {
+                        Some(b) => k < b,
+                        None => true,
+                    };
+                    if better {
+                        best = Some(k);
+                        src = i;
+                    }
+                }
+            }
+            let Some((at, _)) = best else { break };
             if at > deadline {
                 break;
             }
-            let (at, _, fire) = self.queue.pop().unwrap();
+            let (at, _, fire) = if src == usize::MAX {
+                self.world_queue.pop().expect("peeked")
+            } else {
+                self.shards[src].heap.pop().expect("peeked")
+            };
             self.now = at;
             match fire {
                 Fire::Deliver { to, packet } => {
                     // the destination may have gone down while the packet
                     // was in flight: discard at arrival, don't wake it
-                    if !self.motes[to].status.is_up() || self.radio.is_down(to) {
+                    let (s, l) = self.loc(to);
+                    if !self.shards[s].status[l].is_up() || self.radio.is_down(to) {
                         self.note_in_flight_drops(to, 1);
                         continue;
                     }
                     self.stats.delivered += 1;
-                    self.motes[to].stats.received += 1;
+                    self.shards[s].stats[l].received += 1;
                     self.with_ctx(to, |backend, ctx| backend.deliver(ctx, packet));
                 }
                 Fire::Timer { mote } => {
                     // stale timer? (the mote re-requested a different time,
                     // or crashed — a crash clears `timer_at`)
-                    if self.motes[mote].timer_at == Some(at) && self.motes[mote].status.is_up() {
-                        self.motes[mote].timer_at = None;
-                        self.motes[mote].stats.timer_firings += 1;
+                    let (s, l) = self.loc(mote);
+                    let shard = &mut self.shards[s];
+                    if shard.timer_at[l] == Some(at) && shard.status[l].is_up() {
+                        shard.timer_at[l] = None;
+                        shard.stats[l].timer_firings += 1;
                         self.with_ctx(mote, |backend, ctx| backend.timer(ctx));
                     }
                 }
                 Fire::Cpu { mote } => {
-                    if !self.motes[mote].status.is_up() {
+                    let (s, l) = self.loc(mote);
+                    if !self.shards[s].status[l].is_up() {
                         continue; // crash cleared `cpu_scheduled` already
                     }
                     self.stats.cpu_slices += 1;
-                    self.motes[mote].stats.cpu_slices += 1;
-                    self.motes[mote].cpu_scheduled = false;
+                    self.shards[s].stats[l].cpu_slices += 1;
+                    self.shards[s].cpu_scheduled[l] = false;
                     self.with_ctx(mote, |backend, ctx| backend.cpu(ctx));
                 }
-                Fire::Fault { index } => {
-                    self.consume_world_time(at);
-                    self.apply_fault(index);
-                }
-                Fire::Reboot { mote } => {
-                    self.consume_world_time(at);
-                    self.apply_reboot(mote);
-                }
+                Fire::Fault { index } => self.apply_fault(index),
+                Fire::Reboot { mote } => self.apply_reboot(mote),
             }
-        }
-        self.now = self.now.max(deadline);
-    }
-
-    /// Runs until the given virtual time (µs), stepping disjoint motes on
-    /// up to `threads` worker threads.
-    ///
-    /// Conservative parallel discrete-event simulation: the radio's
-    /// minimum per-hop latency is the *lookahead* — a packet emitted at
-    /// `t` cannot reach any mote before `t + lookahead` — so simulation
-    /// advances in windows of that width. Within a window every mote's
-    /// pending events (plus any timers/CPU slices it schedules for itself
-    /// inside the window) are run on a worker with no shared state; at
-    /// the window boundary the workers' outputs are merged back
-    /// **deterministically**, in `(emit time, mote id, emission order)`
-    /// order, so the result is identical for any thread count — and, for
-    /// a lossless medium, identical to [`run_until`](World::run_until).
-    ///
-    /// A zero-latency medium has no lookahead; such worlds (and
-    /// `threads <= 1`) fall back to the sequential stepper.
-    pub fn run_until_parallel(&mut self, deadline: u64, threads: usize) {
-        let lookahead = self.radio.min_latency();
-        let n_motes = self.motes.len();
-        // Introspection (`ceu-par-stats/v1`): when enabled, each window
-        // below records its stall attribution. Everything stats-related
-        // is behind `stats_on`, so the disabled path costs one branch per
-        // window and allocates nothing.
-        let stats_on = self.par_stats.is_some();
-        let run_t0 = stats_on.then(std::time::Instant::now);
-        let wall_base = self.par_stats.as_ref().map_or(0, |ps| ps.wall_ns);
-        if let Some(ps) = self.par_stats.as_mut() {
-            ps.threads = threads.max(1) as u32;
-            ps.lookahead_us = lookahead;
-            ps.motes = n_motes as u32;
-        }
-        if threads <= 1 || lookahead == 0 || n_motes <= 1 {
-            self.run_until(deadline);
-            if let (Some(t0), Some(ps)) = (run_t0, self.par_stats.as_mut()) {
-                ps.fallback = true;
-                ps.wall_ns += t0.elapsed().as_nanos() as u64;
-            }
-            return;
-        }
-        loop {
-            // window = [first pending event, first event + lookahead),
-            // clipped to the deadline (run_until's contract: nothing
-            // after `deadline` fires).
-            let window_start = match self.queue.peek_key() {
-                Some((at, _)) if at <= deadline => at,
-                _ => break,
-            };
-            // World events (faults, reboots) mutate shared state, so they
-            // run as *barriers* between windows, on the simulation thread,
-            // at their exact virtual time — the same instant the
-            // sequential stepper applies them.
-            if let Some((at, _, fire)) = self.queue.peek() {
-                if at == window_start && is_world_fire(fire) {
-                    let (at, _, fire) = self.queue.pop().unwrap();
-                    self.now = at;
-                    self.consume_world_time(at);
-                    match fire {
-                        Fire::Fault { index } => self.apply_fault(index),
-                        Fire::Reboot { mote } => self.apply_reboot(mote),
-                        _ => unreachable!("is_world_fire"),
-                    }
-                    continue;
-                }
-            }
-            // Clip the window at the next world event so no worker steps
-            // past a pending fault/reboot.
-            let mut run_end = (window_start + lookahead).min(deadline.saturating_add(1));
-            if let Some(world_at) = self.next_world_at() {
-                run_end = run_end.min(world_at.max(window_start + 1));
-            }
-            let clipped = run_end < window_start.saturating_add(lookahead);
-            let win_t0 = stats_on.then(std::time::Instant::now);
-            let heap_ops_0 = if stats_on { self.queue.op_counts() } else { (0, 0) };
-
-            // Drain this window's events into per-mote batches. The outer
-            // buffer persists across windows; the inner `Vec`s are taken
-            // below and move to the workers.
-            if self.window_batches.len() < self.motes.len() {
-                self.window_batches.resize_with(self.motes.len(), Vec::new);
-            }
-            while let Some((at, _, fire)) = self.queue.peek() {
-                if at >= run_end || is_world_fire(fire) {
-                    break;
-                }
-                let (at, seq, fire) = self.queue.pop().unwrap();
-                let mote = match &fire {
-                    Fire::Deliver { to, .. } => *to,
-                    Fire::Timer { mote } | Fire::Cpu { mote } => *mote,
-                    Fire::Fault { .. } | Fire::Reboot { .. } => unreachable!("world fire"),
-                };
-                // Mirror of the sequential arrival check: a delivery to a
-                // mote that is down *now* (world state is constant between
-                // barriers) drops here; in-window crashes are handled by
-                // the worker's own status check.
-                if matches!(&fire, Fire::Deliver { .. })
-                    && (!self.motes[mote].status.is_up() || self.radio.is_down(mote))
-                {
-                    self.note_in_flight_drops(mote, 1);
-                    continue;
-                }
-                self.window_batches[mote].push((at, seq, fire));
-            }
-
-            // Check the motes out of the world and step them in parallel.
-            let seq_base = self.seq;
-            let cpu_slice_us = self.cpu_slice_us;
-            let mut work: Vec<WindowWork> = Vec::new();
-            for id in 0..self.motes.len() {
-                let batch = std::mem::take(&mut self.window_batches[id]);
-                if batch.is_empty() {
-                    continue;
-                }
-                let slot = std::mem::replace(&mut self.motes[id], MoteSlot::empty());
-                work.push((id, slot, batch));
-            }
-            let workers = threads.min(work.len()).max(1);
-            let chunk_size = work.len().div_ceil(workers);
-            let mut chunks: Vec<Vec<WindowWork>> = (0..workers).map(|_| Vec::new()).collect();
-            for (i, item) in work.into_iter().enumerate() {
-                chunks[i / chunk_size].push(item);
-            }
-            let drain_done = stats_on.then(std::time::Instant::now);
-            // Workers catch per-mote panics so a crash inside a window is
-            // attributable: the panic resurfaces on the simulation thread
-            // with the mote id and the window bounds, instead of an opaque
-            // worker-join failure. Each worker also reports its busy time
-            // (start-to-finish over its chunk) when stats are on.
-            type WorkerOut = (Vec<Result<WindowOut, (MoteId, String)>>, u64);
-            let worker_results: Vec<WorkerOut> = std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        s.spawn(move || {
-                            let t0 = stats_on.then(std::time::Instant::now);
-                            let outs = chunk
-                                .into_iter()
-                                .map(|(id, slot, batch)| {
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        run_mote_window(
-                                            id,
-                                            slot,
-                                            batch,
-                                            run_end,
-                                            seq_base,
-                                            cpu_slice_us,
-                                        )
-                                    }))
-                                    .map_err(|payload| (id, panic_message(payload)))
-                                })
-                                .collect::<Vec<_>>();
-                            let busy = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                            (outs, busy)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("mote worker thread")).collect()
-            });
-            let par_done = stats_on.then(std::time::Instant::now);
-            let mut busy_ns: Vec<u64> = Vec::new();
-            let mut events_per_worker: Vec<u64> = Vec::new();
-            let mut motes_per_worker: Vec<u32> = Vec::new();
-            let mut outs: Vec<WindowOut> = Vec::new();
-            for (worker_outs, busy) in worker_results {
-                if stats_on {
-                    busy_ns.push(busy);
-                    motes_per_worker.push(worker_outs.len() as u32);
-                    events_per_worker
-                        .push(worker_outs.iter().map(|r| r.as_ref().map_or(0, |o| o.events)).sum());
-                }
-                for r in worker_outs {
-                    outs.push(r.unwrap_or_else(|(id, msg)| {
-                        panic!(
-                            "mote {id} panicked in parallel window \
-                             [{window_start}, {run_end}): {msg}"
-                        )
-                    }));
-                }
-            }
-
-            // Deterministic merge: check motes back in, then apply every
-            // cross-window effect in (time, mote, emission) order. The
-            // merge buffer is reused window-to-window (drained, not moved).
-            self.now = run_end.saturating_sub(1).max(self.now);
-            let mut sends = std::mem::take(&mut self.merge_sends);
-            // In-window crashes, keyed like sends: `(crash time, mote,
-            // emission index at crash)`. Their world-side effects (radio
-            // down, reboot schedule) interleave with the send sweep below
-            // so the radio sees the identical state sequence — and draws
-            // the identical RNG stream — as the sequential stepper.
-            let mut crashes: Vec<(u64, MoteId, usize)> = Vec::new();
-            for out in outs {
-                self.stats.delivered += out.delivered;
-                self.stats.cpu_slices += out.cpu_slices;
-                self.stats.dropped_in_flight += out.dropped_in_flight;
-                self.radio.stats.dropped_in_flight += out.dropped_in_flight;
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.extend(out.trace);
-                }
-                if let Some((crash_at, sends_before)) = out.crashed {
-                    crashes.push((crash_at, out.id, sends_before));
-                }
-                for (i, (at, to, packet)) in out.sends.into_iter().enumerate() {
-                    sends.push((at, out.id, i, to, packet));
-                }
-                for at in out.timers_after {
-                    self.schedule(at, Fire::Timer { mote: out.id });
-                }
-                for at in out.cpus_after {
-                    self.schedule(at, Fire::Cpu { mote: out.id });
-                }
-                self.motes[out.id] = out.slot;
-            }
-            crashes.sort_unstable();
-            let mut crashes = crashes.into_iter().peekable();
-            sends.sort_unstable_by_key(|a| (a.0, a.1, a.2));
-            let cross_sends = sends.len() as u64;
-            let mut send_sample: Vec<(u64, u32, u32)> = Vec::new();
-            if stats_on {
-                send_sample.extend(
-                    sends.iter().take(SEND_SAMPLE_CAP).map(|s| (s.0, s.1 as u32, s.3 as u32)),
-                );
-            }
-            for (at, from, i, to, packet) in sends.drain(..) {
-                while let Some(&(c_at, c_mote, c_i)) = crashes.peek() {
-                    if (c_at, c_mote, c_i) <= (at, from, i) {
-                        self.apply_crash_world_effects(c_mote, c_at);
-                        crashes.next();
-                    } else {
-                        break;
-                    }
-                }
-                if let Some(arrival) = self.radio.transmit(at, from, to, &packet) {
-                    self.schedule(arrival, Fire::Deliver { to, packet });
-                } else {
-                    self.stats.lost += 1;
-                    self.motes[from].stats.lost += 1;
-                }
-            }
-            for (c_at, c_mote, _) in crashes {
-                self.apply_crash_world_effects(c_mote, c_at);
-            }
-            self.merge_sends = sends;
-            if let (Some(run_t0), Some(win_t0), Some(drain_done), Some(par_done)) =
-                (run_t0, win_t0, drain_done, par_done)
-            {
-                let merge_done = std::time::Instant::now();
-                let (pushes_1, pops_1) = self.queue.op_counts();
-                let events = events_per_worker.iter().sum();
-                let motes = motes_per_worker.iter().sum();
-                let ps = self.par_stats.as_mut().expect("stats_on");
-                ps.record_window(ParWindowStats {
-                    index: ps.totals.windows,
-                    t_wall_ns: wall_base + win_t0.duration_since(run_t0).as_nanos() as u64,
-                    start_us: window_start,
-                    end_us: run_end,
-                    lookahead_us: lookahead,
-                    clipped,
-                    threads: threads as u32,
-                    workers: busy_ns.len() as u32,
-                    motes,
-                    events,
-                    busy_ns,
-                    events_per_worker,
-                    motes_per_worker,
-                    drain_ns: drain_done.duration_since(win_t0).as_nanos() as u64,
-                    par_ns: par_done.duration_since(drain_done).as_nanos() as u64,
-                    merge_ns: merge_done.duration_since(par_done).as_nanos() as u64,
-                    heap_pushes: pushes_1 - heap_ops_0.0,
-                    heap_pops: pops_1 - heap_ops_0.1,
-                    cross_sends,
-                    send_sample,
-                });
-            }
-        }
-        if let (Some(t0), Some(ps)) = (run_t0, self.par_stats.as_mut()) {
-            ps.fallback = false;
-            ps.wall_ns += t0.elapsed().as_nanos() as u64;
         }
         self.now = self.now.max(deadline);
     }
 
     /// Runs one backend callback and applies its effects (sends, timer
-    /// requests, CPU requests).
+    /// requests, CPU requests). Mirrored exactly by
+    /// [`Shard::run_window`](crate::shard::Shard::run_window), which defers
+    /// the radio-touching effects to the merge barrier.
     fn with_ctx(&mut self, id: MoteId, f: impl FnOnce(&mut dyn Backend, &mut MoteCtx)) {
-        let slot = &mut self.motes[id];
-        let skew = slot.skew_ppm;
-        let mut backend = std::mem::replace(&mut slot.backend, Box::new(Inert));
-        let mut ctx = MoteCtx {
-            id,
-            now: skewed(self.now, skew),
-            leds: &mut slot.leds,
-            outbox: Vec::new(),
-            timer_request: None,
-            wants_cpu: false,
-            vm_events: Vec::new(),
-            failure: None,
-        };
-        f(backend.as_mut(), &mut ctx);
-        let outbox = std::mem::take(&mut ctx.outbox);
-        let timer_request = ctx.timer_request;
-        let wants_cpu = ctx.wants_cpu;
-        let vm_events = std::mem::take(&mut ctx.vm_events);
-        let failure = ctx.failure.take();
-        self.motes[id].backend = backend;
+        let (s, l) = self.loc(id);
+        let now = self.now;
+        let skew = self.shards[s].skew_ppm[l];
+        let mut backend = std::mem::replace(&mut self.shards[s].backends[l], Box::new(Inert));
+        let (outbox, timer_request, wants_cpu, vm_events, failure);
         {
-            let now = self.now;
+            let mut ctx = MoteCtx::new(id, skewed(now, skew), &mut self.shards[s].leds[l]);
+            f(backend.as_mut(), &mut ctx);
+            outbox = std::mem::take(&mut ctx.outbox);
+            timer_request = ctx.timer_request;
+            wants_cpu = ctx.wants_cpu;
+            vm_events = std::mem::take(&mut ctx.vm_events);
+            failure = ctx.take_failure();
+        }
+        self.shards[s].backends[l] = backend;
+        {
             let trace = self.trace.as_mut();
-            let slot = &mut self.motes[id];
+            let shard = &mut self.shards[s];
             if let Some(trace) = trace {
                 for event in vm_events {
-                    slot.trace_seq += 1;
+                    shard.trace_seq[l] += 1;
                     trace.push(WorldTraceEvent {
                         world_time_us: now,
                         mote: id,
-                        seq: slot.trace_seq,
+                        seq: shard.trace_seq[l],
                         event: event.normalized(),
                     });
                 }
             } else {
                 // keep the per-mote counter in step with the parallel
                 // path, which stamps events before the merge decides
-                slot.trace_seq += vm_events.len() as u64;
+                shard.trace_seq[l] += vm_events.len() as u64;
             }
         }
         if let Some(cause) = failure {
@@ -1165,65 +1107,358 @@ impl World {
             return;
         }
         for (to, packet) in outbox {
-            self.motes[id].stats.sent += 1;
-            if let Some(arrival) = self.radio.transmit(self.now, id, to, &packet) {
+            self.shards[s].stats[l].sent += 1;
+            if let Some(arrival) = self.radio.transmit(now, id, to, &packet) {
                 self.schedule(arrival, Fire::Deliver { to, packet });
             } else {
                 self.stats.lost += 1;
-                self.motes[id].stats.lost += 1;
+                self.shards[s].stats[l].lost += 1;
             }
         }
         if let Some(at) = timer_request {
             // the backend asked in its own (skewed) clock; convert back
-            let at = unskew(at, skew).max(self.now);
-            let better = match self.motes[id].timer_at {
+            let at = unskew(at, skew).max(now);
+            let better = match self.shards[s].timer_at[l] {
                 Some(t) => at < t,
                 None => true,
             };
             if better {
-                self.motes[id].timer_at = Some(at);
+                self.shards[s].timer_at[l] = Some(at);
                 self.schedule(at, Fire::Timer { mote: id });
             }
         }
-        if wants_cpu && !self.motes[id].cpu_scheduled {
-            self.motes[id].cpu_scheduled = true;
-            let at = self.now + self.cpu_slice_us;
+        if wants_cpu && !self.shards[s].cpu_scheduled[l] {
+            self.shards[s].cpu_scheduled[l] = true;
+            let at = now + self.cpu_slice_us;
             self.schedule(at, Fire::Cpu { mote: id });
         }
     }
-}
 
-/// What one mote produced during a parallel window ([`World::run_until_parallel`]).
-struct WindowOut {
-    id: MoteId,
-    slot: MoteSlot,
-    /// `(emit time, destination, packet)` in emission order; routed
-    /// through the radio at merge time.
-    sends: Vec<(u64, MoteId, Packet)>,
-    /// Timer requests that fall on/after the window boundary.
-    timers_after: Vec<u64>,
-    /// CPU-slice grants that fall on/after the window boundary.
-    cpus_after: Vec<u64>,
-    delivered: u64,
-    cpu_slices: u64,
-    /// Firings popped inside the window, including locally rescheduled
-    /// timers/CPU slices (feeds `ceu-par-stats/v1` per-worker loads).
-    events: u64,
-    /// World-trace events produced inside the window, already stamped
-    /// with `(world_time_us, mote, seq)`.
-    trace: Vec<WorldTraceEvent>,
-    /// The mote crashed inside the window: `(crash time, how many sends
-    /// it had emitted first)`. The merge applies the shared-state effects
-    /// (radio down, reboot schedule) at exactly that point of the
-    /// deterministic `(time, mote, emission)` sweep.
-    crashed: Option<(u64, usize)>,
-    /// Deliveries discarded inside the window because the mote had
-    /// crashed earlier in the same window.
-    dropped_in_flight: u64,
+    /// Replays deferred window effects — sends and crash world-effects —
+    /// whose time lies strictly before `threshold` (all of them when
+    /// `None`), interleaved in the canonical `(time, mote, emission)`
+    /// order through the single radio RNG. Deferral is what keeps the RNG
+    /// draw order global-time-sorted under *per-shard* lookaheads: a
+    /// fast-lookahead window can emit a send later (in virtual time) than
+    /// a send a slower shard will only emit next window, so transmits
+    /// must wait until no earlier emission can still appear — i.e. until
+    /// the global head has moved past them. Returns whether anything was
+    /// replayed (new deliveries may change the global head).
+    fn flush_merge_actions(
+        &mut self,
+        sends: &mut Vec<(u64, MoteId, usize, MoteId, Packet)>,
+        crashes: &mut Vec<(u64, MoteId, usize)>,
+        threshold: Option<u64>,
+    ) -> bool {
+        if sends.is_empty() && crashes.is_empty() {
+            return false;
+        }
+        sends.sort_unstable_by_key(|s| (s.0, s.1, s.2));
+        crashes.sort_unstable();
+        let within = |at: u64| match threshold {
+            Some(t) => at < t,
+            None => true,
+        };
+        let n_s = sends.iter().take_while(|s| within(s.0)).count();
+        let n_c = crashes.iter().take_while(|c| within(c.0)).count();
+        if n_s == 0 && n_c == 0 {
+            return false;
+        }
+        let mut crash_iter = crashes.drain(..n_c).peekable();
+        for (at, from, emission, to, packet) in sends.drain(..n_s) {
+            // crash world-effects precede the sends they beat in the
+            // canonical order: the crash powers the radio off, and later
+            // loss rolls must see it down — exactly as in [`run_until`]
+            while let Some(&(c_at, c_mote, c_emission)) = crash_iter.peek() {
+                if (c_at, c_mote, c_emission) <= (at, from, emission) {
+                    self.apply_crash_world_effects(c_mote, c_at);
+                    crash_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(arrival) = self.radio.transmit(at, from, to, &packet) {
+                self.schedule(arrival, Fire::Deliver { to, packet });
+            } else {
+                self.stats.lost += 1;
+                let (s, l) = self.loc(from);
+                self.shards[s].stats[l].lost += 1;
+            }
+        }
+        for (c_at, c_mote, _) in crash_iter {
+            self.apply_crash_world_effects(c_mote, c_at);
+        }
+        true
+    }
+
+    /// Runs until `deadline` using a conservative sharded-PDES scheduler
+    /// across `threads` workers — **bit-identical** to [`World::run_until`].
+    ///
+    /// Per window: pop any world events at the global head (they mutate
+    /// shared state, so they barrier); then every shard with pending work
+    /// runs independently on a pooled worker up to its own bound
+    /// `run_end(S) = start + lookahead(S)`, clipped by the next world
+    /// event. `lookahead(S)` is the minimum latency over links *into* `S`
+    /// (see [`ShardPlan`]), so no in-window send — cross-shard or local —
+    /// can arrive before any shard's bound. Workers defer every radio
+    /// interaction; the merge sorts the window's sends into the canonical
+    /// `(time, sender, emission)` order and replays them through the
+    /// single radio RNG, which keeps loss rolls — and therefore the whole
+    /// event stream — identical to the sequential stepper's.
+    ///
+    /// If a mote panics inside a window the panic is re-raised here with
+    /// window context after the merge (other motes' effects are kept).
+    pub fn run_until_parallel(&mut self, deadline: u64, threads: usize) {
+        self.ensure_shards();
+        let run_t0 = std::time::Instant::now();
+        let lookahead = self.radio.min_latency();
+        let stats_on = self.par_stats.is_some();
+        if let Some(ps) = self.par_stats.as_mut() {
+            ps.threads = threads as u32;
+            ps.lookahead_us = lookahead;
+            ps.motes = self.mote_shard.len() as u32;
+            ps.shards = self.shards.len() as u32;
+        }
+        // Degenerate worlds fall back to the sequential stepper: nothing
+        // to parallelise (≤1 thread or ≤1 mote) or no safe lookahead
+        // (a zero-latency link makes every window empty).
+        if threads <= 1 || lookahead == 0 || self.mote_shard.len() <= 1 {
+            self.run_until(deadline);
+            if let Some(ps) = self.par_stats.as_mut() {
+                ps.fallback = true;
+                ps.wall_ns += run_t0.elapsed().as_nanos() as u64;
+            }
+            return;
+        }
+        let need_pool = match &self.pool {
+            Some(p) => p.size() < threads,
+            None => true,
+        };
+        if need_pool {
+            self.pool = Some(WorkerPool::new(threads));
+        }
+        let hard_end = deadline.saturating_add(1);
+        let wall_base = self.par_stats.as_ref().map_or(0, |ps| ps.wall_ns);
+        let mut pending_sends = std::mem::take(&mut self.merge_sends);
+        pending_sends.clear();
+        let mut pending_crashes: Vec<(u64, MoteId, usize)> = Vec::new();
+        loop {
+            // find the global head: world queue vs shard heads
+            let world_head = self.world_queue.peek_key();
+            let mut best = world_head;
+            let mut from_world = world_head.is_some();
+            for shard in &self.shards {
+                if let Some(k) = shard.heap.peek_key() {
+                    let better = match best {
+                        Some(b) => k < b,
+                        None => true,
+                    };
+                    if better {
+                        best = Some(k);
+                        from_world = false;
+                    }
+                }
+            }
+            // replay deferred effects that nothing can precede anymore
+            let threshold = match best {
+                Some((at, _)) if at <= deadline => Some(at),
+                _ => None,
+            };
+            if self.flush_merge_actions(&mut pending_sends, &mut pending_crashes, threshold) {
+                continue; // fresh deliveries may have moved the head
+            }
+            let Some((start, _)) = best else { break };
+            if start > deadline {
+                break;
+            }
+            if from_world {
+                // world events (faults, reboots) barrier: apply on the
+                // simulation thread at exactly their scheduled time
+                let (at, _, fire) = self.world_queue.pop().expect("peeked");
+                self.now = at;
+                match fire {
+                    Fire::Fault { index } => self.apply_fault(index),
+                    Fire::Reboot { mote } => self.apply_reboot(mote),
+                    _ => unreachable!("only world fires enter the world queue"),
+                }
+                continue;
+            }
+            let world_at = world_head.map(|(at, _)| at);
+            let win_t0 = stats_on.then(std::time::Instant::now);
+            let heap_ops_0 = stats_on.then(|| self.heap_op_totals());
+            // check out every shard with work inside its own window
+            let refresh = self.radio.down.iter().any(|&d| d);
+            let mut jobs: Vec<ShardJob> = Vec::new();
+            let mut any_clipped = false;
+            let mut max_run_end = start;
+            for i in 0..self.shards.len() {
+                let Some((head_at, _)) = self.shards[i].heap.peek_key() else { continue };
+                let la = self.shards[i].lookahead_us;
+                let mut run_end = start.saturating_add(la).min(hard_end);
+                if let Some(w) = world_at {
+                    // never step past a pending world event; `max(start+1)`
+                    // keeps the head-owning shard's window non-empty (the
+                    // world event itself sits at or after `start`)
+                    run_end = run_end.min(w.max(start + 1));
+                }
+                if head_at >= run_end {
+                    continue;
+                }
+                any_clipped |= run_end < start.saturating_add(la);
+                max_run_end = max_run_end.max(run_end);
+                if refresh || self.shards[i].has_down {
+                    self.shards[i].refresh_down(&self.radio);
+                }
+                let shard = std::mem::replace(&mut self.shards[i], Shard::placeholder(i as u32));
+                jobs.push(ShardJob { shard, run_end });
+            }
+            // the shard holding the global head always qualifies:
+            // head_at == start < run_end (run_end ≥ start+1)
+            debug_assert!(!jobs.is_empty());
+            let workers = threads.min(jobs.len()).max(1);
+            let mut batches: Vec<Vec<ShardJob>> = (0..workers).map(|_| Vec::new()).collect();
+            for (k, job) in jobs.into_iter().enumerate() {
+                batches[k % workers].push(job);
+            }
+            let seq_base = self.seq;
+            let drain_done = stats_on.then(std::time::Instant::now);
+            let outs = self.pool.as_mut().expect("pool created above").dispatch(
+                batches,
+                seq_base,
+                self.cpu_slice_us,
+                stats_on,
+            );
+            let par_done = stats_on.then(std::time::Instant::now);
+            // ---- merge barrier (simulation thread) ----
+            self.now = start;
+            let mut busy_ns = vec![0u64; if stats_on { workers } else { 0 }];
+            let mut events_per_worker = vec![0u64; if stats_on { workers } else { 0 }];
+            let mut motes_per_worker = vec![0u32; if stats_on { workers } else { 0 }];
+            let mut shard_busy: Vec<(u32, u32, u64, u64)> = Vec::new();
+            let mut win_events = 0u64;
+            let mut win_motes = 0u32;
+            let mut max_seq = self.seq;
+            let pend0 = pending_sends.len();
+            let mut panicked: Option<(MoteId, String, u64)> = None;
+            for bout in outs {
+                let wait_each = bout.channel_wait_ns / bout.jobs.len().max(1) as u64;
+                if stats_on {
+                    busy_ns[bout.worker] = bout.busy_ns;
+                }
+                for JobOut { shard, out, run_end: job_end, busy_ns: jbusy } in bout.jobs {
+                    let sid = out.shard;
+                    debug_assert_eq!(sid, shard.id);
+                    if stats_on {
+                        events_per_worker[bout.worker] += out.events;
+                        motes_per_worker[bout.worker] += shard.n() as u32;
+                    }
+                    win_events += out.events;
+                    win_motes += shard.n() as u32;
+                    let n_sends = out.sends.len() as u64;
+                    max_seq = max_seq.max(out.seq_used);
+                    self.stats.delivered += out.delivered;
+                    self.stats.cpu_slices += out.cpu_slices;
+                    self.stats.dropped_in_flight += out.dropped_in_flight;
+                    self.radio.stats.dropped_in_flight += out.dropped_in_flight;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.extend(out.trace);
+                    }
+                    pending_crashes.extend(out.crashes);
+                    if let Some((mote, msg)) = out.panicked {
+                        panicked.get_or_insert((mote, msg, job_end));
+                    }
+                    pending_sends.extend(out.sends);
+                    if let Some(ps) = self.par_stats.as_mut() {
+                        ps.record_shard(
+                            sid,
+                            shard.n() as u32,
+                            out.events,
+                            jbusy,
+                            n_sends,
+                            wait_each,
+                        );
+                    }
+                    if stats_on {
+                        shard_busy.push((sid, bout.worker as u32, jbusy, out.events));
+                    }
+                    self.shards[sid as usize] = shard;
+                }
+            }
+            if let Some((mote, msg, run_end)) = panicked {
+                panic!("mote {mote} panicked in parallel window [{start}, {run_end}): {msg}");
+            }
+            // workers consumed seqs from `seq_base` upward for their own
+            // timer/CPU pushes; advance past them so the merge's Deliver
+            // seqs sort after every in-window push (matching the
+            // sequential stepper, where the send is scheduled after the
+            // callback's own requests)
+            self.seq = max_seq;
+            // the window's sends and crash effects stay *deferred* in the
+            // pending buffers — the pre-window flush replays them through
+            // the radio RNG once nothing earlier can still appear (see
+            // `flush_merge_actions`); here we only stamp the stats sample
+            let new_sends = &mut pending_sends[pend0..];
+            new_sends.sort_unstable_by_key(|s| (s.0, s.1, s.2));
+            let cross_sends = new_sends.len() as u64;
+            let send_sample: Vec<(u64, u32, u32)> = new_sends
+                .iter()
+                .take(SEND_SAMPLE_CAP)
+                .map(|&(at, from, _, to, _)| (at, from as u32, to as u32))
+                .collect();
+            if let (Some(ps), Some(win_t0), Some(drain_done), Some(par_done), Some(ops0)) =
+                (self.par_stats.as_mut(), win_t0, drain_done, par_done, heap_ops_0)
+            {
+                let (p0, q0) = ops0;
+                let mut pushes = 0u64;
+                let mut pops = 0u64;
+                {
+                    let (wp, wq) = self.world_queue.op_counts();
+                    pushes += wp;
+                    pops += wq;
+                }
+                for shard in &self.shards {
+                    let (p, q) = shard.heap.op_counts();
+                    pushes += p;
+                    pops += q;
+                }
+                let index = ps.totals.windows;
+                ps.record_window(ParWindowStats {
+                    index,
+                    t_wall_ns: wall_base + win_t0.duration_since(run_t0).as_nanos() as u64,
+                    start_us: start,
+                    end_us: max_run_end,
+                    lookahead_us: lookahead,
+                    clipped: any_clipped,
+                    threads: threads as u32,
+                    workers: workers as u32,
+                    motes: win_motes,
+                    events: win_events,
+                    busy_ns,
+                    events_per_worker,
+                    motes_per_worker,
+                    drain_ns: drain_done.duration_since(win_t0).as_nanos() as u64,
+                    par_ns: par_done.duration_since(drain_done).as_nanos() as u64,
+                    merge_ns: par_done.elapsed().as_nanos() as u64,
+                    heap_pushes: pushes - p0,
+                    heap_pops: pops - q0,
+                    cross_sends,
+                    send_sample,
+                    shard_busy,
+                });
+            }
+        }
+        debug_assert!(pending_sends.is_empty() && pending_crashes.is_empty());
+        self.merge_sends = pending_sends;
+        if let Some(ps) = self.par_stats.as_mut() {
+            ps.fallback = false;
+            ps.wall_ns += run_t0.elapsed().as_nanos() as u64;
+        }
+        self.now = self.now.max(deadline);
+    }
 }
 
 /// Renders a caught panic payload for re-raising with mote context.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1231,179 +1466,6 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
-}
-
-/// One window's firings for a single mote: `(at, seq, fire)` triples.
-type WindowBatch = Vec<(u64, u64, Fire)>;
-/// A mote checked out of the world for one window, with its batch.
-type WindowWork = (MoteId, MoteSlot, WindowBatch);
-/// The backend callback a firing dispatches to inside a window.
-type FireFn = fn(&mut dyn Backend, &mut MoteCtx, Option<Packet>);
-
-/// Steps one mote through its window batch, running any timers/CPU slices
-/// it schedules for itself *inside* the window in a local mini event
-/// loop. Mirrors the effect application of [`World::with_ctx`] exactly,
-/// except that packet transmission (which needs the shared radio) is
-/// deferred to the merge.
-fn run_mote_window(
-    id: MoteId,
-    mut slot: MoteSlot,
-    batch: WindowBatch,
-    run_end: u64,
-    seq_base: u64,
-    cpu_slice_us: u64,
-) -> WindowOut {
-    let mut queue: EventHeap<Fire> = EventHeap::with_capacity(batch.len());
-    for (at, seq, fire) in batch {
-        queue.push(at, seq, fire);
-    }
-    // local events order after the already-queued globals at equal times,
-    // exactly as World::schedule's monotone `seq` would have placed them
-    let mut seq = seq_base;
-    let mut out = WindowOut {
-        id,
-        slot: MoteSlot::empty(),
-        sends: Vec::new(),
-        timers_after: Vec::new(),
-        cpus_after: Vec::new(),
-        delivered: 0,
-        cpu_slices: 0,
-        events: 0,
-        trace: Vec::new(),
-        crashed: None,
-        dropped_in_flight: 0,
-    };
-    while let Some((at, _, fire)) = queue.pop() {
-        debug_assert!(at < run_end);
-        out.events += 1;
-        let now = at;
-        if !slot.status.is_up() {
-            // crashed earlier in this window: deliveries drop in flight,
-            // timers/CPU slices vanish (mirrors the sequential stepper)
-            if matches!(fire, Fire::Deliver { .. }) {
-                out.dropped_in_flight += 1;
-                slot.stats.dropped_in_flight += 1;
-            }
-            continue;
-        }
-        let (run, packet): (Option<FireFn>, Option<Packet>) = match fire {
-            Fire::Deliver { packet, .. } => {
-                out.delivered += 1;
-                slot.stats.received += 1;
-                (
-                    Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, p: Option<Packet>| {
-                        b.deliver(ctx, p.unwrap())
-                    }),
-                    Some(packet),
-                )
-            }
-            Fire::Timer { .. } => {
-                if slot.timer_at == Some(at) {
-                    slot.timer_at = None;
-                    slot.stats.timer_firings += 1;
-                    (
-                        Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, _: Option<Packet>| {
-                            b.timer(ctx)
-                        }),
-                        None,
-                    )
-                } else {
-                    (None, None) // stale
-                }
-            }
-            Fire::Cpu { .. } => {
-                out.cpu_slices += 1;
-                slot.stats.cpu_slices += 1;
-                slot.cpu_scheduled = false;
-                (Some(|b: &mut dyn Backend, ctx: &mut MoteCtx, _: Option<Packet>| b.cpu(ctx)), None)
-            }
-            Fire::Fault { .. } | Fire::Reboot { .. } => {
-                unreachable!("world fires never enter a window batch")
-            }
-        };
-        let Some(run) = run else { continue };
-        let mut ctx = MoteCtx {
-            id,
-            now: skewed(now, slot.skew_ppm),
-            leds: &mut slot.leds,
-            outbox: Vec::new(),
-            timer_request: None,
-            wants_cpu: false,
-            vm_events: Vec::new(),
-            failure: None,
-        };
-        run(slot.backend.as_mut(), &mut ctx, packet);
-        let outbox = std::mem::take(&mut ctx.outbox);
-        let timer_request = ctx.timer_request;
-        let wants_cpu = ctx.wants_cpu;
-        let vm_events = std::mem::take(&mut ctx.vm_events);
-        let failure = ctx.failure.take();
-        for event in vm_events {
-            slot.trace_seq += 1;
-            out.trace.push(WorldTraceEvent {
-                world_time_us: now,
-                mote: id,
-                seq: slot.trace_seq,
-                event: event.normalized(),
-            });
-        }
-        if let Some(cause) = failure {
-            // mirror of World::crash_mote, minus the shared state (radio
-            // down + reboot scheduling), which the merge applies at this
-            // exact point of the (time, mote, emission) sweep
-            slot.trace_seq += 1;
-            out.trace.push(WorldTraceEvent {
-                world_time_us: now,
-                mote: id,
-                seq: slot.trace_seq,
-                event: TraceEvent::MoteCrashed {
-                    kind: cause.kind,
-                    line: cause.span.line,
-                    col: cause.span.col,
-                }
-                .normalized(),
-            });
-            slot.status = MoteStatus::Crashed { at: now, cause };
-            slot.crashes += 1;
-            slot.stats.crashes += 1;
-            slot.timer_at = None;
-            slot.cpu_scheduled = false;
-            out.crashed = Some((now, out.sends.len()));
-            continue; // discard this callback's sends / timer / CPU asks
-        }
-        for (to, packet) in outbox {
-            slot.stats.sent += 1;
-            out.sends.push((now, to, packet));
-        }
-        if let Some(req) = timer_request {
-            let req = unskew(req, slot.skew_ppm).max(now);
-            let better = match slot.timer_at {
-                Some(t) => req < t,
-                None => true,
-            };
-            if better {
-                slot.timer_at = Some(req);
-                if req < run_end {
-                    seq += 1;
-                    queue.push(req, order_key(id as u64 + 1, seq), Fire::Timer { mote: id });
-                } else {
-                    out.timers_after.push(req);
-                }
-            }
-        }
-        if wants_cpu && !slot.cpu_scheduled {
-            slot.cpu_scheduled = true;
-            let cat = now + cpu_slice_us;
-            if cat < run_end {
-                seq += 1;
-                queue.push(cat, order_key(id as u64 + 1, seq), Fire::Cpu { mote: id });
-            } else {
-                out.cpus_after.push(cat);
-            }
-        }
-    }
-    out.slot = slot;
-    out
 }
 
 /// Shared-handle backends: a harness can keep an `Arc<Mutex<B>>` to a
@@ -1426,7 +1488,7 @@ impl<B: Backend> Backend for std::sync::Arc<std::sync::Mutex<B>> {
 }
 
 /// Placeholder while a backend is checked out during a callback.
-struct Inert;
+pub(crate) struct Inert;
 
 impl Backend for Inert {
     fn boot(&mut self, _: &mut MoteCtx) {}
@@ -1434,7 +1496,6 @@ impl Backend for Inert {
     fn timer(&mut self, _: &mut MoteCtx) {}
     fn cpu(&mut self, _: &mut MoteCtx) {}
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1838,12 +1899,69 @@ mod tests {
             seq_trace.iter().any(|e| matches!(e.event, TraceEvent::MoteRebooted { .. })),
             "somebody must reboot for this test to bite"
         );
-        for threads in [2, 4] {
+        for threads in [2, 4, 8] {
             let mut par = chaotic_world(radio());
             par.run_until_parallel(40_000, threads);
             assert_eq!(seq_obs, observe(&par), "threads={threads}");
             assert_eq!(seq_trace, par.take_trace(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn sharded_clustered_world_is_thread_count_invariant() {
+        // the sharded acceptance property: a clustered medium (distinct
+        // per-cluster latencies → distinct per-shard lookaheads) under a
+        // chaotic fault plan, with par-stats enabled, stays bit-identical
+        // to the sequential stepper at every thread count
+        let build = || {
+            let mut w =
+                World::new(Radio::clustered(4, 3, vec![600, 900, 750, 650], 4_000, 0.15, 21));
+            w.enable_trace();
+            w.enable_par_stats();
+            w.set_reboot_policy(RebootPolicy::After(2_500));
+            for m in 0..12 {
+                let peer = (m / 3) * 3 + (m + 1) % 3;
+                w.add_mote(Box::new(TracingPinger { peer }));
+            }
+            let plan = FaultPlan::new()
+                .at(4_000, FaultAction::Crash { mote: 5 })
+                .at(9_000, FaultAction::ClockSkew { mote: 2, ppm: 400 })
+                .at(14_000, FaultAction::LossBurst { from: 0, to: 1, rate: 0.5, until_us: 25_000 });
+            w.set_fault_plan(&plan).unwrap();
+            w.boot();
+            w
+        };
+        let mut seq = build();
+        seq.run_until(40_000);
+        let seq_obs = observe(&seq);
+        let seq_trace = seq.take_trace();
+        assert!(seq_trace.iter().any(|e| matches!(e.event, TraceEvent::MoteCrashed { .. })));
+        for threads in [1, 2, 4, 8] {
+            let mut par = build();
+            par.run_until_parallel(40_000, threads);
+            assert_eq!(seq_obs, observe(&par), "threads={threads}");
+            assert_eq!(seq_trace, par.take_trace(), "threads={threads}");
+            let ps = par.take_par_stats().expect("enabled");
+            if threads > 1 {
+                assert!(ps.totals.windows > 0, "threads={threads}");
+                assert!(ps.shards >= 2, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn resharding_mid_run_preserves_the_event_stream() {
+        // set_target_shards mid-run migrates every pending event with its
+        // original key, so the merged behaviour cannot change
+        let mut a = tracing_world(Radio::ideal(1_000));
+        a.run_until(5_500);
+        let mut b = tracing_world(Radio::ideal(1_000));
+        b.run_until_parallel(2_500, 4);
+        b.set_target_shards(2);
+        b.run_until_parallel(5_500, 4);
+        assert_eq!(observe(&a), observe(&b));
+        assert_eq!(a.take_trace(), b.take_trace());
+        assert_eq!(b.shard_count(), 2);
     }
 
     #[test]

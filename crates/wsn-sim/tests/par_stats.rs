@@ -1,4 +1,4 @@
-//! `ceu-par-stats/v1` acceptance: schema stability, non-interference
+//! `ceu-par-stats/v2` acceptance: schema stability, non-interference
 //! with the deterministic parallel stepper, and the exact stall-
 //! attribution identity — the three properties `ceu-trace par-report`
 //! and the bench snapshots rely on.
@@ -119,14 +119,15 @@ fn jsonl_export_is_schema_stable_golden() {
     let mut lines = text.lines();
 
     let run: serde_json::Value = serde_json::from_str(lines.next().expect("run line")).unwrap();
-    assert_eq!(run["schema"].as_str(), Some("ceu-par-stats/v1"));
+    assert_eq!(run["schema"].as_str(), Some("ceu-par-stats/v2"));
     assert_eq!(run["kind"].as_str(), Some("run"));
     // the golden key set: additions are fine, removals/renames are a
-    // schema break and must bump /v1
+    // schema break and must bump /v2
     for key in [
         "threads",
         "lookahead_us",
         "motes",
+        "shards",
         "fallback",
         "wall_ns",
         "window_wall_ns",
@@ -150,9 +151,21 @@ fn jsonl_export_is_schema_stable_golden() {
         assert!(run.get(key).is_some(), "run line lost key {key}");
     }
     let mut windows = 0u64;
+    let mut shards = 0u64;
     for line in lines {
-        let win: serde_json::Value = serde_json::from_str(line).unwrap();
-        assert_eq!(win["schema"].as_str(), Some("ceu-par-stats/v1"));
+        let rec: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(rec["schema"].as_str(), Some("ceu-par-stats/v2"));
+        if rec["kind"].as_str() == Some("shard") {
+            for key in
+                ["shard", "motes", "windows", "events", "busy_ns", "cross_sends", "channel_wait_ns"]
+            {
+                assert!(rec.get(key).is_some(), "shard line lost key {key}");
+            }
+            assert_eq!(rec["shard"].as_u64(), Some(shards), "shard rows come in id order");
+            shards += 1;
+            continue;
+        }
+        let win = rec;
         assert_eq!(win["kind"].as_str(), Some("window"));
         for key in [
             "i",
@@ -176,6 +189,7 @@ fn jsonl_export_is_schema_stable_golden() {
             "heap_pops",
             "cross_sends",
             "sends",
+            "shard_busy",
         ] {
             assert!(win.get(key).is_some(), "window line lost key {key}");
         }
@@ -186,4 +200,6 @@ fn jsonl_export_is_schema_stable_golden() {
         windows += 1;
     }
     assert_eq!(run["windows"].as_u64(), Some(windows));
+    assert_eq!(run["shards"].as_u64(), Some(shards), "one shard line per shard");
+    assert!(shards >= 2, "the 4-mote full mesh splits into multiple shards");
 }
