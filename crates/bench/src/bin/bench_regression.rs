@@ -24,7 +24,12 @@
 //!   threads with per-shard stats on. Where `world_par`'s chaos ring is
 //!   deliberately barrier-hostile (one global lookahead), these rows
 //!   track the topology-aligned case — cluster-aligned shards, per-shard
-//!   lookahead — whose 2-thread speedup CI gates on.
+//!   lookahead — whose 2-thread speedup CI gates on;
+//! * `recorder_overhead` — the always-on flight recorder's cost, on the
+//!   machine (expr_heavy with a ring-fed tracer vs bare) and on the
+//!   world (shard mesh, recorder + machine traces vs neither). The
+//!   recorded machine loop is also held to the zero-alloc invariant: a
+//!   black box that allocates per event is not "always-on".
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin bench_regression -- \
@@ -36,7 +41,7 @@
 //! as `BENCH_PR7.json` at the repo root). CI's `bench-smoke` job runs
 //! `--quick` and fails on any steady-state allocation.
 
-use ceu::runtime::{Machine, NullHost};
+use ceu::runtime::{FlightRecorder, Machine, NullHost, TraceMask};
 use ceu::Compiler;
 use ceu_bench::DATAFLOW_CHAIN;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -159,6 +164,17 @@ struct StatsOverheadRow {
     overhead_pct: f64,
 }
 
+#[derive(serde::Serialize)]
+struct RecorderOverheadRow {
+    workload: &'static str,
+    /// `machine` (ns/event medians) or `world` (wall-clock medians).
+    mode: &'static str,
+    threads: usize,
+    off_ns: u64,
+    on_ns: u64,
+    overhead_pct: f64,
+}
+
 /// The wire format of the regression report. Field names and nesting are
 /// the schema — downstream diffing relies on them staying put; new row
 /// families are only ever appended.
@@ -171,6 +187,7 @@ struct Report {
     world_par: Vec<WorldParRow>,
     stats_overhead: Vec<StatsOverheadRow>,
     world_shard: Vec<WorldShardRow>,
+    recorder_overhead: Vec<RecorderOverheadRow>,
 }
 
 /// Boots a machine over the shared artifact and returns it with the
@@ -182,6 +199,21 @@ fn boot(prog: &Arc<ceu::CompiledProgram>, event: &str) -> (Machine, ceu::ast::Ev
     (m, ev)
 }
 
+/// Attaches a flight recorder to the machine the way `ceuc run
+/// --blackbox` does: a coarse-masked tracer that stores into a bounded
+/// ring. No mutex — the closure owns the ring, which is the cheapest
+/// honest configuration (the CLI pays an extra `Arc<Mutex>` to read it
+/// back; the invariant under test here is the recording itself).
+fn attach_recorder(m: &mut Machine, capacity: usize) {
+    let mut rec = FlightRecorder::new(capacity);
+    let mut seq = 0u64;
+    m.set_tracer(Box::new(move |e| {
+        seq += 1;
+        rec.record(0, 0, seq, e);
+    }));
+    m.set_trace_mask(TraceMask::Coarse);
+}
+
 /// Median-of-N ns/event over fresh machines (one per trial).
 fn median_latency(
     prog: &Arc<ceu::CompiledProgram>,
@@ -189,28 +221,69 @@ fn median_latency(
     trials: usize,
     events: u64,
 ) -> f64 {
-    let mut per_event: Vec<f64> = (0..trials)
-        .map(|_| {
-            let (mut m, ev) = boot(prog, event);
-            // warm caches, grow every machine buffer to steady state
-            for _ in 0..events.min(200) {
-                m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
-            }
-            let start = Instant::now();
-            for _ in 0..events {
-                m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
-            }
-            start.elapsed().as_nanos() as f64 / events as f64
-        })
-        .collect();
+    median_latency_opts(prog, event, trials, events, None)
+}
+
+/// [`median_latency`] with an optional flight recorder of the given
+/// capacity attached before warmup.
+fn median_latency_opts(
+    prog: &Arc<ceu::CompiledProgram>,
+    event: &str,
+    trials: usize,
+    events: u64,
+    recorder: Option<usize>,
+) -> f64 {
+    let mut per_event: Vec<f64> =
+        (0..trials).map(|_| latency_trial(prog, event, events, recorder)).collect();
     per_event.sort_by(|a, b| a.total_cmp(b));
     per_event[per_event.len() / 2]
+}
+
+/// One timed trial on a fresh machine: ns/event over `events` reactions
+/// after warmup. Split out so overhead rows can interleave their off/on
+/// arms (clock drift on shared runners hits both arms equally only when
+/// they alternate within the same pass).
+fn latency_trial(
+    prog: &Arc<ceu::CompiledProgram>,
+    event: &str,
+    events: u64,
+    recorder: Option<usize>,
+) -> f64 {
+    let (mut m, ev) = boot(prog, event);
+    if let Some(cap) = recorder {
+        attach_recorder(&mut m, cap);
+    }
+    // warm caches, grow every machine buffer to steady state
+    for _ in 0..events.min(200) {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
+    }
+    start.elapsed().as_nanos() as f64 / events as f64
 }
 
 /// Counts allocations across `events` steady-state reactions (after a
 /// warmup long enough to grow every reusable buffer).
 fn alloc_count(prog: &Arc<ceu::CompiledProgram>, event: &str, warmup: u64, events: u64) -> u64 {
+    alloc_count_opts(prog, event, warmup, events, None)
+}
+
+/// [`alloc_count`] with an optional flight recorder attached — warmup
+/// must wrap the ring at least once so the measured window exercises the
+/// overwrite path, not the initial fill.
+fn alloc_count_opts(
+    prog: &Arc<ceu::CompiledProgram>,
+    event: &str,
+    warmup: u64,
+    events: u64,
+    recorder: Option<usize>,
+) -> u64 {
     let (mut m, ev) = boot(prog, event);
+    if let Some(cap) = recorder {
+        attach_recorder(&mut m, cap);
+    }
     for _ in 0..warmup {
         m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
     }
@@ -277,6 +350,18 @@ fn shard_world_wall(horizon_us: u64, threads: usize) -> (u64, wsn_sim::ParStats)
     let t0 = Instant::now();
     w.run_until_parallel(horizon_us, threads);
     (t0.elapsed().as_nanos() as u64, w.take_par_stats().expect("par stats enabled"))
+}
+
+/// The same mesh run bare (no stats, no recorder) or with the flight
+/// recorder on — the two halves of the world `recorder_overhead` row.
+fn shard_world_wall_recorder(horizon_us: u64, threads: usize, capacity: Option<usize>) -> u64 {
+    let mut w = match capacity {
+        Some(cap) => ceu_bench::shard_mesh::build_shard_mesh_world_recorded(cap),
+        None => ceu_bench::shard_mesh::build_shard_mesh_world(false),
+    };
+    let t0 = Instant::now();
+    w.run_until_parallel(horizon_us, threads);
+    t0.elapsed().as_nanos() as u64
 }
 
 fn main() {
@@ -415,9 +500,16 @@ fn main() {
         v.sort_unstable();
         v[v.len() / 2]
     };
-    let wall_off =
-        median((0..overhead_trials).map(|_| world_wall(horizon_us, 2, false).0).collect());
-    let wall_on = median((0..overhead_trials).map(|_| world_wall(horizon_us, 2, true).0).collect());
+    // arms alternate within one pass so clock drift on shared runners
+    // cannot masquerade as instrumentation cost
+    let mut stats_off = Vec::with_capacity(overhead_trials);
+    let mut stats_on = Vec::with_capacity(overhead_trials);
+    for _ in 0..overhead_trials {
+        stats_off.push(world_wall(horizon_us, 2, false).0);
+        stats_on.push(world_wall(horizon_us, 2, true).0);
+    }
+    let wall_off = median(stats_off);
+    let wall_on = median(stats_on);
     let overhead_pct = (wall_on as f64 / wall_off.max(1) as f64 - 1.0) * 100.0;
     println!(
         "stats_overhead    chaos_ring       t=2  off {:.2} ms  on {:.2} ms  {overhead_pct:+.1}%",
@@ -464,6 +556,76 @@ fn main() {
         });
     }
 
+    // the flight recorder's cost: machine flavor (ns/event with a
+    // ring-fed tracer vs bare) and world flavor (shard-mesh wall with
+    // recorder + machine traces vs neither), medians over trials
+    let mut recorder_rows = Vec::new();
+    let expr = Arc::new(Compiler::new().compile(EXPR_HEAVY).expect("workload compiles"));
+    // off/on trials alternate so clock drift cannot masquerade as
+    // recorder cost; medians are taken per arm afterwards
+    let mut off_trials = Vec::with_capacity(trials);
+    let mut on_trials = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        off_trials.push(latency_trial(&expr, "E", events, None));
+        on_trials.push(latency_trial(&expr, "E", events, Some(4096)));
+    }
+    let median_f64 = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let off_ns = median_f64(off_trials);
+    let on_ns = median_f64(on_trials);
+    let machine_pct = (on_ns / off_ns.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "recorder_overhead expr_heavy       machine  off {off_ns:7.1}  on {on_ns:7.1} ns/event  {machine_pct:+.1}%"
+    );
+    recorder_rows.push(RecorderOverheadRow {
+        workload: "expr_heavy",
+        mode: "machine",
+        threads: 1,
+        off_ns: off_ns as u64,
+        on_ns: on_ns as u64,
+        overhead_pct: machine_pct,
+    });
+    shard_world_wall_recorder(horizon_us.min(10_000), 2, Some(1_024)); // warm-up
+    let mut world_off = Vec::with_capacity(overhead_trials);
+    let mut world_on = Vec::with_capacity(overhead_trials);
+    for _ in 0..overhead_trials {
+        world_off.push(shard_world_wall_recorder(horizon_us, 2, None));
+        world_on.push(shard_world_wall_recorder(horizon_us, 2, Some(1_024)));
+    }
+    let rec_off = median(world_off);
+    let rec_on = median(world_on);
+    let world_pct = (rec_on as f64 / rec_off.max(1) as f64 - 1.0) * 100.0;
+    println!(
+        "recorder_overhead shard_mesh       world    off {:7.2}  on {:7.2} ms       {world_pct:+.1}%",
+        rec_off as f64 / 1e6,
+        rec_on as f64 / 1e6
+    );
+    recorder_rows.push(RecorderOverheadRow {
+        workload: "shard_mesh",
+        mode: "world",
+        threads: 2,
+        off_ns: rec_off,
+        on_ns: rec_on,
+        overhead_pct: world_pct,
+    });
+
+    // the recorded hot path is held to the same zero-alloc bar as the
+    // bare one; warmup wraps the ring so the overwrite path is measured
+    let rec_warmup = 2_048;
+    let n = alloc_count_opts(&expr, "E", rec_warmup, events, Some(1_024));
+    println!("alloc_per_event   expr_heavy+rec   opt     {n} allocs / {events} events");
+    alloc_rows.push(AllocRow {
+        workload: "expr_heavy+recorder",
+        opt: true,
+        warmup_events: rec_warmup,
+        measured_events: events,
+        allocs: n,
+        allocs_per_event: n as f64 / events as f64,
+    });
+    assert_eq!(n, 0, "the recorded steady-state reaction path must not allocate");
+
     let report = Report {
         schema: "ceu-bench-regression/v1",
         reaction_latency: latency_rows,
@@ -472,6 +634,7 @@ fn main() {
         world_par: world_rows,
         stats_overhead: overhead_rows,
         world_shard: shard_rows,
+        recorder_overhead: recorder_rows,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out, json.clone() + "\n")

@@ -12,8 +12,14 @@
 //!
 //! Results land as `ceu-chaos/v1` JSONL rows in
 //! `target/experiments/chaos.jsonl`, one row per scenario.
+//!
+//! `--blackbox PATH` re-runs the crash-reboot scenario with a black-box
+//! dump armed: each mote crash snapshots the flight-recorder rings to
+//! PATH as `ceu-blackbox/v1` (render with `ceu-trace blackbox`).
 
-use ceu_bench::chaos::{named_plans, run_chaos_scenario, CHAOS_HORIZON_US, CHAOS_MOTES};
+use ceu_bench::chaos::{
+    crash_reboot_plan, named_plans, run_chaos_scenario, CHAOS_HORIZON_US, CHAOS_MOTES,
+};
 use ceu_bench::out_dir;
 use std::io::Write;
 use wsn_sim::FaultPlan;
@@ -41,10 +47,19 @@ struct ChaosRow {
     /// back to sequential.
     par_utilization: Option<f64>,
     par_dominant_stall: Option<String>,
+    /// Flight-recorder occupancy after the run (records kept / dropped);
+    /// identical across the checked thread counts by construction.
+    ring_records: Option<usize>,
+    ring_dropped: Option<u64>,
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let blackbox = args
+        .iter()
+        .position(|a| a == "--blackbox")
+        .map(|i| args.get(i + 1).expect("--blackbox needs a path").clone());
     let horizon = if quick { 25_000 } else { CHAOS_HORIZON_US };
     let seeds: &[u64] = if quick { &[101] } else { &[101, 202, 303, 404] };
 
@@ -88,6 +103,8 @@ fn main() {
                 .par_stats
                 .as_ref()
                 .map(|s| s.totals.attribution.dominant_stall().0.to_string()),
+            ring_records: o.ring.map(|(live, _, _)| live),
+            ring_dropped: o.ring.map(|(_, _, dropped)| dropped),
         };
         writeln!(file, "{}", serde_json::to_string(&row).expect("serialize chaos row"))
             .expect("write chaos row");
@@ -102,6 +119,19 @@ fn main() {
         scenarios.len(),
         path.display()
     );
+
+    // --blackbox: arm the dump and re-run the crash scenario; every
+    // crash snapshots the rings, the last one's dump survives
+    if let Some(path) = &blackbox {
+        let mut w = ceu_bench::chaos::build_chaos_world(&crash_reboot_plan());
+        w.set_blackbox_out(path);
+        w.run_until(horizon);
+        assert!(
+            std::path::Path::new(path).exists(),
+            "crash-reboot scenario must have produced a black-box dump at {path}"
+        );
+        println!("black-box dump -> {path}");
+    }
 
     // --metrics-out: one combined machine + world + scheduler snapshot
     // from an instrumented crash-reboot run

@@ -10,7 +10,8 @@
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin soak -- \
-//!     [--quick] [--motes N] [--horizon-us T] [--threads T] [--shards S] [--out PATH]
+//!     [--quick] [--motes N] [--horizon-us T] [--threads T] [--shards S] \
+//!     [--out PATH] [--metrics-out PATH] [--blackbox PATH]
 //! ```
 //!
 //! `--quick` is the CI configuration: 50k motes over a short horizon,
@@ -18,6 +19,13 @@
 //! (one `kind:"run"` line, then one `kind:"shard"` line per shard) in
 //! `target/experiments/soak.jsonl` unless `--out` says otherwise; CI
 //! uploads the file as an artifact.
+//!
+//! The run is stepped in slices with a one-line health heartbeat after
+//! each (virtual time, cumulative events/s, RSS, flight-recorder ring
+//! occupancy) — a soak that is quietly dying should say so while it
+//! dies, not after. `--metrics-out` writes the combined machine, world
+//! and scheduler snapshot; `--blackbox` arms a crash dump path (the
+//! recorder itself is always on here).
 
 use ceu_bench::shard_mesh::{mesh_program, MESH_BRIDGE_US, MESH_INTRA_US};
 use std::sync::Arc;
@@ -27,6 +35,14 @@ use wsn_sim::{CeuMote, Radio, World};
 /// Motes per cluster — matches the standard mesh so the per-cluster
 /// event density (and thus window weight) is the one the sweep tunes.
 const CLUSTER_SIZE: usize = 8;
+
+/// Per-shard flight-recorder capacity: small, because at soak scale the
+/// ring is a liveness witness (occupancy in the heartbeat, context in a
+/// crash dump), not an archive.
+const SOAK_RECORDER_CAPACITY: usize = 1_024;
+
+/// How many slices the horizon is cut into: one heartbeat line each.
+const HEARTBEAT_SLICES: u64 = 8;
 
 /// Resident set size in bytes, from `/proc/self/statm` (field 2 is
 /// resident pages). Returns 0 where procfs is unavailable.
@@ -45,6 +61,7 @@ fn main() {
     let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2);
     let mut shards = 0usize; // 0 = derive from the thread count
     let mut out: Option<std::path::PathBuf> = None;
+    let mut blackbox: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,6 +72,11 @@ fn main() {
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()).expect("--threads T"),
             "--shards" => shards = args.next().and_then(|v| v.parse().ok()).expect("--shards S"),
             "--out" => out = Some(args.next().expect("--out PATH").into()),
+            "--metrics-out" => {
+                // consumed later by `write_combined_metrics_out`
+                args.next().expect("--metrics-out PATH");
+            }
+            "--blackbox" => blackbox = Some(args.next().expect("--blackbox PATH")),
             "--quick" => {
                 motes = 50_000;
                 horizon_us = 5_000;
@@ -85,8 +107,19 @@ fn main() {
     let mut w = World::new(radio);
     w.set_target_shards(shards);
     w.enable_par_stats();
+    w.enable_flight_recorder(SOAK_RECORDER_CAPACITY);
+    if let Some(path) = &blackbox {
+        w.set_blackbox_out(path);
+    }
     for id in 0..motes as i64 {
-        w.add_mote(Box::new(CeuMote::from_shared(Arc::clone(&prog), id)));
+        let mut mote = CeuMote::from_shared(Arc::clone(&prog), id);
+        // coarse machine-level tracing feeds the flight recorder; the
+        // buffers are drained into the bounded rings every window, so this
+        // does not grow with the horizon (unlike the world trace, which
+        // the soak deliberately leaves off), and the per-track firehose
+        // never leaves the machine
+        mote.enable_trace_coarse();
+        w.add_mote(Box::new(mote));
     }
     w.boot();
     let build_ns = b0.elapsed().as_nanos() as u64;
@@ -98,8 +131,25 @@ fn main() {
         w.shard_count()
     );
 
+    // Step in slices so health is visible while the soak runs. Par-stats
+    // collection accumulates across calls; the snapshot is taken once at
+    // the end.
     let t0 = Instant::now();
-    w.run_until_parallel(horizon_us, threads);
+    let slice = (horizon_us / HEARTBEAT_SLICES).max(1);
+    let mut next = 0u64;
+    while next < horizon_us {
+        next = (next + slice).min(horizon_us);
+        w.run_until_parallel(next, threads);
+        let so_far = w.par_stats().map_or(0, |s| s.totals.events);
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let (live, cap, dropped) = w.flight_recorder_stats().unwrap_or((0, 0, 0));
+        println!(
+            "heartbeat: t={next}/{horizon_us} µs, {so_far} events ({:.0} events/s), \
+             rss {:.1} MiB, ring {live}/{cap} ({dropped} dropped)",
+            so_far as f64 / elapsed,
+            rss_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
     let wall_ns = t0.elapsed().as_nanos().max(1) as u64;
     let stats = w.take_par_stats().expect("par stats enabled");
     let rss = rss_bytes().max(rss_built);
@@ -147,5 +197,6 @@ fn main() {
         stats.utilization() * 100.0
     );
     println!("soak -> {}", out.display());
+    ceu_bench::write_combined_metrics_out(None, Some(&w), Some(&stats));
     assert!(events > 0, "a soak that fired no events measured nothing");
 }

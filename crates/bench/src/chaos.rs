@@ -33,6 +33,11 @@ pub const CHAOS_MOTES: usize = 6;
 /// Default horizon (µs) for a chaos run.
 pub const CHAOS_HORIZON_US: u64 = 40_000;
 
+/// Per-shard flight-recorder capacity for chaos worlds: the recorder is
+/// always on here — crashes are the whole point of the harness, and the
+/// ring is what the black-box dump snapshots.
+pub const CHAOS_RECORDER_CAPACITY: usize = 1_024;
+
 /// Every mote: relay received counters onto the LEDs, and beacon an own
 /// counter to the next mote in the ring once per millisecond.
 const CHAOS_MOTE_CEU: &str = r#"
@@ -118,6 +123,7 @@ pub fn build_chaos_world_opts(plan: &FaultPlan, trace: bool) -> World {
     if trace {
         w.enable_trace();
     }
+    w.enable_flight_recorder(CHAOS_RECORDER_CAPACITY);
     w.set_reboot_policy(RebootPolicy::After(2_500));
     let prog = ceu::Compiler::new().compile(CHAOS_MOTE_CEU).expect("chaos program compiles");
     for id in 0..CHAOS_MOTES as i64 {
@@ -169,6 +175,9 @@ pub struct ChaosOutcome {
     /// (`ceu-par-stats/v1`, collected with the bit-identity asserts on —
     /// proof that stats collection does not perturb the run).
     pub par_stats: Option<ParStats>,
+    /// Flight-recorder `(live, capacity, dropped)` from the sequential
+    /// run; the parallel runs must (and do) match it exactly.
+    pub ring: Option<(usize, usize, u64)>,
 }
 
 type Snapshot = (Stats, Vec<MoteStats>, Vec<Vec<(u64, u8, bool)>>);
@@ -193,6 +202,7 @@ pub fn run_chaos_scenario(
     let mut seq = build_chaos_world(plan);
     seq.run_until(horizon_us);
     let obs = snapshot(&seq);
+    let records = seq.flight_records();
     let trace = seq.take_trace();
     let mut par_stats: Option<ParStats> = None;
     for &t in threads {
@@ -202,6 +212,7 @@ pub fn run_chaos_scenario(
         par.enable_par_stats();
         par.run_until_parallel(horizon_us, t);
         assert_eq!(obs, snapshot(&par), "{name}: observables diverge at threads={t}");
+        assert_eq!(records, par.flight_records(), "{name}: flight records diverge at threads={t}");
         assert_eq!(trace, par.take_trace(), "{name}: world trace diverges at threads={t}");
         let stats = par.take_par_stats().expect("par stats enabled");
         if !stats.fallback {
@@ -225,5 +236,6 @@ pub fn run_chaos_scenario(
         mote_stats,
         led_last_activity: leds.iter().map(|h| h.last().map(|&(t, _, _)| t).unwrap_or(0)).collect(),
         par_stats,
+        ring: seq.flight_recorder_stats(),
     }
 }

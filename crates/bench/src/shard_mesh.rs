@@ -103,6 +103,28 @@ pub fn build_shard_mesh_world(trace: bool) -> World {
     w
 }
 
+/// [`build_shard_mesh_world`] with the flight recorder on: coarse-masked
+/// machine traces feed the bounded per-shard rings, the unbounded world
+/// trace stays off and the per-track firehose never leaves the machines.
+/// This is the "always-on black box" configuration whose overhead the
+/// `recorder_overhead` regression rows track.
+pub fn build_shard_mesh_world_recorded(capacity: usize) -> World {
+    let mut w = World::new(mesh_radio());
+    w.set_target_shards(MESH_CLUSTERS);
+    w.enable_flight_recorder(capacity);
+    w.set_reboot_policy(RebootPolicy::After(2_500));
+    let prog = Arc::new(
+        ceu::Compiler::new().compile(&mesh_program(MESH_MOTES)).expect("mesh program compiles"),
+    );
+    for id in 0..MESH_MOTES as i64 {
+        let mut mote = CeuMote::from_shared(Arc::clone(&prog), id);
+        mote.enable_trace_coarse();
+        w.add_mote(Box::new(mote));
+    }
+    w.boot();
+    w
+}
+
 /// [`build_shard_mesh_world`] with mote 0 held through a shared handle
 /// and machine metrics on — the `--metrics-out` source for the
 /// world-level sweep.

@@ -20,8 +20,10 @@ use serde_json::Value;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+pub mod blackbox;
 pub mod parstats;
 
+pub use blackbox::{parse_blackbox, render_blackbox, BlackboxDump};
 pub use parstats::{
     par_report, par_stats_perfetto_events, parse_par_stats, render_par_run, ParRun, ParShard,
     ParWindow,
@@ -126,8 +128,13 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, String> {
 }
 
 /// `summary` — shape of the trace: event mix, per-mote reaction counts,
-/// causes, and causal cross-mote links.
-pub fn summary(records: &[Record]) -> String {
+/// causes, and causal cross-mote links. An empty record set is an error,
+/// not an empty report: it almost always means the trace file was never
+/// written (crashed run, wrong path) and deserves a loud answer.
+pub fn summary(records: &[Record]) -> Result<String, String> {
+    if records.is_empty() {
+        return Err("no trace records in input (empty or never-written trace?)".into());
+    }
     let mut kinds: HashMap<String, u64> = HashMap::new();
     let mut causes: HashMap<String, u64> = HashMap::new();
     let mut per_mote: HashMap<usize, u64> = HashMap::new();
@@ -152,9 +159,6 @@ pub fn summary(records: &[Record]) -> String {
     }
     let mut out = String::new();
     let _ = writeln!(out, "events: {}", records.len());
-    if records.is_empty() {
-        return out;
-    }
     let _ = writeln!(out, "span:   {t_min}µs .. {t_max}µs");
     let mut motes: Vec<_> = per_mote.into_iter().collect();
     motes.sort();
@@ -176,7 +180,7 @@ pub fn summary(records: &[Record]) -> String {
             let _ = writeln!(out, "  {n:>8}  {c}");
         }
     }
-    out
+    Ok(out)
 }
 
 /// `hot` — source-attributed execution counts: aggregates `TrackRun`
@@ -503,9 +507,28 @@ mod tests {
 
     #[test]
     fn summary_counts_cross_mote_links() {
-        let s = summary(&parse_jsonl(WORLD).unwrap());
+        let s = summary(&parse_jsonl(WORLD).unwrap()).unwrap();
         assert!(s.contains("causal links: 2 cross-mote"), "{s}");
         assert!(s.contains("mote 0: 2 reactions"), "{s}");
+    }
+
+    #[test]
+    fn summary_errors_on_empty_input() {
+        let err = summary(&[]).unwrap_err();
+        assert!(err.contains("no trace records"), "{err}");
+        let err = summary(&parse_jsonl("\n  \n").unwrap()).unwrap_err();
+        assert!(err.contains("no trace records"), "{err}");
+    }
+
+    #[test]
+    fn truncated_jsonl_is_a_clean_line_error() {
+        // a trace cut off mid-line (killed process) names the bad line
+        let cut = &WORLD.trim_start()[..80];
+        let err = parse_jsonl(cut).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        // par-report on an empty stream is an error, not a panic
+        let err = par_report("").unwrap_err();
+        assert!(err.contains("no ceu-par-stats run records"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! ceu-trace critical-path <trace.jsonl>             longest causal chain
 //! ceu-trace diff          <a.jsonl> <b.jsonl>       first divergence (exit 1)
 //! ceu-trace par-report    <par-stats.jsonl>         stall attribution & speedup
+//! ceu-trace blackbox      <dump.jsonl>              crash black-box triage page
+//!                         [--src F] [--last N]      + source attribution, window cap
 //! ```
 //!
 //! Inputs are the stable JSONL formats written by `ceuc run
@@ -29,9 +31,10 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: ceu-trace <summary|hot|to-perfetto|critical-path|diff|par-report> \
-                     <trace.jsonl> [<b.jsonl>] [--src FILE.ceu] [--top N] [-o OUT] \
-                     [--par-stats STATS.jsonl]";
+const USAGE: &str =
+    "usage: ceu-trace <summary|hot|to-perfetto|critical-path|diff|par-report|blackbox> \
+     <trace.jsonl> [<b.jsonl>] [--src FILE.ceu] [--top N] [-o OUT] \
+     [--par-stats STATS.jsonl] [--last N]";
 
 fn read_input(path: &str) -> Result<String, String> {
     if path == "-" {
@@ -49,10 +52,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut out: Option<String> = None;
     let mut par_stats: Option<String> = None;
     let mut top = 10usize;
+    let mut last = 12usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--src" => src = Some(it.next().ok_or("--src needs a path")?.clone()),
+            "--last" => {
+                last = it
+                    .next()
+                    .ok_or("--last needs a number")?
+                    .parse()
+                    .map_err(|_| "--last: bad number")?;
+            }
             "-o" | "--out" => out = Some(it.next().ok_or("-o needs a path")?.clone()),
             "--par-stats" => {
                 par_stats = Some(it.next().ok_or("--par-stats needs a path")?.clone());
@@ -76,7 +87,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     match cmd {
         "summary" => {
             let records = ceu_trace::parse_jsonl(&read_input(trace_path)?)?;
-            print!("{}", ceu_trace::summary(&records));
+            print!("{}", ceu_trace::summary(&records)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "blackbox" => {
+            let source = match &src {
+                Some(p) => {
+                    Some(std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?)
+                }
+                None => None,
+            };
+            let dump = ceu_trace::parse_blackbox(&read_input(trace_path)?)?;
+            print!("{}", ceu_trace::render_blackbox(&dump, source.as_deref(), last));
             Ok(ExitCode::SUCCESS)
         }
         "hot" => {

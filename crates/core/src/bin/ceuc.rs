@@ -28,6 +28,10 @@
 //! --max-reaction-us N  watchdog: abort reactions over N µs wall time
 //! --max-tracks N       watchdog: abort reactions over N tracks
 //! --faults PLAN        inject faults from a plan file (see below)
+//! --blackbox PATH      always-on flight recorder: bounded ring of the
+//!                      last reactions; if the machine crashes, a
+//!                      `ceu-blackbox/v1` JSONL dump lands at PATH
+//!                      (render it with `ceu-trace blackbox`)
 //! ```
 //!
 //! Run scripts are plain text, one directive per line:
@@ -59,10 +63,11 @@
 //! Exit codes: `0` ok, `1` usage/compile/script error, `2` the program
 //! ended powered off (crashed and never rebooted).
 
-use ceu::runtime::telemetry::TraceFormat;
-use ceu::runtime::{NullHost, Value};
+use ceu::runtime::telemetry::{json_string, TraceFormat};
+use ceu::runtime::{FlightRecorder, NullHost, TraceEvent, TraceMask, Value};
 use ceu::{Compiler, Simulator};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,6 +101,9 @@ struct RunOpts {
     /// Path to a fault plan (`--faults`); single-machine subset of the
     /// wsn-sim grammar (crash / reboot of mote 0).
     faults: Option<String>,
+    /// Flight recorder: if the run ends crashed (or ever crashed), a
+    /// `ceu-blackbox/v1` dump of the last reactions lands here.
+    blackbox: Option<String>,
 }
 
 /// Splits `--flag`-style options out of argv (valid anywhere), leaving
@@ -134,6 +142,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
                 let path = it.next().ok_or("--faults needs a path")?;
                 opts.faults = Some(path.clone());
             }
+            "--blackbox" => {
+                let path = it.next().ok_or("--blackbox needs a path")?;
+                opts.blackbox = Some(path.clone());
+            }
             other if other.starts_with("--trace=") => {
                 let fmt = &other["--trace=".len()..];
                 opts.trace = Some(fmt.parse()?);
@@ -152,7 +164,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN] [--blackbox PATH]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -287,6 +299,83 @@ fn note_crash(crashed: &mut Option<(u64, String)>, at: u64, cause: String) {
     *crashed = Some((at, cause));
 }
 
+/// Ring capacity of the `--blackbox` machine flight recorder. Sized like
+/// the per-shard default in the simulator: a few hundred reactions of
+/// context around a crash without measurable steady-state cost.
+const BLACKBOX_CAPACITY: usize = 4096;
+
+/// Machine-level flight-recorder state behind the tee tracer: the ring
+/// plus the running virtual clock and sequence number the wire format
+/// needs (a bare machine has no world to stamp records for it).
+struct BlackBox {
+    rec: FlightRecorder,
+    now_us: u64,
+    seq: u64,
+}
+
+impl BlackBox {
+    fn new(capacity: usize) -> Self {
+        BlackBox { rec: FlightRecorder::new(capacity), now_us: 0, seq: 0 }
+    }
+
+    /// Stamps and records one trace event. The clock rides along on
+    /// reaction boundaries; everything between two boundaries shares the
+    /// enclosing reaction's time, exactly like the world trace.
+    fn record(&mut self, e: &TraceEvent) {
+        if let TraceEvent::ReactionStart { now_us, .. } | TraceEvent::ReactionEnd { now_us, .. } = e
+        {
+            self.now_us = *now_us;
+        }
+        self.seq += 1;
+        self.rec.record(self.now_us, 0, self.seq, e);
+    }
+}
+
+/// Writes a `ceu-blackbox/v1` dump for a single-machine run: the same
+/// self-describing shape the simulator emits (header, stat lines, then
+/// ring records in world-trace wire format), with `shards: 0` marking
+/// the machine flavor.
+fn write_blackbox_dump(
+    path: &str,
+    bb: &BlackBox,
+    at: u64,
+    cause: &str,
+    boots: u32,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let rec = &bb.rec;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"ceu-blackbox/v1\",\"reason\":\"machine-crashed\",\"t_us\":{at},\
+         \"mote\":0,\"crash_us\":{at},\"cause\":{},\"motes\":1,\"shards\":0,\
+         \"ring_capacity\":{},\"ring_records\":{},\"ring_dropped\":{}}}",
+        json_string(cause),
+        rec.capacity(),
+        rec.len(),
+        rec.dropped()
+    );
+    let _ = writeln!(
+        out,
+        "{{\"blackbox\":\"machine\",\"boots\":{boots},\"ring_len\":{},\"ring_dropped\":{},\
+         \"ring_recorded\":{}}}",
+        rec.len(),
+        rec.dropped(),
+        rec.recorded()
+    );
+    for r in rec.iter() {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn exec_script(
     p: ceu::CompiledProgram,
     src: &str,
@@ -320,7 +409,7 @@ fn exec_script(
     let mut sim = Simulator::from_arc(arc.clone(), NullHost);
     configure(&mut sim);
 
-    let sink = match opts.trace {
+    let (sink, fmt_tracer) = match opts.trace {
         Some(fmt) => {
             let out: Box<dyn std::io::Write + Send> = match &opts.trace_out {
                 Some(path) => Box::new(std::io::BufWriter::new(
@@ -330,17 +419,42 @@ fn exec_script(
                 None => Box::new(std::io::stderr()),
             };
             let (sink, tracer) = fmt.build(out);
-            sim.set_tracer(tracer);
-            Some(sink)
+            (Some(sink), Some(tracer))
         }
-        None => None,
+        None => (None, None),
     };
+    // The machine has one tracer slot; `--blackbox` installs a tee that
+    // feeds the flight recorder and forwards to the format sink (if any).
+    let blackbox: Option<Arc<Mutex<BlackBox>>> =
+        opts.blackbox.as_ref().map(|_| Arc::new(Mutex::new(BlackBox::new(BLACKBOX_CAPACITY))));
+    match (&blackbox, fmt_tracer) {
+        (Some(bb), mut inner) => {
+            let recorder_only = inner.is_none();
+            let bb = Arc::clone(bb);
+            sim.set_tracer(Box::new(move |e| {
+                bb.lock().unwrap().record(e);
+                if let Some(t) = inner.as_mut() {
+                    t(e);
+                }
+            }));
+            // with no --trace sink, run at recorder granularity: the
+            // per-track firehose and host-clock samples are pure overhead
+            if recorder_only {
+                sim.machine_mut().set_trace_mask(TraceMask::Coarse);
+            }
+        }
+        (None, Some(t)) => sim.set_tracer(t),
+        (None, None) => {}
+    }
 
     // Degradation state. `clock` is the script's virtual time — it keeps
     // advancing while the machine is down so a scheduled reboot lands at
     // the right moment.
     let mut clock = 0u64;
     let mut crashed: Option<(u64, String)> = None;
+    // the first crash of the run, kept even if a reboot clears `crashed`:
+    // the black box documents it either way
+    let mut first_crash: Option<(u64, String)> = None;
     let mut revive_at: Option<u64> = None;
     let mut boots = 1u32;
     let mut fault_idx = 0usize;
@@ -406,7 +520,9 @@ fn exec_script(
                                 return Err(e.to_string());
                             }
                             sim = fresh;
-                            crashed = None;
+                            if let Some(c) = crashed.take() {
+                                first_crash.get_or_insert(c);
+                            }
                             boots += 1;
                             eprintln!("ceuc: machine rebooted at {at}us (boot #{boots})");
                             if let Err(e) = sim.start() {
@@ -500,6 +616,12 @@ fn exec_script(
                 );
             }
             None => eprintln!("ceuc: profile unavailable (machine never booted cleanly)"),
+        }
+    }
+    if let (Some(path), Some(bb)) = (&opts.blackbox, &blackbox) {
+        if let Some((at, cause)) = crashed.as_ref().or(first_crash.as_ref()) {
+            write_blackbox_dump(path, &bb.lock().unwrap(), *at, cause, boots)?;
+            eprintln!("ceuc: black-box dump written to {path}");
         }
     }
     if let Some((at, cause)) = &crashed {

@@ -16,8 +16,9 @@ pub use error::{Result, RuntimeError};
 pub use host::{Host, HostResult, NullHost, RecordingHost};
 pub use machine::{Machine, Status};
 pub use telemetry::{
-    render_hot_statements, BlockProfile, ChromeTraceSink, Histogram, JsonLinesSink, Metrics,
-    ReactionSpan, SpanCollector, TextSink, TraceFormat, TraceSink,
+    render_hot_statements, BlockProfile, ChromeTraceSink, FlightRecord, FlightRecorder, Histogram,
+    JsonLinesSink, Metrics, ReactionSpan, SpanCollector, TextSink, TraceFormat, TraceSink,
+    WindowMark,
 };
-pub use trace::{Cause, Collector, CrashKind, ReactionId, TraceEvent, Tracer};
+pub use trace::{Cause, Collector, CrashKind, ReactionId, TraceEvent, TraceMask, Tracer};
 pub use value::{Ptr, Value};

@@ -373,6 +373,14 @@ impl JsonObj {
     }
 }
 
+/// Escapes `s` as a JSON string literal, quotes included (for callers
+/// assembling JSON by hand, e.g. black-box dump writers).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
 fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -879,6 +887,215 @@ impl TraceFormat {
     }
 }
 
+// ---- flight recorder -------------------------------------------------------
+
+/// One flight-recorder entry: a trace event stamped with the virtual
+/// clock and the mote it happened on. Wire shape (`to_json`) matches the
+/// world trace's JSONL lines, so every `ceu-trace` reader understands it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlightRecord {
+    /// Virtual clock (µs) when the event was recorded.
+    pub t_us: u64,
+    pub mote: usize,
+    /// Per-mote trace sequence number (canonical tie-break within a µs).
+    pub seq: u64,
+    /// The event, wall-clock-normalized (see [`TraceEvent::normalized`]).
+    pub event: TraceEvent,
+}
+
+impl FlightRecord {
+    /// Same JSON shape as a world-trace line:
+    /// `{"t_us":…,"mote":…,"seq":…,"ev":{…}}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_us\":{},\"mote\":{},\"seq\":{},\"ev\":{}}}",
+            self.t_us,
+            self.mote,
+            self.seq,
+            event_to_json(&self.event)
+        )
+    }
+}
+
+/// One scheduler window, as seen by the shard that ran it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowMark {
+    /// Window bounds (virtual µs, half-open `[start, end)`).
+    pub start_us: u64,
+    pub end_us: u64,
+    /// Events the shard processed inside the window.
+    pub events: u64,
+}
+
+/// Fixed-capacity ring: `push` past capacity overwrites oldest-first and
+/// bumps `dropped`. Never allocates after construction.
+struct Ring<T> {
+    buf: Vec<T>,
+    /// Index of the oldest live element.
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl<T: Copy> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        Ring { buf: Vec::with_capacity(capacity), head: 0, len: 0, dropped: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, v: T) {
+        let cap = self.buf.capacity();
+        // index arithmetic avoids `%` — a runtime-divisor divide would be
+        // the single most expensive instruction on this path
+        if cap == 0 {
+            self.dropped += 1;
+        } else if self.len < cap {
+            let idx = self.head + self.len;
+            let idx = if idx >= cap { idx - cap } else { idx };
+            if idx == self.buf.len() {
+                self.buf.push(v); // cold path: first fill only
+            } else {
+                self.buf[idx] = v;
+            }
+            self.len += 1;
+        } else {
+            self.buf[self.head] = v;
+            self.head += 1;
+            if self.head == cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Live elements, oldest first.
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        let (head, len) = (self.head, self.len);
+        (0..len).map(move |i| &self.buf[(head + i) % self.buf.capacity().max(1)])
+    }
+
+    /// Empties the ring; `dropped` stays monotonic across clears.
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Always-on, bounded-memory flight recorder: the last `capacity`
+/// interesting trace events (reaction boundaries, emissions, watchdog
+/// trips, crashes/reboots — per-track/gate detail is filtered out) plus
+/// a small out-of-band ring of scheduler [`WindowMark`]s. Steady-state
+/// recording is allocation-free and O(1) per event; overflow drops
+/// oldest-first behind a monotonic [`dropped`](FlightRecorder::dropped)
+/// counter. In the sharded simulator each shard owns one, so recording
+/// never crosses a shard boundary.
+pub struct FlightRecorder {
+    ring: Ring<FlightRecord>,
+    marks: Ring<WindowMark>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// Capacity of the window-marks ring (windows are coarse — a handful
+    /// per shard per run segment — so a small fixed ring suffices).
+    pub const WINDOW_MARKS: usize = 64;
+
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Ring::new(capacity),
+            marks: Ring::new(Self::WINDOW_MARKS),
+            recorded: 0,
+        }
+    }
+
+    /// The recording filter: reaction begin/end, emissions, discards,
+    /// faults, watchdog trips, termination, crash/reboot — everything a
+    /// post-mortem needs; per-track and per-gate detail is too fine for
+    /// a bounded ring and is skipped. Identical to
+    /// [`TraceEvent::is_coarse`], so a machine running under
+    /// `TraceMask::Coarse` emits exactly the recorded set.
+    #[inline]
+    pub fn wants(e: &TraceEvent) -> bool {
+        e.is_coarse()
+    }
+
+    /// Records one event (if [`wants`](Self::wants) accepts it),
+    /// wall-clock-normalized so recorded content is reproducible.
+    /// `#[inline]`: callers live in other crates (simulator, CLIs) and the
+    /// body is two branches and a copy — an opaque call would cost more
+    /// than the recording.
+    #[inline]
+    pub fn record(&mut self, t_us: u64, mote: usize, seq: u64, event: &TraceEvent) {
+        if !Self::wants(event) {
+            return;
+        }
+        self.recorded += 1;
+        self.ring.push(FlightRecord { t_us, mote, seq, event: event.normalized() });
+    }
+
+    /// Re-inserts an already-built record verbatim (ring migration on
+    /// resharding; bypasses the filter — the source ring already applied it).
+    pub fn record_raw(&mut self, r: FlightRecord) {
+        self.recorded += 1;
+        self.ring.push(r);
+    }
+
+    /// Records a scheduler window mark (kept out of the event ring so
+    /// parallel-only marks never perturb seq-vs-par event content).
+    pub fn record_window(&mut self, start_us: u64, end_us: u64, events: u64) {
+        self.marks.push(WindowMark { start_us, end_us, events });
+    }
+
+    /// Live records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FlightRecord> {
+        self.ring.iter()
+    }
+
+    /// Live window marks, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowMark> {
+        self.marks.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.ring.buf.capacity()
+    }
+
+    /// Events accepted by the filter over the recorder's lifetime
+    /// (monotonic; `recorded - dropped` are still in the ring).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted oldest-first on overflow (monotonic).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped
+    }
+
+    /// Ring fill fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.ring.len as f64 / cap as f64
+        }
+    }
+
+    /// Empties both rings; the monotonic counters are preserved.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.marks.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1004,5 +1221,109 @@ mod tests {
         assert_eq!("perfetto".parse::<TraceFormat>().unwrap(), TraceFormat::Chrome);
         assert_eq!("text".parse::<TraceFormat>().unwrap(), TraceFormat::Text);
         assert!("yaml".parse::<TraceFormat>().is_err());
+    }
+
+    fn emit_at(t: u64) -> TraceEvent {
+        TraceEvent::EmitInt { event: EventId(t as u16), depth: 0 }
+    }
+
+    #[test]
+    fn flight_recorder_wraps_oldest_first_with_monotonic_dropped() {
+        let mut r = FlightRecorder::new(4);
+        for t in 0..10u64 {
+            r.record(t, 0, t, &emit_at(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6, "10 recorded into 4 slots drops 6");
+        let kept: Vec<u64> = r.iter().map(|rec| rec.t_us).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest dropped first, order preserved");
+        // dropped never resets, even across clear
+        r.clear();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 6);
+        r.record(42, 1, 0, &emit_at(42));
+        assert_eq!(r.iter().map(|rec| rec.t_us).collect::<Vec<_>>(), vec![42]);
+        for t in 100..110u64 {
+            r.record(t, 1, t, &emit_at(t));
+        }
+        assert_eq!(r.dropped(), 6 + 7, "dropped stays monotonic after reuse");
+    }
+
+    #[test]
+    fn flight_recorder_filters_fine_grained_events() {
+        let mut r = FlightRecorder::new(8);
+        r.record(1, 0, 1, &TraceEvent::TrackRun { block: 3, rank: 0 });
+        r.record(1, 0, 2, &TraceEvent::GateArmed { gate: 1 });
+        r.record(1, 0, 3, &TraceEvent::GateFired { gate: 1 });
+        r.record(1, 0, 4, &TraceEvent::AsyncSlice { async_id: 0 });
+        assert_eq!(r.len(), 0, "per-track/gate detail is filtered");
+        assert_eq!(r.recorded(), 0);
+        r.record(2, 0, 5, &emit_at(2));
+        r.record(
+            2,
+            0,
+            6,
+            &TraceEvent::ReactionEnd {
+                now_us: 2,
+                wall_ns: 999, // normalized away below
+                tracks: 1,
+                emits: 1,
+                gates_fired: 0,
+                gates_armed: 0,
+                queue_peak: 1,
+                emit_depth_max: 0,
+            },
+        );
+        assert_eq!(r.len(), 2);
+        let end = r.iter().nth(1).unwrap();
+        match end.event {
+            TraceEvent::ReactionEnd { wall_ns, .. } => {
+                assert_eq!(wall_ns, 0, "records are wall-clock-normalized")
+            }
+            ref other => panic!("expected ReactionEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flight_recorder_window_marks_are_bounded_and_separate() {
+        let mut r = FlightRecorder::new(2);
+        for w in 0..(FlightRecorder::WINDOW_MARKS as u64 + 5) {
+            r.record_window(w * 100, (w + 1) * 100, w);
+        }
+        assert_eq!(r.windows().count(), FlightRecorder::WINDOW_MARKS);
+        assert_eq!(r.windows().next().unwrap().events, 5, "oldest marks evicted first");
+        assert_eq!(r.len(), 0, "marks never occupy event slots");
+        assert_eq!(r.dropped(), 0, "mark overflow is not an event drop");
+    }
+
+    #[test]
+    fn flight_record_json_matches_world_trace_shape() {
+        let rec = FlightRecord {
+            t_us: 7,
+            mote: 3,
+            seq: 9,
+            event: TraceEvent::EmitInt { event: EventId(2), depth: 1 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t_us":7,"mote":3,"seq":9,"ev":{"ev":"EmitInt","event":2,"depth":1}}"#
+        );
+    }
+
+    #[test]
+    fn zero_capacity_recorder_counts_everything_as_dropped() {
+        let mut r = FlightRecorder::new(0);
+        r.record(1, 0, 1, &emit_at(1));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
     }
 }

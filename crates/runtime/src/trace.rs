@@ -219,10 +219,27 @@ impl TraceEvent {
         }
     }
 
+    /// `true` for the coarse, reaction-granularity events — everything
+    /// except the per-track / per-gate firehose (`TrackRun`, `GateArmed`,
+    /// `GateFired`, `AsyncSlice`). This is exactly the set the flight
+    /// recorder keeps; [`Machine::set_trace_mask`](crate::Machine::set_trace_mask)
+    /// with [`TraceMask::Coarse`] suppresses the rest at the source.
+    #[inline]
+    pub fn is_coarse(&self) -> bool {
+        !matches!(
+            self,
+            TraceEvent::TrackRun { .. }
+                | TraceEvent::GateArmed { .. }
+                | TraceEvent::GateFired { .. }
+                | TraceEvent::AsyncSlice { .. }
+        )
+    }
+
     /// The same event with its host-clock (`wall_ns`) fields zeroed — the
     /// only nondeterministic fields in a trace. Deterministic comparison
     /// paths (world traces, differential tests, `ceu-trace diff`) compare
     /// normalised events.
+    #[inline]
     pub fn normalized(&self) -> TraceEvent {
         let mut e = *self;
         match &mut e {
@@ -237,6 +254,23 @@ impl TraceEvent {
 
 /// Trace sink. `Send` so a traced machine can move across threads.
 pub type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
+
+/// How much of the event stream a machine's tracer receives.
+///
+/// `Full` is the debugging default: every event, including the per-track
+/// firehose, with real `wall_ns` stamps. `Coarse` is the always-on
+/// flight-recorder configuration: only [`TraceEvent::is_coarse`] events
+/// are dispatched, and — when neither metrics, a watchdog budget, nor
+/// profiling need the host clock — the per-reaction `Instant` samples are
+/// skipped too (`wall_ns` is 0, which the recorder normalizes away
+/// anyway). This is what keeps the recorder's steady-state overhead in
+/// the low single digits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceMask {
+    #[default]
+    Full,
+    Coarse,
+}
 
 /// A buffering trace collector: owns a shared buffer and hands out
 /// tracers that append to it. Clone-cheap (the buffer is shared), so a
@@ -274,6 +308,13 @@ impl Collector {
     /// Drains the buffer, returning everything collected so far.
     pub fn drain(&self) -> Vec<TraceEvent> {
         std::mem::take(&mut *self.buf.lock().unwrap())
+    }
+
+    /// Drains the buffer into `out`, preserving both buffers' capacity —
+    /// the allocation-free path for per-callback draining (the returning
+    /// [`drain`](Self::drain) would free and re-grow a `Vec` every call).
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.buf.lock().unwrap());
     }
 }
 

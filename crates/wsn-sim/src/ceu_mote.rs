@@ -13,7 +13,7 @@
 use crate::radio::Packet;
 use crate::world::{Backend, CrashCause, MoteCtx};
 use ceu::ast::EventId;
-use ceu::runtime::{Collector, Host, HostResult, Machine, Ptr, RuntimeError, Value};
+use ceu::runtime::{Host, HostResult, Machine, Ptr, RuntimeError, TraceMask, Value};
 use ceu::CompiledProgram;
 use std::collections::HashMap;
 
@@ -168,9 +168,11 @@ pub struct CeuMote {
     /// the moment a callback arrived (how stale the mote's view of time
     /// was, before the pre-reaction `go_time` resync).
     max_clock_lag_us: u64,
-    /// Buffers the machine's trace between callbacks; drained into
-    /// [`MoteCtx::vm_events`] so the world can merge a unified trace.
-    trace: Option<Collector>,
+    /// Whether the machine's event buffer is on; its contents are drained
+    /// into [`MoteCtx::vm_events`] so the world can merge a unified trace.
+    trace: bool,
+    /// Remembered trace mask, re-armed on reboot alongside the buffer.
+    trace_mask: TraceMask,
     /// Remembered watchdog limits, re-armed on reboot.
     reaction_limits: Option<(Option<u64>, Option<u32>)>,
 }
@@ -196,7 +198,8 @@ impl CeuMote {
             radio_evt,
             async_per_slice: 8,
             max_clock_lag_us: 0,
-            trace: None,
+            trace: false,
+            trace_mask: TraceMask::Full,
             reaction_limits: None,
         }
     }
@@ -205,10 +208,25 @@ impl CeuMote {
     /// surfaced to the world's unified trace (enable the world side with
     /// `World::enable_trace`).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            let col = Collector::new();
-            self.machine.set_tracer(col.tracer());
-            self.trace = Some(col);
+        self.enable_trace_masked(TraceMask::Full);
+    }
+
+    /// [`enable_trace`](Self::enable_trace) at reaction granularity only:
+    /// the per-track / per-gate firehose never leaves the machine, and the
+    /// per-reaction host-clock samples are skipped. This is the always-on
+    /// flight-recorder configuration — the buffer carries exactly the
+    /// events the world's per-shard rings keep, at low single-digit
+    /// overhead instead of full-trace cost.
+    pub fn enable_trace_coarse(&mut self) {
+        self.enable_trace_masked(TraceMask::Coarse);
+    }
+
+    fn enable_trace_masked(&mut self, mask: TraceMask) {
+        if !self.trace {
+            self.machine.enable_event_buffer();
+            self.machine.set_trace_mask(mask);
+            self.trace_mask = mask;
+            self.trace = true;
         }
     }
 
@@ -274,9 +292,7 @@ impl CeuMote {
         // drain the machine-side buffer so it never grows across a run
         self.machine.drain_outputs(|_, _| {});
         ctx.wants_cpu = self.machine.has_runnable_async();
-        if let Some(col) = &self.trace {
-            ctx.vm_events.extend(col.drain());
-        }
+        self.machine.drain_events_into(ctx.vm_events);
     }
 
     /// A machine error crashes the *mote*, not the process: the failing
@@ -287,9 +303,7 @@ impl CeuMote {
         self.host.led_ops.clear();
         self.host.outbox.clear();
         self.machine.drain_outputs(|_, _| {});
-        if let Some(col) = &self.trace {
-            ctx.vm_events.extend(col.drain());
-        }
+        self.machine.drain_events_into(ctx.vm_events);
         ctx.fail(CrashCause::from_error(e));
     }
 }
@@ -351,14 +365,15 @@ impl Backend for CeuMote {
     fn reboot(&mut self, ctx: &mut MoteCtx) {
         let mut machine = Machine::from_arc(self.machine.program_arc());
         machine.set_trace_mote(self.node_id as u32);
-        if self.machine.metrics().is_some() {
+        if self.machine.metrics_enabled() {
             machine.enable_metrics();
         }
         if let Some((max_us, max_tracks)) = self.reaction_limits {
             machine.set_reaction_limits(max_us, max_tracks);
         }
-        if let Some(col) = &self.trace {
-            machine.set_tracer(col.tracer());
+        if self.trace {
+            machine.enable_event_buffer();
+            machine.set_trace_mask(self.trace_mask);
         }
         self.radio_evt = machine.event_id("Radio_receive");
         self.machine = machine;

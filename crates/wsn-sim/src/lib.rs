@@ -21,6 +21,7 @@ pub mod sched;
 pub mod shard;
 pub mod world;
 
+pub use ceu::runtime::{FlightRecord, FlightRecorder, WindowMark};
 pub use ceu_mote::{CeuMote, TosHost};
 pub use faults::{FaultAction, FaultEntry, FaultPlan, RebootPolicy};
 pub use mantis::{

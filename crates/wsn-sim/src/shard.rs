@@ -33,7 +33,7 @@ use crate::world::{
     order_key, panic_message, skewed, unskew, Backend, Fire, Leds, MoteCtx, MoteId, MoteStats,
     MoteStatus, WorldTraceEvent,
 };
-use ceu::runtime::TraceEvent;
+use ceu::runtime::{FlightRecorder, TraceEvent};
 
 /// Default shard-count target for [`ShardPlan::from_radio`] (the world's
 /// `set_target_shards` overrides it). Eight keeps a handful of shards per
@@ -294,6 +294,19 @@ pub(crate) struct Shard {
     /// `true` in `down` — tells the world the snapshot needs one more
     /// refresh even after the radio's down set empties out.
     pub has_down: bool,
+    /// Always-on flight recorder (None = off). Shard-owned so recording
+    /// never crosses a shard boundary: it travels with the shard when a
+    /// worker checks it out, and it consumes exactly the shard's slice of
+    /// the canonical trace stream — which is what keeps recorded content
+    /// bit-identical between the sequential and parallel steppers.
+    pub recorder: Option<FlightRecorder>,
+    /// Whether the world keeps a unified trace: when `false`, windows skip
+    /// building [`WorldTraceEvent`]s the merge would only drop (a recorder
+    /// can still be live — it consumes the stream shard-locally).
+    pub trace_on: bool,
+    /// Persistent per-callback VM-event scratch, lent to each [`MoteCtx`]
+    /// and drained in place — steady-state tracing allocates nothing here.
+    pub vm_scratch: Vec<TraceEvent>,
     /// Scratch: per-mote send-emission counter, reset each window.
     send_idx: Vec<u32>,
 }
@@ -342,6 +355,9 @@ impl Shard {
             leds: Vec::with_capacity(n),
             down: Vec::with_capacity(n),
             has_down: false,
+            recorder: None,
+            trace_on: false,
+            vm_scratch: Vec::new(),
             send_idx: Vec::new(),
         }
     }
@@ -422,6 +438,7 @@ impl Shard {
         };
         self.send_idx.clear();
         self.send_idx.resize(self.n(), 0);
+        let window_start = self.heap.peek_key().map(|(at, _)| at);
         let mut seq = seq_base;
         while let Some((at, _)) = self.heap.peek_key() {
             if at >= run_end {
@@ -476,7 +493,12 @@ impl Shard {
                 }
                 Fire::Fault { .. } | Fire::Reboot { .. } => unreachable!(),
             };
-            let mut ctx = MoteCtx::new(mote, skewed(now, self.skew_ppm[l]), &mut self.leds[l]);
+            let mut ctx = MoteCtx::new(
+                mote,
+                skewed(now, self.skew_ppm[l]),
+                &mut self.leds[l],
+                &mut self.vm_scratch,
+            );
             let backend = self.backends[l].as_mut();
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cb {
                 Cb::Deliver(p) => backend.deliver(&mut ctx, p),
@@ -492,34 +514,50 @@ impl Shard {
             let outbox = std::mem::take(&mut ctx.outbox);
             let timer_request = ctx.timer_request;
             let wants_cpu = ctx.wants_cpu;
-            let vm_events = std::mem::take(&mut ctx.vm_events);
             let failure = ctx.take_failure();
             drop(ctx);
-            for event in vm_events {
-                self.trace_seq[l] += 1;
-                out.trace.push(WorldTraceEvent {
-                    world_time_us: now,
-                    mote,
-                    seq: self.trace_seq[l],
-                    event: event.normalized(),
-                });
+            if self.trace_on || self.recorder.is_some() {
+                for event in &self.vm_scratch {
+                    self.trace_seq[l] += 1;
+                    if let Some(rec) = &mut self.recorder {
+                        rec.record(now, mote, self.trace_seq[l], event);
+                    }
+                    if self.trace_on {
+                        out.trace.push(WorldTraceEvent {
+                            world_time_us: now,
+                            mote,
+                            seq: self.trace_seq[l],
+                            event: event.normalized(),
+                        });
+                    }
+                }
+            } else {
+                // mirror the sequential stepper: the counter advances even
+                // with no consumer, so enabling one later stays bit-stable
+                self.trace_seq[l] += self.vm_scratch.len() as u64;
             }
+            self.vm_scratch.clear();
             if let Some(cause) = failure {
                 // mirror of World::crash_mote, minus the shared state
                 // (radio down + reboot scheduling), which the merge applies
                 // at this exact point of the (time, mote, emission) sweep
                 self.trace_seq[l] += 1;
-                out.trace.push(WorldTraceEvent {
-                    world_time_us: now,
-                    mote,
-                    seq: self.trace_seq[l],
-                    event: TraceEvent::MoteCrashed {
-                        kind: cause.kind,
-                        line: cause.span.line,
-                        col: cause.span.col,
-                    }
-                    .normalized(),
-                });
+                let crashed = TraceEvent::MoteCrashed {
+                    kind: cause.kind,
+                    line: cause.span.line,
+                    col: cause.span.col,
+                };
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(now, mote, self.trace_seq[l], &crashed);
+                }
+                if self.trace_on {
+                    out.trace.push(WorldTraceEvent {
+                        world_time_us: now,
+                        mote,
+                        seq: self.trace_seq[l],
+                        event: crashed.normalized(),
+                    });
+                }
                 self.status[l] = MoteStatus::Crashed { at: now, cause };
                 self.crashes[l] += 1;
                 self.stats[l].crashes += 1;
@@ -554,6 +592,11 @@ impl Shard {
             }
         }
         out.seq_used = seq;
+        if out.events > 0 {
+            if let (Some(rec), Some(start)) = (&mut self.recorder, window_start) {
+                rec.record_window(start, run_end, out.events);
+            }
+        }
         out
     }
 }

@@ -21,7 +21,9 @@ use crate::radio::{Packet, Radio};
 use crate::sched::EventHeap;
 use crate::shard::{Shard, ShardPlan, DEFAULT_TARGET_SHARDS};
 use ceu::ast::Span;
-use ceu::runtime::{CrashKind, RuntimeError, TraceEvent};
+use ceu::runtime::telemetry::json_string;
+use ceu::runtime::{CrashKind, FlightRecord, FlightRecorder, RuntimeError, TraceEvent};
+use std::path::{Path, PathBuf};
 
 /// Node id within a network.
 pub type MoteId = usize;
@@ -242,8 +244,10 @@ pub struct MoteCtx<'w> {
     pub wants_cpu: bool,
     /// Machine-level trace events produced during this callback; drained
     /// into the unified world trace (see [`WorldTraceEvent`]) after the
-    /// callback returns. Backends that don't trace leave it empty.
-    pub vm_events: Vec<TraceEvent>,
+    /// callback returns. Backends that don't trace leave it empty. Borrows
+    /// the owning shard's persistent scratch buffer, so per-callback
+    /// draining is allocation-free in steady state.
+    pub vm_events: &'w mut Vec<TraceEvent>,
     /// Set via [`MoteCtx::fail`]: the backend's machine failed and the
     /// mote should crash instead of aborting the process.
     failure: Option<CrashCause>,
@@ -252,7 +256,12 @@ pub struct MoteCtx<'w> {
 impl<'w> MoteCtx<'w> {
     /// A fresh context for one callback (shared by the sequential stepper
     /// and the shard workers, so effect handling stays identical).
-    pub(crate) fn new(id: MoteId, now: u64, leds: &'w mut Leds) -> MoteCtx<'w> {
+    pub(crate) fn new(
+        id: MoteId,
+        now: u64,
+        leds: &'w mut Leds,
+        vm_events: &'w mut Vec<TraceEvent>,
+    ) -> MoteCtx<'w> {
         MoteCtx {
             id,
             now,
@@ -260,7 +269,7 @@ impl<'w> MoteCtx<'w> {
             outbox: Vec::new(),
             timer_request: None,
             wants_cpu: false,
-            vm_events: Vec::new(),
+            vm_events,
             failure: None,
         }
     }
@@ -453,6 +462,15 @@ pub struct World {
     /// [`World::enable_par_stats`]. `None` costs nothing on the stepping
     /// paths.
     par_stats: Option<ParStats>,
+    /// Per-shard flight-recorder ring capacity (0 = recorder off). The
+    /// recorders themselves live in the shards (see [`Shard::recorder`])
+    /// so recording never crosses a shard boundary.
+    recorder_capacity: usize,
+    /// Where crash black-box dumps land (`ceu-blackbox/v1` JSONL). Dumps
+    /// fire on mote crashes and worker panics when both this and the
+    /// recorder are configured; each dump overwrites the previous one, so
+    /// the file always describes the most recent crash.
+    blackbox_out: Option<PathBuf>,
 }
 
 impl World {
@@ -476,6 +494,8 @@ impl World {
             fault_entries: Vec::new(),
             reboot_policy: RebootPolicy::default(),
             par_stats: None,
+            recorder_capacity: 0,
+            blackbox_out: None,
         }
     }
 
@@ -489,6 +509,9 @@ impl World {
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(Vec::new());
+        }
+        for shard in &mut self.shards {
+            shard.trace_on = true;
         }
     }
 
@@ -541,6 +564,70 @@ impl World {
             self.par_stats = Some(ParStats::new(DEFAULT_WINDOW_CAP));
         }
         taken
+    }
+
+    /// Switches on the always-on flight recorder: every shard keeps a
+    /// fixed-capacity ring of the last `capacity` interesting trace
+    /// events (reaction boundaries, emits, crashes — see
+    /// [`FlightRecorder::wants`]) plus scheduler window marks. Unlike the
+    /// full world trace this is bounded memory and cheap enough to leave
+    /// on for million-mote runs; on a crash the rings feed the
+    /// `ceu-blackbox/v1` dump (see [`World::set_blackbox_out`]).
+    /// Recorded content is bit-identical between [`World::run_until`] and
+    /// [`World::run_until_parallel`] at any thread count. Céu motes must
+    /// also surface machine traces (`CeuMote::enable_trace`), exactly as
+    /// for the full world trace.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.recorder_capacity = capacity.max(1);
+        for shard in &mut self.shards {
+            match &mut shard.recorder {
+                Some(_) => {} // keep contents; capacity changes apply at reshard
+                none => *none = Some(FlightRecorder::new(self.recorder_capacity)),
+            }
+        }
+    }
+
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.recorder_capacity > 0
+    }
+
+    /// Where crash black-box dumps land. Setting a path arms automatic
+    /// dumps on mote crashes, watchdog trips and parallel-worker panics
+    /// (the recorder must be on for a dump to carry any history).
+    pub fn set_blackbox_out(&mut self, path: impl Into<PathBuf>) {
+        self.blackbox_out = Some(path.into());
+    }
+
+    /// Every live flight-recorder record, merged across shards into the
+    /// canonical `(t_us, mote, seq)` order (same order as the world
+    /// trace). Empty when the recorder is off.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<FlightRecord> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.recorder.as_ref())
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        out.sort_by_key(|r| (r.t_us, r.mote, r.seq));
+        out
+    }
+
+    /// `(live records, total capacity, dropped)` summed across shards —
+    /// the ring-occupancy line item of the soak heartbeat. `None` when
+    /// the recorder is off.
+    pub fn flight_recorder_stats(&self) -> Option<(usize, usize, u64)> {
+        if self.recorder_capacity == 0 {
+            return None;
+        }
+        let mut live = 0usize;
+        let mut cap = 0usize;
+        let mut dropped = 0u64;
+        for rec in self.shards.iter().filter_map(|s| s.recorder.as_ref()) {
+            live += rec.len();
+            cap += rec.capacity();
+            dropped += rec.dropped();
+        }
+        Some((live, cap, dropped))
     }
 
     /// The world-level counters as one JSON object (dependency-free,
@@ -696,7 +783,15 @@ impl World {
         let mut stats: Vec<MoteStats> = Vec::new();
         let mut leds: Vec<Leds> = Vec::new();
         let mut events: Vec<(u64, u64, Fire)> = Vec::new();
+        // flight-recorder content survives a reshard: records carry their
+        // mote id, so they re-route into the new owning shard's ring below
+        // (window marks are per-old-shard and are dropped; the monotonic
+        // `dropped` counters restart with the new rings)
+        let mut old_records: Vec<FlightRecord> = Vec::new();
         for mut shard in std::mem::take(&mut self.shards) {
+            if let Some(rec) = shard.recorder.take() {
+                old_records.extend(rec.iter().copied());
+            }
             events.extend(shard.heap.drain_unordered());
             backends.extend(shard.backends);
             status.extend(shard.status);
@@ -736,6 +831,7 @@ impl World {
             .enumerate()
             .map(|(i, &(a, b))| {
                 let mut sh = Shard::new(i as u32, a, b, plan.lookahead_us[i]);
+                sh.trace_on = self.trace.is_some();
                 for _ in a..b {
                     sh.push_mote(
                         backends.next().expect("column covers the roster"),
@@ -753,6 +849,18 @@ impl World {
             })
             .collect();
         self.mote_shard = plan.mote_shard;
+        if self.recorder_capacity > 0 {
+            for shard in &mut self.shards {
+                shard.recorder = Some(FlightRecorder::new(self.recorder_capacity));
+            }
+            // re-insert surviving records in canonical order: each new
+            // ring receives exactly its motes' subsequence, oldest first
+            old_records.sort_by_key(|r| (r.t_us, r.mote, r.seq));
+            for r in old_records {
+                let s = self.mote_shard[r.mote] as usize;
+                self.shards[s].recorder.as_mut().expect("installed above").record_raw(r);
+            }
+        }
         self.max_lookahead_us = self
             .shards
             .iter()
@@ -847,6 +955,9 @@ impl World {
         let (s, l) = self.loc(mote);
         self.shards[s].trace_seq[l] += 1;
         let seq = self.shards[s].trace_seq[l];
+        if let Some(rec) = self.shards[s].recorder.as_mut() {
+            rec.record(now, mote, seq, &event);
+        }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(WorldTraceEvent {
                 world_time_us: now,
@@ -885,6 +996,7 @@ impl World {
             let at = self.now + self.effective_reboot_delay(d);
             self.schedule(at, Fire::Reboot { mote });
         }
+        self.maybe_dump_blackbox("mote-crashed", Some(mote));
     }
 
     /// The world-side effects of a crash discovered during a parallel
@@ -897,6 +1009,130 @@ impl World {
         if let Some(d) = self.reboot_policy.delay_for(nth) {
             let at = crash_at + self.effective_reboot_delay(d);
             self.schedule(at.max(self.now), Fire::Reboot { mote });
+        }
+        self.maybe_dump_blackbox("mote-crashed", Some(mote));
+    }
+
+    /// Renders the full `ceu-blackbox/v1` crash dump: a self-describing
+    /// header, per-shard ring stats, scheduler window marks, per-mote
+    /// stats for every mote the rings mention, then every live flight
+    /// record in canonical `(t_us, mote, seq)` order (each line the same
+    /// wire shape as a world-trace line, so `ceu-trace` parses them
+    /// directly). Line discrimination for readers: `"schema"` → header,
+    /// `"blackbox"` → stats/marks, `"ev"` → record.
+    pub fn blackbox_json(&self, reason: &str, mote: Option<MoteId>) -> String {
+        let records = self.flight_records();
+        let (live, cap, dropped) = self.flight_recorder_stats().unwrap_or((0, 0, 0));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"ceu-blackbox/v1\",\"reason\":{},\"t_us\":{}",
+            json_string(reason),
+            self.now
+        ));
+        if let Some(m) = mote {
+            out.push_str(&format!(",\"mote\":{m}"));
+            if let Some((s, l)) = self.mote_loc(m) {
+                if let MoteStatus::Crashed { at, cause } = &self.shards[s].status[l] {
+                    out.push_str(&format!(
+                        ",\"crash_us\":{at},\"kind\":{},\"cause\":{},\"line\":{},\"col\":{}",
+                        json_string(cause.kind.label()),
+                        json_string(&cause.message),
+                        cause.span.line,
+                        cause.span.col
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            ",\"motes\":{},\"shards\":{},\"ring_capacity\":{},\"ring_records\":{live},\
+             \"ring_dropped\":{dropped}}}\n",
+            self.mote_count(),
+            self.shards.len(),
+            cap
+        ));
+        for shard in &self.shards {
+            let Some(rec) = shard.recorder.as_ref() else { continue };
+            out.push_str(&format!(
+                "{{\"blackbox\":\"shard\",\"shard\":{},\"motes\":{},\"lookahead_us\":{},\
+                 \"ring_len\":{},\"ring_dropped\":{},\"ring_recorded\":{}}}\n",
+                shard.id,
+                shard.n(),
+                shard.lookahead_us,
+                rec.len(),
+                rec.dropped(),
+                rec.recorded()
+            ));
+            for w in rec.windows() {
+                out.push_str(&format!(
+                    "{{\"blackbox\":\"window\",\"shard\":{},\"start_us\":{},\"end_us\":{},\
+                     \"events\":{}}}\n",
+                    shard.id, w.start_us, w.end_us, w.events
+                ));
+            }
+        }
+        // per-mote stats only for motes the rings mention (plus the
+        // crashed mote): keeps a 1M-mote soak dump bounded by ring size
+        let mut mentioned: Vec<MoteId> = records.iter().map(|r| r.mote).chain(mote).collect();
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        for m in mentioned {
+            let Some((s, l)) = self.mote_loc(m) else { continue };
+            let st = &self.shards[s].stats[l];
+            out.push_str(&format!(
+                "{{\"blackbox\":\"mote\",\"mote\":{m},\"up\":{},\"sent\":{},\"received\":{},\
+                 \"dropped_in_flight\":{},\"crashes\":{},\"reboots\":{}}}\n",
+                self.shards[s].status[l].is_up(),
+                st.sent,
+                st.received,
+                st.dropped_in_flight,
+                st.crashes,
+                st.reboots
+            ));
+        }
+        for r in &records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the `ceu-blackbox/v1` dump to `path` (parent directories
+    /// are created). Also invoked automatically on crashes when
+    /// [`World::set_blackbox_out`] armed a path.
+    pub fn write_blackbox_to(
+        &self,
+        path: &Path,
+        reason: &str,
+        mote: Option<MoteId>,
+    ) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.blackbox_json(reason, mote))
+    }
+
+    /// Writes the dump to the configured path, returning it.
+    pub fn write_blackbox(&self, reason: &str, mote: Option<MoteId>) -> std::io::Result<PathBuf> {
+        let path = self.blackbox_out.clone().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no black-box path configured")
+        })?;
+        self.write_blackbox_to(&path, reason, mote)?;
+        Ok(path)
+    }
+
+    /// The automatic crash trigger: quiet no-op unless both a dump path
+    /// and the recorder are configured. Each dump overwrites the last, so
+    /// the file always reflects the most recent crash; a dump failure
+    /// warns on stderr rather than masking the crash being reported.
+    fn maybe_dump_blackbox(&self, reason: &str, mote: Option<MoteId>) {
+        let Some(path) = self.blackbox_out.as_deref() else { return };
+        if self.recorder_capacity == 0 {
+            return;
+        }
+        if let Err(e) = self.write_blackbox_to(path, reason, mote) {
+            eprintln!("wsn-sim: black-box dump to {} failed: {e}", path.display());
         }
     }
 
@@ -1070,35 +1306,42 @@ impl World {
         let now = self.now;
         let skew = self.shards[s].skew_ppm[l];
         let mut backend = std::mem::replace(&mut self.shards[s].backends[l], Box::new(Inert));
-        let (outbox, timer_request, wants_cpu, vm_events, failure);
+        let (outbox, timer_request, wants_cpu, failure);
         {
-            let mut ctx = MoteCtx::new(id, skewed(now, skew), &mut self.shards[s].leds[l]);
+            let shard = &mut self.shards[s];
+            let mut ctx =
+                MoteCtx::new(id, skewed(now, skew), &mut shard.leds[l], &mut shard.vm_scratch);
             f(backend.as_mut(), &mut ctx);
             outbox = std::mem::take(&mut ctx.outbox);
             timer_request = ctx.timer_request;
             wants_cpu = ctx.wants_cpu;
-            vm_events = std::mem::take(&mut ctx.vm_events);
             failure = ctx.take_failure();
         }
         self.shards[s].backends[l] = backend;
         {
-            let trace = self.trace.as_mut();
+            let mut trace = self.trace.as_mut();
             let shard = &mut self.shards[s];
-            if let Some(trace) = trace {
-                for event in vm_events {
+            if trace.is_some() || shard.recorder.is_some() {
+                for event in &shard.vm_scratch {
                     shard.trace_seq[l] += 1;
-                    trace.push(WorldTraceEvent {
-                        world_time_us: now,
-                        mote: id,
-                        seq: shard.trace_seq[l],
-                        event: event.normalized(),
-                    });
+                    if let Some(rec) = shard.recorder.as_mut() {
+                        rec.record(now, id, shard.trace_seq[l], event);
+                    }
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.push(WorldTraceEvent {
+                            world_time_us: now,
+                            mote: id,
+                            seq: shard.trace_seq[l],
+                            event: event.normalized(),
+                        });
+                    }
                 }
             } else {
                 // keep the per-mote counter in step with the parallel
                 // path, which stamps events before the merge decides
-                shard.trace_seq[l] += vm_events.len() as u64;
+                shard.trace_seq[l] += shard.vm_scratch.len() as u64;
             }
+            shard.vm_scratch.clear();
         }
         if let Some(cause) = failure {
             // graceful degradation: the failing callback's pending effects
@@ -1385,6 +1628,10 @@ impl World {
                 }
             }
             if let Some((mote, msg, run_end)) = panicked {
+                // last-gasp black box: the shards (and their rings) were
+                // merged back above, so the dump carries history right up
+                // to the failing window
+                self.maybe_dump_blackbox("worker-panic", Some(mote));
                 panic!("mote {mote} panicked in parallel window [{start}, {run_end}): {msg}");
             }
             // workers consumed seqs from `seq_base` upward for their own

@@ -1,0 +1,148 @@
+//! Flight-recorder semantics at the world level: recorded content is
+//! bit-identical between the sequential and parallel steppers (faults
+//! on), survives resharding, and crash dumps fire automatically.
+
+use wsn_sim::{CeuMote, FaultPlan, Radio, RebootPolicy, Topology, World};
+
+/// Three motes passing a counter around a ring; each kicks its own first
+/// packet at boot, so traffic flows from time zero.
+const RING: &str = r#"
+    input _message_t* Radio_receive;
+    par do
+       loop do
+          _message_t* msg = await Radio_receive;
+          int* cnt = _Radio_getPayload(msg);
+          _Leds_set(*cnt);
+          *cnt = *cnt + 1;
+          _Radio_send((_TOS_NODE_ID+1)%3, msg);
+       end
+    with
+       _message_t msg;
+       int* cnt = _Radio_getPayload(&msg);
+       *cnt = _TOS_NODE_ID;
+       _Radio_send((_TOS_NODE_ID+1)%3, &msg);
+       await forever;
+    end
+"#;
+
+/// A faulty world: ring traffic plus an injected crash/reboot cycle.
+fn build(capacity: usize) -> World {
+    let prog = ceu::Compiler::new().compile(RING).unwrap();
+    let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 7));
+    w.set_reboot_policy(RebootPolicy::After(2_000));
+    for id in 0..3 {
+        let mut mote = CeuMote::new(prog.clone(), id);
+        mote.enable_trace();
+        w.add_mote(Box::new(mote));
+    }
+    let plan = FaultPlan::parse("at 5000 crash 1\nat 12000 crash 2").unwrap();
+    w.enable_flight_recorder(capacity);
+    w.boot();
+    w.set_fault_plan(&plan).unwrap();
+    w
+}
+
+#[test]
+fn recorded_content_is_bit_identical_seq_vs_parallel() {
+    let mut seq = build(256);
+    seq.run_until(30_000);
+    let baseline = seq.flight_records();
+    assert!(!baseline.is_empty(), "ring traffic must leave records");
+    assert!(
+        baseline.iter().any(|r| matches!(r.event, ceu::runtime::TraceEvent::MoteCrashed { .. })),
+        "the fault plan's crash must be on the record"
+    );
+    for threads in [1, 2, 4] {
+        let mut par = build(256);
+        par.run_until_parallel(30_000, threads);
+        assert_eq!(
+            baseline,
+            par.flight_records(),
+            "recorder content diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn tiny_rings_drop_identically_across_steppers() {
+    // capacity small enough that every shard wraps: the *kept* suffix and
+    // the drop counters must still agree between steppers, because each
+    // ring consumes the identical per-shard stream
+    let mut seq = build(8);
+    seq.run_until(30_000);
+    let (live, cap, dropped) = seq.flight_recorder_stats().expect("recorder on");
+    assert!(dropped > 0, "capacity 8 must overflow on a 30ms ring run");
+    assert!(live <= cap);
+    let baseline = seq.flight_records();
+    for threads in [2, 4] {
+        let mut par = build(8);
+        par.run_until_parallel(30_000, threads);
+        assert_eq!(baseline, par.flight_records(), "wrapped rings diverged at {threads} threads");
+        assert_eq!(seq.flight_recorder_stats(), par.flight_recorder_stats());
+    }
+}
+
+#[test]
+fn records_survive_resharding() {
+    let mut w = build(256);
+    w.run_until(8_000);
+    let before = w.flight_records();
+    assert!(!before.is_empty());
+    // re-partition mid-run: rings are rebuilt and records re-routed to
+    // their motes' new shards
+    w.set_target_shards(3);
+    w.run_until(9_000);
+    let after = w.flight_records();
+    assert!(
+        after.len() >= before.len(),
+        "resharding lost records: {} -> {}",
+        before.len(),
+        after.len()
+    );
+    assert_eq!(
+        &after[..before.len()],
+        &before[..],
+        "surviving records must be unchanged and in canonical order"
+    );
+}
+
+#[test]
+fn crash_dump_fires_automatically_and_is_self_describing() {
+    let dir = std::env::temp_dir().join(format!("ceu-blackbox-test-{}", std::process::id()));
+    let path = dir.join("blackbox.jsonl");
+    let mut w = build(64);
+    w.set_blackbox_out(&path);
+    w.run_until(30_000);
+    let dump = std::fs::read_to_string(&path).expect("crash must have produced a dump");
+    let mut lines = dump.lines();
+    let header = lines.next().expect("dump has a header");
+    assert!(header.contains("\"schema\":\"ceu-blackbox/v1\""), "{header}");
+    assert!(header.contains("\"reason\":\"mote-crashed\""), "{header}");
+    assert!(header.contains("\"kind\":\"fault-injected\""), "{header}");
+    let rest: Vec<&str> = lines.collect();
+    assert!(rest.iter().any(|l| l.starts_with("{\"blackbox\":\"shard\"")), "shard stats present");
+    assert!(rest.iter().any(|l| l.starts_with("{\"blackbox\":\"mote\"")), "mote stats present");
+    assert!(
+        rest.iter().any(|l| l.starts_with("{\"t_us\":") && l.contains("\"ev\":{")),
+        "ring records present in world-trace wire shape"
+    );
+    // explicit dumps work without a crash, to any path
+    let manual = dir.join("manual.jsonl");
+    w.write_blackbox_to(&manual, "operator-requested", None).unwrap();
+    assert!(std::fs::read_to_string(&manual).unwrap().contains("operator-requested"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recorder_off_worlds_have_no_recorder_surface() {
+    let prog = ceu::Compiler::new().compile(RING).unwrap();
+    let mut w = World::new(Radio::new(Topology::Full, 1_000, 0.0, 7));
+    for id in 0..3 {
+        w.add_mote(Box::new(CeuMote::new(prog.clone(), id)));
+    }
+    w.boot();
+    w.run_until(5_000);
+    assert!(!w.flight_recorder_enabled());
+    assert!(w.flight_records().is_empty());
+    assert_eq!(w.flight_recorder_stats(), None);
+}

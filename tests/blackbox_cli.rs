@@ -1,0 +1,80 @@
+//! `ceuc run --faults --blackbox` end to end: an injected crash exits
+//! with the crash status, lands a `ceu-blackbox/v1` dump, and
+//! `ceu-trace blackbox` renders that dump into the triage page.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn ceuc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceuc"))
+}
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ceuc-blackbox-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+/// Stays reactive forever so a scheduled fault, not termination, ends it.
+const REACTIVE: &str = "input int Kick;\nint v = 0;\nloop do\n v = await Kick;\nend";
+
+#[test]
+fn fault_plan_crash_dumps_and_renders() {
+    let prog = write_tmp("faulty.ceu", REACTIVE);
+    let script = write_tmp("faulty.script", "event Kick 1\ntime 10ms\n");
+    let plan = write_tmp("faulty.plan", "at 5ms crash 0\n");
+    let dump_path = std::env::temp_dir().join("ceuc-blackbox-tests").join("faulty.jsonl");
+    let _ = std::fs::remove_file(&dump_path);
+
+    let out = ceuc()
+        .arg("run")
+        .arg(&prog)
+        .arg(&script)
+        .arg("--faults")
+        .arg(&plan)
+        .arg("--blackbox")
+        .arg(&dump_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "crash exit status: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crashed at 5000us"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("black-box dump written"), "{stderr}");
+
+    let text = std::fs::read_to_string(&dump_path).expect("dump landed at --blackbox PATH");
+    let dump = ceu_trace::parse_blackbox(&text).expect("dump parses");
+    assert_eq!(dump.crashed_mote(), Some(0));
+    assert!(!dump.records.is_empty(), "the ring kept the final reactions");
+
+    let page = ceu_trace::render_blackbox(&dump, Some(REACTIVE), 8);
+    assert!(page.starts_with("black box: machine-crashed"), "{page}");
+    assert!(page.contains("fault-injected crash"), "{page}");
+    assert!(page.contains("machine:"), "machine ring stats render: {page}");
+    assert!(page.contains("mote 0: final"), "final reactions render: {page}");
+}
+
+#[test]
+fn runtime_error_crash_also_dumps() {
+    let prog = write_tmp("div0.ceu", "input int Kick;\nint v = 1;\nv = v / (v - 1);\nreturn v;");
+    let script = write_tmp("div0.script", "time 1ms\n");
+    let dump_path = std::env::temp_dir().join("ceuc-blackbox-tests").join("div0.jsonl");
+    let _ = std::fs::remove_file(&dump_path);
+
+    let out = ceuc()
+        .arg("run")
+        .arg(&prog)
+        .arg(&script)
+        .arg("--blackbox")
+        .arg(&dump_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "runtime error is a crash: {out:?}");
+    let text = std::fs::read_to_string(&dump_path).expect("dump written on runtime error");
+    let dump = ceu_trace::parse_blackbox(&text).expect("dump parses");
+    let page = ceu_trace::render_blackbox(&dump, None, 8);
+    assert!(page.starts_with("black box: machine-crashed"), "{page}");
+}
