@@ -1,6 +1,6 @@
 //! **Benchmark-regression harness** — the PR-gating perf rows.
 //!
-//! Emits a schema-stable report (`ceu-bench-regression/v1`) with five
+//! Emits a schema-stable report (`ceu-bench-regression/v1`) with these
 //! row families:
 //!
 //! * `reaction_latency` — median-of-N ns/event for the steady-state
@@ -29,21 +29,27 @@
 //!   machine (expr_heavy with a ring-fed tracer vs bare) and on the
 //!   world (shard mesh, recorder + machine traces vs neither). The
 //!   recorded machine loop is also held to the zero-alloc invariant: a
-//!   black box that allocates per event is not "always-on".
+//!   black box that allocates per event is not "always-on";
+//! * `native_latency` — the AOT Rust backend (`rsbackend::emit_rust`,
+//!   attached via `Machine::set_native` from `ceu-native-corpus`) on the
+//!   same two workloads and artifacts as `reaction_latency`. The lane is
+//!   held to the same zero-alloc bar (rows land in `alloc_per_event` as
+//!   `<workload>+native`), and each trial asserts the machine really
+//!   stepped natively rather than silently falling back.
 //!
 //! ```sh
 //! cargo run --release -p ceu-bench --bin bench_regression -- \
 //!     [--trials N] [--events K] [--out PATH] [--snapshot PATH] [--quick]
 //! ```
 //!
-//! The JSON lands in `target/experiments/BENCH_PR4.json` unless `--out`
+//! The JSON lands in `target/experiments/BENCH_PR9.json` unless `--out`
 //! says otherwise; `--snapshot PATH` writes a second copy (CI commits it
-//! as `BENCH_PR7.json` at the repo root). CI's `bench-smoke` job runs
+//! as `BENCH_PR9.json` at the repo root). CI's `bench-smoke` job runs
 //! `--quick` and fails on any steady-state allocation.
 
-use ceu::runtime::{FlightRecorder, Machine, NullHost, TraceMask};
+use ceu::runtime::{FlightRecorder, Machine, NativeProgram, NullHost, TraceMask};
 use ceu::Compiler;
-use ceu_bench::DATAFLOW_CHAIN;
+use ceu_bench::{DATAFLOW_CHAIN, EXPR_HEAVY};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -80,23 +86,6 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 fn allocs() -> u64 {
     ALLOCS.load(Relaxed)
 }
-
-/// Expression-heavy workload: every reaction runs arithmetic with enough
-/// constant structure for the optimizer to fold (`2*3`, `*1`, `+0`, …),
-/// so the opt-vs-no-opt latency gap is measurable. The running checksum
-/// keeps the whole chain live.
-const EXPR_HEAVY: &str = r#"
-    input int E;
-    int v, acc;
-    loop do
-       v = await E;
-       v = (v + (2 * 3)) * 1 + 0;
-       v = v + (10 - 2 - 3) * (1 + 1);
-       v = (v * 1 + 0) + (4 / 2) + (7 % 4);
-       v = v + (1 * (2 + 2) - 0) + (v * 0);
-       acc = acc + v;
-    end
-"#;
 
 #[derive(serde::Serialize)]
 struct LatencyRow {
@@ -188,6 +177,7 @@ struct Report {
     stats_overhead: Vec<StatsOverheadRow>,
     world_shard: Vec<WorldShardRow>,
     recorder_overhead: Vec<RecorderOverheadRow>,
+    native_latency: Vec<LatencyRow>,
 }
 
 /// Boots a machine over the shared artifact and returns it with the
@@ -262,6 +252,52 @@ fn latency_trial(
         m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
     }
     start.elapsed().as_nanos() as f64 / events as f64
+}
+
+/// One timed native-lane trial: the same shape as [`latency_trial`], but
+/// the AOT build is attached first, and the machine is checked to have
+/// actually stepped natively — tracing or metrics would make the lane
+/// silently fall back to the interpreter and measure nothing.
+fn native_latency_trial(
+    prog: &Arc<ceu::CompiledProgram>,
+    native: &Arc<dyn NativeProgram>,
+    event: &str,
+    events: u64,
+) -> f64 {
+    let (mut m, ev) = boot(prog, event);
+    m.set_native(Arc::clone(native)).expect("AOT build matches the compiled artifact");
+    for _ in 0..events.min(200) {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
+    }
+    let start = Instant::now();
+    for _ in 0..events {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
+    }
+    let ns = start.elapsed().as_nanos() as f64 / events as f64;
+    assert!(m.native_steps() > 0, "native lane must execute natively, not fall back");
+    ns
+}
+
+/// [`alloc_count`] for the native lane.
+fn native_alloc_count(
+    prog: &Arc<ceu::CompiledProgram>,
+    native: &Arc<dyn NativeProgram>,
+    event: &str,
+    warmup: u64,
+    events: u64,
+) -> u64 {
+    let (mut m, ev) = boot(prog, event);
+    m.set_native(Arc::clone(native)).expect("AOT build matches the compiled artifact");
+    for _ in 0..warmup {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("warmup");
+    }
+    let before = allocs();
+    for _ in 0..events {
+        m.go_event(ev, Some(ceu::runtime::Value::Int(1)), &mut NullHost).expect("react");
+    }
+    let n = allocs() - before;
+    assert!(m.native_steps() > 0, "native lane must execute natively, not fall back");
+    n
 }
 
 /// Counts allocations across `events` steady-state reactions (after a
@@ -385,7 +421,7 @@ fn main() {
             other => panic!("unknown flag `{other}`"),
         }
     }
-    let out = out.unwrap_or_else(|| ceu_bench::out_dir().join("BENCH_PR4.json"));
+    let out = out.unwrap_or_else(|| ceu_bench::out_dir().join("BENCH_PR9.json"));
 
     let workloads: Vec<(&'static str, &str, &str)> =
         vec![("expr_heavy", EXPR_HEAVY, "E"), ("dataflow_chain", DATAFLOW_CHAIN, "Go")];
@@ -432,6 +468,60 @@ fn main() {
                 n,
                 0,
                 "{name} ({}): the steady-state reaction path must not allocate",
+                if opt { "opt" } else { "no-opt" }
+            );
+        }
+    }
+
+    // the native lane: the AOT Rust backend over the same workloads and
+    // artifacts, with a matching zero-alloc row. The lookup name is the
+    // ceu-corpus name (dataflow_chain registers there as "dataflow").
+    let mut native_rows = Vec::new();
+    let native_workloads: Vec<(&'static str, &'static str, &'static str, &str, &str)> = vec![
+        ("expr_heavy", "expr_heavy+native", "expr_heavy", EXPR_HEAVY, "E"),
+        ("dataflow_chain", "dataflow_chain+native", "dataflow", DATAFLOW_CHAIN, "Go"),
+    ];
+    for (name, alloc_name, lookup_name, src, event) in native_workloads {
+        for opt in [true, false] {
+            let compiler = if opt { Compiler::new() } else { Compiler::unoptimized() };
+            let prog = Arc::new(compiler.compile(src).expect("workload compiles"));
+            let native = ceu_native_corpus::lookup(lookup_name, opt)
+                .expect("workload has an AOT build in ceu-native-corpus");
+            let mut per: Vec<f64> =
+                (0..trials).map(|_| native_latency_trial(&prog, &native, event, events)).collect();
+            per.sort_by(|a, b| a.total_cmp(b));
+            let median = per[per.len() / 2];
+            println!(
+                "native_latency    {name:<16} {}  {median:8.1} ns/event",
+                if opt { "opt   " } else { "no-opt" }
+            );
+            native_rows.push(LatencyRow {
+                workload: name,
+                opt,
+                trials,
+                events_per_trial: events,
+                median_ns_per_event: median,
+            });
+
+            let warmup = 200;
+            let n = native_alloc_count(&prog, &native, event, warmup, events);
+            println!(
+                "alloc_per_event   {:<16} {}  {n} allocs / {events} events",
+                alloc_name,
+                if opt { "opt   " } else { "no-opt" }
+            );
+            alloc_rows.push(AllocRow {
+                workload: alloc_name,
+                opt,
+                warmup_events: warmup,
+                measured_events: events,
+                allocs: n,
+                allocs_per_event: n as f64 / events as f64,
+            });
+            assert_eq!(
+                n,
+                0,
+                "{name} ({}, native): the steady-state reaction path must not allocate",
                 if opt { "opt" } else { "no-opt" }
             );
         }
@@ -635,6 +725,7 @@ fn main() {
         stats_overhead: overhead_rows,
         world_shard: shard_rows,
         recorder_overhead: recorder_rows,
+        native_latency: native_rows,
     };
     let json = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(&out, json.clone() + "\n")

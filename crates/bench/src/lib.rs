@@ -3,11 +3,13 @@
 //! EXPERIMENTS.md for paper-vs-measured numbers).
 
 pub mod chaos;
-pub mod corpus;
 pub mod shard_mesh;
 pub mod table;
 
-pub use corpus::*;
+// the corpus sources moved to the `ceu-corpus` leaf crate (so build
+// scripts can AOT-compile them too); re-exported here for compatibility
+pub use ceu_corpus as corpus;
+pub use ceu_corpus::*;
 
 /// Where harness binaries drop their artifacts (dot files, raw results).
 pub fn out_dir() -> std::path::PathBuf {

@@ -19,12 +19,15 @@
 //! - **raw vs optimized**: the host-observable surface (status, reaction
 //!   count, final data, calls, outputs) is identical. Traces are not
 //!   compared across artifacts — dead-block elimination renumbers blocks.
+//! - **native vs interpreter** (both artifacts): the AOT Rust build from
+//!   `ceu-native-corpus` is attached via `Machine::set_native` and driven
+//!   through the same schedule on a bare machine (no tracer — tracing
+//!   deliberately forces the interpreter), compared on the
+//!   trace-independent surface. `native_steps()` proves the native path
+//!   actually executed, so the comparison can never be vacuous.
 
-use ceu::runtime::{Machine, RecordingHost, TraceEvent, Value};
-use ceu_bench::{
-    receiver_ceu, BLINK_CEU, BLINK_SYNC_CEU, CLIENT_CEU, DATAFLOW_CHAIN, FIG1_PROGRAM,
-    GUIDING_EXAMPLE, SENSE_CEU, SERVER_CEU,
-};
+use ceu::runtime::{Machine, NativeProgram, RecordingHost, TraceEvent, Value};
+use ceu_bench::all_programs;
 use std::sync::{Arc, Mutex};
 
 /// Zeroes the host-clock fields (the only nondeterminism in a trace).
@@ -78,6 +81,36 @@ struct Observed {
     reactions: u64,
 }
 
+/// The shared scripted schedule: boot, three rounds of every declared
+/// input event with values, a timer advance past every corpus period,
+/// and bounded async slices (receiver_ceu's loops are infinite).
+fn run_schedule(m: &mut Machine, prog: &ceu::CompiledProgram, h: &mut RecordingHost) {
+    let _ = m.go_init(h);
+    let inputs: Vec<_> = (0..prog.events.len())
+        .filter_map(|i| {
+            let info = prog.events.get(ceu_ast::EventId(i as u16));
+            info.external().then_some(ceu_ast::EventId(i as u16))
+        })
+        .collect();
+    for round in 0..3i64 {
+        for &ev in &inputs {
+            if m.status().is_terminated() {
+                break;
+            }
+            let _ = m.go_event(ev, Some(Value::Int(round + 1)), h);
+        }
+        // step past every corpus period (250ms/400ms/1s…)
+        if !m.status().is_terminated() {
+            let _ = m.go_time(m.now() + 1_000_000, h);
+        }
+        for _ in 0..100 {
+            if m.status().is_terminated() || !matches!(m.go_async(h), Ok(true)) {
+                break;
+            }
+        }
+    }
+}
+
 /// Drives one machine through the scripted schedule and captures
 /// everything observable.
 fn drive(prog: Arc<ceu::CompiledProgram>, tree_eval: bool) -> Observed {
@@ -90,34 +123,7 @@ fn drive(prog: Arc<ceu::CompiledProgram>, tree_eval: bool) -> Observed {
         m.set_tracer(Box::new(move |e| tap.lock().unwrap().push(*e)));
     }
     let mut h = host();
-
-    let _ = m.go_init(&mut h);
-    // every declared input event, three rounds of values (drives Restart,
-    // Radio_receive, Go, A/B/C, ... whatever the program declares)
-    let inputs: Vec<_> = (0..prog.events.len())
-        .filter_map(|i| {
-            let info = prog.events.get(ceu_ast::EventId(i as u16));
-            info.external().then_some(ceu_ast::EventId(i as u16))
-        })
-        .collect();
-    for round in 0..3i64 {
-        for &ev in &inputs {
-            if m.status().is_terminated() {
-                break;
-            }
-            let _ = m.go_event(ev, Some(Value::Int(round + 1)), &mut h);
-        }
-        // step past every corpus period (250ms/400ms/1s…)
-        if !m.status().is_terminated() {
-            let _ = m.go_time(m.now() + 1_000_000, &mut h);
-        }
-        // bounded async slices (receiver_ceu's loops are infinite)
-        for _ in 0..100 {
-            if m.status().is_terminated() || !matches!(m.go_async(&mut h), Ok(true)) {
-                break;
-            }
-        }
-    }
+    run_schedule(&mut m, &prog, &mut h);
 
     let trace = buf.lock().unwrap().iter().map(normalize).collect();
     Observed {
@@ -130,19 +136,34 @@ fn drive(prog: Arc<ceu::CompiledProgram>, tree_eval: bool) -> Observed {
     }
 }
 
+/// Drives a *bare* machine (no tracer, no metrics — the configuration
+/// where the native path engages) through the same schedule, optionally
+/// with an AOT program attached. Returns the trace-independent surface
+/// plus how many native steps ran.
+fn drive_bare(
+    prog: Arc<ceu::CompiledProgram>,
+    native: Option<Arc<dyn NativeProgram>>,
+) -> (Observed, u64) {
+    let mut m = Machine::from_arc(Arc::clone(&prog));
+    if let Some(n) = native {
+        m.set_native(n).expect("native build must match the compiled artifact");
+    }
+    let mut h = host();
+    run_schedule(&mut m, &prog, &mut h);
+    let native_steps = m.native_steps();
+    let obs = Observed {
+        trace: Vec::new(),
+        calls: h.calls,
+        outputs: h.outputs,
+        data: m.data().to_vec(),
+        status: m.status(),
+        reactions: m.reactions_started(),
+    };
+    (obs, native_steps)
+}
+
 fn corpus() -> Vec<(&'static str, String)> {
-    vec![
-        ("blink", BLINK_CEU.into()),
-        ("sense", SENSE_CEU.into()),
-        ("client", CLIENT_CEU.into()),
-        ("server", SERVER_CEU.into()),
-        ("guiding", GUIDING_EXAMPLE.into()),
-        ("fig1", FIG1_PROGRAM.into()),
-        ("dataflow", DATAFLOW_CHAIN.into()),
-        ("blink_sync", BLINK_SYNC_CEU.into()),
-        ("receiver0", receiver_ceu(0)),
-        ("receiver5", receiver_ceu(5)),
-    ]
+    all_programs()
 }
 
 /// Tree vs flat over one shared artifact: everything observable agrees,
@@ -179,5 +200,34 @@ fn tree_flat_and_optimized_flat_are_observationally_identical() {
         assert_eq!(raw_obs.data, opt_obs.data, "{name}: raw vs opt final data slots");
         assert_eq!(raw_obs.calls, opt_obs.calls, "{name}: raw vs opt host calls");
         assert_eq!(raw_obs.outputs, opt_obs.outputs, "{name}: raw vs opt host outputs");
+    }
+}
+
+#[test]
+fn native_lane_matches_the_interpreter_across_the_corpus() {
+    for (name, src) in corpus() {
+        for (what, optimized) in [("raw", false), ("optimized", true)] {
+            let compiler =
+                if optimized { ceu::Compiler::new() } else { ceu::Compiler::unoptimized() };
+            let prog = Arc::new(compiler.compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+            let native = ceu_native_corpus::lookup(name, optimized)
+                .unwrap_or_else(|| panic!("{name}: no native build in ceu-native-corpus"));
+
+            // set_native succeeding is itself a determinism check: the AOT
+            // code was emitted from an artifact compiled in build.rs, the
+            // machine runs an artifact compiled here — the fingerprints
+            // only agree if the compiler is deterministic across processes.
+            let (interp, interp_steps) = drive_bare(Arc::clone(&prog), None);
+            let (nat, nat_steps) = drive_bare(prog, Some(native));
+
+            assert_eq!(interp_steps, 0, "{name} ({what}): bare interpreter must not step natively");
+            assert!(nat_steps > 0, "{name} ({what}): native path must actually execute");
+            assert_eq!(nat.status, interp.status, "{name} ({what}): native status");
+            assert_eq!(nat.reactions, interp.reactions, "{name} ({what}): native reaction count");
+            assert!(nat.reactions > 0, "{name} ({what}): schedule must drive reactions");
+            assert_eq!(nat.data, interp.data, "{name} ({what}): native final data slots");
+            assert_eq!(nat.calls, interp.calls, "{name} ({what}): native host calls");
+            assert_eq!(nat.outputs, interp.outputs, "{name} ({what}): native host outputs");
+        }
     }
 }

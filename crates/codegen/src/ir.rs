@@ -396,6 +396,52 @@ impl CompiledProgram {
     pub fn instr_count(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
     }
+
+    /// Stable identity of this artifact: an FNV-1a hash over a canonical
+    /// dump of everything that affects execution. The Rust backend bakes
+    /// it into emitted code and `Machine::set_native` refuses a native
+    /// program whose fingerprint does not match — catching stale
+    /// emissions and optimizer drift (raw and optimized artifacts hash
+    /// differently because the flat pool is included).
+    ///
+    /// Only deterministically ordered structures are hashed — never the
+    /// `dispatch.slot_by_name` HashMap.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                for b in s.as_bytes() {
+                    self.0 ^= *b as u64;
+                    self.0 = self.0.wrapping_mul(0x100000001b3);
+                }
+                Ok(())
+            }
+        }
+        use fmt::Write;
+        let mut h = Fnv(0xcbf29ce484222325);
+        let w = &mut h;
+        let _ = write!(w, "data:{};boot:{};", self.data_len, self.boot);
+        for b in &self.blocks {
+            let _ = write!(w, "blk:{}:{:?}:{:?}:{:?};", b.rank, b.instrs, b.term, b.regions);
+        }
+        for g in &self.gates {
+            let _ = write!(w, "gate:{:?}:{};", g.kind, g.cont);
+        }
+        for r in &self.regions {
+            let _ = write!(w, "region:{}:{};", r.lo, r.hi);
+        }
+        for a in &self.asyncs {
+            let _ = write!(w, "async:{}:{:?}:{};", a.entry, a.result, a.done_gate);
+        }
+        for s in &self.suspends {
+            let _ = write!(w, "susp:{:?}:{};", s.event, s.region);
+        }
+        for (_, e) in self.events.iter() {
+            let _ = write!(w, "evt:{};", e.name);
+        }
+        let _ = write!(w, "flat:{:?}:{:?};", self.flat.code, self.flat.ranges);
+        h.0
+    }
 }
 
 impl fmt::Display for CompiledProgram {

@@ -12,6 +12,7 @@ pub mod layout;
 pub mod lower;
 pub mod opt;
 pub mod report;
+pub mod rsbackend;
 
 pub use flat::{FlatOp, FlatPool};
 pub use ir::*;
@@ -182,23 +183,31 @@ mod tests {
     }
 
     #[test]
-    fn c_backend_emits_paper_shape() {
-        let p =
-            compile_ok("input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;");
-        let c = cbackend::emit_c(&p);
-        assert!(c.contains("_SWITCH:"), "goto label per the paper");
-        assert!(c.contains("switch (track)"));
-        assert!(c.contains("GATES["));
-        assert!(c.contains("void ceu_go_event"));
-        assert!(c.contains("EVT_A 0"));
-    }
-
-    #[test]
-    fn c_backend_kill_is_memset() {
-        let p =
-            compile_ok("input void A, B;\npar/or do\n await A;\nwith\n await B;\nend\nawait B;");
-        let c = cbackend::emit_c(&p);
-        assert!(c.contains("memset(GATES +"), "region kill must be a memset:\n{c}");
+    fn c_backend_paper_shape_across_corpus() {
+        // One corpus-driven smoke covering what three near-identical
+        // per-program tests used to: every corpus program emits C with
+        // the paper's §4.4 shape, and any program with regions kills
+        // them with a memset. (Exact emitted text is pinned by the
+        // golden snapshots in tests/golden.rs.)
+        let corpus = ceu_corpus::all_programs()
+            .into_iter()
+            .chain(std::iter::once(("ring_demo", RING_DEMO.to_string())));
+        for (name, src) in corpus {
+            let p = compile_ok(&src);
+            let c = cbackend::emit_c(&p);
+            assert!(c.contains("_SWITCH:"), "{name}: goto label per the paper");
+            assert!(c.contains("switch (track)"), "{name}: track dispatch");
+            assert!(c.contains("GATES["), "{name}: static gate table");
+            assert!(c.contains("void ceu_go_event"), "{name}: four-function API");
+            for (i, e) in p.events.iter() {
+                assert!(c.contains(&format!("EVT_{} {}", e.name, i.0)), "{name}: event constants");
+            }
+            let kills_regions =
+                p.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(i.op, Op::ClearRegion(_)));
+            if kills_regions {
+                assert!(c.contains("memset(GATES +"), "{name}: region kill must be a memset");
+            }
+        }
     }
 
     #[test]
@@ -222,9 +231,9 @@ mod tests {
         assert!(compile_source("int[4] a;\nint b;\na = b;").is_err());
     }
 
-    #[test]
-    fn ring_demo_compiles() {
-        let src = r#"
+    // The PPoPP ring demo: FFI-heavy, not part of `ceu_corpus` (it needs
+    // host symbols), so it rides the corpus-driven smoke via a chain.
+    const RING_DEMO: &str = r#"
             input _message_t* Radio_receive;
             internal void retry;
             par do
@@ -270,8 +279,10 @@ mod tests {
                end
             end
         "#;
-        let p = compile_ok(src);
+
+    #[test]
+    fn ring_demo_compiles() {
+        let p = compile_ok(RING_DEMO);
         assert!(p.gates.len() >= 7);
-        assert!(!cbackend::emit_c(&p).is_empty());
     }
 }

@@ -1,0 +1,703 @@
+//! The Rust source backend: AOT-compiles a [`CompiledProgram`] to native
+//! code the runtime can execute in place of the block interpreter.
+//!
+//! Where [`cbackend`](crate::cbackend) prints the paper's switch/case C
+//! for inspection, this backend emits Rust that is actually *run*: the
+//! output implements `ceu_runtime::native::NativeProgram`, and
+//! `Machine::set_native` steps it instead of interpreting block
+//! instructions. Build the emitted file with a `build.rs` (see
+//! `crates/native-corpus`) or via `ceuc emit-rust`, then `include!` it.
+//!
+//! Lowering strategy (docs/NATIVE.md has the full design):
+//!
+//! * one `match` arm per [`BlockId`] — the paper's `switch (track)` —
+//!   with `Goto` chains followed natively inside the `step` loop;
+//! * flat postfix expressions become straight-line `let` bindings: each
+//!   operand lands in a local, so the emitted code has no operand stack
+//!   at all and rustc sees plain data flow;
+//! * int-pure expressions (arithmetic over slots/constants/event values)
+//!   additionally get an **i64 fast path**: each operand is guarded for
+//!   `Value::Int` at entry, the computation runs in plain `i64` locals
+//!   (registers, no `Value` moves or drop glue), and any non-int operand
+//!   or division by zero falls back to the generic lowering, which
+//!   re-derives the result and raises the real error;
+//! * dispatch tables (`GATE_CONT`, `BLOCK_RANK`) are baked as `const`
+//!   arrays;
+//! * scheduler-visible instructions (spawn, emits, region kills, async
+//!   starts) are not lowered — they `return Step::Trap`, the machine
+//!   interprets that one instruction, and native execution resumes at the
+//!   next one. Each instruction is guarded by `if ip <= k`, which is what
+//!   makes mid-block resumption linear in code size;
+//! * operator semantics are *not* re-emitted: generated code calls the
+//!   same `ceu_runtime::native::{bin_op, un_op}` the interpreter uses.
+//!
+//! The emission is deterministic: identical `CompiledProgram`s produce
+//! byte-identical source (golden-snapshot tested), and the program's
+//! [`fingerprint`](CompiledProgram::fingerprint) is baked into the output
+//! so a stale emission is rejected at attach time.
+
+use crate::flat::FlatOp;
+use crate::ir::{BBlock, CompiledProgram, Instr, Op, Place, Term, TimeAmount};
+use ceu_ast::{BinOp, Span, UnOp};
+use std::fmt::Write;
+
+/// Emits the complete Rust source for `p`. The output is a self-contained
+/// set of items (`Program`, `program()`, `FINGERPRINT`, const tables)
+/// meant to be `include!`d inside a module that depends on `ceu-runtime`.
+pub fn emit_rust(p: &CompiledProgram) -> String {
+    let em = Emitter::new(p);
+    em.emit()
+}
+
+/// `true` for instructions the native code must hand back to the
+/// interpreter (they touch scheduler state the [`NativeCtx`] split borrow
+/// deliberately excludes).
+fn is_trap(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Spawn(_)
+            | Op::EmitInt { .. }
+            | Op::EmitExt { .. }
+            | Op::EmitOut { .. }
+            | Op::EmitTime(_)
+            | Op::ActivateAsync { .. }
+            | Op::ClearRegion(_)
+    )
+}
+
+fn span_lit(s: Span) -> String {
+    format!("Span::new({}, {})", s.line, s.col)
+}
+
+/// `true` when a flat expression is pure integer arithmetic over slots,
+/// constants and event values — the shape the i64 fast path can compile
+/// to plain register code. Anything touching strings, pointers, memory
+/// or the host falls back to the generic `Value` lowering.
+fn int_pure(code: &[FlatOp]) -> bool {
+    code.iter().all(|op| match op {
+        FlatOp::Const(_)
+        | FlatOp::Slot(_)
+        | FlatOp::EventVal(_)
+        | FlatOp::Truthy
+        | FlatOp::ShortAnd(_)
+        | FlatOp::ShortOr(_) => true,
+        FlatOp::Un(op) => !matches!(op, UnOp::Addr | UnOp::Deref),
+        FlatOp::Bin(op) => !matches!(op, BinOp::And | BinOp::Or),
+        _ => false,
+    })
+}
+
+/// A deduplicated operand source for the i64 fast path's entry guards.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum IntLoad {
+    Slot(u32),
+    Evt(u32),
+}
+
+struct Emitter<'a> {
+    p: &'a CompiledProgram,
+    /// Interned string literals, in first-occurrence order over the flat
+    /// pool (deterministic). Emitted code clones `Arc`s out of
+    /// `Program::strs` instead of allocating per evaluation.
+    strs: Vec<&'a str>,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(p: &'a CompiledProgram) -> Self {
+        let mut strs: Vec<&'a str> = Vec::new();
+        for op in &p.flat.code {
+            if let FlatOp::Str(s) = op {
+                if !strs.contains(&&**s) {
+                    strs.push(s);
+                }
+            }
+        }
+        Emitter { p, strs }
+    }
+
+    fn str_index(&self, s: &str) -> usize {
+        self.strs.iter().position(|t| *t == s).expect("string interned at construction")
+    }
+
+    fn emit(&self) -> String {
+        let p = self.p;
+        let fp = p.fingerprint();
+        let mut o = String::with_capacity(16 * 1024);
+        let _ =
+            writeln!(o, "// @generated by ceu-codegen's Rust backend (rsbackend) — do not edit.");
+        let _ = writeln!(o, "// fingerprint: {fp:#018x}");
+        let _ = writeln!(
+            o,
+            "// blocks: {}, gates: {}, exprs: {}",
+            p.blocks.len(),
+            p.gates.len(),
+            p.flat.len()
+        );
+        o.push_str("#[allow(unused_imports)]\n");
+        o.push_str("use ceu_runtime::native::{bin_op, time_value, un_op, BinOp, NativeCtx, NativeProgram, Span, Step, UnOp};\n");
+        o.push_str("#[allow(unused_imports)]\n");
+        o.push_str("use ceu_runtime::{Ptr, RuntimeError, Value};\n");
+        o.push_str("#[allow(unused_imports)]\nuse std::sync::Arc;\n\n");
+        let _ = writeln!(o, "#[allow(dead_code)]\npub const FINGERPRINT: u64 = {fp:#018x};");
+        // baked dispatch tables: gate → continuation block, block → rank
+        o.push_str("#[allow(dead_code)]\npub const GATE_CONT: &[u32] = &[");
+        for (i, g) in p.gates.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            let _ = write!(o, "{}", g.cont);
+        }
+        o.push_str("];\n");
+        o.push_str("#[allow(dead_code)]\npub const BLOCK_RANK: &[u8] = &[");
+        for (i, b) in p.blocks.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            let _ = write!(o, "{}", b.rank);
+        }
+        o.push_str("];\n\n");
+        o.push_str("#[allow(dead_code)]\npub struct Program {\n    strs: Vec<Arc<str>>,\n}\n\n");
+        o.push_str("#[allow(dead_code)]\npub fn program() -> Program {\n");
+        if self.strs.is_empty() {
+            o.push_str("    Program { strs: Vec::new() }\n");
+        } else {
+            o.push_str("    Program {\n        strs: vec![\n");
+            for s in &self.strs {
+                let _ = writeln!(o, "            Arc::from({s:?}),");
+            }
+            o.push_str("        ],\n    }\n");
+        }
+        o.push_str("}\n\n");
+        o.push_str("impl NativeProgram for Program {\n");
+        o.push_str("    fn fingerprint(&self) -> u64 {\n        FINGERPRINT\n    }\n\n");
+        o.push_str("    fn gate_conts(&self) -> &'static [u32] {\n        GATE_CONT\n    }\n\n");
+        o.push_str("    #[allow(unused_variables, unused_mut, unused_assignments, unused_labels, unreachable_code, unreachable_patterns, clippy::all)]\n");
+        o.push_str("    fn step(&self, block: u32, ip: u32, ctx: &mut NativeCtx<'_>) -> Result<Step, RuntimeError> {\n");
+        o.push_str("        let mut blk = block;\n");
+        o.push_str("        let mut ip = ip;\n");
+        o.push_str("        loop {\n");
+        o.push_str("            // one fuel unit per fresh block entry (trap resumes are free),\n");
+        o.push_str("            // mirroring the interpreter's per-track budget\n");
+        o.push_str("            if ip == 0 {\n");
+        o.push_str("                if *ctx.fuel == 0 {\n                    return Ok(Step::OutOfFuel);\n                }\n");
+        o.push_str("                *ctx.fuel -= 1;\n");
+        o.push_str("            }\n");
+        o.push_str("            match blk {\n");
+        for (b, blk) in p.blocks.iter().enumerate() {
+            self.emit_block(&mut o, b as u32, blk);
+        }
+        o.push_str("                _ => {\n");
+        o.push_str("                    return Err(RuntimeError::new(Span::new(0, 0), \"native step: unknown block\"));\n");
+        o.push_str("                }\n");
+        o.push_str("            }\n");
+        o.push_str("        }\n");
+        o.push_str("    }\n");
+        o.push_str("}\n");
+        o
+    }
+
+    fn emit_block(&self, o: &mut String, b: u32, blk: &BBlock) {
+        let ind = "                ";
+        let _ = writeln!(o, "{ind}// {} (rank {})", blk.label, blk.rank);
+        let _ = writeln!(o, "{ind}{b}u32 => {{");
+        for (k, instr) in blk.instrs.iter().enumerate() {
+            let guard = if k == 0 { "if ip == 0".to_string() } else { format!("if ip <= {k}") };
+            let _ = writeln!(o, "{ind}    {guard} {{");
+            self.emit_instr(o, &format!("{ind}        "), b, k as u32, instr);
+            let _ = writeln!(o, "{ind}    }}");
+        }
+        self.emit_term(o, &format!("{ind}    "), blk);
+        let _ = writeln!(o, "{ind}}}");
+    }
+
+    fn emit_instr(&self, o: &mut String, ind: &str, b: u32, k: u32, instr: &Instr) {
+        if is_trap(&instr.op) {
+            let _ = writeln!(o, "{ind}// {:?} → interpreter", op_name(&instr.op));
+            let _ = writeln!(o, "{ind}return Ok(Step::Trap {{ block: {b}, ip: {k} }});");
+            return;
+        }
+        let sp = span_lit(instr.span);
+        let mut n = 0u32;
+        match &instr.op {
+            Op::Assign { dst: Place::Slot(s), src } if int_pure(self.p.flat.code_of(*src)) => {
+                // i64 fast path: guard every slot/event operand for being
+                // an Int, compute in plain registers, store once. The
+                // generic lowering below is the fallback when any guard
+                // fails (a slot holding a string/pointer) — it re-derives
+                // the result from scratch, so falling back is always safe.
+                let code = self.p.flat.code_of(*src);
+                let _ = writeln!(o, "{ind}let __nat = 'ifast: {{");
+                let inner = format!("{ind}    ");
+                let mut loads: Vec<(IntLoad, String)> = Vec::new();
+                self.emit_int_guards(o, &inner, &mut n, code, &mut loads);
+                let r = self.int_expr_code(o, &inner, &mut n, code, &loads);
+                let _ = writeln!(o, "{inner}ctx.set_slot({s}, Value::Int({r}));");
+                let _ = writeln!(o, "{inner}true");
+                let _ = writeln!(o, "{ind}}};");
+                let _ = writeln!(o, "{ind}if !__nat {{");
+                let v = self.expr(o, &inner, &mut n, *src, &sp);
+                let _ = writeln!(o, "{inner}ctx.set_slot({s}, {v});");
+                let _ = writeln!(o, "{ind}}}");
+            }
+            Op::Assign { dst, src } => {
+                let v = self.expr(o, ind, &mut n, *src, &sp);
+                match dst {
+                    Place::Slot(s) => {
+                        let _ = writeln!(o, "{ind}ctx.set_slot({s}, {v});");
+                    }
+                    Place::Index(s, idx) => {
+                        // source first, then index — the interpreter's order
+                        let i = self.expr(o, ind, &mut n, *idx, &sp);
+                        let _ = writeln!(o, "{ind}ctx.store_index({s}, {i}, {v}, {sp})?;");
+                    }
+                    Place::Deref(ptr) => {
+                        let t = self.expr(o, ind, &mut n, *ptr, &sp);
+                        let _ = writeln!(o, "{ind}ctx.store_deref({t}, {v}, {sp})?;");
+                    }
+                }
+            }
+            Op::Eval(rv) => {
+                let v = self.expr(o, ind, &mut n, *rv, &sp);
+                let _ = writeln!(o, "{ind}let _ = {v};");
+            }
+            Op::ActivateEvt { gate } | Op::ActivateNever { gate } => {
+                let _ = writeln!(o, "{ind}ctx.arm({gate});");
+            }
+            Op::ActivateTime { gate, us } => match us {
+                TimeAmount::Const(us) => {
+                    let _ = writeln!(o, "{ind}ctx.arm_time({gate}, {us}u64);");
+                }
+                TimeAmount::Dyn(rv) => {
+                    let v = self.expr(o, ind, &mut n, *rv, &sp);
+                    let _ = writeln!(o, "{ind}ctx.arm_time({gate}, time_value({v}, {sp})?);");
+                }
+            },
+            Op::SetFlag(s) => {
+                let _ = writeln!(o, "{ind}ctx.set_slot({s}, Value::Int(1));");
+            }
+            Op::ClearFlags { lo, hi } => {
+                let _ = writeln!(o, "{ind}ctx.clear_flags({lo}, {hi});");
+            }
+            trap => unreachable!("trap op emitted inline: {trap:?}"),
+        }
+    }
+
+    fn emit_term(&self, o: &mut String, ind: &str, blk: &BBlock) {
+        let sp = span_lit(Span::default());
+        match &blk.term {
+            Term::Halt => {
+                let _ = writeln!(o, "{ind}return Ok(Step::Halt);");
+            }
+            Term::Goto(t) => {
+                let _ = writeln!(o, "{ind}blk = {t};");
+                let _ = writeln!(o, "{ind}ip = 0;");
+            }
+            Term::If { cond, then_b, else_b } => {
+                let mut n = 0u32;
+                let code = self.p.flat.code_of(*cond);
+                let inner = format!("{ind}    ");
+                if int_pure(code) {
+                    let _ = writeln!(o, "{ind}let __nat = 'ifast: {{");
+                    let mut loads: Vec<(IntLoad, String)> = Vec::new();
+                    self.emit_int_guards(o, &inner, &mut n, code, &mut loads);
+                    let r = self.int_expr_code(o, &inner, &mut n, code, &loads);
+                    let _ =
+                        writeln!(o, "{inner}blk = if {r} != 0 {{ {then_b} }} else {{ {else_b} }};");
+                    let _ = writeln!(o, "{inner}true");
+                    let _ = writeln!(o, "{ind}}};");
+                    let _ = writeln!(o, "{ind}if !__nat {{");
+                    let v = self.expr(o, &inner, &mut n, *cond, &sp);
+                    let _ = writeln!(
+                        o,
+                        "{inner}blk = if ({v}).truthy() {{ {then_b} }} else {{ {else_b} }};"
+                    );
+                    let _ = writeln!(o, "{ind}}}");
+                } else {
+                    let _ = writeln!(o, "{ind}{{");
+                    let v = self.expr(o, &inner, &mut n, *cond, &sp);
+                    let _ = writeln!(
+                        o,
+                        "{inner}blk = if ({v}).truthy() {{ {then_b} }} else {{ {else_b} }};"
+                    );
+                    let _ = writeln!(o, "{ind}}}");
+                }
+                let _ = writeln!(o, "{ind}ip = 0;");
+            }
+            Term::JoinAnd { lo, hi, cont } => {
+                let _ = writeln!(o, "{ind}if !ctx.flags_set({lo}, {hi}) {{");
+                let _ = writeln!(o, "{ind}    return Ok(Step::Halt);");
+                let _ = writeln!(o, "{ind}}}");
+                let _ = writeln!(o, "{ind}blk = {cont};");
+                let _ = writeln!(o, "{ind}ip = 0;");
+            }
+            Term::TerminateProgram { value } => match value {
+                Some(rv) => {
+                    let mut n = 0u32;
+                    let _ = writeln!(o, "{ind}{{");
+                    let inner = format!("{ind}    ");
+                    let v = self.expr(o, &inner, &mut n, *rv, &sp);
+                    let _ = writeln!(o, "{inner}return Ok(Step::Terminate(({v}).as_int()));");
+                    let _ = writeln!(o, "{ind}}}");
+                }
+                None => {
+                    let _ = writeln!(o, "{ind}return Ok(Step::Terminate(None));");
+                }
+            },
+            Term::TerminateAsync { .. } => {
+                // async bodies are stepped by the machine's round-robin
+                // scheduler, never through native step — reaching this arm
+                // is the same internal error the interpreter raises
+                let _ = writeln!(
+                    o,
+                    "{ind}return Err(RuntimeError::new({sp}, \"internal error: async terminator reached from synchronous code\"));"
+                );
+            }
+        }
+    }
+
+    /// Lowers one interned expression to straight-line `let` bindings
+    /// appended to `o`, returning the name of the local holding the
+    /// result. This is the symbolic version of the interpreter's operand
+    /// stack: every value the postfix code would push becomes a named
+    /// local, consumed exactly once, in the same left-to-right
+    /// side-effect and error order.
+    fn expr(&self, o: &mut String, ind: &str, n: &mut u32, id: u32, sp: &str) -> String {
+        let code = self.p.flat.code_of(id);
+        self.expr_code(o, ind, n, code, sp)
+    }
+
+    fn expr_code(
+        &self,
+        o: &mut String,
+        ind: &str,
+        n: &mut u32,
+        code: &[FlatOp],
+        sp: &str,
+    ) -> String {
+        let mut st: Vec<String> = Vec::new();
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let op = &code[pc];
+            pc += 1;
+            match op {
+                FlatOp::Const(v) => self.bind(o, ind, n, &mut st, format!("Value::Int({v}i64)")),
+                FlatOp::Str(s) => {
+                    let k = self.str_index(s);
+                    self.bind(
+                        o,
+                        ind,
+                        n,
+                        &mut st,
+                        format!("Value::Str(Arc::clone(&self.strs[{k}]))"),
+                    );
+                }
+                FlatOp::Null => self.bind(o, ind, n, &mut st, "Value::Null".into()),
+                FlatOp::Slot(s) => self.bind(o, ind, n, &mut st, format!("ctx.slot({s})")),
+                FlatOp::AddrOf(s) => {
+                    self.bind(o, ind, n, &mut st, format!("Value::Ptr(Ptr::Data({s}))"));
+                }
+                FlatOp::EventVal(e) => {
+                    self.bind(o, ind, n, &mut st, format!("ctx.evt({})", e.index()));
+                }
+                FlatOp::CGlobal(name) => {
+                    self.bind(o, ind, n, &mut st, format!("ctx.global({name:?}, {sp})?"));
+                }
+                FlatOp::Un(op) => {
+                    let v = st.pop().expect("rsbackend: unary operand");
+                    self.bind(o, ind, n, &mut st, format!("un_op(UnOp::{op:?}, {v}, {sp})?"));
+                }
+                FlatOp::Bin(op) => {
+                    let b = st.pop().expect("rsbackend: rhs operand");
+                    let a = st.pop().expect("rsbackend: lhs operand");
+                    self.bind(
+                        o,
+                        ind,
+                        n,
+                        &mut st,
+                        format!("bin_op(BinOp::{op:?}, {a}, {b}, {sp})?"),
+                    );
+                }
+                FlatOp::ShortAnd(skip) | FlatOp::ShortOr(skip) => {
+                    // the skipped range is the self-contained right operand
+                    // (plus its trailing Truthy); lower it into the else arm
+                    let and = matches!(op, FlatOp::ShortAnd(_));
+                    let l = st.pop().expect("rsbackend: short-circuit lhs");
+                    let sub = &code[pc..pc + *skip as usize];
+                    pc += *skip as usize;
+                    let t = self.fresh(n);
+                    let (test, decided) =
+                        if and { ("!", "Value::Int(0)") } else { ("", "Value::Int(1)") };
+                    let _ = writeln!(o, "{ind}let {t} = if {test}({l}).truthy() {{");
+                    let _ = writeln!(o, "{ind}    {decided}");
+                    let _ = writeln!(o, "{ind}}} else {{");
+                    let inner = format!("{ind}    ");
+                    let r = self.expr_code(o, &inner, n, sub, sp);
+                    let _ = writeln!(o, "{inner}{r}");
+                    let _ = writeln!(o, "{ind}}};");
+                    st.push(t);
+                }
+                FlatOp::Truthy => {
+                    let v = st.pop().expect("rsbackend: truthy operand");
+                    self.bind(o, ind, n, &mut st, format!("Value::Int(({v}).truthy() as i64)"));
+                }
+                FlatOp::Index => {
+                    let i = st.pop().expect("rsbackend: index");
+                    let b = st.pop().expect("rsbackend: index base");
+                    self.bind(o, ind, n, &mut st, format!("ctx.index({b}, {i}, {sp})?"));
+                }
+                FlatOp::CCall { name, argc } => {
+                    let at = st.len() - *argc as usize;
+                    let args = st.split_off(at).join(", ");
+                    self.bind(o, ind, n, &mut st, format!("ctx.call({name:?}, &[{args}], {sp})?"));
+                }
+                FlatOp::Deref => {
+                    let v = st.pop().expect("rsbackend: deref operand");
+                    self.bind(o, ind, n, &mut st, format!("ctx.deref({v}, {sp})?"));
+                }
+                FlatOp::Field { name, arrow } => {
+                    let b = st.pop().expect("rsbackend: field base");
+                    self.bind(
+                        o,
+                        ind,
+                        n,
+                        &mut st,
+                        format!("ctx.field({b}, {name:?}, {arrow}, {sp})?"),
+                    );
+                }
+            }
+        }
+        st.pop().expect("rsbackend: expression result")
+    }
+
+    /// Emits the i64 fast path's entry guards: every distinct slot and
+    /// event-value operand of `code` is pattern-matched for `Value::Int`
+    /// (deduplicated, in first-occurrence order); any other runtime type
+    /// breaks out to the generic fallback. Hoisting the guards above the
+    /// computation is safe because loads have no side effects and the
+    /// fallback re-derives everything.
+    fn emit_int_guards(
+        &self,
+        o: &mut String,
+        ind: &str,
+        n: &mut u32,
+        code: &[FlatOp],
+        loads: &mut Vec<(IntLoad, String)>,
+    ) {
+        for op in code {
+            let key = match op {
+                FlatOp::Slot(s) => IntLoad::Slot(*s),
+                FlatOp::EventVal(e) => IntLoad::Evt(e.index() as u32),
+                _ => continue,
+            };
+            if loads.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let t = self.fresh_int(n);
+            let place = match key {
+                IntLoad::Slot(s) => format!("ctx.data[{s}usize]"),
+                IntLoad::Evt(e) => format!("ctx.evtval[{e}usize]"),
+            };
+            let _ =
+                writeln!(o, "{ind}let &Value::Int({t}) = &{place} else {{ break 'ifast false }};");
+            loads.push((key, t));
+        }
+    }
+
+    /// The i64 twin of [`expr_code`](Self::expr_code): same postfix walk,
+    /// same left-to-right order, but every operand is a plain `i64` local
+    /// and the operators are the `wrapping_*` bodies `bin_op`'s fast path
+    /// uses. Division/modulo by zero breaks out to the generic fallback,
+    /// which raises the real error.
+    fn int_expr_code(
+        &self,
+        o: &mut String,
+        ind: &str,
+        n: &mut u32,
+        code: &[FlatOp],
+        loads: &[(IntLoad, String)],
+    ) -> String {
+        let find = |key: IntLoad| {
+            loads
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, t)| t.clone())
+                .expect("guard emitted for every load")
+        };
+        let mut st: Vec<String> = Vec::new();
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let op = &code[pc];
+            pc += 1;
+            match op {
+                FlatOp::Const(v) => st.push(format!("{v}i64")),
+                FlatOp::Slot(s) => st.push(find(IntLoad::Slot(*s))),
+                FlatOp::EventVal(e) => st.push(find(IntLoad::Evt(e.index() as u32))),
+                FlatOp::Un(op) => {
+                    let v = st.pop().expect("rsbackend: unary operand");
+                    let rhs = match op {
+                        UnOp::Not => format!("(({v}) == 0) as i64"),
+                        UnOp::Neg => format!("({v}).wrapping_neg()"),
+                        UnOp::Plus => v,
+                        UnOp::BitNot => format!("!({v})"),
+                        UnOp::Addr | UnOp::Deref => unreachable!("int_pure excludes &/*"),
+                    };
+                    self.bind_int(o, ind, n, &mut st, rhs);
+                }
+                FlatOp::Bin(op) => {
+                    let b = st.pop().expect("rsbackend: rhs operand");
+                    let a = st.pop().expect("rsbackend: lhs operand");
+                    if matches!(op, BinOp::Div | BinOp::Mod) {
+                        // bind the divisor so the zero test and the
+                        // division see the same value
+                        let d = self.fresh_int(n);
+                        let _ = writeln!(o, "{ind}let {d} = {b};");
+                        let _ = writeln!(o, "{ind}if {d} == 0 {{ break 'ifast false }}");
+                        let call =
+                            if matches!(op, BinOp::Div) { "wrapping_div" } else { "wrapping_rem" };
+                        self.bind_int(o, ind, n, &mut st, format!("({a}).{call}({d})"));
+                        continue;
+                    }
+                    let rhs = match op {
+                        BinOp::Add => format!("({a}).wrapping_add({b})"),
+                        BinOp::Sub => format!("({a}).wrapping_sub({b})"),
+                        BinOp::Mul => format!("({a}).wrapping_mul({b})"),
+                        BinOp::Lt => format!("(({a}) < ({b})) as i64"),
+                        BinOp::Gt => format!("(({a}) > ({b})) as i64"),
+                        BinOp::Le => format!("(({a}) <= ({b})) as i64"),
+                        BinOp::Ge => format!("(({a}) >= ({b})) as i64"),
+                        BinOp::Eq => format!("(({a}) == ({b})) as i64"),
+                        BinOp::Ne => format!("(({a}) != ({b})) as i64"),
+                        BinOp::BitAnd => format!("({a}) & ({b})"),
+                        BinOp::BitOr => format!("({a}) | ({b})"),
+                        BinOp::BitXor => format!("({a}) ^ ({b})"),
+                        BinOp::Shl => format!("({a}).wrapping_shl(({b}) as u32)"),
+                        BinOp::Shr => format!("({a}).wrapping_shr(({b}) as u32)"),
+                        BinOp::Div | BinOp::Mod => unreachable!("handled above"),
+                        BinOp::And | BinOp::Or => unreachable!("int_pure excludes &&/||"),
+                    };
+                    self.bind_int(o, ind, n, &mut st, rhs);
+                }
+                FlatOp::ShortAnd(skip) | FlatOp::ShortOr(skip) => {
+                    let and = matches!(op, FlatOp::ShortAnd(_));
+                    let l = st.pop().expect("rsbackend: short-circuit lhs");
+                    let sub = &code[pc..pc + *skip as usize];
+                    pc += *skip as usize;
+                    let t = self.fresh_int(n);
+                    let (test, decided) = if and { ("==", "0i64") } else { ("!=", "1i64") };
+                    let _ = writeln!(o, "{ind}let {t} = if ({l}) {test} 0 {{");
+                    let _ = writeln!(o, "{ind}    {decided}");
+                    let _ = writeln!(o, "{ind}}} else {{");
+                    let inner = format!("{ind}    ");
+                    let r = self.int_expr_code(o, &inner, n, sub, loads);
+                    let _ = writeln!(o, "{inner}{r}");
+                    let _ = writeln!(o, "{ind}}};");
+                    st.push(t);
+                }
+                FlatOp::Truthy => {
+                    let v = st.pop().expect("rsbackend: truthy operand");
+                    self.bind_int(o, ind, n, &mut st, format!("(({v}) != 0) as i64"));
+                }
+                other => unreachable!("int_pure excludes {other:?}"),
+            }
+        }
+        st.pop().expect("rsbackend: expression result")
+    }
+
+    fn fresh_int(&self, n: &mut u32) -> String {
+        let t = format!("__i{n}");
+        *n += 1;
+        t
+    }
+
+    fn bind_int(&self, o: &mut String, ind: &str, n: &mut u32, st: &mut Vec<String>, rhs: String) {
+        let t = self.fresh_int(n);
+        let _ = writeln!(o, "{ind}let {t} = {rhs};");
+        st.push(t);
+    }
+
+    fn fresh(&self, n: &mut u32) -> String {
+        let t = format!("__t{n}");
+        *n += 1;
+        t
+    }
+
+    fn bind(&self, o: &mut String, ind: &str, n: &mut u32, st: &mut Vec<String>, rhs: String) {
+        let t = self.fresh(n);
+        let _ = writeln!(o, "{ind}let {t} = {rhs};");
+        st.push(t);
+    }
+}
+
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Spawn(_) => "Spawn",
+        Op::EmitInt { .. } => "EmitInt",
+        Op::EmitExt { .. } => "EmitExt",
+        Op::EmitOut { .. } => "EmitOut",
+        Op::EmitTime(_) => "EmitTime",
+        Op::ActivateAsync { .. } => "ActivateAsync",
+        Op::ClearRegion(_) => "ClearRegion",
+        Op::Assign { .. } => "Assign",
+        Op::Eval(_) => "Eval",
+        Op::ActivateEvt { .. } => "ActivateEvt",
+        Op::ActivateTime { .. } => "ActivateTime",
+        Op::ActivateNever { .. } => "ActivateNever",
+        Op::SetFlag(_) => "SetFlag",
+        Op::ClearFlags { .. } => "ClearFlags",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile_source;
+    use crate::rsbackend::emit_rust;
+
+    const SRC: &str = "input int A, B;\nint a, b, ret;\na = await A;\nb = await B;\nret = a + b;";
+
+    #[test]
+    fn emits_native_program_shape() {
+        let p = compile_source(SRC).unwrap();
+        let rs = emit_rust(&p);
+        assert!(rs.contains("impl NativeProgram for Program"), "trait impl:\n{rs}");
+        assert!(rs.contains("pub const FINGERPRINT: u64"), "baked fingerprint");
+        assert!(rs.contains("pub const GATE_CONT: &[u32]"), "baked dispatch table");
+        assert!(rs.contains("match blk"), "match-on-BlockId dispatch");
+        assert!(rs.contains("Step::Halt"), "halt terminator lowered");
+    }
+
+    #[test]
+    fn fingerprint_in_source_matches_program() {
+        let p = compile_source(SRC).unwrap();
+        let rs = emit_rust(&p);
+        assert!(rs.contains(&format!("{:#018x}", p.fingerprint())));
+    }
+
+    #[test]
+    fn scheduler_instructions_become_traps() {
+        let p =
+            compile_source("input void A, B;\npar do\n await A;\nwith\n await B;\nend").unwrap();
+        let rs = emit_rust(&p);
+        assert!(rs.contains("Step::Trap"), "spawns must trap to the interpreter:\n{rs}");
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        // same program → byte-identical source, twice over: once from the
+        // same artifact, once from an independent compile of the same
+        // source (guards dispatch-table iteration order)
+        let p1 = compile_source(SRC).unwrap();
+        let p2 = compile_source(SRC).unwrap();
+        let a = emit_rust(&p1);
+        assert_eq!(a, emit_rust(&p1), "same artifact must emit identically");
+        assert_eq!(a, emit_rust(&p2), "recompiled artifact must emit identically");
+        assert_eq!(p1.fingerprint(), p2.fingerprint(), "fingerprints must agree");
+    }
+
+    #[test]
+    fn short_circuit_lowers_to_branches() {
+        let p =
+            compile_source("input int A;\nint x, y;\nx = await A;\ny = x > 0 && x < 10;").unwrap();
+        let rs = emit_rust(&p);
+        assert!(rs.contains(".truthy() {"), "short-circuit must lower to a branch:\n{rs}");
+    }
+}

@@ -4,6 +4,7 @@
 //! ceuc check   <file.ceu>             # parse + analyses, report diagnostics
 //! ceuc fmt     <file.ceu>             # canonical formatting to stdout
 //! ceuc emit-c  <file.ceu>             # generated C (paper §4.4) to stdout
+//! ceuc emit-rust <file.ceu>           # native Rust backend (docs/NATIVE.md)
 //! ceuc dfa     <file.ceu>             # temporal-analysis DFA as Graphviz dot
 //! ceuc flow    <file.ceu>             # flow graph as Graphviz dot
 //! ceuc report  <file.ceu>             # ROM/RAM memory report (Table 1 analog)
@@ -164,7 +165,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN] [--blackbox PATH]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|emit-rust|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN] [--blackbox PATH]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -183,6 +184,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "emit-c" => {
             let p = compiler.compile(&src).map_err(|e| e.to_string())?;
             println!("{}", ceu::codegen::cbackend::emit_c(&p));
+            Ok(ExitCode::SUCCESS)
+        }
+        "emit-rust" => {
+            let p = compiler.compile(&src).map_err(|e| e.to_string())?;
+            println!("{}", ceu::codegen::rsbackend::emit_rust(&p));
             Ok(ExitCode::SUCCESS)
         }
         "dfa" => {

@@ -1,6 +1,13 @@
 //! The Céu sources of the Table-1 applications (the paper ported four
 //! preexisting nesC applications; the nesC-analog counterparts live in
-//! `wsn_sim::nesc`), plus the Table-2 responsiveness programs.
+//! `wsn_sim::nesc`), plus the Table-2 responsiveness programs and the
+//! bench workloads.
+//!
+//! This is a zero-dependency leaf crate so that *build scripts* can
+//! depend on it too: `crates/native-corpus` AOT-compiles every program
+//! here to Rust at build time (see `ceu_codegen::rsbackend`), and the
+//! bench/test crates consume both this crate and the generated native
+//! code without a dependency cycle.
 
 /// Blink: three leds at three periods. The three timers coincide at every
 /// second, so the toggles must be declared mutually deterministic.
@@ -87,6 +94,7 @@ pub fn receiver_ceu(loops: usize) -> String {
 }
 
 /// §2.6 nondeterministic program of Figure 2 (2-await vs 3-await loops).
+/// Refused by the checked compiler — not part of [`all_programs`].
 pub const FIG2_PROGRAM: &str = r#"
     input void A;
     int v;
@@ -190,35 +198,63 @@ pub const BLINK_SYNC_CEU: &str = r#"
     end
 "#;
 
+/// Expression-heavy reaction loop — the `bench_regression` latency
+/// workload (exercises the flat evaluator / native expression lowering).
+pub const EXPR_HEAVY: &str = r#"
+    input int E;
+    int v, acc;
+    loop do
+       v = await E;
+       v = (v + (2 * 3)) * 1 + 0;
+       v = v + (10 - 2 - 3) * (1 + 1);
+       v = (v * 1 + 0) + (4 / 2) + (7 % 4);
+       v = v + (1 * (2 + 2) - 0) + (v * 0);
+       acc = acc + v;
+    end
+"#;
+
+/// Every checked-compilable corpus program, by stable name — the set the
+/// differential tests iterate and `crates/native-corpus` AOT-compiles.
+pub fn all_programs() -> Vec<(&'static str, String)> {
+    vec![
+        ("blink", BLINK_CEU.to_string()),
+        ("sense", SENSE_CEU.to_string()),
+        ("client", CLIENT_CEU.to_string()),
+        ("server", SERVER_CEU.to_string()),
+        ("guiding", GUIDING_EXAMPLE.to_string()),
+        ("fig1", FIG1_PROGRAM.to_string()),
+        ("dataflow", DATAFLOW_CHAIN.to_string()),
+        ("blink_sync", BLINK_SYNC_CEU.to_string()),
+        ("receiver0", receiver_ceu(0)),
+        ("receiver5", receiver_ceu(5)),
+        ("expr_heavy", EXPR_HEAVY.to_string()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn all_corpus_programs_compile_checked() {
-        for (name, src) in [
-            ("blink", BLINK_CEU),
-            ("sense", SENSE_CEU),
-            ("client", CLIENT_CEU),
-            ("server", SERVER_CEU),
-            ("guiding", GUIDING_EXAMPLE),
-            ("fig1", FIG1_PROGRAM),
-            ("dataflow", DATAFLOW_CHAIN),
-            ("blink_sync", BLINK_SYNC_CEU),
-        ] {
+        for (name, src) in all_programs() {
             ceu::Compiler::new()
-                .compile(src)
+                .compile(&src)
                 .unwrap_or_else(|e| panic!("{name} must pass the analyses: {e}"));
-        }
-        for loops in [0, 5] {
-            ceu::Compiler::new()
-                .compile(&receiver_ceu(loops))
-                .unwrap_or_else(|e| panic!("receiver({loops}): {e}"));
         }
     }
 
     #[test]
     fn fig2_program_is_refused_as_the_paper_says() {
         assert!(ceu::Compiler::new().compile(FIG2_PROGRAM).is_err());
+    }
+
+    #[test]
+    fn program_names_are_unique() {
+        let names: Vec<_> = all_programs().into_iter().map(|(n, _)| n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
     }
 }

@@ -1,0 +1,25 @@
+//! AOT step: compile every corpus program (both unoptimized and
+//! optimized artifacts) and emit native Rust for each via
+//! `ceu_codegen::rsbackend::emit_rust`. The crate's `lib.rs` `include!`s
+//! the generated files, so `cargo build` is the whole toolchain — no
+//! dlopen, no external codegen invocation.
+
+use std::env;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = env::var("OUT_DIR").expect("OUT_DIR set by cargo");
+    for (name, src) in ceu_corpus::all_programs() {
+        for (suffix, optimized) in [("raw", false), ("opt", true)] {
+            let compiler =
+                if optimized { ceu::Compiler::new() } else { ceu::Compiler::unoptimized() };
+            let prog = compiler
+                .compile(&src)
+                .unwrap_or_else(|e| panic!("corpus program {name} must compile: {e}"));
+            let rs = ceu::codegen::rsbackend::emit_rust(&prog);
+            let path = Path::new(&out_dir).join(format!("{name}_{suffix}.rs"));
+            fs::write(&path, rs).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        }
+    }
+}

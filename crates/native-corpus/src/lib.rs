@@ -1,0 +1,136 @@
+//! Native (AOT Rust) builds of the whole corpus, generated at build time
+//! by `build.rs` via `ceu_codegen::rsbackend::emit_rust` — the
+//! generated-crate harness the ISSUE's "compile-and-run emitted code
+//! in-process" path uses. Each program exists twice: `*_raw` from the
+//! unoptimized artifact and `*_opt` from the optimized one (the two have
+//! different fingerprints — the optimizer rewrites flat code and blocks).
+//!
+//! Consumers attach a program with
+//! `Machine::set_native(lookup(name, optimized).unwrap())`; the
+//! fingerprint check at attach time guarantees the generated code matches
+//! the artifact the machine is running.
+
+use ceu_runtime::NativeProgram;
+use std::sync::Arc;
+
+// Each generated file is wrapped in its own module with warnings and
+// clippy silenced via inner attributes — generated code is not held to
+// the workspace's `-D warnings` style bar.
+macro_rules! native_mod {
+    ($m:ident, $f:literal) => {
+        pub mod $m {
+            #![allow(
+                dead_code,
+                unused_variables,
+                unused_mut,
+                unused_assignments,
+                unused_imports,
+                unused_labels,
+                unused_parens,
+                unreachable_code,
+                unreachable_patterns,
+                clippy::all
+            )]
+            include!(concat!(env!("OUT_DIR"), concat!("/", $f)));
+        }
+    };
+}
+
+native_mod!(blink_raw, "blink_raw.rs");
+native_mod!(blink_opt, "blink_opt.rs");
+native_mod!(sense_raw, "sense_raw.rs");
+native_mod!(sense_opt, "sense_opt.rs");
+native_mod!(client_raw, "client_raw.rs");
+native_mod!(client_opt, "client_opt.rs");
+native_mod!(server_raw, "server_raw.rs");
+native_mod!(server_opt, "server_opt.rs");
+native_mod!(guiding_raw, "guiding_raw.rs");
+native_mod!(guiding_opt, "guiding_opt.rs");
+native_mod!(fig1_raw, "fig1_raw.rs");
+native_mod!(fig1_opt, "fig1_opt.rs");
+native_mod!(dataflow_raw, "dataflow_raw.rs");
+native_mod!(dataflow_opt, "dataflow_opt.rs");
+native_mod!(blink_sync_raw, "blink_sync_raw.rs");
+native_mod!(blink_sync_opt, "blink_sync_opt.rs");
+native_mod!(receiver0_raw, "receiver0_raw.rs");
+native_mod!(receiver0_opt, "receiver0_opt.rs");
+native_mod!(receiver5_raw, "receiver5_raw.rs");
+native_mod!(receiver5_opt, "receiver5_opt.rs");
+native_mod!(expr_heavy_raw, "expr_heavy_raw.rs");
+native_mod!(expr_heavy_opt, "expr_heavy_opt.rs");
+
+/// Stable names of every program in this crate (the `ceu-corpus` names).
+pub const NAMES: &[&str] = &[
+    "blink",
+    "sense",
+    "client",
+    "server",
+    "guiding",
+    "fig1",
+    "dataflow",
+    "blink_sync",
+    "receiver0",
+    "receiver5",
+    "expr_heavy",
+];
+
+/// The native build of a corpus program: `optimized` selects the
+/// artifact the code was emitted from (`Compiler::new()` vs
+/// `Compiler::unoptimized()`). `None` for unknown names.
+pub fn lookup(name: &str, optimized: bool) -> Option<Arc<dyn NativeProgram>> {
+    Some(match (name, optimized) {
+        ("blink", false) => Arc::new(blink_raw::program()),
+        ("blink", true) => Arc::new(blink_opt::program()),
+        ("sense", false) => Arc::new(sense_raw::program()),
+        ("sense", true) => Arc::new(sense_opt::program()),
+        ("client", false) => Arc::new(client_raw::program()),
+        ("client", true) => Arc::new(client_opt::program()),
+        ("server", false) => Arc::new(server_raw::program()),
+        ("server", true) => Arc::new(server_opt::program()),
+        ("guiding", false) => Arc::new(guiding_raw::program()),
+        ("guiding", true) => Arc::new(guiding_opt::program()),
+        ("fig1", false) => Arc::new(fig1_raw::program()),
+        ("fig1", true) => Arc::new(fig1_opt::program()),
+        ("dataflow", false) => Arc::new(dataflow_raw::program()),
+        ("dataflow", true) => Arc::new(dataflow_opt::program()),
+        ("blink_sync", false) => Arc::new(blink_sync_raw::program()),
+        ("blink_sync", true) => Arc::new(blink_sync_opt::program()),
+        ("receiver0", false) => Arc::new(receiver0_raw::program()),
+        ("receiver0", true) => Arc::new(receiver0_opt::program()),
+        ("receiver5", false) => Arc::new(receiver5_raw::program()),
+        ("receiver5", true) => Arc::new(receiver5_opt::program()),
+        ("expr_heavy", false) => Arc::new(expr_heavy_raw::program()),
+        ("expr_heavy", true) => Arc::new(expr_heavy_opt::program()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_both_variants() {
+        for name in NAMES {
+            for optimized in [false, true] {
+                let p = lookup(name, optimized)
+                    .unwrap_or_else(|| panic!("{name} (optimized={optimized}) missing"));
+                assert_ne!(p.fingerprint(), 0, "{name} fingerprint must be baked");
+            }
+        }
+        assert!(lookup("nope", true).is_none());
+    }
+
+    #[test]
+    fn optimized_artifact_gets_its_own_fingerprint() {
+        // the fingerprint hashes the flat pool, so a program the
+        // optimizer rewrites (expr_heavy is all foldable arithmetic)
+        // yields different raw/opt emissions — attaching the stale one
+        // to a machine running the other artifact must be refused.
+        // Programs the optimizer leaves untouched legitimately share a
+        // fingerprint: the artifacts are identical.
+        let raw = lookup("expr_heavy", false).unwrap();
+        let opt = lookup("expr_heavy", true).unwrap();
+        assert_ne!(raw.fingerprint(), opt.fingerprint());
+    }
+}

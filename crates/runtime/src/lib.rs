@@ -8,6 +8,7 @@
 pub mod error;
 pub mod host;
 pub mod machine;
+pub mod native;
 pub mod telemetry;
 pub mod trace;
 pub mod value;
@@ -15,6 +16,7 @@ pub mod value;
 pub use error::{Result, RuntimeError};
 pub use host::{Host, HostResult, NullHost, RecordingHost};
 pub use machine::{Machine, Status};
+pub use native::{NativeCtx, NativeProgram, Step};
 pub use telemetry::{
     render_hot_statements, BlockProfile, ChromeTraceSink, FlightRecord, FlightRecorder, Histogram,
     JsonLinesSink, Metrics, ReactionSpan, SpanCollector, TextSink, TraceFormat, TraceSink,

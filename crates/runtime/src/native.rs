@@ -1,0 +1,403 @@
+//! The native execution backend's runtime half.
+//!
+//! `ceu-codegen`'s Rust backend (`rsbackend::emit_rust`) lowers a
+//! `CompiledProgram`'s flat blocks to straight-line Rust source; building
+//! that source produces an implementation of [`NativeProgram`] that a
+//! [`Machine`](crate::Machine) can step *instead of* interpreting the
+//! block instructions (see [`Machine::set_native`](crate::Machine::set_native)).
+//!
+//! The contract is **trap-and-resume**: the scheduler — track queue,
+//! gates, timers, regions, asyncs, internal-event stack policy — stays in
+//! the machine. Generated code runs the *data plane* (assignments,
+//! expression evaluation, gate arming, par/and flags) at native speed and
+//! returns a [`Step`] whenever an instruction needs scheduler state it
+//! cannot see: the machine interprets exactly that one instruction via its
+//! ordinary `exec` path and resumes the native block at the next
+//! instruction. Semantics therefore cannot drift: every scheduler-visible
+//! effect runs through the same interpreter code, and the arithmetic both
+//! sides use lives here, in [`bin_op`]/[`un_op`], shared by the flat
+//! interpreter and every emitted program.
+//!
+//! The flat interpreter remains the differential oracle — the corpus
+//! equivalence test drives tree, flat, and native lanes over identical
+//! schedules and asserts observational identity (see docs/NATIVE.md).
+
+use crate::error::{Result, RuntimeError};
+use crate::host::Host;
+use crate::value::{Ptr, Value};
+// Re-exported so emitted code (and its generated-crate harness) only
+// needs a `ceu-runtime` dependency.
+pub use ceu_ast::{BinOp, Span, UnOp};
+
+/// What a native step produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The track yielded to the scheduler (`Term::Halt`, or a par/and
+    /// join whose flags are not all set).
+    Halt,
+    /// Top-level `return` — the machine terminates the program.
+    Terminate(Option<i64>),
+    /// Instruction `ip` of `block` needs the scheduler (spawn, emit,
+    /// region kill, async start): the machine interprets that single
+    /// instruction and resumes native execution at `ip + 1`.
+    Trap { block: u32, ip: u32 },
+    /// The shared reaction budget ran out mid-chain — the machine raises
+    /// the same watchdog error the interpreter would.
+    OutOfFuel,
+}
+
+/// An AOT-compiled program: one `step` entry point over the same block
+/// graph the interpreter walks. Implementations are emitted by
+/// `ceu_codegen::rsbackend::emit_rust` and must be built from the *same*
+/// `CompiledProgram` the machine runs ([`Machine::set_native`]
+/// (crate::Machine::set_native) enforces this via [`fingerprint`]
+/// (NativeProgram::fingerprint)).
+pub trait NativeProgram: Send + Sync {
+    /// Stable identity of the `CompiledProgram` this code was emitted
+    /// from (`CompiledProgram::fingerprint()` at emission time).
+    fn fingerprint(&self) -> u64;
+
+    /// Per-gate continuation blocks, baked as a `const` table at emission
+    /// time. Used as a structural cross-check when the program is
+    /// attached; not consulted on the hot path.
+    fn gate_conts(&self) -> &'static [u32];
+
+    /// Runs block `block` from instruction `ip` (0 for a fresh entry,
+    /// `trap.ip + 1` when resuming), chasing gotos natively, until the
+    /// track halts, terminates, traps, or exhausts the fuel.
+    fn step(&self, block: u32, ip: u32, ctx: &mut NativeCtx<'_>) -> Result<Step>;
+}
+
+/// The mutable machine state a native step may touch, lent via split
+/// borrows for the duration of one [`NativeProgram::step`] call. The
+/// scheduler structures (track queue, async table, clear log, pending
+/// input) are deliberately absent — instructions that need them trap.
+pub struct NativeCtx<'a> {
+    /// The data slot vector (read/write).
+    pub data: &'a mut [Value],
+    /// Last value carried by each event (read-only: emits trap).
+    pub evtval: &'a [Value],
+    /// Gate activation vector (the `Activate*` ops arm gates directly).
+    pub gate_active: &'a mut [bool],
+    /// Absolute timer deadlines, indexed by gate.
+    pub deadline: &'a mut [u64],
+    /// The machine's logical "now" (µs).
+    pub now: u64,
+    /// Logical time base of the running track (timer chains, §2.3).
+    pub base: Option<u64>,
+    /// Shared reaction budget: decremented once per block entered, like
+    /// the interpreter's per-track budget.
+    pub fuel: &'a mut u32,
+    /// The C world.
+    pub host: &'a mut dyn Host,
+}
+
+impl NativeCtx<'_> {
+    /// Read a data slot (`FlatOp::Slot`).
+    #[inline]
+    pub fn slot(&self, s: u32) -> Value {
+        self.data[s as usize].clone()
+    }
+
+    /// Write a data slot (`Place::Slot`, `Op::SetFlag`).
+    #[inline]
+    pub fn set_slot(&mut self, s: u32, v: Value) {
+        self.data[s as usize] = v;
+    }
+
+    /// Read an event's last value (`FlatOp::EventVal`).
+    #[inline]
+    pub fn evt(&self, e: usize) -> Value {
+        self.evtval[e].clone()
+    }
+
+    /// Read a C global (`FlatOp::CGlobal`).
+    #[inline]
+    pub fn global(&mut self, name: &str, span: Span) -> Result<Value> {
+        self.host.global(name).map_err(|e| RuntimeError::new(span, e))
+    }
+
+    /// Call into the C world (`FlatOp::CCall`).
+    #[inline]
+    pub fn call(&mut self, name: &str, args: &[Value], span: Span) -> Result<Value> {
+        self.host.call(name, args).map_err(|e| RuntimeError::new(span, e))
+    }
+
+    /// `base[idx]` (`FlatOp::Index`) — same data/host split as the
+    /// interpreter.
+    #[inline]
+    pub fn index(&mut self, base: Value, idx: Value, span: Span) -> Result<Value> {
+        let i = idx.as_int().ok_or_else(|| RuntimeError::new(span, "index must be an integer"))?;
+        match base {
+            Value::Ptr(Ptr::Data(a)) => {
+                let at = a as i64 + i;
+                self.data
+                    .get(at as usize)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::new(span, "index out of bounds"))
+            }
+            other => self.host.index(&other, i).map_err(|e| RuntimeError::new(span, e)),
+        }
+    }
+
+    /// `*p` (`FlatOp::Deref`).
+    #[inline]
+    pub fn deref(&mut self, v: Value, span: Span) -> Result<Value> {
+        match v {
+            Value::Ptr(Ptr::Data(a)) => self
+                .data
+                .get(a)
+                .cloned()
+                .ok_or_else(|| RuntimeError::new(span, "dangling data pointer")),
+            Value::Ptr(Ptr::Host(h)) => self.host.deref(h).map_err(|e| RuntimeError::new(span, e)),
+            other => Err(RuntimeError::new(span, format!("cannot dereference {other}"))),
+        }
+    }
+
+    /// `base.f` / `base->f` (`FlatOp::Field`).
+    #[inline]
+    pub fn field(&mut self, base: Value, name: &str, arrow: bool, span: Span) -> Result<Value> {
+        self.host.field(&base, name, arrow).map_err(|e| RuntimeError::new(span, e))
+    }
+
+    /// `arr[idx] = v` (`Place::Index`).
+    #[inline]
+    pub fn store_index(&mut self, s: u32, idx: Value, v: Value, span: Span) -> Result<()> {
+        let i = idx.as_int().ok_or_else(|| RuntimeError::new(span, "index must be an integer"))?;
+        let at = s as i64 + i;
+        let slot = self
+            .data
+            .get_mut(at as usize)
+            .ok_or_else(|| RuntimeError::new(span, "index out of bounds"))?;
+        *slot = v;
+        Ok(())
+    }
+
+    /// `*p = v` (`Place::Deref`).
+    #[inline]
+    pub fn store_deref(&mut self, target: Value, v: Value, span: Span) -> Result<()> {
+        match target {
+            Value::Ptr(Ptr::Data(a)) => {
+                let slot = self
+                    .data
+                    .get_mut(a)
+                    .ok_or_else(|| RuntimeError::new(span, "dangling data pointer"))?;
+                *slot = v;
+                Ok(())
+            }
+            Value::Ptr(Ptr::Host(h)) => {
+                self.host.store(h, v).map_err(|e| RuntimeError::new(span, e))
+            }
+            other => Err(RuntimeError::new(span, format!("cannot store through {other}"))),
+        }
+    }
+
+    /// Arm an event / `await forever` gate (`Op::ActivateEvt` /
+    /// `Op::ActivateNever`).
+    #[inline]
+    pub fn arm(&mut self, g: u32) {
+        self.gate_active[g as usize] = true;
+    }
+
+    /// Arm a timer gate: the deadline accumulates from the track's
+    /// logical base (residual-delta semantics, §2.3).
+    #[inline]
+    pub fn arm_time(&mut self, g: u32, us: u64) {
+        self.deadline[g as usize] = self.base.unwrap_or(self.now) + us;
+        self.gate_active[g as usize] = true;
+    }
+
+    /// Reset a par/and's completion flags (`Op::ClearFlags`).
+    #[inline]
+    pub fn clear_flags(&mut self, lo: u32, hi: u32) {
+        for s in lo..hi {
+            self.data[s as usize] = Value::Int(0);
+        }
+    }
+
+    /// `Term::JoinAnd`'s test: all completion flags in `[lo, hi)` set.
+    #[inline]
+    pub fn flags_set(&self, lo: u32, hi: u32) -> bool {
+        (lo..hi).all(|s| self.data[s as usize].truthy())
+    }
+}
+
+/// A computed timer duration (`TimeAmount::Dyn`) coerced to µs — the
+/// interpreter's `eval_time` semantics.
+#[inline]
+pub fn time_value(v: Value, span: Span) -> Result<u64> {
+    let n = v.as_int().ok_or_else(|| RuntimeError::new(span, "timeout must be an integer"))?;
+    Ok(n.max(0) as u64)
+}
+
+/// Unary operator semantics — the single definition shared by the flat
+/// interpreter, the tree-eval oracle, and emitted native code. Like
+/// [`bin_op`], the integer fast path is forced inline and everything
+/// that can format an error stays out of line.
+#[inline(always)]
+pub fn un_op(op: UnOp, v: Value, span: Span) -> Result<Value> {
+    if let Value::Int(x) = v {
+        let v = match op {
+            UnOp::Not => (x == 0) as i64,
+            UnOp::Neg => x.wrapping_neg(),
+            UnOp::Plus => x,
+            UnOp::BitNot => !x,
+            UnOp::Addr | UnOp::Deref => return un_op_slow(op, v, span),
+        };
+        return Ok(Value::Int(v));
+    }
+    un_op_slow(op, v, span)
+}
+
+/// The non-integer cases of [`un_op`] (truthiness of pointers/strings,
+/// every error).
+#[cold]
+fn un_op_slow(op: UnOp, v: Value, span: Span) -> Result<Value> {
+    let int = |v: &Value| {
+        v.as_int().ok_or_else(|| RuntimeError::new(span, format!("expected integer, got {v}")))
+    };
+    Ok(match op {
+        UnOp::Not => Value::Int(!v.truthy() as i64),
+        UnOp::Neg => Value::Int(-int(&v)?),
+        UnOp::Plus => Value::Int(int(&v)?),
+        UnOp::BitNot => Value::Int(!int(&v)?),
+        UnOp::Addr | UnOp::Deref => {
+            return Err(RuntimeError::new(span, "internal error: unlowered &/*"))
+        }
+    })
+}
+
+/// Binary operator semantics — wrapping integer arithmetic, C equality
+/// (`null == 0`), data-pointer offsetting, division/modulo-by-zero
+/// errors. The single definition shared by the flat interpreter, the
+/// tree-eval oracle, and emitted native code.
+///
+/// The int×int fast path is forced inline — emitted code calls this with
+/// a constant `op`, so after inlining each call collapses to one machine
+/// instruction — while the pointer/equality/error cases stay out of line
+/// (`#[cold]`): their `format!` machinery is what made LLVM refuse to
+/// inline the original single-body version at every generated call site.
+#[inline(always)]
+pub fn bin_op(op: BinOp, a: Value, b: Value, span: Span) -> Result<Value> {
+    use BinOp::*;
+    if let (Value::Int(x), Value::Int(y)) = (&a, &b) {
+        let (x, y) = (*x, *y);
+        let v = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            // division by zero errors on the slow path
+            Div if y != 0 => x.wrapping_div(y),
+            Mod if y != 0 => x.wrapping_rem(y),
+            Lt => (x < y) as i64,
+            Gt => (x > y) as i64,
+            Le => (x <= y) as i64,
+            Ge => (x >= y) as i64,
+            // `c_eq` on two ints is plain equality
+            Eq => (x == y) as i64,
+            Ne => (x != y) as i64,
+            BitAnd => x & y,
+            BitOr => x | y,
+            BitXor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            _ => return bin_op_slow(op, a, b, span),
+        };
+        return Ok(Value::Int(v));
+    }
+    bin_op_slow(op, a, b, span)
+}
+
+/// The non-int×int cases of [`bin_op`]: pointer offsetting, C equality
+/// against null/strings, and every error.
+#[cold]
+fn bin_op_slow(op: BinOp, a: Value, b: Value, span: Span) -> Result<Value> {
+    use BinOp::*;
+    // pointer arithmetic: data pointers offset by integers
+    if let (Value::Ptr(Ptr::Data(base)), Value::Int(i)) = (&a, &b) {
+        match op {
+            Add => return Ok(Value::Ptr(Ptr::Data((*base as i64 + i) as usize))),
+            Sub => return Ok(Value::Ptr(Ptr::Data((*base as i64 - i) as usize))),
+            _ => {}
+        }
+    }
+    match op {
+        Eq => return Ok(Value::Int(a.c_eq(&b) as i64)),
+        Ne => return Ok(Value::Int(!a.c_eq(&b) as i64)),
+        _ => {}
+    }
+    let (x, y) = match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(RuntimeError::new(
+                span,
+                format!("operator `{}` needs integers, got {a} and {b}", op.symbol()),
+            ))
+        }
+    };
+    let v = match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Div => {
+            if y == 0 {
+                return Err(RuntimeError::new(span, "division by zero"));
+            }
+            x.wrapping_div(y)
+        }
+        Mod => {
+            if y == 0 {
+                return Err(RuntimeError::new(span, "modulo by zero"));
+            }
+            x.wrapping_rem(y)
+        }
+        Lt => (x < y) as i64,
+        Gt => (x > y) as i64,
+        Le => (x <= y) as i64,
+        Ge => (x >= y) as i64,
+        BitAnd => x & y,
+        BitOr => x | y,
+        BitXor => x ^ y,
+        Shl => x.wrapping_shl(y as u32),
+        Shr => x.wrapping_shr(y as u32),
+        And | Or | Eq | Ne => unreachable!("handled above"),
+    };
+    Ok(Value::Int(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_op_matches_c_semantics() {
+        let sp = Span::default();
+        assert_eq!(bin_op(BinOp::Add, Value::Int(2), Value::Int(3), sp).unwrap(), Value::Int(5));
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Int(i64::MAX), Value::Int(1), sp).unwrap(),
+            Value::Int(i64::MIN),
+            "arithmetic wraps"
+        );
+        assert_eq!(bin_op(BinOp::Eq, Value::Null, Value::Int(0), sp).unwrap(), Value::Int(1));
+        assert!(bin_op(BinOp::Div, Value::Int(1), Value::Int(0), sp).is_err());
+        assert_eq!(
+            bin_op(BinOp::Add, Value::Ptr(Ptr::Data(4)), Value::Int(2), sp).unwrap(),
+            Value::Ptr(Ptr::Data(6)),
+            "data pointers offset by integers"
+        );
+    }
+
+    #[test]
+    fn un_op_matches_c_semantics() {
+        let sp = Span::default();
+        assert_eq!(un_op(UnOp::Not, Value::Int(0), sp).unwrap(), Value::Int(1));
+        assert_eq!(un_op(UnOp::Neg, Value::Null, sp).unwrap(), Value::Int(0));
+        assert!(un_op(UnOp::Neg, Value::from("s"), sp).is_err());
+    }
+
+    #[test]
+    fn time_value_clamps_negative_durations() {
+        assert_eq!(time_value(Value::Int(-3), Span::default()).unwrap(), 0);
+        assert!(time_value(Value::from("s"), Span::default()).is_err());
+    }
+}
