@@ -8,9 +8,14 @@
 //! * every failure surfaces as a `RuntimeError` with a message (and,
 //!   for host-call failures inside program code, a source span);
 //! * after an error the machine can be re-minted from the shared
-//!   artifact and driven on — the reboot path the WSN world relies on.
+//!   artifact and driven on — the reboot path the WSN world relies on;
+//! * the AOT-compiled native backend (`Machine::set_native`) degrades
+//!   *identically*: the same seeds produce the same errors (message,
+//!   span, classification) and the same host-call stream as the
+//!   interpreter, with `native_steps() > 0` proving the native path
+//!   actually ran (no silent fallback).
 
-use ceu::runtime::{Host, HostResult, Machine, RuntimeError, Value};
+use ceu::runtime::{Host, HostResult, Machine, NativeProgram, RuntimeError, Value};
 use ceu_bench::{
     receiver_ceu, BLINK_CEU, BLINK_SYNC_CEU, CLIENT_CEU, DATAFLOW_CHAIN, FIG1_PROGRAM,
     GUIDING_EXAMPLE, SENSE_CEU, SERVER_CEU,
@@ -81,18 +86,30 @@ fn corpus() -> Vec<(&'static str, String)> {
 }
 
 /// One soak run: `steps` random actions against one program. Returns
-/// the errors observed plus the number of host calls reached; panics
-/// only if the machine layer itself does.
+/// the errors observed, the number of host calls reached, and the
+/// cumulative native step count (0 on the interpreter lane); panics
+/// only if the machine layer itself does. When `native` is given, it is
+/// re-attached after every re-mint — the reboot path must not silently
+/// fall back to the interpreter either.
 fn soak(
     name: &str,
     prog: &Arc<ceu::CompiledProgram>,
+    native: Option<&Arc<dyn NativeProgram>>,
     seed: u64,
     steps: u32,
-) -> (Vec<RuntimeError>, u64) {
+) -> (Vec<RuntimeError>, u64, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut host = FlakyHost::new(seed ^ 0x5eed, 0.08);
     let mut errors = Vec::new();
-    let mut m = Machine::from_arc(Arc::clone(prog));
+    let mint = || {
+        let mut m = Machine::from_arc(Arc::clone(prog));
+        if let Some(n) = native {
+            m.set_native(Arc::clone(n)).unwrap_or_else(|e| panic!("{name}: set_native: {e}"));
+        }
+        m
+    };
+    let mut native_steps = 0u64;
+    let mut m = mint();
 
     let external: Vec<_> = (0..prog.events.len())
         .filter_map(|i| {
@@ -101,21 +118,26 @@ fn soak(
         })
         .collect();
 
-    let note =
-        |r: Result<ceu::Status, RuntimeError>, m: &mut Machine, errors: &mut Vec<RuntimeError>| {
-            if let Err(e) = r {
-                assert!(!e.message.is_empty(), "{name}/{seed}: error without a message");
-                errors.push(e);
-                // graceful-degradation reboot: fresh machine, same artifact
-                *m = Machine::from_arc(Arc::clone(prog));
-            }
-        };
+    let note = |r: Result<ceu::Status, RuntimeError>,
+                m: &mut Machine,
+                errors: &mut Vec<RuntimeError>,
+                native_steps: &mut u64| {
+        if let Err(e) = r {
+            assert!(!e.message.is_empty(), "{name}/{seed}: error without a message");
+            errors.push(e);
+            // graceful-degradation reboot: fresh machine, same artifact
+            // (and the native program re-attached, when on that lane)
+            *native_steps += m.native_steps();
+            *m = mint();
+        }
+    };
 
-    note(m.go_init(&mut host), &mut m, &mut errors);
+    note(m.go_init(&mut host), &mut m, &mut errors, &mut native_steps);
     for _ in 0..steps {
         if m.status().is_terminated() {
-            m = Machine::from_arc(Arc::clone(prog));
-            note(m.go_init(&mut host), &mut m, &mut errors);
+            native_steps += m.native_steps();
+            m = mint();
+            note(m.go_init(&mut host), &mut m, &mut errors, &mut native_steps);
         }
         match rng.gen_range(0u32..10) {
             // junk-valued external events (most common action)
@@ -128,7 +150,7 @@ fn soak(
                         3 => Some(Value::Int(rng.gen_range(-1_000_000i64..1_000_000))),
                         _ => Some(Value::Ptr(ceu::runtime::Ptr::Host(rng.gen_range(0u64..4)))),
                     };
-                    note(m.go_event(ev, v, &mut host), &mut m, &mut errors);
+                    note(m.go_event(ev, v, &mut host), &mut m, &mut errors, &mut native_steps);
                 }
             }
             // time jumps: tiny, past every corpus period, or huge
@@ -138,7 +160,7 @@ fn soak(
                     1 => rng.gen_range(1_000u64..2_000_000),
                     _ => rng.gen_range(0u64..60_000_000),
                 };
-                note(m.go_time(m.now() + dt, &mut host), &mut m, &mut errors);
+                note(m.go_time(m.now() + dt, &mut host), &mut m, &mut errors, &mut native_steps);
             }
             // bounded async slices
             _ => {
@@ -147,7 +169,7 @@ fn soak(
                         Ok(true) => {}
                         Ok(false) => break,
                         Err(e) => {
-                            note(Err(e), &mut m, &mut errors);
+                            note(Err(e), &mut m, &mut errors, &mut native_steps);
                             break;
                         }
                     }
@@ -155,7 +177,8 @@ fn soak(
             }
         }
     }
-    (errors, host.calls)
+    native_steps += m.native_steps();
+    (errors, host.calls, native_steps)
 }
 
 #[test]
@@ -167,7 +190,7 @@ fn random_soak_never_panics_and_errors_are_spanned() {
         let prog =
             Arc::new(ceu::Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
         for seed in [1u64, 7, 42, 1234] {
-            let (errors, calls) = soak(name, &prog, seed, 400);
+            let (errors, calls, _) = soak(name, &prog, None, seed, 400);
             total_errors += errors.len();
             spanned_errors += errors.iter().filter(|e| e.span != ceu_ast::Span::default()).count();
             host_calls += calls;
@@ -179,4 +202,48 @@ fn random_soak_never_panics_and_errors_are_spanned() {
     assert!(host_calls > 0, "the soak never reached the host");
     assert!(total_errors > 0, "the flaky host never tripped a single error");
     assert!(spanned_errors > 0, "no error carried a source span");
+}
+
+/// The native lane of the same soak: for every corpus program with an
+/// AOT-emitted twin, junk events, wild time jumps, and induced host
+/// failures must produce *exactly* the interpreter's behavior — same
+/// error list (message, span, watchdog/fuel classification), same
+/// host-call stream — and the native step counter must prove the native
+/// path ran instead of silently falling back.
+#[test]
+fn native_soak_errors_match_interpreter_exactly() {
+    let mut native_progs = 0usize;
+    let mut native_steps_total = 0u64;
+    let mut total_errors = 0usize;
+    for (name, src) in corpus() {
+        let prog =
+            Arc::new(ceu::Compiler::new().compile(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+        let Some(native) = ceu_native_corpus::lookup(name, true) else {
+            continue;
+        };
+        native_progs += 1;
+        let mut prog_native_steps = 0u64;
+        for seed in [1u64, 7, 42, 1234] {
+            let (interp_errors, interp_calls, _) = soak(name, &prog, None, seed, 400);
+            let (native_errors, native_calls, steps) = soak(name, &prog, Some(&native), seed, 400);
+            assert_eq!(
+                interp_calls, native_calls,
+                "{name}/{seed}: host-call streams diverged between backends"
+            );
+            assert_eq!(
+                interp_errors, native_errors,
+                "{name}/{seed}: native errors differ from the interpreter's"
+            );
+            prog_native_steps += steps;
+            total_errors += native_errors.len();
+        }
+        assert!(
+            prog_native_steps > 0,
+            "{name}: native lane never executed a native step (silent fallback)"
+        );
+        native_steps_total += prog_native_steps;
+    }
+    assert!(native_progs >= 8, "native corpus coverage shrank to {native_progs} programs");
+    assert!(native_steps_total > 0);
+    assert!(total_errors > 0, "the soak induced no RuntimeErrors to compare");
 }

@@ -29,6 +29,13 @@
 //! --max-reaction-us N  watchdog: abort reactions over N µs wall time
 //! --max-tracks N       watchdog: abort reactions over N tracks
 //! --faults PLAN        inject faults from a plan file (see below)
+//! --deadline-ms N      whole-run wall-clock budget: if the run (scripted
+//!                      reactions, output rendering, everything) exceeds
+//!                      N ms, it stops with exit code 3. Checked
+//!                      cooperatively between script directives and
+//!                      enforced by a hard watchdog thread, so even a
+//!                      reaction that never yields is bounded. N = 0
+//!                      expires immediately (useful to test the path).
 //! --blackbox PATH      always-on flight recorder: bounded ring of the
 //!                      last reactions; if the machine crashes, a
 //!                      `ceu-blackbox/v1` JSONL dump lands at PATH
@@ -62,7 +69,8 @@
 //! off instead of the process exiting.
 //!
 //! Exit codes: `0` ok, `1` usage/compile/script error, `2` the program
-//! ended powered off (crashed and never rebooted).
+//! ended powered off (crashed and never rebooted), `3` the run exceeded
+//! its `--deadline-ms` wall-clock budget.
 
 use ceu::runtime::telemetry::{json_string, TraceFormat};
 use ceu::runtime::{FlightRecorder, NullHost, TraceEvent, TraceMask, Value};
@@ -105,6 +113,9 @@ struct RunOpts {
     /// Flight recorder: if the run ends crashed (or ever crashed), a
     /// `ceu-blackbox/v1` dump of the last reactions lands here.
     blackbox: Option<String>,
+    /// Whole-run wall-clock budget (`--deadline-ms`); exceeding it exits
+    /// with code 3.
+    deadline_ms: Option<u64>,
 }
 
 /// Splits `--flag`-style options out of argv (valid anywhere), leaving
@@ -147,6 +158,10 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, RunOpts), String> {
                 let path = it.next().ok_or("--blackbox needs a path")?;
                 opts.blackbox = Some(path.clone());
             }
+            "--deadline-ms" => {
+                let n = it.next().ok_or("--deadline-ms needs a number")?;
+                opts.deadline_ms = Some(n.parse().map_err(|_| "--deadline-ms: bad number")?);
+            }
             other if other.starts_with("--trace=") => {
                 let fmt = &other["--trace=".len()..];
                 opts.trace = Some(fmt.parse()?);
@@ -165,7 +180,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, file) = match pos.as_slice() {
         [cmd, file, ..] => (cmd.as_str(), file.as_str()),
         _ => {
-            return Err("usage: ceuc <check|fmt|emit-c|emit-rust|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN] [--blackbox PATH]".into())
+            return Err("usage: ceuc <check|fmt|emit-c|emit-rust|dfa|flow|report|run> <file.ceu> [script] [-O|--no-opt] [--trace[=fmt]] [--trace-out PATH] [--metrics] [--metrics-out PATH] [--profile] [--tree-eval] [--max-reaction-us N] [--max-tracks N] [--faults PLAN] [--blackbox PATH] [--deadline-ms N]".into())
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
@@ -453,6 +468,37 @@ fn exec_script(
         (None, None) => {}
     }
 
+    // --deadline-ms: wall-clock budget for the whole run. Checked
+    // cooperatively between directives; a detached watchdog thread is the
+    // hard backstop for a reaction that never comes back (it can only
+    // fire while the run is still in flight — the guard's Drop disarms it
+    // on every exit path from this function).
+    let run_started = std::time::Instant::now();
+    let deadline = opts.deadline_ms.map(std::time::Duration::from_millis);
+    struct DisarmOnDrop(Arc<std::sync::atomic::AtomicBool>);
+    impl Drop for DisarmOnDrop {
+        fn drop(&mut self) {
+            self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+    let _disarm = deadline.map(|d| {
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&done);
+        std::thread::spawn(move || {
+            // Grace beyond the cooperative deadline: the soft path gets
+            // first shot at a clean exit (epilogue, dumps) before the
+            // hard kill.
+            std::thread::sleep(d + std::time::Duration::from_millis(500));
+            if !flag.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("ceuc: --deadline-ms {} exceeded (hard watchdog)", d.as_millis());
+                std::process::exit(3);
+            }
+        });
+        DisarmOnDrop(done)
+    });
+    let over_deadline = || deadline.is_some_and(|d| run_started.elapsed() >= d);
+    let mut deadline_hit = false;
+
     // Degradation state. `clock` is the script's virtual time — it keeps
     // advancing while the machine is down so a scheduled reboot lands at
     // the right moment.
@@ -469,6 +515,15 @@ fn exec_script(
         note_crash(&mut crashed, sim.machine().now(), e.to_string());
     }
     for (lineno, line) in script.lines().enumerate() {
+        if over_deadline() {
+            eprintln!(
+                "ceuc: --deadline-ms {} exceeded at script line {}; stopping",
+                opts.deadline_ms.unwrap_or(0),
+                lineno + 1
+            );
+            deadline_hit = true;
+            break;
+        }
         let line = line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -629,6 +684,11 @@ fn exec_script(
             write_blackbox_dump(path, &bb.lock().unwrap(), *at, cause, boots)?;
             eprintln!("ceuc: black-box dump written to {path}");
         }
+    }
+    // The deadline outranks the other outcomes: scripts bounding hostile
+    // programs need one unambiguous code for "it ran too long".
+    if deadline_hit {
+        return Ok(ExitCode::from(3));
     }
     if let Some((at, cause)) = &crashed {
         println!("crashed at {at}us: {cause}");

@@ -1,0 +1,60 @@
+//! CLI-level tests for `ceuc run --deadline-ms`: exceeding the budget is
+//! exit code 3 (distinct from 1 = usage/compile and 2 = crashed), and a
+//! comfortable budget leaves a normal run untouched.
+
+use std::io::Write;
+use std::process::Command;
+
+const PROG: &str = "input int Tick;
+    int n = 0;
+    loop do
+        await Tick;
+        n = n + 1;
+        if n >= 3 then break; end
+    end
+    return n;";
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("ceuc-deadline-{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(content.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn deadline_exceeded_exits_3() {
+    let prog = write_tmp("prog.ceu", PROG);
+    let script = write_tmp("script.txt", "event Tick 1\nevent Tick 1\nevent Tick 1\n");
+    // A zero budget expires before the first directive: deterministic 3.
+    let out = Command::new(env!("CARGO_BIN_EXE_ceuc"))
+        .args(["run", prog.to_str().unwrap(), script.to_str().unwrap(), "--deadline-ms", "0"])
+        .output()
+        .expect("run ceuc");
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"),
+        "deadline exit must say why"
+    );
+}
+
+#[test]
+fn generous_deadline_does_not_disturb_the_run() {
+    let prog = write_tmp("prog-ok.ceu", PROG);
+    let script = write_tmp("script-ok.txt", "event Tick 1\nevent Tick 1\nevent Tick 1\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_ceuc"))
+        .args(["run", prog.to_str().unwrap(), script.to_str().unwrap(), "--deadline-ms", "60000"])
+        .output()
+        .expect("run ceuc");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("terminated: 3"));
+}
+
+#[test]
+fn deadline_flag_wants_a_number() {
+    let prog = write_tmp("prog-bad.ceu", PROG);
+    let out = Command::new(env!("CARGO_BIN_EXE_ceuc"))
+        .args(["run", prog.to_str().unwrap(), "--deadline-ms", "soon"])
+        .output()
+        .expect("run ceuc");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -14,16 +14,32 @@ pub struct RuntimeError {
     /// rather than the program itself — fault-handling layers (the WSN
     /// world's crash states) classify the two differently.
     pub watchdog: bool,
+    /// `true` when the error is a *fuel* exhaustion: the deterministic
+    /// per-reaction step budget set via
+    /// [`Machine::set_fuel_limit`](crate::Machine::set_fuel_limit) ran
+    /// out. Unlike wall-clock watchdog trips, fuel trips depend only on
+    /// the program and its inputs, so supervisors (the multi-tenant
+    /// session service in `crates/serve`) can make eviction decisions
+    /// that are reproducible bit-for-bit across reruns. Fuel errors also
+    /// carry `watchdog: true` — they are a resource limit, not a program
+    /// fault — so existing watchdog classification keeps working.
+    pub fuel: bool,
 }
 
 impl RuntimeError {
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        RuntimeError { span, message: message.into(), watchdog: false }
+        RuntimeError { span, message: message.into(), watchdog: false, fuel: false }
     }
 
     /// A watchdog trip (wall-clock or track budget exceeded).
     pub fn watchdog_trip(span: Span, message: impl Into<String>) -> Self {
-        RuntimeError { span, message: message.into(), watchdog: true }
+        RuntimeError { span, message: message.into(), watchdog: true, fuel: false }
+    }
+
+    /// A deterministic fuel-budget exhaustion (see
+    /// [`Machine::set_fuel_limit`](crate::Machine::set_fuel_limit)).
+    pub fn fuel_exhausted(span: Span, message: impl Into<String>) -> Self {
+        RuntimeError { span, message: message.into(), watchdog: true, fuel: true }
     }
 }
 
@@ -36,3 +52,20 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Extracts a human-readable message from a caught panic payload —
+/// the supervision hook behind session isolation: a supervisor
+/// (`crates/serve`) wraps machine calls in
+/// [`std::panic::catch_unwind`] and turns the payload into an
+/// attributable crash cause instead of letting the worker die. Panics
+/// carry `&str` or `String` payloads in practice; anything else is
+/// reported opaquely.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

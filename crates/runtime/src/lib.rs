@@ -13,7 +13,7 @@ pub mod telemetry;
 pub mod trace;
 pub mod value;
 
-pub use error::{Result, RuntimeError};
+pub use error::{panic_message, Result, RuntimeError};
 pub use host::{Host, HostResult, NullHost, RecordingHost};
 pub use machine::{Machine, Status};
 pub use native::{NativeCtx, NativeProgram, Step};

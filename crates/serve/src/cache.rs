@@ -1,0 +1,210 @@
+//! Content-hash-keyed compiled-program artifact cache.
+//!
+//! A multi-tenant service sees the same `.ceu` sources over and over —
+//! thousands of sessions booting the same handful of programs. Because a
+//! [`CompiledProgram`] is immutable and `Send + Sync`, one compilation can
+//! back every session: the cache maps a content hash of `(source,
+//! compile-mode)` to an `Arc<CompiledProgram>` and compiles at most a
+//! handful of times per distinct program (racing admissions may compile
+//! concurrently; one insert wins and the rest are dropped).
+//!
+//! Compile *failures* are cached too (negative caching): a client
+//! re-submitting a broken program in a tight loop must not be able to burn
+//! a compile per attempt — the second attempt is rejected from the map in
+//! O(1).
+
+use ceu::{CompiledProgram, Compiler};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// FNV-1a 64-bit over the source text, salted with the compile mode —
+/// checked and unchecked artifacts of the same source are distinct
+/// programs and must not alias.
+pub fn source_hash(src: &str, unchecked: bool) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    eat(if unchecked { 1 } else { 0 });
+    for b in src.as_bytes() {
+        eat(*b);
+    }
+    h
+}
+
+#[derive(Clone)]
+enum CacheEntry {
+    Ok(Arc<CompiledProgram>),
+    /// Negative entry: the compiler rejected this source.
+    Err(Arc<str>),
+}
+
+/// A compile rejection surfaced to the admission layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileRejected {
+    pub message: String,
+    /// `true` when served from the negative cache (no compile ran).
+    pub cached: bool,
+}
+
+/// Counters, snapshotted by [`ArtifactCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Hits on negative (compile-error) entries.
+    pub negative_hits: u64,
+    pub evictions: u64,
+    pub entries: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u64, CacheEntry>,
+    /// Insertion order, for FIFO eviction once over capacity.
+    fifo: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+/// Bounded, thread-safe artifact cache. Compilation runs *outside* the
+/// lock — a slow compile (the DFA on a pathological program) must not
+/// stall admissions of already-cached programs.
+pub struct ArtifactCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl ArtifactCache {
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the artifact for `src`, compiling it if this is the first
+    /// time the service sees this `(source, mode)` pair. `unchecked`
+    /// selects [`Compiler::unchecked`] — the mode that skips the
+    /// bounded-execution and determinism analyses and therefore admits
+    /// runaway programs (the service's fuel meter is the backstop).
+    pub fn get_or_compile(
+        &self,
+        src: &str,
+        unchecked: bool,
+    ) -> Result<(u64, Arc<CompiledProgram>), CompileRejected> {
+        let hash = source_hash(src, unchecked);
+        {
+            let mut inner = self.lock();
+            match inner.map.get(&hash).cloned() {
+                Some(CacheEntry::Ok(p)) => {
+                    inner.stats.hits += 1;
+                    return Ok((hash, p));
+                }
+                Some(CacheEntry::Err(msg)) => {
+                    inner.stats.negative_hits += 1;
+                    return Err(CompileRejected { message: msg.to_string(), cached: true });
+                }
+                None => inner.stats.misses += 1,
+            }
+        }
+
+        // Compile without holding the lock. Concurrent admissions of the
+        // same new program may both compile; the artifact is identical, so
+        // first insert wins and the loser's copy is dropped.
+        let compiler = if unchecked { Compiler::unchecked() } else { Compiler::new() };
+        let entry = match compiler.compile(src) {
+            Ok(p) => CacheEntry::Ok(Arc::new(p)),
+            Err(e) => CacheEntry::Err(Arc::from(e.to_string().as_str())),
+        };
+
+        let mut inner = self.lock();
+        let winner = inner.map.entry(hash).or_insert_with(|| entry.clone()).clone();
+        if inner.fifo.back() != Some(&hash) && !inner.fifo.contains(&hash) {
+            inner.fifo.push_back(hash);
+        }
+        while inner.map.len() > self.capacity {
+            if let Some(old) = inner.fifo.pop_front() {
+                if old == hash {
+                    // Never evict the entry we are about to hand out.
+                    inner.fifo.push_back(old);
+                    continue;
+                }
+                inner.map.remove(&old);
+                inner.stats.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        inner.stats.entries = inner.map.len();
+        match winner {
+            CacheEntry::Ok(p) => Ok((hash, p)),
+            CacheEntry::Err(msg) => {
+                Err(CompileRejected { message: msg.to_string(), cached: false })
+            }
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let mut inner = self.lock();
+        inner.stats.entries = inner.map.len();
+        inner.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = "input int Go; await Go; return 1;";
+    const BAD: &str = "input int Go; await Missing;";
+
+    #[test]
+    fn hit_after_miss_shares_arc() {
+        let cache = ArtifactCache::new(8);
+        let (h1, p1) = cache.get_or_compile(OK, false).unwrap();
+        let (h2, p2) = cache.get_or_compile(OK, false).unwrap();
+        assert_eq!(h1, h2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn checked_and_unchecked_do_not_alias() {
+        let cache = ArtifactCache::new(8);
+        let (h1, _) = cache.get_or_compile(OK, false).unwrap();
+        let (h2, _) = cache.get_or_compile(OK, true).unwrap();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn compile_errors_are_negative_cached() {
+        let cache = ArtifactCache::new(8);
+        let e1 = cache.get_or_compile(BAD, false).unwrap_err();
+        assert!(!e1.cached);
+        let e2 = cache.get_or_compile(BAD, false).unwrap_err();
+        assert!(e2.cached, "second rejection must come from the cache");
+        assert_eq!(e1.message, e2.message);
+        assert_eq!(cache.stats().negative_hits, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_map() {
+        let cache = ArtifactCache::new(2);
+        for i in 0..5 {
+            let src = format!("input int Go; await Go; return {i};");
+            cache.get_or_compile(&src, false).unwrap();
+        }
+        let s = cache.stats();
+        assert!(s.entries <= 2, "capacity must bound entries, got {}", s.entries);
+        assert_eq!(s.evictions, 3);
+    }
+}

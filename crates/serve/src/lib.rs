@@ -1,0 +1,31 @@
+//! # ceu-serve — supervised multi-tenant Céu session service
+//!
+//! The paper's cooperative execution model (reactions run to completion;
+//! preemption only at known suspension points) makes one process safe to
+//! share among many tenants: a [`Machine`](ceu::Machine) never needs to
+//! be stopped mid-state, only *bounded*. This crate is that bounding
+//! layer — the largest ROADMAP item ("Multi-tenant Céu service") built
+//! with supervision first:
+//!
+//! * [`ArtifactCache`] — compile once per distinct `(source, mode)` pair,
+//!   share the immutable [`CompiledProgram`](ceu::CompiledProgram) via
+//!   `Arc` across every session that runs it (negative caching included).
+//! * [`SessionService`] — a worker pool multiplexing per-session machines
+//!   with deterministic fuel metering, bounded queues with explicit
+//!   [`Shed`](SendError::Shed) responses, per-session quarantine with
+//!   attributed [`EvictCause`]s, [`RebootPolicy`]-backed restarts, and a
+//!   [`drain`](SessionService::drain) protocol reporting final status for
+//!   every tenant.
+//!
+//! The `serve-load` bin (`src/bin/serve_load.rs`) drives the service with
+//! clean and chaos mixes and emits `ceu-serve-load/v1` benchmark rows;
+//! docs/ROBUSTNESS.md §"Supervised service" documents the semantics.
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{source_hash, ArtifactCache, CacheStats, CompileRejected};
+pub use service::{
+    AdmitError, DrainReport, EvictCause, RebootPolicy, RestartError, SendError, ServeConfig,
+    ServeStats, SessionId, SessionService, SessionState, SessionStatus,
+};

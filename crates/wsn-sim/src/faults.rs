@@ -117,7 +117,12 @@ impl RebootPolicy {
             RebootPolicy::After(d) => Some(d),
             RebootPolicy::Backoff { base_us, max_us } => {
                 let shift = nth_crash.saturating_sub(1).min(63);
-                Some(base_us.saturating_mul(1u64 << shift).min(max_us))
+                // Clamp to ≥ 1 µs: with `base_us: 0` every delay would be
+                // zero and a crash-looping node could hot-spin through
+                // restarts forever — backoff must always back off. (The
+                // world additionally clamps to its lookahead; direct
+                // consumers like the session service rely on this floor.)
+                Some(base_us.saturating_mul(1u64 << shift).min(max_us).max(1))
             }
         }
     }

@@ -1,0 +1,86 @@
+//! Property tests for [`RebootPolicy::Backoff`] delay growth: after
+//! hundreds of crash-reboot cycles the schedule must saturate cleanly at
+//! `max_us` — no overflow wraparound, no zero-delay livelock — because
+//! both the WSN world and the session service (`ceu-serve`) feed
+//! unbounded crash counters straight into `delay_for`.
+
+use proptest::prelude::*;
+use wsn_sim::RebootPolicy;
+
+proptest! {
+    /// No panic, no overflow, and the cap holds for arbitrary crash
+    /// counts — including the degenerate counts (0, u32::MAX) a
+    /// crash-looping session can reach.
+    #[test]
+    fn backoff_never_overflows_and_respects_cap(
+        base_us in 0u64..u64::MAX / 2,
+        max_us in 1u64..u64::MAX / 2,
+        nth in 0u32..u32::MAX,
+    ) {
+        let p = RebootPolicy::Backoff { base_us, max_us };
+        let d = p.delay_for(nth).expect("Backoff always reboots");
+        prop_assert!(d <= max_us.max(1), "delay {d} exceeds cap {max_us}");
+    }
+
+    /// The livelock fix: even a zero base (or a zero cap) yields a
+    /// strictly positive delay, so back-to-back restarts always wait.
+    #[test]
+    fn backoff_delay_is_never_zero(
+        base_us in 0u64..1_000u64,
+        max_us in 0u64..1_000u64,
+        nth in 0u32..1_000u32,
+    ) {
+        let p = RebootPolicy::Backoff { base_us, max_us };
+        prop_assert!(p.delay_for(nth).unwrap() >= 1);
+    }
+
+    /// Delays grow monotonically with the crash count until the cap, so a
+    /// repeat offender always waits at least as long as last time.
+    #[test]
+    fn backoff_is_monotone_nondecreasing(
+        base_us in 1u64..1_000_000u64,
+        max_us in 1u64..1_000_000_000u64,
+        nth in 1u32..500u32,
+    ) {
+        let p = RebootPolicy::Backoff { base_us, max_us };
+        let a = p.delay_for(nth).unwrap();
+        let b = p.delay_for(nth + 1).unwrap();
+        prop_assert!(b >= a, "delay shrank: crash {nth} → {a}, crash {} → {b}", nth + 1);
+    }
+}
+
+/// Simulates hundreds of crash-reboot cycles the way a supervisor drives
+/// the policy: the accumulated schedule must saturate (constant at the
+/// cap) instead of wrapping back down, and total wait stays finite.
+#[test]
+fn hundreds_of_cycles_saturate_at_cap() {
+    let p = RebootPolicy::Backoff { base_us: 250, max_us: 60_000_000 };
+    let mut prev = 0u64;
+    let mut saturated_at = None;
+    for crash in 1..=500u32 {
+        let d = p.delay_for(crash).unwrap();
+        assert!(d >= prev, "crash {crash}: delay {d} < previous {prev} (wrapped?)");
+        assert!(d <= 60_000_000);
+        if d == 60_000_000 && saturated_at.is_none() {
+            saturated_at = Some(crash);
+        }
+        prev = d;
+    }
+    let at = saturated_at.expect("schedule must reach the cap");
+    // base 250 µs doubles past 60 s within 19 crashes; every later crash
+    // stays pinned at the cap.
+    assert!(at <= 19, "saturated too late (crash {at})");
+    assert_eq!(p.delay_for(u32::MAX), Some(60_000_000));
+}
+
+/// The shift is clamped before the multiply: crash counts beyond 64 must
+/// not change the (saturated) result even when `base * 2^shift` would
+/// overflow u64.
+#[test]
+fn huge_crash_counts_equal_the_saturated_delay() {
+    let p = RebootPolicy::Backoff { base_us: u64::MAX / 2, max_us: u64::MAX / 3 };
+    let at_64 = p.delay_for(64);
+    for nth in [65u32, 100, 1_000, u32::MAX] {
+        assert_eq!(p.delay_for(nth), at_64);
+    }
+}
